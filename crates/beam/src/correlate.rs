@@ -1,0 +1,141 @@
+//! Model-to-measurement correlation metrics (§6.2, Figure 10).
+//!
+//! "Prior to the sequential AVF work, our model to measurement correlation
+//! for SDC was off by nearly 100% with the modeled SER being higher than
+//! the measured. … the model/experimental correlation improved by ~66%,
+//! which is within the statistical error of the measured value."
+
+use serde::{Deserialize, Serialize};
+
+use crate::campaign::BeamMeasurement;
+
+/// Miscorrelation: the relative excess of the model over the measurement
+/// (`0` = perfect; `1.0` = "off by 100%").
+pub fn miscorrelation(modeled: f64, measured: f64) -> f64 {
+    if measured == 0.0 {
+        return f64::INFINITY;
+    }
+    (modeled - measured).abs() / measured
+}
+
+/// Fractional improvement of miscorrelation from `before` to `after`
+/// (`0.66` = "correlation improved by ~66%").
+pub fn improvement(before_miscorrelation: f64, after_miscorrelation: f64) -> f64 {
+    if before_miscorrelation == 0.0 {
+        return 0.0;
+    }
+    (before_miscorrelation - after_miscorrelation) / before_miscorrelation
+}
+
+/// Whether a modeled value falls inside a measurement's confidence
+/// interval ("within the statistical error of the measured value").
+pub fn within_interval(modeled: f64, measurement: &BeamMeasurement) -> bool {
+    modeled >= measurement.fit_interval.0 && modeled <= measurement.fit_interval.1
+}
+
+/// One row of the Figure 10 comparison, normalized to Arbitrary Units
+/// ("due to the sensitive nature of the actual FIT values we normalize the
+/// values to Arbitrary Units").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationRow {
+    /// Workload name.
+    pub workload: String,
+    /// Measured SER in AU.
+    pub measured_au: f64,
+    /// Measurement CI in AU.
+    pub measured_interval_au: (f64, f64),
+    /// Modeled SER using the structure-AVF proxy for sequentials, in AU.
+    pub modeled_before_au: f64,
+    /// Modeled SER using computed sequential AVFs, in AU.
+    pub modeled_after_au: f64,
+}
+
+impl CorrelationRow {
+    /// Builds a row from raw FIT values, normalizing everything by
+    /// `reference` (typically the measured value of the first workload).
+    pub fn new(
+        workload: impl Into<String>,
+        measurement: &BeamMeasurement,
+        modeled_before: f64,
+        modeled_after: f64,
+        reference: f64,
+    ) -> Self {
+        let au = |v: f64| if reference == 0.0 { v } else { v / reference };
+        CorrelationRow {
+            workload: workload.into(),
+            measured_au: au(measurement.measured_fit),
+            measured_interval_au: (au(measurement.fit_interval.0), au(measurement.fit_interval.1)),
+            modeled_before_au: au(modeled_before),
+            modeled_after_au: au(modeled_after),
+        }
+    }
+
+    /// Miscorrelation of the before-model.
+    pub fn miscorrelation_before(&self) -> f64 {
+        miscorrelation(self.modeled_before_au, self.measured_au)
+    }
+
+    /// Miscorrelation of the after-model.
+    pub fn miscorrelation_after(&self) -> f64 {
+        miscorrelation(self.modeled_after_au, self.measured_au)
+    }
+
+    /// Improvement from before to after.
+    pub fn improvement(&self) -> f64 {
+        improvement(self.miscorrelation_before(), self.miscorrelation_after())
+    }
+
+    /// Whether the after-model lands inside the measurement interval.
+    pub fn after_within_measurement(&self) -> bool {
+        self.modeled_after_au >= self.measured_interval_au.0
+            && self.modeled_after_au <= self.measured_interval_au.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miscorrelation_basics() {
+        assert_eq!(miscorrelation(2.0, 1.0), 1.0); // "off by 100%"
+        assert_eq!(miscorrelation(1.0, 1.0), 0.0);
+        assert!((miscorrelation(1.34, 1.0) - 0.34).abs() < 1e-12);
+        assert!(miscorrelation(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn improvement_basics() {
+        assert!((improvement(1.0, 0.34) - 0.66).abs() < 1e-12);
+        assert_eq!(improvement(0.0, 0.0), 0.0);
+        assert_eq!(improvement(0.5, 0.5), 0.0);
+    }
+
+    #[test]
+    fn row_normalizes_to_au() {
+        let m = BeamMeasurement {
+            observed_errors: 100,
+            measured_fit: 400.0,
+            fit_interval: (320.0, 480.0),
+        };
+        let row = CorrelationRow::new("lattice", &m, 800.0, 440.0, 400.0);
+        assert!((row.measured_au - 1.0).abs() < 1e-12);
+        assert!((row.modeled_before_au - 2.0).abs() < 1e-12);
+        assert!((row.miscorrelation_before() - 1.0).abs() < 1e-12);
+        assert!((row.miscorrelation_after() - 0.1).abs() < 1e-12);
+        assert!((row.improvement() - 0.9).abs() < 1e-12);
+        assert!(row.after_within_measurement());
+    }
+
+    #[test]
+    fn within_interval_checks_bounds() {
+        let m = BeamMeasurement {
+            observed_errors: 10,
+            measured_fit: 100.0,
+            fit_interval: (80.0, 120.0),
+        };
+        assert!(within_interval(100.0, &m));
+        assert!(within_interval(80.0, &m));
+        assert!(!within_interval(121.0, &m));
+    }
+}

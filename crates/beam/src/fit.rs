@@ -1,0 +1,175 @@
+//! Equation 1: `SER FIT = AVF_bit × #bits × intrinsic error rate_bit`.
+//!
+//! A design's soft error rate is assembled from *bit populations*
+//! (sequentials, array structures, …), each with its own intrinsic
+//! per-bit FIT rate (set by process and circuit topology, §1) and
+//! protection scheme. Protection determines which SER bucket the
+//! population's errors land in: unprotected bits produce silent data
+//! corruption (SDC), parity produces detected-uncorrectable errors (DUE),
+//! and ECC produces detected-corrected errors (DCE).
+
+use serde::{Deserialize, Serialize};
+
+/// Error-detection/correction scheme covering a bit population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protection {
+    /// No detection: faults become SDC.
+    None,
+    /// Detection only (e.g. parity): faults become DUE.
+    Parity,
+    /// Detection and correction (e.g. ECC): faults become DCE.
+    Ecc,
+}
+
+/// A population of bits contributing to the design's SER.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitPopulation {
+    /// Label (e.g. `"sequentials"`, `"rob"`).
+    pub name: String,
+    /// Number of bits.
+    pub bits: u64,
+    /// Mean AVF of the population.
+    pub avf: f64,
+    /// Intrinsic per-bit FIT rate.
+    pub intrinsic_fit_per_bit: f64,
+    /// Protection scheme.
+    pub protection: Protection,
+}
+
+impl BitPopulation {
+    /// Creates an unprotected population.
+    pub fn unprotected(name: impl Into<String>, bits: u64, avf: f64, fit_per_bit: f64) -> Self {
+        BitPopulation {
+            name: name.into(),
+            bits,
+            avf: avf.clamp(0.0, 1.0),
+            intrinsic_fit_per_bit: fit_per_bit.max(0.0),
+            protection: Protection::None,
+        }
+    }
+
+    /// This population's FIT contribution (Equation 1).
+    pub fn fit(&self) -> f64 {
+        self.avf * self.bits as f64 * self.intrinsic_fit_per_bit
+    }
+}
+
+/// SER broken down by error class.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FitBreakdown {
+    /// Silent data corruption FIT.
+    pub sdc: f64,
+    /// Detected uncorrectable error FIT.
+    pub due: f64,
+    /// Detected corrected error FIT.
+    pub dce: f64,
+}
+
+impl FitBreakdown {
+    /// Assembles the breakdown from populations.
+    pub fn from_populations<'a, I>(pops: I) -> Self
+    where
+        I: IntoIterator<Item = &'a BitPopulation>,
+    {
+        let mut b = FitBreakdown::default();
+        for p in pops {
+            let f = p.fit();
+            match p.protection {
+                Protection::None => b.sdc += f,
+                Protection::Parity => b.due += f,
+                Protection::Ecc => b.dce += f,
+            }
+        }
+        b
+    }
+
+    /// Total FIT across classes.
+    pub fn total(&self) -> f64 {
+        self.sdc + self.due + self.dce
+    }
+}
+
+/// Builds the two-population SDC model the paper's correlation study uses:
+/// sequential bits at a given mean AVF plus (protected) array structures.
+/// In "a typical modern microprocessor from Intel, about half of the
+/// processor's total SDC SER comes from sequentials" (§1); the default
+/// intrinsic rates are chosen arbitrarily (absolute FITs are normalized to
+/// AU downstream).
+pub fn core_model(
+    seq_bits: u64,
+    seq_avf: f64,
+    array_bits: u64,
+    array_avf: f64,
+    fit_per_bit: f64,
+) -> Vec<BitPopulation> {
+    vec![
+        BitPopulation::unprotected("sequentials", seq_bits, seq_avf, fit_per_bit),
+        BitPopulation {
+            name: "unprotected_arrays".to_owned(),
+            bits: array_bits / 2,
+            avf: array_avf.clamp(0.0, 1.0),
+            intrinsic_fit_per_bit: fit_per_bit,
+            protection: Protection::None,
+        },
+        BitPopulation {
+            name: "parity_arrays".to_owned(),
+            bits: array_bits / 2,
+            avf: array_avf.clamp(0.0, 1.0),
+            intrinsic_fit_per_bit: fit_per_bit,
+            protection: Protection::Parity,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_one() {
+        let p = BitPopulation::unprotected("x", 1000, 0.14, 1e-4);
+        assert!((p.fit() - 0.14 * 1000.0 * 1e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn construction_clamps() {
+        let p = BitPopulation::unprotected("x", 10, 3.0, -1.0);
+        assert_eq!(p.avf, 1.0);
+        assert_eq!(p.intrinsic_fit_per_bit, 0.0);
+    }
+
+    #[test]
+    fn breakdown_routes_by_protection() {
+        let pops = vec![
+            BitPopulation::unprotected("a", 100, 0.5, 1.0),
+            BitPopulation {
+                name: "b".into(),
+                bits: 100,
+                avf: 0.5,
+                intrinsic_fit_per_bit: 1.0,
+                protection: Protection::Parity,
+            },
+            BitPopulation {
+                name: "c".into(),
+                bits: 100,
+                avf: 0.5,
+                intrinsic_fit_per_bit: 1.0,
+                protection: Protection::Ecc,
+            },
+        ];
+        let b = FitBreakdown::from_populations(&pops);
+        assert_eq!(b.sdc, 50.0);
+        assert_eq!(b.due, 50.0);
+        assert_eq!(b.dce, 50.0);
+        assert_eq!(b.total(), 150.0);
+    }
+
+    #[test]
+    fn lower_avf_lowers_sdc() {
+        let hi = FitBreakdown::from_populations(&core_model(100_000, 0.38, 50_000, 0.2, 1e-4));
+        let lo = FitBreakdown::from_populations(&core_model(100_000, 0.14, 50_000, 0.2, 1e-4));
+        assert!(lo.sdc < hi.sdc);
+        // Parity arrays are DUE in both.
+        assert_eq!(lo.due, hi.due);
+    }
+}

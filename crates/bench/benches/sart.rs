@@ -1,0 +1,143 @@
+//! Criterion benchmarks for the core analysis paths: SART end-to-end,
+//! symbolic re-evaluation, SFI per injection, the performance model, and
+//! the loop-pAVF sweep — the machine-measured counterparts of experiments
+//! E2/E5/E7/E9.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use seqavf::flow::{inputs_from_suite, run_suite};
+use seqavf_core::engine::{SartConfig, SartEngine};
+use seqavf_core::mapping::{PavfInputs, StructureMapping};
+use seqavf_netlist::graph::NodeId;
+use seqavf_netlist::synth::{generate, SynthConfig};
+use seqavf_perf::pipeline::{run_ace, PerfConfig};
+use seqavf_sfi::campaign::{run_campaign, CampaignConfig};
+use seqavf_sfi::inject::{observation_points, run_injection, InjectConfig};
+use seqavf_workloads::suite::{standard_suite, MixFamily, SuiteConfig};
+
+fn bench_sart_full_run(c: &mut Criterion) {
+    let design = generate(&SynthConfig::xeon_like(42));
+    let mapping = StructureMapping::from_pairs(design.meta.structure_map.clone());
+    let inputs = PavfInputs::new();
+    c.bench_function("sart_full_run", |b| {
+        b.iter(|| {
+            let engine = SartEngine::new(&design.netlist, &mapping, SartConfig::default());
+            std::hint::black_box(engine.run(&inputs))
+        })
+    });
+}
+
+fn bench_symbolic_reeval(c: &mut Criterion) {
+    let design = generate(&SynthConfig::xeon_like(42));
+    let mapping = StructureMapping::from_pairs(design.meta.structure_map.clone());
+    let suite = run_suite(
+        &standard_suite(&SuiteConfig {
+            workloads: 4,
+            len: 2_000,
+            ..SuiteConfig::default()
+        }),
+        &PerfConfig::default(),
+    );
+    let inputs = inputs_from_suite(&suite);
+    let engine = SartEngine::new(&design.netlist, &mapping, SartConfig::default());
+    let result = engine.run(&inputs);
+    c.bench_function("symbolic_reeval", |b| {
+        b.iter(|| std::hint::black_box(result.reevaluate(&design.netlist, &inputs)))
+    });
+}
+
+fn bench_sfi_injection(c: &mut Criterion) {
+    let design = generate(&SynthConfig::xeon_like(42).scaled(0.3));
+    let nl = &design.netlist;
+    let obs = observation_points(nl);
+    let target = nl.seq_nodes().next().expect("has sequentials");
+    c.bench_function("sfi_single_injection", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_injection(
+                nl,
+                target,
+                &InjectConfig {
+                    warmup: 8,
+                    horizon: 100,
+                    seed: 7,
+                },
+                &obs,
+            ))
+        })
+    });
+}
+
+fn bench_sart_vs_sfi(c: &mut Criterion) {
+    // E7: the per-node-AVF cost of the two techniques on the same design.
+    let design = generate(&SynthConfig::xeon_like(42).scaled(0.3));
+    let nl = &design.netlist;
+    let mapping = StructureMapping::from_pairs(design.meta.structure_map.clone());
+    let inputs = PavfInputs::new();
+    let mut group = c.benchmark_group("sart_vs_sfi");
+    group.bench_function("sart_all_nodes", |b| {
+        b.iter(|| {
+            let engine = SartEngine::new(nl, &mapping, SartConfig::default());
+            std::hint::black_box(engine.run(&inputs))
+        })
+    });
+    let one_node: Vec<NodeId> = nl.seq_nodes().take(1).collect();
+    group.bench_function("sfi_one_node_10_injections", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_campaign(
+                nl,
+                &one_node,
+                &CampaignConfig {
+                    injections_per_node: 10,
+                    threads: 1,
+                    ..CampaignConfig::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_perf_model(c: &mut Criterion) {
+    let trace = MixFamily::builtin()[0].generate(0, 10_000, 42);
+    c.bench_function("perf_model_10k_instructions", |b| {
+        b.iter(|| std::hint::black_box(run_ace(&trace, &PerfConfig::default())))
+    });
+}
+
+fn bench_loop_sweep_point(c: &mut Criterion) {
+    // E2's inner loop: one closed-form sweep point.
+    let design = generate(&SynthConfig::xeon_like(42));
+    let mapping = StructureMapping::from_pairs(design.meta.structure_map.clone());
+    let inputs = PavfInputs::new();
+    let engine = SartEngine::new(&design.netlist, &mapping, SartConfig::default());
+    let result = engine.run(&inputs);
+    c.bench_function("loop_sweep_point", |b| {
+        b.iter_batched(
+            || {
+                let mut r = result.clone();
+                r.config.loop_pavf = 0.7;
+                r
+            },
+            |r| std::hint::black_box(r.reevaluate(&design.netlist, &inputs)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_netlist_generation(c: &mut Criterion) {
+    c.bench_function("synth_xeon_like", |b| {
+        b.iter(|| std::hint::black_box(generate(&SynthConfig::xeon_like(42))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sart_full_run,
+    bench_symbolic_reeval,
+    bench_sfi_injection,
+    bench_sart_vs_sfi,
+    bench_perf_model,
+    bench_loop_sweep_point,
+    bench_netlist_generation,
+);
+criterion_main!(benches);

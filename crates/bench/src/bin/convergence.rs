@@ -1,0 +1,9 @@
+//! E4 — regenerates the §6.1 convergence study (per-FUB mean pAVF by
+//! relaxation iteration). Usage: `convergence [--scale full]`.
+use seqavf_bench::common::{emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = seqavf_bench::convergence::run(scale, 42);
+    emit("convergence", &report.render(), &report);
+}

@@ -1,0 +1,9 @@
+//! E5 — regenerates Figure 10 (modeled vs measured SER for the Lattice and
+//! MD5Sum beam workloads). Usage: `fig10_beam_correlation [--scale full]`.
+use seqavf_bench::common::{emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = seqavf_bench::fig10::run(scale, 42);
+    emit("fig10_beam_correlation", &report.render(), &report);
+}

@@ -1,0 +1,9 @@
+//! E2 — regenerates Figure 8 (loop-boundary pAVF sweep).
+//! Usage: `fig8_loop_sweep [--scale full]`.
+use seqavf_bench::common::{emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = seqavf_bench::fig8::run(scale, 42);
+    emit("fig8_loop_sweep", &report.render(), &report);
+}

@@ -1,0 +1,9 @@
+//! E3 — regenerates Figure 9 (per-FUB average sequential/node AVF).
+//! Usage: `fig9_fub_avf [--scale full]`.
+use seqavf_bench::common::{emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = seqavf_bench::fig9::run(scale, 42);
+    emit("fig9_fub_avf", &report.render(), &report);
+}

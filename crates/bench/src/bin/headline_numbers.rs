@@ -1,0 +1,10 @@
+//! E6 — the paper's headline numbers (§1/§6): average sequential AVF,
+//! modeled SDC FIT reduction, censuses, coverage, iteration count.
+//! Usage: `headline_numbers [--scale full]`.
+use seqavf_bench::common::{emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = seqavf_bench::headline::run(scale, 42);
+    emit("headline_numbers", &report.render(), &report);
+}

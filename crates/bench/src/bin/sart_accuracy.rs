@@ -1,0 +1,9 @@
+//! E8 — SART conservatism validated against SFI ground truth (§3.1).
+//! Usage: `sart_accuracy [--scale full]`.
+use seqavf_bench::common::{emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = seqavf_bench::accuracy::run(scale, 42);
+    emit("sart_accuracy", &report.render(), &report);
+}

@@ -1,0 +1,9 @@
+//! E11 — SART cost vs design size (supports the paper's runtime claims).
+//! Usage: `scaling [--scale full]`.
+use seqavf_bench::common::{emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = seqavf_bench::scaling::run(scale, 42);
+    emit("scaling", &report.render(), &report);
+}

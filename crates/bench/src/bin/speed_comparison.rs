@@ -1,0 +1,9 @@
+//! E7 — SART vs SFI cost per statistically-significant node AVF (§3.1 vs
+//! §5). Usage: `speed_comparison [--scale full]`.
+use seqavf_bench::common::{emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = seqavf_bench::speed::run(scale, 42);
+    emit("speed_comparison", &report.render(), &report);
+}

@@ -1,0 +1,9 @@
+//! E9 — closed-form re-evaluation vs full SART re-run (§5.2).
+//! Usage: `symbolic_ablation [--scale full]`.
+use seqavf_bench::common::{emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = seqavf_bench::symbolic::run(scale, 42);
+    emit("symbolic_ablation", &report.render(), &report);
+}

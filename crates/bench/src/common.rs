@@ -1,0 +1,82 @@
+//! Shared experiment scaffolding: standard design/suite scales and a tiny
+//! output helper.
+
+use seqavf_core::engine::SartConfig;
+use seqavf_netlist::synth::SynthConfig;
+use seqavf_perf::pipeline::PerfConfig;
+use seqavf_workloads::suite::SuiteConfig;
+
+/// Experiment scale, selectable from the command line (`--scale full`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-fast: small design, few short workloads. Default for CI and
+    /// Criterion.
+    Quick,
+    /// The paper-scale run: full Xeon-like design, 547 workloads.
+    Full,
+}
+
+impl Scale {
+    /// Parses `--scale <quick|full>` style arguments; defaults to quick.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        match args.iter().position(|a| a == "--scale") {
+            Some(i) if args.get(i + 1).map(String::as_str) == Some("full") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+}
+
+/// The standard flow configuration for experiments at a scale.
+pub fn flow_config(scale: Scale, seed: u64) -> seqavf::flow::FlowConfig {
+    let sart = SartConfig {
+        boundary_in_pavf: 0.35,
+        boundary_out_pavf: 0.35,
+        ..SartConfig::default()
+    };
+    match scale {
+        Scale::Quick => seqavf::flow::FlowConfig {
+            design: SynthConfig::xeon_like(seed).scaled(0.5),
+            suite: SuiteConfig {
+                workloads: 12,
+                len: 3_000,
+                ..SuiteConfig::default()
+            },
+            perf: PerfConfig::default(),
+            sart,
+        },
+        Scale::Full => seqavf::flow::FlowConfig {
+            design: SynthConfig::xeon_like(seed).scaled(3.0),
+            suite: SuiteConfig::default(),
+            perf: PerfConfig::default(),
+            sart,
+        },
+    }
+}
+
+/// Writes a report JSON next to the binary's working directory and prints
+/// the text rendering.
+pub fn emit(name: &str, text: &str, json: &impl serde::Serialize) {
+    println!("{text}");
+    let path = format!("{name}.json");
+    match serde_json::to_string_pretty(json) {
+        Ok(s) => {
+            if std::fs::write(&path, s).is_ok() {
+                println!("[report written to {path}]");
+            }
+        }
+        Err(e) => eprintln!("could not serialize report: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_is_smaller_than_full() {
+        let q = flow_config(Scale::Quick, 1);
+        let f = flow_config(Scale::Full, 1);
+        assert!(q.suite.workloads < f.suite.workloads);
+    }
+}

@@ -1,0 +1,283 @@
+//! **E5 — Figure 10**: modeled vs measured SER for the two beam-test
+//! workloads (Lattice, MD5Sum), normalized to Arbitrary Units.
+//!
+//! The silicon + proton-beam measurement is simulated (see `DESIGN.md`):
+//! the device's *true* per-node sequential AVF is constructed from two
+//! measurements that are independent of the SART estimate being validated —
+//!
+//! 1. the **logical-masking** probability of each sampled node, measured by
+//!    statistical fault injection into the gate-level netlist
+//!    (`seqavf-sfi`) — the derating SART deliberately does *not* credit
+//!    ("we conservatively assume that there is no logical masking", §4),
+//!    and
+//! 2. the node's **ACE rate** under the workload — the probability the bit
+//!    holds data that both arrived as ACE and is consumed as ACE
+//!    downstream (SART's `MIN(forward, backward)` value) —
+//!
+//! multiplied per node: `truth = sfi_error_prob × ace_rate`. By
+//! construction the SART estimate is conservative against this truth by
+//! exactly the logical-masking margin, which is the paper's own
+//! characterization of the technique's residual conservatism. The *before*
+//! model reproduces the paper's prior practice: a single suite-wide
+//! **conservative structure AVF** carried as a proxy for every sequential
+//! ("we were conservatively using structure AVFs as a proxy for the
+//! sequential AVF").
+//!
+//! Paper results reproduced: the before-model overshoots the measurement
+//! by roughly 2× ("off by nearly 100%"), the sequential AVFs come out far
+//! below the conservative proxy (paper: 63% lower), the corrected model
+//! lands within the beam measurement's counting-statistics error, and the
+//! correlation improves by a large fraction (paper: ~66%).
+
+use serde::{Deserialize, Serialize};
+
+use crate::common::{flow_config, Scale};
+use seqavf::flow::{inputs_from_report, run_flow, run_suite};
+use seqavf_beam::campaign::{run_beam, BeamConfig};
+use seqavf_beam::correlate::CorrelationRow;
+use seqavf_beam::fit::BitPopulation;
+use seqavf_netlist::graph::NodeId;
+use seqavf_perf::pipeline::{run_ace, PerfConfig};
+use seqavf_sfi::campaign::{run_campaign, CampaignConfig};
+use seqavf_workloads::kernels::lattice::{lattice_trace, LatticeConfig};
+use seqavf_workloads::kernels::md5::{md5_trace, Md5Config};
+use seqavf_workloads::trace::Trace;
+
+/// Per-bit intrinsic FIT rate used for the simulated device (absolute FITs
+/// are normalized to AU, so only the resulting beam counting statistics
+/// matter).
+const INTRINSIC_FIT_PER_BIT: f64 = 1.0e-3;
+
+/// The Figure 10 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig10Report {
+    /// One row per beam workload.
+    pub rows: Vec<CorrelationRow>,
+    /// The suite-wide conservative structure AVF used as the before-proxy.
+    pub proxy_avf: f64,
+    /// Mean SART sequential AVF per workload (after-model basis).
+    pub sart_seq_avf: Vec<f64>,
+    /// How much lower the sequential AVFs are than the proxy (paper: 63%).
+    pub avf_reduction_vs_proxy: f64,
+    /// Mean correlation improvement across workloads (paper: ~66%).
+    pub mean_improvement: f64,
+}
+
+impl Fig10Report {
+    /// Renders the figure as a text chart.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Figure 10 — normalized SER (AU): measured vs modeled\n\
+             (conservative proxy AVF = {:.4}; sequential AVFs {:.0}% lower than proxy)\n",
+            self.proxy_avf,
+            self.avf_reduction_vs_proxy * 100.0
+        );
+        for r in &self.rows {
+            let _ = writeln!(out, "{}:", r.workload);
+            let bar = |v: f64| "#".repeat((v * 30.0).min(120.0) as usize);
+            let _ = writeln!(
+                out,
+                "  measured        {:>6.3} AU  [{:.3}, {:.3}]  {}",
+                r.measured_au, r.measured_interval_au.0, r.measured_interval_au.1,
+                bar(r.measured_au)
+            );
+            let _ = writeln!(
+                out,
+                "  modeled before  {:>6.3} AU  (off by {:>5.1}%)     {}",
+                r.modeled_before_au,
+                r.miscorrelation_before() * 100.0,
+                bar(r.modeled_before_au)
+            );
+            let _ = writeln!(
+                out,
+                "  modeled after   {:>6.3} AU  (off by {:>5.1}%, within error: {})  {}",
+                r.modeled_after_au,
+                r.miscorrelation_after() * 100.0,
+                r.after_within_measurement(),
+                bar(r.modeled_after_au)
+            );
+            let _ = writeln!(
+                out,
+                "  correlation improvement: {:.1}%",
+                r.improvement() * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\nmean correlation improvement = {:.1}% (paper: ~66%)",
+            self.mean_improvement * 100.0
+        );
+        out
+    }
+}
+
+/// Runs the Figure 10 experiment.
+pub fn run(scale: Scale, seed: u64) -> Fig10Report {
+    let cfg = flow_config(scale, seed);
+    let out = run_flow(&cfg);
+    let nl = &out.design.netlist;
+
+    // The before-model's proxy: the suite-wide conservative structure AVF
+    // (one number carried for all sequentials, as in the paper's prior
+    // practice).
+    let cons_perf = PerfConfig {
+        conservative_residency: true,
+        ..cfg.perf
+    };
+    let traces = seqavf_workloads::suite::standard_suite(&cfg.suite);
+    let cons_suite = run_suite(&traces, &cons_perf);
+    // The proxy is the conservative *resident-entry* vulnerability: unlike
+    // an array, a pipeline flop has no empty entries, so the occupancy-
+    // diluted structure AVF would understate what engineers actually carry.
+    let proxy_avf = cons_suite.mean_resident_avf();
+
+    // Logical-masking measurement: SFI into a systematic sample of
+    // sequential nodes.
+    let seqs: Vec<NodeId> = nl.seq_nodes().collect();
+    let stride = (seqs.len() / 120).max(1);
+    let sample: Vec<NodeId> = seqs.iter().step_by(stride).copied().collect();
+    let camp = run_campaign(
+        nl,
+        &sample,
+        &CampaignConfig {
+            injections_per_node: if scale == Scale::Full { 12 } else { 8 },
+            threads: 8,
+            ..CampaignConfig::default()
+        },
+    );
+
+    let workloads: Vec<(String, Trace)> = vec![
+        (
+            "Lattice".to_owned(),
+            lattice_trace(&LatticeConfig::default()),
+        ),
+        ("MD5Sum".to_owned(), md5_trace(&Md5Config::default())),
+    ];
+
+    let seq_bits = nl.seq_count() as u64;
+    let mut rows = Vec::new();
+    let mut sart_seq_avf = Vec::new();
+    let mut reference = None;
+    for (wi, (name, trace)) in workloads.iter().enumerate() {
+        let rep = run_ace(trace, &cfg.perf);
+        let inputs = inputs_from_report(&rep);
+        let node_avfs = out.result.reevaluate(nl, &inputs);
+
+        // Per-node device truth over the sample: logical masking × ACE
+        // rate; sample means extrapolate to the sequential population.
+        let mut truth_sum = 0.0;
+        let mut after_sum = 0.0;
+        for est in &camp.nodes {
+            let sfi_err = est.errors as f64 / est.injections.max(1) as f64;
+            truth_sum += sfi_err * node_avfs[est.node.index()];
+            after_sum += node_avfs[est.node.index()];
+        }
+        let n_s = camp.nodes.len().max(1) as f64;
+        let truth_seq_avf = truth_sum / n_s;
+        let after_seq_avf = after_sum / n_s;
+        sart_seq_avf.push(after_seq_avf);
+
+        // Structure (array) contribution, identical across device and both
+        // models: the per-workload bit-weighted precise structure AVF over
+        // an array population the same size as the sequential population
+        // ("about half of the processor's total SDC SER comes from
+        // sequentials", §1).
+        let total_bits: f64 = rep
+            .structures
+            .values()
+            .map(|s| s.total_bits() as f64)
+            .sum();
+        let array_avf: f64 = rep
+            .structures
+            .values()
+            .map(|s| s.avf * s.total_bits() as f64)
+            .sum::<f64>()
+            / total_bits.max(1.0);
+        let array_fit = array_avf * seq_bits as f64 * INTRINSIC_FIT_PER_BIT;
+        let seq_fit = |avf: f64| {
+            BitPopulation::unprotected("seq", seq_bits, avf, INTRINSIC_FIT_PER_BIT).fit()
+        };
+        let true_fit = seq_fit(truth_seq_avf) + array_fit;
+        let before_fit = seq_fit(proxy_avf) + array_fit;
+        let after_fit = seq_fit(after_seq_avf) + array_fit;
+
+        let beam = BeamConfig {
+            acceleration: 3.0e8,
+            // Enough beam time for meaningful counting statistics at the
+            // selected design scale (small designs have tiny absolute FITs).
+            hours: if scale == Scale::Full { 6.0 } else { 300.0 },
+            seed: seed ^ (0xbea0 + wi as u64),
+        };
+        let measurement = run_beam(true_fit, &beam);
+        let reference_fit = *reference.get_or_insert(measurement.measured_fit);
+        rows.push(CorrelationRow::new(
+            name.clone(),
+            &measurement,
+            before_fit,
+            after_fit,
+            reference_fit,
+        ));
+    }
+
+    let mean_improvement =
+        rows.iter().map(CorrelationRow::improvement).sum::<f64>() / rows.len().max(1) as f64;
+    let mean_after = sart_seq_avf.iter().sum::<f64>() / sart_seq_avf.len().max(1) as f64;
+    Fig10Report {
+        rows,
+        proxy_avf,
+        avf_reduction_vs_proxy: 1.0 - mean_after / proxy_avf.max(1e-12),
+        sart_seq_avf,
+        mean_improvement,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlation_shape_matches_paper() {
+        let r = run(Scale::Quick, 11);
+        assert_eq!(r.rows.len(), 2);
+        for row in &r.rows {
+            // The structure-AVF proxy overshoots the measurement…
+            assert!(
+                row.modeled_before_au > row.measured_au,
+                "{}: before-model must overshoot",
+                row.workload
+            );
+            // …and the sequential-AVF model is strictly closer.
+            assert!(
+                row.miscorrelation_after() < row.miscorrelation_before(),
+                "{}: correlation must improve",
+                row.workload
+            );
+            // The corrected model stays conservative (above the measured
+            // central value is allowed; below its lower bound is not).
+            assert!(
+                row.modeled_after_au >= row.measured_interval_au.0,
+                "{}: after-model fell below the measurement interval",
+                row.workload
+            );
+        }
+        assert!(
+            r.mean_improvement > 0.25,
+            "improvement {} too small",
+            r.mean_improvement
+        );
+        // Sequential AVFs land well below the conservative proxy.
+        assert!(r.avf_reduction_vs_proxy > 0.15, "{}", r.avf_reduction_vs_proxy);
+    }
+
+    #[test]
+    fn render_mentions_both_workloads() {
+        let r = run(Scale::Quick, 11);
+        let text = r.render();
+        assert!(text.contains("Lattice"));
+        assert!(text.contains("MD5Sum"));
+        assert!(text.contains("measured"));
+    }
+}

@@ -1,0 +1,175 @@
+//! **E6 — §1/§6 headline numbers**: the single-run summary the paper
+//! quotes — average sequential AVF (paper: 14%), the reduction in overall
+//! modeled SDC FIT from applying sequential AVFs (paper: ~10%), node
+//! visitation (>98%), and the control-register / loop-bit censuses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::common::{flow_config, Scale};
+use seqavf::flow::{run_flow, run_suite};
+use seqavf_beam::fit::{core_model, FitBreakdown};
+use seqavf_perf::pipeline::PerfConfig;
+
+/// The headline report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineReport {
+    /// Design size.
+    pub nodes: usize,
+    /// Sequential bits.
+    pub seq_bits: usize,
+    /// Structure bit cells.
+    pub struct_bits: usize,
+    /// Sequential-count-weighted mean sequential AVF (paper: 14%).
+    pub weighted_seq_avf: f64,
+    /// Suite-wide conservative structure-AVF proxy.
+    pub proxy_avf: f64,
+    /// Whole-core modeled SDC FIT reduction from replacing the
+    /// resident-entry proxy with computed sequential AVFs.
+    pub sdc_fit_reduction: f64,
+    /// Whole-core SDC FIT reduction measured against the mean conservative
+    /// structure-AVF proxy (§4.3's "typical conservative AVF value") — the
+    /// aggregate-budget convention that corresponds to the paper's ~10%.
+    pub sdc_fit_reduction_structure_proxy: f64,
+    /// Control-register bits identified (paper: 6,825).
+    pub control_reg_bits: usize,
+    /// Sequential bits on loops (paper: 201,530).
+    pub loop_seq_bits: usize,
+    /// Loop fraction of sequentials (paper: 2–3%).
+    pub loop_fraction: f64,
+    /// Fraction of nodes visited by walks (paper: >98%).
+    pub visited_fraction: f64,
+    /// Relaxation iterations (paper: 20).
+    pub iterations: usize,
+    /// Workloads analyzed.
+    pub workloads: usize,
+    /// End-to-end flow wall-clock in seconds.
+    pub flow_seconds: f64,
+}
+
+impl HeadlineReport {
+    /// Renders the summary.
+    pub fn render(&self) -> String {
+        format!(
+            "Headline numbers (paper reference in parentheses)\n\
+             design: {} nodes, {} sequential bits, {} structure bits\n\
+             workloads analyzed:        {}\n\
+             average sequential AVF:    {:.1}%   (14%)\n\
+             conservative proxy AVF:    {:.1}%\n\
+             modeled SDC FIT reduction: {:.1}%  (resident proxy)\n\
+             …vs structure-AVF proxy:   {:.1}%   (~10%)\n\
+             control-register bits:     {}   (6,825)\n\
+             loop sequential bits:      {} = {:.1}% of sequentials   (2-3%)\n\
+             nodes visited by walks:    {:.1}%   (>98%)\n\
+             relaxation iterations:     {}   (20)\n\
+             end-to-end flow time:      {:.2} s\n",
+            self.nodes,
+            self.seq_bits,
+            self.struct_bits,
+            self.workloads,
+            self.weighted_seq_avf * 100.0,
+            self.proxy_avf * 100.0,
+            self.sdc_fit_reduction * 100.0,
+            self.sdc_fit_reduction_structure_proxy * 100.0,
+            self.control_reg_bits,
+            self.loop_seq_bits,
+            self.loop_fraction * 100.0,
+            self.visited_fraction * 100.0,
+            self.iterations,
+            self.flow_seconds,
+        )
+    }
+}
+
+/// Runs the headline experiment.
+pub fn run(scale: Scale, seed: u64) -> HeadlineReport {
+    let cfg = flow_config(scale, seed);
+    let t0 = std::time::Instant::now();
+    let out = run_flow(&cfg);
+    let flow_seconds = t0.elapsed().as_secs_f64();
+    let nl = &out.design.netlist;
+
+    // Conservative proxy from a conservative-residency suite pass.
+    let traces = seqavf_workloads::suite::standard_suite(&cfg.suite);
+    let cons = run_suite(
+        &traces,
+        &PerfConfig {
+            conservative_residency: true,
+            ..cfg.perf
+        },
+    );
+    let proxy_avf = cons.mean_resident_avf();
+    // The aggregate-budget proxy: the mean conservative structure AVF (the
+    // "typical conservative AVF value" of §4.3, ~30% in the paper's flow).
+    let cons_avfs = cons.mean_structure_avfs();
+    let struct_proxy_avf =
+        cons_avfs.values().sum::<f64>() / cons_avfs.len().max(1) as f64;
+
+    // Whole-core SDC: sequentials plus arrays (half parity-protected,
+    // matching the paper's observation that sequentials are roughly half
+    // the SDC).
+    let struct_bits: usize = nl
+        .structure_ids()
+        .map(|s| nl.structure(s).width() as usize)
+        .sum();
+    let array_avf = out.suite_report.average_structure_avf();
+    let seq_bits = nl.seq_count();
+    let fit = |seq_avf: f64| {
+        FitBreakdown::from_populations(&core_model(
+            seq_bits as u64,
+            seq_avf,
+            (struct_bits as u64) * 40, // arrays dwarf visible cells
+            array_avf,
+            1e-4,
+        ))
+        .sdc
+    };
+    let before = fit(proxy_avf);
+    let before_struct = fit(struct_proxy_avf);
+    let after = fit(out.summary.weighted_seq_avf);
+
+    let loop_fraction = out.summary.loop_seq_bits as f64 / seq_bits.max(1) as f64;
+    HeadlineReport {
+        nodes: nl.node_count(),
+        seq_bits,
+        struct_bits,
+        weighted_seq_avf: out.summary.weighted_seq_avf,
+        proxy_avf,
+        sdc_fit_reduction: 1.0 - after / before.max(1e-12),
+        sdc_fit_reduction_structure_proxy: 1.0 - after / before_struct.max(1e-12),
+        control_reg_bits: out.summary.control_reg_bits,
+        loop_seq_bits: out.summary.loop_seq_bits,
+        loop_fraction,
+        visited_fraction: out.summary.visited_fraction,
+        iterations: out.summary.iterations,
+        workloads: cfg.suite.workloads,
+        flow_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_numbers_in_paper_band() {
+        let r = run(Scale::Quick, 13);
+        assert!(
+            r.weighted_seq_avf > 0.05 && r.weighted_seq_avf < 0.40,
+            "seq AVF {}",
+            r.weighted_seq_avf
+        );
+        assert!(r.sdc_fit_reduction > 0.0, "applying sequential AVFs must cut SDC");
+        assert!(r.visited_fraction > 0.98);
+        assert!(r.control_reg_bits > 0);
+        assert!(r.loop_seq_bits > 0);
+        assert!(r.iterations <= 20, "paper: 20 iterations suffice");
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let r = run(Scale::Quick, 13);
+        let t = r.render();
+        assert!(t.contains("average sequential AVF"));
+        assert!(t.contains("SDC FIT reduction"));
+    }
+}

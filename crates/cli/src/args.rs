@@ -1,0 +1,109 @@
+//! A minimal dependency-free argument parser: `--key value` flags and
+//! `--switch` booleans after a subcommand word.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus flags.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (excluding the program name).
+    ///
+    /// A token starting with `--` that is followed by a non-flag token
+    /// becomes a key/value flag; otherwise it is a boolean switch.
+    pub fn parse<I, S>(raw: I) -> Args
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let tokens: Vec<String> = raw.into_iter().map(Into::into).collect();
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if let Some(key) = t.strip_prefix("--") {
+                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    args.flags.insert(key.to_owned(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    args.switches.push(key.to_owned());
+                    i += 1;
+                }
+            } else {
+                if args.command.is_empty() {
+                    args.command = t.clone();
+                }
+                i += 1;
+            }
+        }
+        args
+    }
+
+    /// String flag value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Required string flag, with a usage error message.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// Parsed numeric flag with a default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{key}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Boolean switch presence.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_flags_and_switches() {
+        let a = Args::parse(["sart", "--design", "d.exlif", "--verbose", "--iters", "20"]);
+        assert_eq!(a.command, "sart");
+        assert_eq!(a.get("design"), Some("d.exlif"));
+        assert!(a.has("verbose"));
+        assert_eq!(a.num::<usize>("iters", 0).unwrap(), 20);
+    }
+
+    #[test]
+    fn missing_and_default_values() {
+        let a = Args::parse(["gen"]);
+        assert_eq!(a.get("x"), None);
+        assert!(a.require("x").is_err());
+        assert_eq!(a.num::<u64>("seed", 42).unwrap(), 42);
+        assert!(!a.has("force"));
+    }
+
+    #[test]
+    fn bad_number_reports_flag() {
+        let a = Args::parse(["gen", "--seed", "abc"]);
+        let e = a.num::<u64>("seed", 0).unwrap_err();
+        assert!(e.contains("--seed"));
+    }
+
+    #[test]
+    fn trailing_switch() {
+        let a = Args::parse(["flow", "--full"]);
+        assert!(a.has("full"));
+    }
+}

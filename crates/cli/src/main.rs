@@ -1,0 +1,252 @@
+//! `seqavf` — command-line driver for the sequential-AVF tool flow.
+//!
+//! ```text
+//! seqavf gen   --out design.exlif [--map design.map] [--seed 42] [--scale 1.0]
+//! seqavf ace   --out pavf.json [--workloads 32] [--len 5000] [--conservative]
+//! seqavf sart  --design design.exlif --map design.map --pavf pavf.json
+//!              [--out avf.json] [--loop-pavf 0.3] [--iterations 20] [--global]
+//! seqavf sfi   --design design.exlif [--sample 100] [--injections 16]
+//! seqavf flow  [--seed 42] [--workloads 32] [--len 5000] [--scale 1.0]
+//! ```
+//!
+//! `gen` emits the synthetic design in EXLIF plus the structure-mapping
+//! file; `ace` runs the workload suite through the ACE-instrumented
+//! performance model and writes the port-AVF table; `sart` resolves every
+//! node's AVF; `sfi` runs the fault-injection baseline; `flow` chains the
+//! whole pipeline in memory.
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::Args;
+use seqavf_core::engine::{SartConfig, SartEngine};
+use seqavf_core::mapping::{PavfInputs, StructureMapping};
+use seqavf_core::report::SartSummary;
+use seqavf_netlist::exlif;
+use seqavf_netlist::flatten;
+use seqavf_netlist::graph::Netlist;
+use seqavf_netlist::verilog;
+use seqavf_netlist::synth::{generate, SynthConfig};
+use seqavf_perf::pipeline::PerfConfig;
+use seqavf_workloads::suite::{standard_suite, SuiteConfig};
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let result = match args.command.as_str() {
+        "gen" => cmd_gen(&args),
+        "ace" => cmd_ace(&args),
+        "sart" => cmd_sart(&args),
+        "sfi" => cmd_sfi(&args),
+        "flow" => cmd_flow(&args),
+        "" | "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("seqavf: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+seqavf — sequential AVF via port-AVF propagation (MICRO-48 2015)
+
+commands:
+  gen   --out <design.exlif> [--map <file>] [--seed N] [--scale F]
+        generate a processor-shaped synthetic design
+  ace   --out <pavf.json> [--workloads N] [--len N] [--seed N] [--conservative]
+        run the ACE performance model over a workload suite
+  sart  --design <exlif|.v> --map <file> --pavf <json> [--out <json>]
+        [--loop-pavf F] [--iterations N] [--global]
+        [--protected a,b] [--equations node1,node2]
+        resolve sequential AVFs for every node (designs may be EXLIF or
+        structural Verilog, chosen by file extension)
+  sfi   --design <exlif> [--sample N] [--injections N] [--seed N]
+        statistical fault-injection baseline
+  flow  [--seed N] [--workloads N] [--len N] [--scale F]
+        run the whole pipeline in memory and print the per-FUB report
+";
+
+fn write_file(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+/// Loads a design, selecting the frontend by file extension: `.v`/`.sv`
+/// use the structural-Verilog parser, everything else the EXLIF parser.
+fn load_design(path: &str) -> Result<Netlist, String> {
+    let text = read_file(path)?;
+    let result = if path.ends_with(".v") || path.ends_with(".sv") {
+        verilog::parse_netlist(&text)
+    } else {
+        flatten::parse_netlist(&text)
+    };
+    result.map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let seed = args.num("seed", 42u64)?;
+    let scale = args.num("scale", 1.0f64)?;
+    let design = generate(&SynthConfig::xeon_like(seed).scaled(scale));
+    write_file(out, &exlif::write(&design.netlist))?;
+    println!(
+        "wrote {out}: {} nodes, {} sequentials, {} structures",
+        design.netlist.node_count(),
+        design.netlist.seq_count(),
+        design.netlist.structure_count()
+    );
+    if let Some(map_path) = args.get("map") {
+        let mapping = StructureMapping::from_pairs(design.meta.structure_map.clone());
+        write_file(map_path, &mapping.to_text(&design.netlist))?;
+        println!("wrote {map_path}: {} structure mappings", mapping.len());
+    }
+    Ok(())
+}
+
+fn cmd_ace(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let suite_cfg = SuiteConfig {
+        workloads: args.num("workloads", 32usize)?,
+        len: args.num("len", 5_000usize)?,
+        seed: args.num("seed", 0xace_5eedu64)?,
+        include_kernels: true,
+    };
+    let perf = PerfConfig {
+        conservative_residency: args.has("conservative"),
+        ..PerfConfig::default()
+    };
+    let traces = standard_suite(&suite_cfg);
+    println!("running {} workloads through the ACE model…", traces.len());
+    let suite = seqavf::flow::run_suite(&traces, &perf);
+    let inputs = seqavf::flow::inputs_from_suite(&suite);
+    let json = serde_json::to_string_pretty(&inputs).map_err(|e| e.to_string())?;
+    write_file(out, &json)?;
+    println!("wrote {out}: {} structures", inputs.ports.len());
+    Ok(())
+}
+
+fn cmd_sart(args: &Args) -> Result<(), String> {
+    let netlist = load_design(args.require("design")?)?;
+    let mapping = StructureMapping::from_text(&netlist, &read_file(args.require("map")?)?)?;
+    let inputs: PavfInputs = serde_json::from_str(&read_file(args.require("pavf")?)?)
+        .map_err(|e| format!("parsing pAVF table: {e}"))?;
+    let config = SartConfig {
+        loop_pavf: args.num("loop-pavf", 0.3f64)?,
+        max_iterations: args.num("iterations", 20usize)?,
+        partitioned: !args.has("global"),
+        ..SartConfig::default()
+    };
+    let engine = SartEngine::new(&netlist, &mapping, config);
+    let result = engine.run(&inputs);
+    let summary = SartSummary::new(&netlist, &result);
+    print!("{}", summary.to_table());
+    println!(
+        "iterations: {}   visited: {:.1}%   control regs: {}   loop bits: {}",
+        result.iterations(),
+        summary.visited_fraction * 100.0,
+        summary.control_reg_bits,
+        summary.loop_seq_bits
+    );
+    // SDC/DUE split when protected structures are named.
+    if let Some(protected) = args.get("protected") {
+        let set: std::collections::BTreeSet<String> =
+            protected.split(',').map(|s| s.trim().to_owned()).collect();
+        let due = seqavf_core::due::DueAnalysis::compute(&result, &netlist, &inputs, &set);
+        println!(
+            "SDC/DUE split ({} protected structures): mean seq SDC = {:.4}, DUE = {:.4} ({:.1}% detected)",
+            set.len(),
+            due.mean_seq_sdc,
+            due.mean_seq_due,
+            due.due_share() * 100.0
+        );
+    }
+    // Closed-form equations for named nodes.
+    if let Some(nodes) = args.get("equations") {
+        for name in nodes.split(',') {
+            match netlist.lookup(name.trim()) {
+                Some(id) => println!("{} = {}", name.trim(), result.closed_form(id)),
+                None => eprintln!("seqavf: no node named `{}`", name.trim()),
+            }
+        }
+    }
+    if let Some(out) = args.get("out") {
+        #[derive(serde::Serialize)]
+        struct NodeAvf<'a> {
+            node: &'a str,
+            avf: f64,
+        }
+        let dump: Vec<NodeAvf<'_>> = netlist
+            .seq_nodes()
+            .map(|id| NodeAvf {
+                node: netlist.name(id),
+                avf: result.avf(id),
+            })
+            .collect();
+        write_file(out, &serde_json::to_string_pretty(&dump).map_err(|e| e.to_string())?)?;
+        println!("wrote {out}: {} sequential AVFs", dump.len());
+    }
+    Ok(())
+}
+
+fn cmd_sfi(args: &Args) -> Result<(), String> {
+    use seqavf_sfi::campaign::{run_campaign, CampaignConfig};
+    let netlist = load_design(args.require("design")?)?;
+    let sample_n = args.num("sample", 100usize)?;
+    let seqs: Vec<_> = netlist.seq_nodes().collect();
+    let stride = (seqs.len() / sample_n.max(1)).max(1);
+    let sample: Vec<_> = seqs.iter().step_by(stride).copied().collect();
+    let cfg = CampaignConfig {
+        injections_per_node: args.num("injections", 16usize)?,
+        seed: args.num("seed", 0xfau64)?,
+        threads: args.num("threads", 8usize)?,
+        ..CampaignConfig::default()
+    };
+    println!(
+        "injecting {} faults ({} nodes × {})…",
+        sample.len() * cfg.injections_per_node,
+        sample.len(),
+        cfg.injections_per_node
+    );
+    let camp = run_campaign(&netlist, &sample, &cfg);
+    println!("mean SFI AVF = {:.4}", camp.mean_avf());
+    for est in camp.nodes.iter().take(args.num("show", 10usize)?) {
+        println!(
+            "  {:<40} avf={:.3} [{:.3},{:.3}] errors={} unknown={}",
+            netlist.name(est.node),
+            est.avf,
+            est.ci.0,
+            est.ci.1,
+            est.errors,
+            est.unknowns
+        );
+    }
+    Ok(())
+}
+
+fn cmd_flow(args: &Args) -> Result<(), String> {
+    let mut cfg = seqavf::flow::FlowConfig::xeon_like(args.num("seed", 42u64)?);
+    cfg.design = cfg.design.scaled(args.num("scale", 1.0f64)?);
+    cfg.suite.workloads = args.num("workloads", 32usize)?;
+    cfg.suite.len = args.num("len", 5_000usize)?;
+    let t0 = std::time::Instant::now();
+    let out = seqavf::flow::run_flow(&cfg);
+    print!("{}", out.summary.to_table());
+    println!(
+        "\naverage sequential AVF = {:.1}%   ({} iterations, {:.1}% visited, {:?})",
+        out.summary.weighted_seq_avf * 100.0,
+        out.summary.iterations,
+        out.summary.visited_fraction * 100.0,
+        t0.elapsed()
+    );
+    Ok(())
+}

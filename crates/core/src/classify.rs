@@ -1,0 +1,216 @@
+//! Node-role classification: structure cells, control registers, loop
+//! boundaries, and RTL boundaries.
+//!
+//! Before any walk, every node is assigned the role that determines how the
+//! propagation treats it:
+//!
+//! - **Structure cells** are the measured sources and sinks (§4.1): walks
+//!   start at their read side and terminate at their write side.
+//! - **Control registers** are identified "usually by the RTL name or the
+//!   driving clock" (§5.1); they get `pAVF_R = 1` and their write-port
+//!   (backward) walks are omitted because writes are rare.
+//! - **Loop sequentials** (flops/latches on cycles) are treated as
+//!   structures with an injected static pAVF (§4.3); walks start and stop
+//!   at these nodes.
+//! - **Boundary** nodes are the edge of the RTL under analysis; circuits
+//!   outside are grouped into pseudo-structures with their own pAVFs
+//!   (§5.1).
+
+use seqavf_netlist::graph::{Netlist, NodeId, NodeKind};
+use seqavf_netlist::scc::LoopAnalysis;
+use serde::{Deserialize, Serialize};
+
+/// How the propagation treats a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeRole {
+    /// Ordinary logic or sequential: annotated by walks.
+    Normal,
+    /// A bit cell of an ACE-modeled structure: measured source/sink.
+    StructCell,
+    /// Configuration control register: injected `pAVF_R`, no backward walk
+    /// from its write port.
+    ControlReg,
+    /// Sequential element on a feedback loop: injected loop-boundary pAVF.
+    LoopSeq,
+    /// Primary input: forward walks start here with the boundary
+    /// pseudo-structure's `pAVF_R`.
+    BoundaryIn,
+    /// Primary output with no on-chip consumers: backward walks start here
+    /// with the boundary pseudo-structure's `pAVF_W`.
+    BoundaryOut,
+}
+
+impl NodeRole {
+    /// Whether the node is an injected source whose incoming propagation is
+    /// cut (it behaves like a structure).
+    pub fn is_injected(self) -> bool {
+        matches!(
+            self,
+            NodeRole::StructCell | NodeRole::ControlReg | NodeRole::LoopSeq
+        )
+    }
+}
+
+/// Role assignment for every node of a netlist.
+#[derive(Debug, Clone)]
+pub struct RoleMap {
+    roles: Vec<NodeRole>,
+    control_reg_bits: usize,
+    loop_seq_bits: usize,
+}
+
+impl RoleMap {
+    /// The role of `id`.
+    pub fn role(&self, id: NodeId) -> NodeRole {
+        self.roles[id.index()]
+    }
+
+    /// Number of bits identified as configuration control registers (the
+    /// paper's run found 6,825).
+    pub fn control_reg_bits(&self) -> usize {
+        self.control_reg_bits
+    }
+
+    /// Number of sequential bits on loops (the paper's run found 201,530).
+    pub fn loop_seq_bits(&self) -> usize {
+        self.loop_seq_bits
+    }
+
+    /// Iterates over `(node, role)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeRole)> + '_ {
+        self.roles
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (NodeId::from_index(i), r))
+    }
+}
+
+/// Classifies every node.
+///
+/// `ctrl_patterns` are substrings matched against node names to identify
+/// control registers (the naming-convention heuristic of §5.1); the
+/// default SART configuration uses `["creg"]`.
+pub fn classify(nl: &Netlist, loops: &LoopAnalysis, ctrl_patterns: &[String]) -> RoleMap {
+    let mut roles = Vec::with_capacity(nl.node_count());
+    let mut control_reg_bits = 0;
+    let mut loop_seq_bits = 0;
+    for id in nl.nodes() {
+        let role = match nl.kind(id) {
+            NodeKind::StructCell { .. } => NodeRole::StructCell,
+            NodeKind::Input => NodeRole::BoundaryIn,
+            NodeKind::Output => {
+                if nl.fanout(id).is_empty() {
+                    NodeRole::BoundaryOut
+                } else {
+                    // An output consumed by another FUB is ordinary
+                    // pass-through logic for the analysis.
+                    NodeRole::Normal
+                }
+            }
+            NodeKind::Seq { .. } => {
+                let name = nl.name(id);
+                if ctrl_patterns.iter().any(|p| name.contains(p.as_str())) {
+                    control_reg_bits += 1;
+                    NodeRole::ControlReg
+                } else if loops.is_loop_node(id) {
+                    loop_seq_bits += 1;
+                    NodeRole::LoopSeq
+                } else {
+                    NodeRole::Normal
+                }
+            }
+            NodeKind::Comb(_) => NodeRole::Normal,
+        };
+        roles.push(role);
+    }
+    RoleMap {
+        roles,
+        control_reg_bits,
+        loop_seq_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqavf_netlist::flatten::parse_netlist;
+    use seqavf_netlist::scc::find_loops;
+
+    const TEXT: &str = r"
+.design x
+.fub f
+  .input cfg
+  .struct st 1
+  .sw st[0] cfg
+  .flop creg_mode cfg cfg
+  .flop q1 st[0]
+  .flop fsm_a fsm_g
+  .gate or fsm_g fsm_a cfg
+  .output o q1
+.endfub
+.fub g
+  .gate buf pass f.o
+  .output o2 pass
+.endfub
+.end
+";
+
+    fn setup() -> (Netlist, RoleMap) {
+        let nl = parse_netlist(TEXT).unwrap();
+        let loops = find_loops(&nl);
+        let rm = classify(&nl, &loops, &["creg".to_owned()]);
+        (nl, rm)
+    }
+
+    #[test]
+    fn roles_assigned_as_expected() {
+        let (nl, rm) = setup();
+        assert_eq!(rm.role(nl.lookup("f.cfg").unwrap()), NodeRole::BoundaryIn);
+        assert_eq!(rm.role(nl.lookup("st[0]").unwrap_or_else(|| nl.lookup("f.st[0]").unwrap())), NodeRole::StructCell);
+        assert_eq!(
+            rm.role(nl.lookup("f.creg_mode").unwrap()),
+            NodeRole::ControlReg
+        );
+        assert_eq!(rm.role(nl.lookup("f.q1").unwrap()), NodeRole::Normal);
+        assert_eq!(rm.role(nl.lookup("f.fsm_a").unwrap()), NodeRole::LoopSeq);
+        assert_eq!(rm.role(nl.lookup("f.fsm_g").unwrap()), NodeRole::Normal);
+        assert_eq!(rm.role(nl.lookup("g.o2").unwrap()), NodeRole::BoundaryOut);
+        // f.o is consumed by fub g, so it is pass-through.
+        assert_eq!(rm.role(nl.lookup("f.o").unwrap()), NodeRole::Normal);
+    }
+
+    #[test]
+    fn censuses_counted() {
+        let (_, rm) = setup();
+        assert_eq!(rm.control_reg_bits(), 1);
+        assert_eq!(rm.loop_seq_bits(), 1);
+    }
+
+    #[test]
+    fn injected_roles() {
+        assert!(NodeRole::StructCell.is_injected());
+        assert!(NodeRole::ControlReg.is_injected());
+        assert!(NodeRole::LoopSeq.is_injected());
+        assert!(!NodeRole::Normal.is_injected());
+        assert!(!NodeRole::BoundaryIn.is_injected());
+    }
+
+    #[test]
+    fn no_patterns_means_no_control_regs() {
+        let nl = parse_netlist(TEXT).unwrap();
+        let loops = find_loops(&nl);
+        let rm = classify(&nl, &loops, &[]);
+        assert_eq!(rm.control_reg_bits(), 0);
+        // Without the control-reg role, creg_mode is an ordinary flop.
+        assert_eq!(
+            rm.role(nl.lookup("f.creg_mode").unwrap()),
+            NodeRole::Normal
+        );
+    }
+
+    #[test]
+    fn iter_covers_all_nodes() {
+        let (nl, rm) = setup();
+        assert_eq!(rm.iter().count(), nl.node_count());
+    }
+}

@@ -1,0 +1,254 @@
+//! The FUB-partitioned relaxation loop (§5.2).
+//!
+//! "We chose to deal with this situation using a relaxation approach that
+//! calculates the AVF for the entire design repeatedly over several
+//! iterations, refining the AVF values each iteration. … During subsequent
+//! analysis iterations (defined to be one up and one down walk through the
+//! netlist for each FUB), the merged FUBIO information is used as an input
+//! to the analysis. … any walk can only cross one partition during each
+//! iteration."
+//!
+//! Each iteration snapshots the forward/backward annotations (the FUBIO
+//! merge of the previous iteration), re-walks every FUB against the
+//! snapshot, and measures both structural change (how many node annotations
+//! got a new term set) and numeric change (the largest pAVF movement under
+//! a given term-value vector). Convergence is declared when nothing changes
+//! structurally — an exact, input-independent criterion available because
+//! the propagation is symbolic.
+
+use crate::walk::Propagator;
+
+/// Per-iteration convergence telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationStats {
+    /// Node annotations whose term set changed this iteration.
+    pub changed_sets: usize,
+    /// Largest numeric pAVF movement across node annotations.
+    pub max_delta: f64,
+    /// Mean sequential-node `MIN(F, B)` value per FUB after this iteration
+    /// (the paper's convergence plot, §6.1).
+    pub fub_seq_mean: Vec<f64>,
+}
+
+/// Outcome of the relaxation loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelaxOutcome {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the loop converged before hitting the iteration cap.
+    pub converged: bool,
+    /// Telemetry per iteration.
+    pub trace: Vec<IterationStats>,
+}
+
+/// Runs partitioned relaxation to a structural fixpoint.
+///
+/// `values` supplies term values for the numeric telemetry only; the
+/// propagation itself is symbolic and independent of them.
+pub fn relax_partitioned(
+    prop: &mut Propagator<'_>,
+    values: &[f64],
+    max_iterations: usize,
+) -> RelaxOutcome {
+    let nl = prop.nl;
+    let mut trace = Vec::new();
+    let mut converged = false;
+    for _iter in 0..max_iterations {
+        // FUBIO snapshot: the merged boundary values from the previous
+        // iteration (initially the conservative TOP annotations).
+        let snap_f = prop.fwd.clone();
+        let snap_b = prop.bwd.clone();
+        for fub in nl.fub_ids() {
+            prop.forward_pass(Some(fub), Some(&snap_f));
+            prop.backward_pass(Some(fub), Some(&snap_b));
+        }
+        // Telemetry.
+        let mut changed = 0usize;
+        let mut max_delta = 0.0f64;
+        for i in 0..nl.node_count() {
+            if prop.fwd[i] != snap_f[i] {
+                changed += 1;
+                let d = (prop.arena.eval(prop.fwd[i], values)
+                    - prop.arena.eval(snap_f[i], values))
+                .abs();
+                max_delta = max_delta.max(d);
+            }
+            if prop.bwd[i] != snap_b[i] {
+                changed += 1;
+                let d = (prop.arena.eval(prop.bwd[i], values)
+                    - prop.arena.eval(snap_b[i], values))
+                .abs();
+                max_delta = max_delta.max(d);
+            }
+        }
+        trace.push(IterationStats {
+            changed_sets: changed,
+            max_delta,
+            fub_seq_mean: fub_seq_means(prop, values),
+        });
+        if changed == 0 {
+            converged = true;
+            break;
+        }
+    }
+    RelaxOutcome {
+        iterations: trace.len(),
+        converged,
+        trace,
+    }
+}
+
+/// Runs the unpartitioned global analysis: one down walk and one up walk
+/// over the whole design. Because the loop-cut graph is acyclic, this
+/// computes the same fixpoint the partitioned relaxation converges to.
+pub fn solve_global(prop: &mut Propagator<'_>, values: &[f64]) -> RelaxOutcome {
+    prop.forward_pass(None, None);
+    prop.backward_pass(None, None);
+    let stats = IterationStats {
+        changed_sets: 0,
+        max_delta: 0.0,
+        fub_seq_mean: fub_seq_means(prop, values),
+    };
+    RelaxOutcome {
+        iterations: 1,
+        converged: true,
+        trace: vec![stats],
+    }
+}
+
+/// Mean `MIN(F, B)` over the sequential nodes of each FUB.
+fn fub_seq_means(prop: &Propagator<'_>, values: &[f64]) -> Vec<f64> {
+    let nl = prop.nl;
+    let mut sums = vec![0.0f64; nl.fub_count()];
+    let mut counts = vec![0usize; nl.fub_count()];
+    for id in nl.seq_nodes() {
+        let i = id.index();
+        let v = prop
+            .arena
+            .eval(prop.fwd[i], values)
+            .min(prop.arena.eval(prop.bwd[i], values));
+        let f = nl.fub(id).index();
+        sums[f] += v;
+        counts[f] += 1;
+    }
+    sums.iter()
+        .zip(&counts)
+        .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::UnionArena;
+    use crate::classify::classify;
+    use crate::mapping::StructureMapping;
+    use crate::walk::prepare;
+    use seqavf_netlist::flatten::parse_netlist;
+    use seqavf_netlist::graph::Netlist;
+    use seqavf_netlist::scc::find_loops;
+
+    /// Three FUBs chained: a value must cross two partition boundaries, so
+    /// partitioned relaxation needs at least three iterations to converge.
+    const CHAIN: &str = r"
+.design chain
+.fub a
+  .struct s1 1
+  .flop q s1[0]
+  .output o q
+.endfub
+.fub b
+  .flop r a.o
+  .output o r
+.endfub
+.fub c
+  .struct s2 1
+  .flop t b.o
+  .sw s2[0] t
+.endfub
+.end
+";
+
+    fn propagator(text: &str) -> (Netlist, Propagator<'static>) {
+        let nl = Box::leak(Box::new(parse_netlist(text).unwrap()));
+        let loops = find_loops(nl);
+        let roles = classify(nl, &loops, &["creg".to_owned()]);
+        let mut arena = UnionArena::new();
+        let prep = prepare(nl, roles, &StructureMapping::new(), &mut arena);
+        (nl.clone(), Propagator::new(nl, prep, arena))
+    }
+
+    fn default_values(prop: &Propagator<'_>) -> Vec<f64> {
+        prop.prep
+            .terms
+            .values(&|_| Some((0.25, 0.5)), &|_| Some(0.3), 1.0, 1.0)
+    }
+
+    #[test]
+    fn partitioned_matches_global() {
+        let (nl, mut p1) = propagator(CHAIN);
+        let mut p2 = p1.clone();
+        let values = default_values(&p1);
+        let out_part = relax_partitioned(&mut p1, &values, 20);
+        let out_glob = solve_global(&mut p2, &values);
+        assert!(out_part.converged);
+        assert!(out_glob.converged);
+        for id in nl.nodes() {
+            let i = id.index();
+            let a = p1.arena.eval(p1.fwd[i], &values);
+            let b = p2.arena.eval(p2.fwd[i], &values);
+            assert!((a - b).abs() < 1e-12, "fwd mismatch at {}", nl.name(id));
+            let a = p1.arena.eval(p1.bwd[i], &values);
+            let b = p2.arena.eval(p2.bwd[i], &values);
+            assert!((a - b).abs() < 1e-12, "bwd mismatch at {}", nl.name(id));
+        }
+    }
+
+    #[test]
+    fn chain_needs_multiple_iterations() {
+        let (_, mut p) = propagator(CHAIN);
+        let values = default_values(&p);
+        let out = relax_partitioned(&mut p, &values, 20);
+        assert!(out.converged);
+        assert!(
+            out.iterations >= 3,
+            "a two-boundary crossing needs ≥3 iterations, got {}",
+            out.iterations
+        );
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let (_, mut p) = propagator(CHAIN);
+        let values = default_values(&p);
+        let out = relax_partitioned(&mut p, &values, 1);
+        assert_eq!(out.iterations, 1);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn deltas_shrink_to_zero() {
+        let (_, mut p) = propagator(CHAIN);
+        let values = default_values(&p);
+        let out = relax_partitioned(&mut p, &values, 20);
+        let last = out.trace.last().unwrap();
+        assert_eq!(last.changed_sets, 0);
+        assert_eq!(last.max_delta, 0.0);
+        // Change counts are non-increasing after the initial flood.
+        let first = &out.trace[0];
+        assert!(first.changed_sets > 0);
+    }
+
+    #[test]
+    fn fub_means_tracked_per_iteration() {
+        let (nl, mut p) = propagator(CHAIN);
+        let values = default_values(&p);
+        let out = relax_partitioned(&mut p, &values, 20);
+        for s in &out.trace {
+            assert_eq!(s.fub_seq_mean.len(), nl.fub_count());
+            for &m in &s.fub_seq_mean {
+                assert!((0.0..=1.0).contains(&m));
+            }
+        }
+    }
+}

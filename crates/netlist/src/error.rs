@@ -1,0 +1,181 @@
+//! Error types for netlist construction and EXLIF parsing.
+
+use std::fmt;
+
+/// Errors produced while building or validating a [`crate::Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// Two nodes were declared with the same hierarchical name.
+    DuplicateName(String),
+    /// A connection referenced a node id that does not exist.
+    UnknownNode(u32),
+    /// A gate has an arity incompatible with its operator
+    /// (e.g. a `Not` with two fan-ins or a `Mux` without three).
+    BadArity {
+        /// Name of the offending node.
+        node: String,
+        /// Fan-in count found.
+        found: usize,
+        /// Human-readable description of the expected arity.
+        expected: &'static str,
+    },
+    /// A combinational cycle was detected (a cycle containing no sequential
+    /// element). Synchronous designs must break every cycle with a flop or
+    /// latch; the propagation engine relies on this invariant.
+    CombinationalCycle {
+        /// Name of one node on the cycle.
+        witness: String,
+    },
+    /// A primary input node was given a fan-in.
+    InputHasFanin(String),
+    /// A structure bit index was out of range for its declared width.
+    StructBitOutOfRange {
+        /// Structure name.
+        structure: String,
+        /// Offending bit index.
+        bit: u32,
+        /// Declared width.
+        width: u32,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateName(n) => write!(f, "duplicate node name `{n}`"),
+            BuildError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            BuildError::BadArity {
+                node,
+                found,
+                expected,
+            } => write!(f, "node `{node}` has {found} fan-ins, expected {expected}"),
+            BuildError::CombinationalCycle { witness } => {
+                write!(f, "combinational cycle through node `{witness}`")
+            }
+            BuildError::InputHasFanin(n) => write!(f, "primary input `{n}` has a fan-in"),
+            BuildError::StructBitOutOfRange {
+                structure,
+                bit,
+                width,
+            } => write!(
+                f,
+                "bit {bit} out of range for structure `{structure}` of width {width}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Errors produced by the EXLIF parser, with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExlifError {
+    /// 1-based line number at which the error occurred.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ExlifErrorKind,
+}
+
+/// The specific failure behind an [`ExlifError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExlifErrorKind {
+    /// A directive keyword that the grammar does not define.
+    UnknownDirective(String),
+    /// A directive was missing a required operand.
+    MissingOperand(&'static str),
+    /// A numeric field failed to parse.
+    BadNumber(String),
+    /// A statement referenced a net name never defined as a node output.
+    UndefinedNet(String),
+    /// A `.subckt` referenced a `.model` that was never declared.
+    UnknownModel(String),
+    /// A port connection named a formal port the model does not declare.
+    UnknownPort {
+        /// Model name.
+        model: String,
+        /// Formal port name that was not found.
+        port: String,
+    },
+    /// A directive appeared outside the scope it is valid in
+    /// (e.g. `.gate` before any `.fub`).
+    OutOfScope(&'static str),
+    /// The file ended while a scope was still open.
+    UnexpectedEof(&'static str),
+    /// Netlist validation failed after parsing completed.
+    Build(BuildError),
+    /// A structure bit reference could not be parsed (`name[idx]`).
+    BadBitRef(String),
+    /// The same net name was defined twice in one scope.
+    Redefined(String),
+    /// A `.model` instantiates itself, directly or transitively.
+    RecursiveModel(String),
+}
+
+impl fmt::Display for ExlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ExlifErrorKind::UnknownDirective(d) => write!(f, "unknown directive `{d}`"),
+            ExlifErrorKind::MissingOperand(what) => write!(f, "missing operand: {what}"),
+            ExlifErrorKind::BadNumber(s) => write!(f, "invalid number `{s}`"),
+            ExlifErrorKind::UndefinedNet(n) => write!(f, "undefined net `{n}`"),
+            ExlifErrorKind::UnknownModel(m) => write!(f, "unknown model `{m}`"),
+            ExlifErrorKind::UnknownPort { model, port } => {
+                write!(f, "model `{model}` has no port `{port}`")
+            }
+            ExlifErrorKind::OutOfScope(d) => write!(f, "directive `{d}` used out of scope"),
+            ExlifErrorKind::UnexpectedEof(scope) => {
+                write!(f, "unexpected end of file inside {scope}")
+            }
+            ExlifErrorKind::Build(e) => write!(f, "netlist validation failed: {e}"),
+            ExlifErrorKind::BadBitRef(s) => write!(f, "malformed bit reference `{s}`"),
+            ExlifErrorKind::Redefined(n) => write!(f, "net `{n}` defined twice"),
+            ExlifErrorKind::RecursiveModel(m) => {
+                write!(f, "model `{m}` instantiates itself recursively")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExlifError {}
+
+impl From<BuildError> for ExlifErrorKind {
+    fn from(e: BuildError) -> Self {
+        ExlifErrorKind::Build(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_error_display_is_informative() {
+        let e = BuildError::BadArity {
+            node: "g1".into(),
+            found: 3,
+            expected: "exactly 1",
+        };
+        let s = e.to_string();
+        assert!(s.contains("g1"));
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn exlif_error_display_includes_line() {
+        let e = ExlifError {
+            line: 42,
+            kind: ExlifErrorKind::UndefinedNet("foo".into()),
+        };
+        assert!(e.to_string().starts_with("line 42:"));
+        assert!(e.to_string().contains("foo"));
+    }
+
+    #[test]
+    fn exlif_error_wraps_build_error() {
+        let k: ExlifErrorKind = BuildError::DuplicateName("x".into()).into();
+        assert!(matches!(k, ExlifErrorKind::Build(_)));
+    }
+}

@@ -1,0 +1,535 @@
+//! EXLIF — a textual structural netlist format.
+//!
+//! The paper's tool flow compiles production RTL into intermediate "EXLIF"
+//! files, one per functional block (FUB), then expands all hierarchy so each
+//! file is a single flat model (§5.1). This module defines an equivalent
+//! text format with a parser ([`parse`]) and writer ([`write()`]); the
+//! companion [`crate::flatten`] module expands `.subckt` hierarchy and
+//! builds a [`crate::Netlist`].
+//!
+//! # Grammar
+//!
+//! Line-oriented; `#` starts a comment; blank lines are ignored.
+//!
+//! ```text
+//! .design <name>
+//!
+//! .model <name>               # reusable sub-circuit
+//!   .minput <port>...
+//!   .moutput <net>...         # exported internal nets
+//!   <gate/flop/latch/subckt statements>
+//! .endmodel
+//!
+//! .fub <name>
+//!   .input <net>              # design-boundary input
+//!   .output <net> <src>       # design/FUB-boundary output
+//!   .struct <name> <width>    # ACE structure: cells <name>[0..width)
+//!   .sw <name>[<bit>] <src>   # structure write-port connection
+//!   .gate <op> <out> <in>...  # op: buf not and or nand nor xor xnor mux const0 const1
+//!   .flop <out> <d> [<en>]    # flip-flop, optional write enable
+//!   .latch <out> <d> [<en>]   # level-sensitive latch
+//!   .subckt <model> <inst> <formal>=<actual>...
+//! .endfub
+//!
+//! .end
+//! ```
+//!
+//! Net names are FUB-local; a reference containing a dot (`other_fub.net`)
+//! resolves design-globally, which is how inter-FUB wiring is expressed.
+
+use crate::error::{ExlifError, ExlifErrorKind};
+use crate::graph::{GateOp, Netlist, NodeKind, SeqKind};
+
+/// A parsed EXLIF design, prior to hierarchy expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignAst {
+    /// Design name from the `.design` directive.
+    pub name: String,
+    /// Reusable `.model` blocks.
+    pub models: Vec<ModelAst>,
+    /// Top-level functional blocks.
+    pub fubs: Vec<FubAst>,
+}
+
+/// A reusable sub-circuit template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelAst {
+    /// Model name.
+    pub name: String,
+    /// Formal input port names.
+    pub inputs: Vec<String>,
+    /// Exported internal net names.
+    pub outputs: Vec<String>,
+    /// Body statements (gates, sequentials, nested `.subckt`s).
+    pub stmts: Vec<Stmt>,
+}
+
+/// One functional block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FubAst {
+    /// FUB name.
+    pub name: String,
+    /// Body statements.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A single EXLIF statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `.input <net>` — design-boundary input.
+    Input(String),
+    /// `.output <net> <src>` — boundary output driven by `src`.
+    Output {
+        /// Output net name.
+        name: String,
+        /// Driving net.
+        src: String,
+    },
+    /// `.struct <name> <width>` — ACE structure declaration.
+    Struct {
+        /// Structure name.
+        name: String,
+        /// Number of bit cells.
+        width: u32,
+    },
+    /// `.sw <name>[<bit>] <src>` — connects `src` to a structure cell's
+    /// write port.
+    StructWrite {
+        /// Structure name.
+        structure: String,
+        /// Bit index.
+        bit: u32,
+        /// Driving net.
+        src: String,
+    },
+    /// `.gate <op> <out> <ins>...`
+    Gate {
+        /// Gate operator.
+        op: GateOp,
+        /// Output net name.
+        out: String,
+        /// Input nets in order.
+        ins: Vec<String>,
+    },
+    /// `.flop`/`.latch <out> <d> [<en>]`
+    Seq {
+        /// Flop or latch.
+        kind: SeqKind,
+        /// Output net name.
+        out: String,
+        /// Data net.
+        d: String,
+        /// Optional write-enable net.
+        en: Option<String>,
+    },
+    /// `.subckt <model> <inst> <formal>=<actual>...`
+    Subckt {
+        /// Referenced model name.
+        model: String,
+        /// Instance name (prefixes internal nets after flattening).
+        inst: String,
+        /// `(formal, actual)` port connections.
+        conns: Vec<(String, String)>,
+    },
+}
+
+fn err(line: usize, kind: ExlifErrorKind) -> ExlifError {
+    ExlifError { line, kind }
+}
+
+/// Splits `name[bit]` into its components.
+pub(crate) fn parse_bit_ref(s: &str) -> Option<(&str, u32)> {
+    let open = s.find('[')?;
+    let close = s.strip_suffix(']')?;
+    let bit: u32 = close[open + 1..].parse().ok()?;
+    Some((&s[..open], bit))
+}
+
+/// Parses EXLIF text into a [`DesignAst`].
+///
+/// # Errors
+///
+/// Returns an [`ExlifError`] carrying the 1-based line number of the first
+/// syntactic problem. Semantic problems (undefined nets, unknown models) are
+/// reported by [`crate::flatten::build_netlist`].
+pub fn parse(text: &str) -> Result<DesignAst, ExlifError> {
+    #[derive(PartialEq)]
+    enum Scope {
+        Top,
+        Model,
+        Fub,
+    }
+    let mut scope = Scope::Top;
+    let mut design_name: Option<String> = None;
+    let mut models: Vec<ModelAst> = Vec::new();
+    let mut fubs: Vec<FubAst> = Vec::new();
+    let mut cur_model: Option<ModelAst> = None;
+    let mut cur_fub: Option<FubAst> = None;
+    let mut ended = false;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let content = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        let mut tok = content.split_whitespace();
+        let Some(head) = tok.next() else { continue };
+        if ended {
+            return Err(err(line, ExlifErrorKind::OutOfScope("after .end")));
+        }
+        let mut operand = |what: &'static str| -> Result<String, ExlifError> {
+            tok.next()
+                .map(str::to_owned)
+                .ok_or_else(|| err(line, ExlifErrorKind::MissingOperand(what)))
+        };
+        match head {
+            ".design" => {
+                if scope != Scope::Top || design_name.is_some() {
+                    return Err(err(line, ExlifErrorKind::OutOfScope(".design")));
+                }
+                design_name = Some(operand("design name")?);
+            }
+            ".model" => {
+                if scope != Scope::Top {
+                    return Err(err(line, ExlifErrorKind::OutOfScope(".model")));
+                }
+                cur_model = Some(ModelAst {
+                    name: operand("model name")?,
+                    inputs: Vec::new(),
+                    outputs: Vec::new(),
+                    stmts: Vec::new(),
+                });
+                scope = Scope::Model;
+            }
+            ".endmodel" => {
+                if scope != Scope::Model {
+                    return Err(err(line, ExlifErrorKind::OutOfScope(".endmodel")));
+                }
+                models.push(cur_model.take().expect("model scope open"));
+                scope = Scope::Top;
+            }
+            ".minput" => {
+                let m = cur_model
+                    .as_mut()
+                    .ok_or_else(|| err(line, ExlifErrorKind::OutOfScope(".minput")))?;
+                m.inputs.extend(tok.map(str::to_owned));
+            }
+            ".moutput" => {
+                let m = cur_model
+                    .as_mut()
+                    .ok_or_else(|| err(line, ExlifErrorKind::OutOfScope(".moutput")))?;
+                m.outputs.extend(tok.map(str::to_owned));
+            }
+            ".fub" => {
+                if scope != Scope::Top {
+                    return Err(err(line, ExlifErrorKind::OutOfScope(".fub")));
+                }
+                cur_fub = Some(FubAst {
+                    name: operand("fub name")?,
+                    stmts: Vec::new(),
+                });
+                scope = Scope::Fub;
+            }
+            ".endfub" => {
+                if scope != Scope::Fub {
+                    return Err(err(line, ExlifErrorKind::OutOfScope(".endfub")));
+                }
+                fubs.push(cur_fub.take().expect("fub scope open"));
+                scope = Scope::Top;
+            }
+            ".end" => {
+                if scope != Scope::Top {
+                    return Err(err(line, ExlifErrorKind::UnexpectedEof("open scope at .end")));
+                }
+                ended = true;
+            }
+            ".input" => {
+                let s = Stmt::Input(operand("input net")?);
+                push_stmt(&mut cur_model, &mut cur_fub, s, line, ".input", false)?;
+            }
+            ".output" => {
+                let name = operand("output net")?;
+                let src = operand("output source")?;
+                let s = Stmt::Output { name, src };
+                push_stmt(&mut cur_model, &mut cur_fub, s, line, ".output", false)?;
+            }
+            ".struct" => {
+                let name = operand("structure name")?;
+                let w = operand("structure width")?;
+                let width: u32 = w
+                    .parse()
+                    .map_err(|_| err(line, ExlifErrorKind::BadNumber(w.clone())))?;
+                let s = Stmt::Struct { name, width };
+                push_stmt(&mut cur_model, &mut cur_fub, s, line, ".struct", false)?;
+            }
+            ".sw" => {
+                let target = operand("structure bit")?;
+                let src = operand("write source")?;
+                let (structure, bit) = parse_bit_ref(&target)
+                    .ok_or_else(|| err(line, ExlifErrorKind::BadBitRef(target.clone())))?;
+                let s = Stmt::StructWrite {
+                    structure: structure.to_owned(),
+                    bit,
+                    src,
+                };
+                push_stmt(&mut cur_model, &mut cur_fub, s, line, ".sw", false)?;
+            }
+            ".gate" => {
+                let opname = operand("gate op")?;
+                let op = GateOp::from_mnemonic(&opname)
+                    .ok_or_else(|| err(line, ExlifErrorKind::UnknownDirective(opname.clone())))?;
+                let out = operand("gate output")?;
+                let ins: Vec<String> = tok.map(str::to_owned).collect();
+                let s = Stmt::Gate { op, out, ins };
+                push_stmt(&mut cur_model, &mut cur_fub, s, line, ".gate", true)?;
+            }
+            ".flop" | ".latch" => {
+                let kind = if head == ".flop" {
+                    SeqKind::Flop
+                } else {
+                    SeqKind::Latch
+                };
+                let out = operand("sequential output")?;
+                let d = operand("data net")?;
+                let en = tok.next().map(str::to_owned);
+                let s = Stmt::Seq { kind, out, d, en };
+                let directive: &'static str = if head == ".flop" { ".flop" } else { ".latch" };
+                push_stmt(&mut cur_model, &mut cur_fub, s, line, directive, true)?;
+            }
+            ".subckt" => {
+                let model = operand("model name")?;
+                let inst = operand("instance name")?;
+                let mut conns = Vec::new();
+                for pair in tok {
+                    let Some((f, a)) = pair.split_once('=') else {
+                        return Err(err(line, ExlifErrorKind::BadBitRef(pair.to_owned())));
+                    };
+                    conns.push((f.to_owned(), a.to_owned()));
+                }
+                let s = Stmt::Subckt { model, inst, conns };
+                push_stmt(&mut cur_model, &mut cur_fub, s, line, ".subckt", true)?;
+            }
+            other => {
+                return Err(err(line, ExlifErrorKind::UnknownDirective(other.to_owned())));
+            }
+        }
+    }
+    if cur_model.is_some() {
+        return Err(err(
+            text.lines().count(),
+            ExlifErrorKind::UnexpectedEof("a .model block"),
+        ));
+    }
+    if cur_fub.is_some() {
+        return Err(err(
+            text.lines().count(),
+            ExlifErrorKind::UnexpectedEof("a .fub block"),
+        ));
+    }
+    Ok(DesignAst {
+        name: design_name.unwrap_or_else(|| "unnamed".to_owned()),
+        models,
+        fubs,
+    })
+}
+
+/// Routes a statement to the open model or FUB scope.
+fn push_stmt(
+    cur_model: &mut Option<ModelAst>,
+    cur_fub: &mut Option<FubAst>,
+    stmt: Stmt,
+    line: usize,
+    directive: &'static str,
+    allowed_in_model: bool,
+) -> Result<(), ExlifError> {
+    if let Some(f) = cur_fub.as_mut() {
+        f.stmts.push(stmt);
+        Ok(())
+    } else if let Some(m) = cur_model.as_mut() {
+        if !allowed_in_model {
+            return Err(err(line, ExlifErrorKind::OutOfScope(directive)));
+        }
+        m.stmts.push(stmt);
+        Ok(())
+    } else {
+        Err(err(line, ExlifErrorKind::OutOfScope(directive)))
+    }
+}
+
+/// Serializes a flattened [`Netlist`] back to EXLIF text.
+///
+/// The output contains no `.model`/`.subckt` hierarchy — one `.fub` block
+/// per FUB with fully-qualified cross-FUB references — and re-parses to an
+/// equivalent graph.
+pub fn write(nl: &Netlist) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, ".design {}", nl.design_name());
+    // Node names carry a "<fub>." prefix (added at parse/generation time);
+    // definitions are written with the prefix stripped so a re-parse adds it
+    // back exactly once. References to nodes in *other* FUBs keep their full
+    // dotted name, which the parser resolves design-globally.
+    let stripped = |fub: crate::graph::FubId, name: &str| -> String {
+        let prefix = format!("{}.", nl.fub_name(fub));
+        name.strip_prefix(&prefix).unwrap_or(name).to_owned()
+    };
+    let operand = |fub: crate::graph::FubId, id: crate::graph::NodeId| -> String {
+        if nl.fub(id) == fub {
+            stripped(fub, nl.name(id))
+        } else {
+            nl.name(id).to_owned()
+        }
+    };
+    for fub in nl.fub_ids() {
+        let _ = writeln!(out, ".fub {}", nl.fub_name(fub));
+        // Structures first, then nodes in id order.
+        for sid in nl.structure_ids() {
+            let s = nl.structure(sid);
+            if s.fub() == fub {
+                let _ = writeln!(out, ".struct {} {}", stripped(fub, s.name()), s.width());
+            }
+        }
+        for id in nl.nodes() {
+            if nl.fub(id) != fub {
+                continue;
+            }
+            let ins = nl.fanin(id);
+            let def = stripped(fub, nl.name(id));
+            match nl.kind(id) {
+                NodeKind::Input => {
+                    let _ = writeln!(out, ".input {def}");
+                }
+                NodeKind::Output => {
+                    let _ = writeln!(out, ".output {def} {}", operand(fub, ins[0]));
+                }
+                NodeKind::Comb(op) => {
+                    let _ = write!(out, ".gate {} {def}", op.mnemonic());
+                    for &i in ins {
+                        let _ = write!(out, " {}", operand(fub, i));
+                    }
+                    let _ = writeln!(out);
+                }
+                NodeKind::Seq { kind, .. } => {
+                    let word = match kind {
+                        SeqKind::Flop => ".flop",
+                        SeqKind::Latch => ".latch",
+                    };
+                    let _ = write!(out, "{word} {def} {}", operand(fub, ins[0]));
+                    if ins.len() == 2 {
+                        let _ = write!(out, " {}", operand(fub, ins[1]));
+                    }
+                    let _ = writeln!(out);
+                }
+                NodeKind::StructCell { .. } => {
+                    for &i in ins {
+                        let _ = writeln!(out, ".sw {def} {}", operand(fub, i));
+                    }
+                }
+            }
+        }
+        let _ = writeln!(out, ".endfub");
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = r"
+# a small design
+.design demo
+.model stage
+  .minput d
+  .moutput q
+  .flop q d
+.endmodel
+.fub f0
+  .input din
+  .struct st 2
+  .gate and g1 din st[0]
+  .flop q1 g1
+  .sw st[1] q1
+  .subckt stage u0 d=q1
+  .output dout u0.q
+.endfub
+.end
+";
+
+    #[test]
+    fn parses_small_design() {
+        let ast = parse(SMALL).unwrap();
+        assert_eq!(ast.name, "demo");
+        assert_eq!(ast.models.len(), 1);
+        assert_eq!(ast.models[0].inputs, vec!["d"]);
+        assert_eq!(ast.models[0].outputs, vec!["q"]);
+        assert_eq!(ast.fubs.len(), 1);
+        assert_eq!(ast.fubs[0].stmts.len(), 7);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let ast = parse("\n# hi\n.design x\n.fub f\n.endfub\n.end\n").unwrap();
+        assert_eq!(ast.name, "x");
+    }
+
+    #[test]
+    fn unknown_directive_reports_line() {
+        let e = parse(".design x\n.bogus\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(matches!(e.kind, ExlifErrorKind::UnknownDirective(_)));
+    }
+
+    #[test]
+    fn missing_operand_reported() {
+        let e = parse(".design x\n.fub f\n.gate and\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(matches!(e.kind, ExlifErrorKind::MissingOperand(_)));
+    }
+
+    #[test]
+    fn bad_width_reported() {
+        let e = parse(".design x\n.fub f\n.struct s abc\n").unwrap_err();
+        assert!(matches!(e.kind, ExlifErrorKind::BadNumber(_)));
+    }
+
+    #[test]
+    fn bad_bit_ref_reported() {
+        let e = parse(".design x\n.fub f\n.sw st(1) q\n").unwrap_err();
+        assert!(matches!(e.kind, ExlifErrorKind::BadBitRef(_)));
+    }
+
+    #[test]
+    fn gate_outside_scope_rejected() {
+        let e = parse(".design x\n.gate and g a b\n").unwrap_err();
+        assert!(matches!(e.kind, ExlifErrorKind::OutOfScope(_)));
+    }
+
+    #[test]
+    fn input_inside_model_rejected() {
+        let e = parse(".design x\n.model m\n.input a\n.endmodel\n").unwrap_err();
+        assert!(matches!(e.kind, ExlifErrorKind::OutOfScope(".input")));
+    }
+
+    #[test]
+    fn unclosed_fub_reported() {
+        let e = parse(".design x\n.fub f\n.input a\n").unwrap_err();
+        assert!(matches!(e.kind, ExlifErrorKind::UnexpectedEof(_)));
+    }
+
+    #[test]
+    fn text_after_end_rejected() {
+        let e = parse(".design x\n.end\n.fub f\n").unwrap_err();
+        assert!(matches!(e.kind, ExlifErrorKind::OutOfScope(_)));
+    }
+
+    #[test]
+    fn bit_ref_parsing() {
+        assert_eq!(parse_bit_ref("abc[12]"), Some(("abc", 12)));
+        assert_eq!(parse_bit_ref("abc"), None);
+        assert_eq!(parse_bit_ref("abc[x]"), None);
+        assert_eq!(parse_bit_ref("abc[3"), None);
+    }
+}

@@ -1,0 +1,461 @@
+//! Hierarchy expansion: turns a parsed [`DesignAst`] into a flat
+//! [`Netlist`].
+//!
+//! The paper's flow compiles RTL into per-FUB EXLIF files and then "fully
+//! expands each FUB module by instantiating all sub-circuits within that
+//! module … with all hierarchy removed" (§5.1). This module performs that
+//! expansion: every `.subckt` instance of a `.model` is inlined, with
+//! internal nets renamed `fub.inst.net`, and formal input ports substituted
+//! by the actual nets of the instantiating scope.
+
+use std::collections::HashMap;
+
+use crate::error::{ExlifError, ExlifErrorKind};
+use crate::exlif::{self, DesignAst, ModelAst, Stmt};
+use crate::graph::{FubId, Netlist, NetlistBuilder, NodeId, NodeKind, StructId};
+
+/// A net reference captured during expansion, resolved after all
+/// definitions are known (EXLIF allows forward references).
+#[derive(Debug, Clone)]
+struct Ref {
+    scope: usize,
+    raw: String,
+}
+
+#[derive(Debug)]
+struct Scope {
+    /// Absolute name prefix including trailing dot (e.g. `"f0."`,
+    /// `"f0.u0."`). Empty only for the virtual design root.
+    prefix: String,
+    parent: Option<usize>,
+    /// Formal input name → raw actual reference (resolved in `parent`).
+    subst: HashMap<String, String>,
+}
+
+#[derive(Debug)]
+enum FlatStmt {
+    Output { node: NodeId, src: Ref },
+    Gate { node: NodeId, ins: Vec<Ref> },
+    Seq { node: NodeId, d: Ref, en: Option<Ref> },
+    StructWrite { structure: StructId, bit: u32, src: Ref },
+}
+
+fn err0(kind: ExlifErrorKind) -> ExlifError {
+    ExlifError { line: 0, kind }
+}
+
+/// Expands hierarchy and builds the flattened [`Netlist`] for a design.
+///
+/// # Errors
+///
+/// Reports undefined nets, unknown models/ports, recursive models,
+/// out-of-range structure bits, and any graph-validation failure from
+/// [`NetlistBuilder::finish`]. Semantic errors carry line number 0 (the AST
+/// does not retain source positions) but name the offending entity.
+pub fn build_netlist(ast: &DesignAst) -> Result<Netlist, ExlifError> {
+    let models: HashMap<&str, &ModelAst> =
+        ast.models.iter().map(|m| (m.name.as_str(), m)).collect();
+
+    let mut builder = NetlistBuilder::new(ast.name.clone());
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut flat: Vec<FlatStmt> = Vec::new();
+    let mut structs_by_name: HashMap<String, StructId> = HashMap::new();
+
+    for fub_ast in &ast.fubs {
+        let fub = builder.add_fub(fub_ast.name.clone());
+        let scope = scopes.len();
+        scopes.push(Scope {
+            prefix: format!("{}.", fub_ast.name),
+            parent: None,
+            subst: HashMap::new(),
+        });
+        let mut model_stack: Vec<&str> = Vec::new();
+        expand_stmts(
+            &fub_ast.stmts,
+            scope,
+            fub,
+            &models,
+            &mut builder,
+            &mut scopes,
+            &mut flat,
+            &mut structs_by_name,
+            &mut model_stack,
+        )?;
+    }
+
+    // Resolve references and connect.
+    for stmt in &flat {
+        match stmt {
+            FlatStmt::Output { node, src } => {
+                let s = resolve(&builder, &scopes, src)?;
+                builder.connect(s, *node);
+            }
+            FlatStmt::Gate { node, ins } => {
+                for r in ins {
+                    let s = resolve(&builder, &scopes, r)?;
+                    builder.connect(s, *node);
+                }
+            }
+            FlatStmt::Seq { node, d, en } => {
+                let s = resolve(&builder, &scopes, d)?;
+                builder.connect(s, *node);
+                if let Some(en) = en {
+                    let e = resolve(&builder, &scopes, en)?;
+                    builder.connect(e, *node);
+                }
+            }
+            FlatStmt::StructWrite {
+                structure,
+                bit,
+                src,
+            } => {
+                let cell = builder.structure_cell(*structure, *bit);
+                let s = resolve(&builder, &scopes, src)?;
+                builder.connect(s, cell);
+            }
+        }
+    }
+
+    builder.finish().map_err(|e| err0(e.into()))
+}
+
+/// Convenience: [`exlif::parse`] followed by [`build_netlist`].
+pub fn parse_netlist(text: &str) -> Result<Netlist, ExlifError> {
+    build_netlist(&exlif::parse(text)?)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn expand_stmts<'a>(
+    stmts: &'a [Stmt],
+    scope: usize,
+    fub: FubId,
+    models: &HashMap<&'a str, &'a ModelAst>,
+    builder: &mut NetlistBuilder,
+    scopes: &mut Vec<Scope>,
+    flat: &mut Vec<FlatStmt>,
+    structs_by_name: &mut HashMap<String, StructId>,
+    model_stack: &mut Vec<&'a str>,
+) -> Result<(), ExlifError> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Input(name) => {
+                let abs = format!("{}{}", scopes[scope].prefix, name);
+                builder.add_node(abs, NodeKind::Input, fub);
+            }
+            Stmt::Output { name, src } => {
+                let abs = format!("{}{}", scopes[scope].prefix, name);
+                let node = builder.add_node(abs, NodeKind::Output, fub);
+                flat.push(FlatStmt::Output {
+                    node,
+                    src: Ref {
+                        scope,
+                        raw: src.clone(),
+                    },
+                });
+            }
+            Stmt::Struct { name, width } => {
+                let abs = format!("{}{}", scopes[scope].prefix, name);
+                let sid = builder.add_structure(abs.clone(), *width, fub);
+                structs_by_name.insert(abs, sid);
+            }
+            Stmt::StructWrite {
+                structure,
+                bit,
+                src,
+            } => {
+                let abs = format!("{}{}", scopes[scope].prefix, structure);
+                let sid = structs_by_name
+                    .get(&abs)
+                    .or_else(|| structs_by_name.get(structure.as_str()))
+                    .copied()
+                    .ok_or_else(|| err0(ExlifErrorKind::UndefinedNet(structure.clone())))?;
+                let width = builder.structure_width(sid);
+                if *bit >= width {
+                    return Err(err0(ExlifErrorKind::Build(
+                        crate::error::BuildError::StructBitOutOfRange {
+                            structure: structure.clone(),
+                            bit: *bit,
+                            width,
+                        },
+                    )));
+                }
+                flat.push(FlatStmt::StructWrite {
+                    structure: sid,
+                    bit: *bit,
+                    src: Ref {
+                        scope,
+                        raw: src.clone(),
+                    },
+                });
+            }
+            Stmt::Gate { op, out, ins } => {
+                let abs = format!("{}{}", scopes[scope].prefix, out);
+                let node = builder.add_node(abs, NodeKind::Comb(*op), fub);
+                flat.push(FlatStmt::Gate {
+                    node,
+                    ins: ins
+                        .iter()
+                        .map(|i| Ref {
+                            scope,
+                            raw: i.clone(),
+                        })
+                        .collect(),
+                });
+            }
+            Stmt::Seq { kind, out, d, en } => {
+                let abs = format!("{}{}", scopes[scope].prefix, out);
+                let node = builder.add_node(
+                    abs,
+                    NodeKind::Seq {
+                        kind: *kind,
+                        has_enable: en.is_some(),
+                    },
+                    fub,
+                );
+                flat.push(FlatStmt::Seq {
+                    node,
+                    d: Ref {
+                        scope,
+                        raw: d.clone(),
+                    },
+                    en: en.as_ref().map(|e| Ref {
+                        scope,
+                        raw: e.clone(),
+                    }),
+                });
+            }
+            Stmt::Subckt { model, inst, conns } => {
+                let m = models
+                    .get(model.as_str())
+                    .ok_or_else(|| err0(ExlifErrorKind::UnknownModel(model.clone())))?;
+                if model_stack.contains(&model.as_str()) {
+                    return Err(err0(ExlifErrorKind::RecursiveModel(model.clone())));
+                }
+                let mut subst = HashMap::new();
+                for (formal, actual) in conns {
+                    if !m.inputs.iter().any(|i| i == formal) {
+                        return Err(err0(ExlifErrorKind::UnknownPort {
+                            model: model.clone(),
+                            port: formal.clone(),
+                        }));
+                    }
+                    subst.insert(formal.clone(), actual.clone());
+                }
+                let child = scopes.len();
+                scopes.push(Scope {
+                    prefix: format!("{}{}.", scopes[scope].prefix, inst),
+                    parent: Some(scope),
+                    subst,
+                });
+                model_stack.push(m.name.as_str());
+                expand_stmts(
+                    &m.stmts,
+                    child,
+                    fub,
+                    models,
+                    builder,
+                    scopes,
+                    flat,
+                    structs_by_name,
+                    model_stack,
+                )?;
+                model_stack.pop();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Resolves a reference: formal substitution first, then scope-local, then
+/// design-global.
+fn resolve(
+    builder: &NetlistBuilder,
+    scopes: &[Scope],
+    r: &Ref,
+) -> Result<NodeId, ExlifError> {
+    let scope = &scopes[r.scope];
+    if let Some(actual) = scope.subst.get(&r.raw) {
+        let parent = scope.parent.expect("substitution implies a parent scope");
+        return resolve(
+            builder,
+            scopes,
+            &Ref {
+                scope: parent,
+                raw: actual.clone(),
+            },
+        );
+    }
+    let local = format!("{}{}", scope.prefix, r.raw);
+    if let Some(id) = builder.lookup(&local) {
+        return Ok(id);
+    }
+    if r.raw.contains('.') {
+        if let Some(id) = builder.lookup(&r.raw) {
+            return Ok(id);
+        }
+    }
+    Err(err0(ExlifErrorKind::UndefinedNet(r.raw.clone())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HIER: &str = r"
+.design hier
+.model stage
+  .minput d
+  .moutput q
+  .flop q d
+.endmodel
+.model twostage
+  .minput d
+  .moutput q
+  .subckt stage s0 d=d
+  .subckt stage s1 d=s0.q
+  .gate buf q s1.q
+.endmodel
+.fub f0
+  .input din
+  .subckt twostage u d=din
+  .output dout u.q
+.endfub
+.end
+";
+
+    #[test]
+    fn nested_models_flatten() {
+        let nl = parse_netlist(HIER).unwrap();
+        // din, u.s0.q, u.s1.q, u.q (buf), dout
+        assert_eq!(nl.node_count(), 5);
+        assert_eq!(nl.seq_count(), 2);
+        let q0 = nl.lookup("f0.u.s0.q").unwrap();
+        let q1 = nl.lookup("f0.u.s1.q").unwrap();
+        assert_eq!(nl.fanin(q1), &[q0]);
+        let din = nl.lookup("f0.din").unwrap();
+        assert_eq!(nl.fanin(q0), &[din]);
+        let dout = nl.lookup("f0.dout").unwrap();
+        let buf = nl.lookup("f0.u.q").unwrap();
+        assert_eq!(nl.fanin(dout), &[buf]);
+    }
+
+    #[test]
+    fn cross_fub_reference_resolves_globally() {
+        let text = r"
+.design x
+.fub a
+  .input i
+  .flop q i
+.endfub
+.fub b
+  .gate not g a.q
+  .output o g
+.endfub
+.end
+";
+        let nl = parse_netlist(text).unwrap();
+        let q = nl.lookup("a.q").unwrap();
+        let g = nl.lookup("b.g").unwrap();
+        assert_eq!(nl.fanin(g), &[q]);
+        assert_ne!(nl.fub(q), nl.fub(g));
+    }
+
+    #[test]
+    fn struct_write_and_read_connect() {
+        let text = r"
+.design x
+.fub f
+  .input i
+  .struct st 2
+  .sw st[0] i
+  .gate buf r st[0]
+  .output o r
+.endfub
+.end
+";
+        let nl = parse_netlist(text).unwrap();
+        let sid = nl.lookup_structure("f.st").unwrap();
+        let cell0 = nl.structure(sid).cells()[0];
+        let i = nl.lookup("f.i").unwrap();
+        assert_eq!(nl.fanin(cell0), &[i]);
+        let r = nl.lookup("f.r").unwrap();
+        assert_eq!(nl.fanin(r), &[cell0]);
+    }
+
+    #[test]
+    fn undefined_net_reported() {
+        let text = ".design x\n.fub f\n.gate not g nosuch\n.endfub\n.end\n";
+        let e = parse_netlist(text).unwrap_err();
+        assert!(matches!(e.kind, ExlifErrorKind::UndefinedNet(_)));
+    }
+
+    #[test]
+    fn unknown_model_reported() {
+        let text = ".design x\n.fub f\n.subckt nomodel u\n.endfub\n.end\n";
+        let e = parse_netlist(text).unwrap_err();
+        assert!(matches!(e.kind, ExlifErrorKind::UnknownModel(_)));
+    }
+
+    #[test]
+    fn unknown_port_reported() {
+        let text = r"
+.design x
+.model m
+  .minput a
+  .gate buf g a
+.endmodel
+.fub f
+  .input i
+  .subckt m u bogus=i
+.endfub
+.end
+";
+        let e = parse_netlist(text).unwrap_err();
+        assert!(matches!(e.kind, ExlifErrorKind::UnknownPort { .. }));
+    }
+
+    #[test]
+    fn recursive_model_reported() {
+        let text = r"
+.design x
+.model m
+  .minput a
+  .subckt m u a=a
+.endmodel
+.fub f
+  .input i
+  .subckt m u a=i
+.endfub
+.end
+";
+        let e = parse_netlist(text).unwrap_err();
+        assert!(matches!(e.kind, ExlifErrorKind::RecursiveModel(_)));
+    }
+
+    #[test]
+    fn struct_bit_out_of_range_reported() {
+        let text = ".design x\n.fub f\n.input i\n.struct s 2\n.sw s[5] i\n.endfub\n.end\n";
+        let e = parse_netlist(text).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ExlifErrorKind::Build(crate::error::BuildError::StructBitOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn writer_roundtrip_preserves_graph() {
+        let nl = parse_netlist(HIER).unwrap();
+        let text = crate::exlif::write(&nl);
+        let nl2 = parse_netlist(&text).unwrap();
+        assert_eq!(nl.node_count(), nl2.node_count());
+        assert_eq!(nl.edge_count(), nl2.edge_count());
+        assert_eq!(nl.seq_count(), nl2.seq_count());
+        for id in nl.nodes() {
+            let id2 = nl2.lookup(nl.name(id)).expect("name preserved");
+            assert_eq!(nl.kind(id), nl2.kind(id2));
+            let f1: Vec<_> = nl.fanin(id).iter().map(|&x| nl.name(x)).collect();
+            let f2: Vec<_> = nl2.fanin(id2).iter().map(|&x| nl2.name(x)).collect();
+            assert_eq!(f1, f2);
+        }
+    }
+}

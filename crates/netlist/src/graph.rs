@@ -1,0 +1,847 @@
+//! The flattened RTL node graph.
+//!
+//! A [`Netlist`] is a directed graph over typed nodes: primary inputs and
+//! outputs (the RTL boundary of §4.1), sequential elements (flops and
+//! latches), combinational gates, and *structure bit cells* — the storage
+//! bits of ACE-modeled structures (§4). Structure cells are the sources and
+//! sinks of port-AVF walks: a forward walk starts at a cell's fan-out (its
+//! read port) and a backward walk starts at a cell's fan-in (its write port).
+//!
+//! The graph is immutable once built; construction goes through
+//! [`NetlistBuilder`], which validates arity, name uniqueness, and the
+//! absence of combinational cycles, then freezes adjacency into compact CSR
+//! arrays suitable for designs with millions of nodes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::BuildError;
+
+/// Identifier of a node in a [`Netlist`]. Dense, 0-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32 range"))
+    }
+
+    /// Returns the raw dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a functional block (FUB) in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FubId(u16);
+
+impl FubId {
+    /// Creates a FUB id from a raw index.
+    pub fn from_index(i: usize) -> Self {
+        FubId(u16::try_from(i).expect("FUB index exceeds u16 range"))
+    }
+
+    /// Returns the raw dense index of this FUB.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FubId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fub{}", self.0)
+    }
+}
+
+/// Identifier of an ACE-modeled structure declared in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StructId(u32);
+
+impl StructId {
+    /// Creates a structure id from a raw index.
+    pub fn from_index(i: usize) -> Self {
+        StructId(u32::try_from(i).expect("structure index exceeds u32 range"))
+    }
+
+    /// Returns the raw dense index of this structure.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StructId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Kind of sequential element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SeqKind {
+    /// Edge-triggered flip-flop.
+    Flop,
+    /// Level-sensitive latch.
+    Latch,
+}
+
+/// Combinational gate operator.
+///
+/// The propagation analysis is function-agnostic (§4.1: "the function is not
+/// of consequence"), but the gate-level simulator in `seqavf-sfi` evaluates
+/// these operators, so the netlist records them faithfully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateOp {
+    /// Identity buffer (1 input).
+    Buf,
+    /// Inverter (1 input).
+    Not,
+    /// Logical AND (2+ inputs).
+    And,
+    /// Logical OR (2+ inputs).
+    Or,
+    /// Logical NAND (2+ inputs).
+    Nand,
+    /// Logical NOR (2+ inputs).
+    Nor,
+    /// Logical XOR (2+ inputs).
+    Xor,
+    /// Logical XNOR (2+ inputs).
+    Xnor,
+    /// 2:1 multiplexer; fan-ins are `(select, if0, if1)` (exactly 3).
+    Mux,
+    /// Constant logic zero (0 inputs).
+    Const0,
+    /// Constant logic one (0 inputs).
+    Const1,
+}
+
+impl GateOp {
+    /// Lowercase mnemonic used in the EXLIF format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateOp::Buf => "buf",
+            GateOp::Not => "not",
+            GateOp::And => "and",
+            GateOp::Or => "or",
+            GateOp::Nand => "nand",
+            GateOp::Nor => "nor",
+            GateOp::Xor => "xor",
+            GateOp::Xnor => "xnor",
+            GateOp::Mux => "mux",
+            GateOp::Const0 => "const0",
+            GateOp::Const1 => "const1",
+        }
+    }
+
+    /// Parses a mnemonic as produced by [`GateOp::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Some(match s {
+            "buf" => GateOp::Buf,
+            "not" => GateOp::Not,
+            "and" => GateOp::And,
+            "or" => GateOp::Or,
+            "nand" => GateOp::Nand,
+            "nor" => GateOp::Nor,
+            "xor" => GateOp::Xor,
+            "xnor" => GateOp::Xnor,
+            "mux" => GateOp::Mux,
+            "const0" => GateOp::Const0,
+            "const1" => GateOp::Const1,
+            _ => return None,
+        })
+    }
+
+    /// Checks whether `n` fan-ins is a legal arity for this operator.
+    pub fn arity_ok(self, n: usize) -> bool {
+        match self {
+            GateOp::Buf | GateOp::Not => n == 1,
+            GateOp::Mux => n == 3,
+            GateOp::Const0 | GateOp::Const1 => n == 0,
+            _ => n >= 2,
+        }
+    }
+
+    /// Human-readable description of the expected arity.
+    pub fn arity_description(self) -> &'static str {
+        match self {
+            GateOp::Buf | GateOp::Not => "exactly 1",
+            GateOp::Mux => "exactly 3",
+            GateOp::Const0 | GateOp::Const1 => "exactly 0",
+            _ => "2 or more",
+        }
+    }
+}
+
+impl fmt::Display for GateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The type of a node in the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Primary input: a net entering the RTL under analysis. Walks terminate
+    /// here (an "RTL boundary", §4.1); pseudo-structure pAVFs may be attached
+    /// by the analysis.
+    Input,
+    /// Primary output: a net leaving the RTL under analysis.
+    Output,
+    /// A sequential element (flop or latch). When `has_enable` is true the
+    /// *last* fan-in is the enable net; the remaining fan-in is data.
+    Seq {
+        /// Flop or latch.
+        kind: SeqKind,
+        /// Whether the element has a write-enable input.
+        has_enable: bool,
+    },
+    /// A combinational gate.
+    Comb(GateOp),
+    /// One storage bit of an ACE-modeled structure. Fan-ins are its write
+    /// port(s), fan-outs its read port(s).
+    StructCell {
+        /// The structure this cell belongs to.
+        structure: StructId,
+        /// Bit index within the structure.
+        bit: u32,
+    },
+}
+
+impl NodeKind {
+    /// Whether this node is a flop or latch (the population whose AVF the
+    /// paper computes).
+    pub fn is_sequential(self) -> bool {
+        matches!(self, NodeKind::Seq { .. })
+    }
+
+    /// Whether this node is a storage bit of an ACE structure.
+    pub fn is_struct_cell(self) -> bool {
+        matches!(self, NodeKind::StructCell { .. })
+    }
+
+    /// Whether this node is combinational logic.
+    pub fn is_comb(self) -> bool {
+        matches!(self, NodeKind::Comb(_))
+    }
+
+    /// Whether this node is a boundary (primary input or output).
+    pub fn is_boundary(self) -> bool {
+        matches!(self, NodeKind::Input | NodeKind::Output)
+    }
+}
+
+/// Declaration of an ACE-modeled structure: a named bank of storage cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructureDecl {
+    name: String,
+    width: u32,
+    fub: FubId,
+    cells: Vec<NodeId>,
+}
+
+impl StructureDecl {
+    /// The structure's name (e.g. `"rob"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of bit cells.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// FUB the structure's cells live in.
+    pub fn fub(&self) -> FubId {
+        self.fub
+    }
+
+    /// The node ids of the structure's bit cells, indexed by bit.
+    pub fn cells(&self) -> &[NodeId] {
+        &self.cells
+    }
+}
+
+/// Incremental builder for a [`Netlist`].
+///
+/// All mutation happens here; [`NetlistBuilder::finish`] validates the graph
+/// and freezes it.
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    design: String,
+    names: Vec<String>,
+    name_index: HashMap<String, NodeId>,
+    kinds: Vec<NodeKind>,
+    fub_of: Vec<FubId>,
+    fanin: Vec<Vec<NodeId>>,
+    fubs: Vec<String>,
+    structures: Vec<StructureDecl>,
+    duplicate: Option<String>,
+}
+
+impl NetlistBuilder {
+    /// Starts a new empty design with the given name.
+    pub fn new(design: impl Into<String>) -> Self {
+        NetlistBuilder {
+            design: design.into(),
+            names: Vec::new(),
+            name_index: HashMap::new(),
+            kinds: Vec::new(),
+            fub_of: Vec::new(),
+            fanin: Vec::new(),
+            fubs: Vec::new(),
+            structures: Vec::new(),
+            duplicate: None,
+        }
+    }
+
+    /// Declares a functional block. Nodes reference FUBs by the returned id.
+    pub fn add_fub(&mut self, name: impl Into<String>) -> FubId {
+        let id = FubId::from_index(self.fubs.len());
+        self.fubs.push(name.into());
+        id
+    }
+
+    /// Adds a node of the given kind. Names must be unique design-wide;
+    /// a duplicate is recorded and reported by [`NetlistBuilder::finish`].
+    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind, fub: FubId) -> NodeId {
+        let name = name.into();
+        let id = NodeId::from_index(self.kinds.len());
+        if self.name_index.insert(name.clone(), id).is_some() && self.duplicate.is_none() {
+            self.duplicate = Some(name.clone());
+        }
+        self.names.push(name);
+        self.kinds.push(kind);
+        self.fub_of.push(fub);
+        self.fanin.push(Vec::new());
+        id
+    }
+
+    /// Declares an ACE structure of `width` bits; creates cell nodes named
+    /// `name[0]` … `name[width-1]`.
+    pub fn add_structure(&mut self, name: impl Into<String>, width: u32, fub: FubId) -> StructId {
+        let name = name.into();
+        let sid = StructId::from_index(self.structures.len());
+        let cells = (0..width)
+            .map(|bit| {
+                self.add_node(
+                    format!("{name}[{bit}]"),
+                    NodeKind::StructCell {
+                        structure: sid,
+                        bit,
+                    },
+                    fub,
+                )
+            })
+            .collect();
+        self.structures.push(StructureDecl {
+            name,
+            width,
+            fub,
+            cells,
+        });
+        sid
+    }
+
+    /// Returns the cell node for `structure[bit]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range for the structure.
+    pub fn structure_cell(&self, structure: StructId, bit: u32) -> NodeId {
+        self.structures[structure.index()].cells[bit as usize]
+    }
+
+    /// Declared width of a structure.
+    pub fn structure_width(&self, structure: StructId) -> u32 {
+        self.structures[structure.index()].width
+    }
+
+    /// Adds a directed edge `from -> to` (i.e. `from` becomes a fan-in of
+    /// `to`). For [`NodeKind::Seq`] nodes with an enable, connect the data
+    /// net first and the enable net last.
+    pub fn connect(&mut self, from: NodeId, to: NodeId) {
+        self.fanin[to.index()].push(from);
+    }
+
+    /// Looks up a node by name.
+    pub fn lookup(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Validates and freezes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found among: duplicate names, dangling
+    /// edge endpoints, gate/sequential arity, inputs with fan-in, and
+    /// combinational cycles.
+    pub fn finish(self) -> Result<Netlist, BuildError> {
+        if let Some(name) = self.duplicate {
+            return Err(BuildError::DuplicateName(name));
+        }
+        let n = self.kinds.len();
+        // Arity and endpoint validation.
+        for (i, ins) in self.fanin.iter().enumerate() {
+            for from in ins {
+                if from.index() >= n {
+                    return Err(BuildError::UnknownNode(from.index() as u32));
+                }
+            }
+            let found = ins.len();
+            match self.kinds[i] {
+                NodeKind::Input => {
+                    if found != 0 {
+                        return Err(BuildError::InputHasFanin(self.names[i].clone()));
+                    }
+                }
+                NodeKind::Output => {
+                    if found != 1 {
+                        return Err(BuildError::BadArity {
+                            node: self.names[i].clone(),
+                            found,
+                            expected: "exactly 1",
+                        });
+                    }
+                }
+                NodeKind::Seq { has_enable, .. } => {
+                    let want = if has_enable { 2 } else { 1 };
+                    if found != want {
+                        return Err(BuildError::BadArity {
+                            node: self.names[i].clone(),
+                            found,
+                            expected: if has_enable { "exactly 2" } else { "exactly 1" },
+                        });
+                    }
+                }
+                NodeKind::Comb(op) => {
+                    if !op.arity_ok(found) {
+                        return Err(BuildError::BadArity {
+                            node: self.names[i].clone(),
+                            found,
+                            expected: op.arity_description(),
+                        });
+                    }
+                }
+                // Structure cells may have any number of write ports,
+                // including zero (read-only architectural state).
+                NodeKind::StructCell { .. } => {}
+            }
+        }
+        self.check_comb_cycles()?;
+
+        // Freeze adjacency into CSR form.
+        let mut fanin_off = Vec::with_capacity(n + 1);
+        let mut fanin_dat = Vec::new();
+        fanin_off.push(0u32);
+        for ins in &self.fanin {
+            fanin_dat.extend_from_slice(ins);
+            fanin_off.push(fanin_dat.len() as u32);
+        }
+        let mut fanout_cnt = vec![0u32; n];
+        for ins in &self.fanin {
+            for from in ins {
+                fanout_cnt[from.index()] += 1;
+            }
+        }
+        let mut fanout_off = Vec::with_capacity(n + 1);
+        fanout_off.push(0u32);
+        for c in &fanout_cnt {
+            let last = *fanout_off.last().expect("non-empty offsets");
+            fanout_off.push(last + c);
+        }
+        let mut fanout_dat = vec![NodeId(0); fanin_dat.len()];
+        let mut cursor: Vec<u32> = fanout_off[..n].to_vec();
+        for (to, ins) in self.fanin.iter().enumerate() {
+            for from in ins {
+                let c = &mut cursor[from.index()];
+                fanout_dat[*c as usize] = NodeId::from_index(to);
+                *c += 1;
+            }
+        }
+
+        let seq_count = self.kinds.iter().filter(|k| k.is_sequential()).count();
+        Ok(Netlist {
+            design: self.design,
+            names: self.names,
+            name_index: self.name_index,
+            kinds: self.kinds,
+            fub_of: self.fub_of,
+            fubs: self.fubs,
+            structures: self.structures,
+            fanin_off,
+            fanin_dat,
+            fanout_off,
+            fanout_dat,
+            seq_count,
+        })
+    }
+
+    /// Detects cycles that pass through combinational nodes only.
+    fn check_comb_cycles(&self) -> Result<(), BuildError> {
+        // Iterative three-color DFS over comb-only edges.
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let n = self.kinds.len();
+        let mut color = vec![WHITE; n];
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        for start in 0..n {
+            if color[start] != WHITE || !self.kinds[start].is_comb() {
+                continue;
+            }
+            color[start] = GRAY;
+            stack.push((start, 0));
+            while let Some(top) = stack.last_mut() {
+                let v = top.0;
+                let ins = &self.fanin[v];
+                if top.1 < ins.len() {
+                    let u = ins[top.1].index();
+                    top.1 += 1;
+                    if !self.kinds[u].is_comb() {
+                        continue;
+                    }
+                    match color[u] {
+                        WHITE => {
+                            color[u] = GRAY;
+                            stack.push((u, 0));
+                        }
+                        GRAY => {
+                            return Err(BuildError::CombinationalCycle {
+                                witness: self.names[u].clone(),
+                            });
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[v] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An immutable, flattened RTL node graph.
+///
+/// See the [module documentation](self) for the data model.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    design: String,
+    names: Vec<String>,
+    name_index: HashMap<String, NodeId>,
+    kinds: Vec<NodeKind>,
+    fub_of: Vec<FubId>,
+    fubs: Vec<String>,
+    structures: Vec<StructureDecl>,
+    fanin_off: Vec<u32>,
+    fanin_dat: Vec<NodeId>,
+    fanout_off: Vec<u32>,
+    fanout_dat: Vec<NodeId>,
+    seq_count: usize,
+}
+
+impl Netlist {
+    /// The design name.
+    pub fn design_name(&self) -> &str {
+        &self.design
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of sequential (flop/latch) nodes.
+    pub fn seq_count(&self) -> usize {
+        self.seq_count
+    }
+
+    /// Iterates over all node ids in dense order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.kinds.len()).map(NodeId::from_index)
+    }
+
+    /// Iterates over the ids of all sequential nodes.
+    pub fn seq_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|&id| self.kind(id).is_sequential())
+    }
+
+    /// The kind of a node.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.kinds[id.index()]
+    }
+
+    /// The hierarchical name of a node.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// The FUB a node belongs to.
+    pub fn fub(&self, id: NodeId) -> FubId {
+        self.fub_of[id.index()]
+    }
+
+    /// Number of declared FUBs.
+    pub fn fub_count(&self) -> usize {
+        self.fubs.len()
+    }
+
+    /// The name of a FUB.
+    pub fn fub_name(&self, id: FubId) -> &str {
+        &self.fubs[id.index()]
+    }
+
+    /// Iterates over all FUB ids.
+    pub fn fub_ids(&self) -> impl Iterator<Item = FubId> {
+        (0..self.fubs.len()).map(FubId::from_index)
+    }
+
+    /// Looks up a node by its hierarchical name.
+    pub fn lookup(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// The fan-in (driver) nodes of `id`, in connection order.
+    pub fn fanin(&self, id: NodeId) -> &[NodeId] {
+        let i = id.index();
+        &self.fanin_dat[self.fanin_off[i] as usize..self.fanin_off[i + 1] as usize]
+    }
+
+    /// The fan-out (consumer) nodes of `id`.
+    pub fn fanout(&self, id: NodeId) -> &[NodeId] {
+        let i = id.index();
+        &self.fanout_dat[self.fanout_off[i] as usize..self.fanout_off[i + 1] as usize]
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.fanin_dat.len()
+    }
+
+    /// Number of declared ACE structures.
+    pub fn structure_count(&self) -> usize {
+        self.structures.len()
+    }
+
+    /// The declaration of a structure.
+    pub fn structure(&self, id: StructId) -> &StructureDecl {
+        &self.structures[id.index()]
+    }
+
+    /// Iterates over all structure ids.
+    pub fn structure_ids(&self) -> impl Iterator<Item = StructId> {
+        (0..self.structures.len()).map(StructId::from_index)
+    }
+
+    /// Looks up a structure by name.
+    pub fn lookup_structure(&self, name: &str) -> Option<StructId> {
+        self.structures
+            .iter()
+            .position(|s| s.name == name)
+            .map(StructId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> NetlistBuilder {
+        let mut b = NetlistBuilder::new("t");
+        let fub = b.add_fub("f0");
+        let i = b.add_node("in", NodeKind::Input, fub);
+        let g = b.add_node("g", NodeKind::Comb(GateOp::Not), fub);
+        let q = b.add_node(
+            "q",
+            NodeKind::Seq {
+                kind: SeqKind::Flop,
+                has_enable: false,
+            },
+            fub,
+        );
+        let o = b.add_node("out", NodeKind::Output, fub);
+        b.connect(i, g);
+        b.connect(g, q);
+        b.connect(q, o);
+        b
+    }
+
+    #[test]
+    fn build_and_query_roundtrip() {
+        let nl = simple().finish().unwrap();
+        assert_eq!(nl.node_count(), 4);
+        assert_eq!(nl.seq_count(), 1);
+        assert_eq!(nl.edge_count(), 3);
+        let g = nl.lookup("g").unwrap();
+        let q = nl.lookup("q").unwrap();
+        assert_eq!(nl.fanin(q), &[g]);
+        assert_eq!(nl.fanout(g), &[q]);
+        assert_eq!(nl.name(q), "q");
+        assert!(nl.kind(q).is_sequential());
+        assert_eq!(nl.fub_name(nl.fub(q)), "f0");
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        let fub = b.add_fub("f0");
+        b.add_node("x", NodeKind::Input, fub);
+        b.add_node("x", NodeKind::Input, fub);
+        assert_eq!(
+            b.finish().unwrap_err(),
+            BuildError::DuplicateName("x".into())
+        );
+    }
+
+    #[test]
+    fn bad_gate_arity_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        let fub = b.add_fub("f0");
+        let i = b.add_node("i", NodeKind::Input, fub);
+        let g = b.add_node("g", NodeKind::Comb(GateOp::And), fub);
+        b.connect(i, g);
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            BuildError::BadArity { .. }
+        ));
+    }
+
+    #[test]
+    fn input_with_fanin_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        let fub = b.add_fub("f0");
+        let a = b.add_node("a", NodeKind::Input, fub);
+        let c = b.add_node("c", NodeKind::Input, fub);
+        b.connect(a, c);
+        assert_eq!(b.finish().unwrap_err(), BuildError::InputHasFanin("c".into()));
+    }
+
+    #[test]
+    fn comb_cycle_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        let fub = b.add_fub("f0");
+        let i = b.add_node("i", NodeKind::Input, fub);
+        let g1 = b.add_node("g1", NodeKind::Comb(GateOp::And), fub);
+        let g2 = b.add_node("g2", NodeKind::Comb(GateOp::Not), fub);
+        b.connect(i, g1);
+        b.connect(g2, g1);
+        b.connect(g1, g2);
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            BuildError::CombinationalCycle { .. }
+        ));
+    }
+
+    #[test]
+    fn seq_cycle_allowed() {
+        let mut b = NetlistBuilder::new("t");
+        let fub = b.add_fub("f0");
+        let q = b.add_node(
+            "q",
+            NodeKind::Seq {
+                kind: SeqKind::Flop,
+                has_enable: false,
+            },
+            fub,
+        );
+        let g = b.add_node("g", NodeKind::Comb(GateOp::Not), fub);
+        b.connect(q, g);
+        b.connect(g, q);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn structure_cells_created_and_named() {
+        let mut b = NetlistBuilder::new("t");
+        let fub = b.add_fub("f0");
+        let s = b.add_structure("rob", 4, fub);
+        let nl = simple_with_struct(b, s);
+        let decl = nl.structure(s);
+        assert_eq!(decl.name(), "rob");
+        assert_eq!(decl.width(), 4);
+        assert_eq!(decl.cells().len(), 4);
+        assert_eq!(nl.name(decl.cells()[2]), "rob[2]");
+        assert_eq!(nl.lookup_structure("rob"), Some(s));
+        assert!(nl.kind(decl.cells()[0]).is_struct_cell());
+    }
+
+    fn simple_with_struct(b: NetlistBuilder, _s: StructId) -> Netlist {
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn enabled_flop_requires_two_fanins() {
+        let mut b = NetlistBuilder::new("t");
+        let fub = b.add_fub("f0");
+        let i = b.add_node("i", NodeKind::Input, fub);
+        let q = b.add_node(
+            "q",
+            NodeKind::Seq {
+                kind: SeqKind::Flop,
+                has_enable: true,
+            },
+            fub,
+        );
+        b.connect(i, q);
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            BuildError::BadArity { .. }
+        ));
+    }
+
+    #[test]
+    fn gate_op_mnemonic_roundtrip() {
+        for op in [
+            GateOp::Buf,
+            GateOp::Not,
+            GateOp::And,
+            GateOp::Or,
+            GateOp::Nand,
+            GateOp::Nor,
+            GateOp::Xor,
+            GateOp::Xnor,
+            GateOp::Mux,
+            GateOp::Const0,
+            GateOp::Const1,
+        ] {
+            assert_eq!(GateOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(GateOp::from_mnemonic("zzz"), None);
+    }
+
+    #[test]
+    fn fanout_matches_fanin_transpose() {
+        let nl = simple().finish().unwrap();
+        for id in nl.nodes() {
+            for &to in nl.fanout(id) {
+                assert!(nl.fanin(to).contains(&id));
+            }
+            for &from in nl.fanin(id) {
+                assert!(nl.fanout(from).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId::from_index(7).to_string(), "n7");
+        assert_eq!(FubId::from_index(2).to_string(), "fub2");
+        assert_eq!(StructId::from_index(1).to_string(), "s1");
+    }
+}

@@ -1,0 +1,287 @@
+//! Loop detection via strongly-connected components (paper §4.3).
+//!
+//! State-machine feedback paths (stall loops, head/tail pointer updates, …)
+//! form cycles in the node graph. The paper observes that loops "behave like
+//! structures": they can retain state, so port-AVF values must not propagate
+//! *through* them. The SART stage therefore breaks every loop and injects a
+//! static loop-boundary pAVF (0.3 in the paper) at the sequential nodes
+//! inside loops.
+//!
+//! This module finds those nodes: it runs Tarjan's algorithm over the
+//! subgraph of sequential and combinational nodes (structure cells already
+//! terminate walks, so a path through a structure is not a loop for this
+//! purpose) and reports every node that belongs to a non-trivial SCC or has
+//! a self-edge.
+
+use crate::graph::{Netlist, NodeId};
+
+/// Result of loop detection over a [`Netlist`].
+#[derive(Debug, Clone)]
+pub struct LoopAnalysis {
+    in_loop: Vec<bool>,
+    components: Vec<Vec<NodeId>>,
+    loop_node_count: usize,
+    loop_seq_count: usize,
+}
+
+impl LoopAnalysis {
+    /// Whether `id` lies on at least one cycle.
+    pub fn is_loop_node(&self, id: NodeId) -> bool {
+        self.in_loop[id.index()]
+    }
+
+    /// The non-trivial strongly connected components, each listed as the
+    /// nodes it contains (unordered).
+    pub fn components(&self) -> &[Vec<NodeId>] {
+        &self.components
+    }
+
+    /// Total number of nodes that lie on cycles.
+    pub fn loop_node_count(&self) -> usize {
+        self.loop_node_count
+    }
+
+    /// Number of *sequential* nodes that lie on cycles — the population that
+    /// receives the injected loop-boundary pAVF (the paper's Xeon core had
+    /// 201,530 such bits).
+    pub fn loop_seq_count(&self) -> usize {
+        self.loop_seq_count
+    }
+
+    /// Iterates over all loop-member node ids.
+    pub fn loop_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.components.iter().flatten().copied()
+    }
+}
+
+/// Finds all cycles among sequential and combinational nodes.
+///
+/// Structure cells, primary inputs and primary outputs are treated as cut
+/// points: paths through them do not count as loops because pAVF walks
+/// already terminate there (§4.1).
+pub fn find_loops(nl: &Netlist) -> LoopAnalysis {
+    let n = nl.node_count();
+    let passable = |id: NodeId| {
+        let k = nl.kind(id);
+        // Output nodes can sit on cross-FUB feedback paths (a FUB export
+        // consumed by an upstream FUB), so they are passable; structure
+        // cells terminate walks and therefore break cycles.
+        k.is_sequential() || k.is_comb() || matches!(k, crate::graph::NodeKind::Output)
+    };
+
+    // Iterative Tarjan.
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp_stack: Vec<u32> = Vec::new();
+    let mut next_index: u32 = 0;
+    let mut in_loop = vec![false; n];
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+
+    // DFS frames: (node, next fan-out edge offset, child awaiting lowlink merge)
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for start in 0..n {
+        let sid = NodeId::from_index(start);
+        if index[start] != UNVISITED || !passable(sid) {
+            continue;
+        }
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        on_stack[start] = true;
+        comp_stack.push(start as u32);
+        frames.push((start as u32, 0));
+
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.0 as usize;
+            let outs = nl.fanout(NodeId::from_index(v));
+            if frame.1 < outs.len() {
+                let w = outs[frame.1];
+                frame.1 += 1;
+                let wi = w.index();
+                if !passable(w) {
+                    continue;
+                }
+                if index[wi] == UNVISITED {
+                    index[wi] = next_index;
+                    lowlink[wi] = next_index;
+                    next_index += 1;
+                    on_stack[wi] = true;
+                    comp_stack.push(wi as u32);
+                    frames.push((wi as u32, 0));
+                } else if on_stack[wi] {
+                    lowlink[v] = lowlink[v].min(index[wi]);
+                }
+            } else {
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    let p = parent.0 as usize;
+                    lowlink[p] = lowlink[p].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    // Root of an SCC: pop its members.
+                    let mut members = Vec::new();
+                    loop {
+                        let w = comp_stack.pop().expect("SCC stack underflow") as usize;
+                        on_stack[w] = false;
+                        members.push(NodeId::from_index(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let self_loop = members.len() == 1 && {
+                        let m = members[0];
+                        nl.fanout(m).contains(&m)
+                    };
+                    if members.len() > 1 || self_loop {
+                        for &m in &members {
+                            in_loop[m.index()] = true;
+                        }
+                        components.push(members);
+                    }
+                }
+            }
+        }
+    }
+
+    let loop_node_count = in_loop.iter().filter(|&&b| b).count();
+    let loop_seq_count = nl
+        .seq_nodes()
+        .filter(|&id| in_loop[id.index()])
+        .count();
+    LoopAnalysis {
+        in_loop,
+        components,
+        loop_node_count,
+        loop_seq_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GateOp, NetlistBuilder, NodeKind, SeqKind};
+
+    fn flop(b: &mut NetlistBuilder, name: &str, fub: crate::graph::FubId) -> NodeId {
+        b.add_node(
+            name,
+            NodeKind::Seq {
+                kind: SeqKind::Flop,
+                has_enable: false,
+            },
+            fub,
+        )
+    }
+
+    #[test]
+    fn straight_pipeline_has_no_loops() {
+        let mut b = NetlistBuilder::new("t");
+        let fub = b.add_fub("f");
+        let i = b.add_node("i", NodeKind::Input, fub);
+        let q1 = flop(&mut b, "q1", fub);
+        let q2 = flop(&mut b, "q2", fub);
+        b.connect(i, q1);
+        b.connect(q1, q2);
+        let nl = b.finish().unwrap();
+        let la = find_loops(&nl);
+        assert_eq!(la.loop_node_count(), 0);
+        assert!(la.components().is_empty());
+    }
+
+    #[test]
+    fn fsm_feedback_detected() {
+        // q1 -> g -> q2 -> q1 : a 3-node cycle.
+        let mut b = NetlistBuilder::new("t");
+        let fub = b.add_fub("f");
+        let i = b.add_node("i", NodeKind::Input, fub);
+        let q1 = flop(&mut b, "q1", fub);
+        let g = b.add_node("g", NodeKind::Comb(GateOp::And), fub);
+        let q2 = flop(&mut b, "q2", fub);
+        b.connect(q2, q1);
+        b.connect(q1, g);
+        b.connect(i, g);
+        b.connect(g, q2);
+        let nl = b.finish().unwrap();
+        let la = find_loops(&nl);
+        assert_eq!(la.components().len(), 1);
+        assert_eq!(la.loop_node_count(), 3);
+        assert_eq!(la.loop_seq_count(), 2);
+        assert!(la.is_loop_node(q1));
+        assert!(la.is_loop_node(q2));
+        assert!(la.is_loop_node(g));
+        assert!(!la.is_loop_node(i));
+    }
+
+    #[test]
+    fn self_loop_flop_detected() {
+        let mut b = NetlistBuilder::new("t");
+        let fub = b.add_fub("f");
+        let q = flop(&mut b, "q", fub);
+        b.connect(q, q);
+        let nl = b.finish().unwrap();
+        let la = find_loops(&nl);
+        assert_eq!(la.loop_node_count(), 1);
+        assert_eq!(la.loop_seq_count(), 1);
+        assert!(la.is_loop_node(q));
+    }
+
+    #[test]
+    fn path_through_structure_is_not_a_loop() {
+        // q1 feeds struct cell; struct cell feeds q1 again. The structure
+        // breaks the cycle because walks terminate there.
+        let mut b = NetlistBuilder::new("t");
+        let fub = b.add_fub("f");
+        let s = b.add_structure("st", 1, fub);
+        let cell = b.structure_cell(s, 0);
+        let q1 = flop(&mut b, "q1", fub);
+        b.connect(q1, cell);
+        b.connect(cell, q1);
+        let nl = b.finish().unwrap();
+        let la = find_loops(&nl);
+        assert_eq!(la.loop_node_count(), 0);
+    }
+
+    #[test]
+    fn nested_loops_merge_into_one_component() {
+        // Two overlapping cycles: q1->q2->q1 and q2->q3->q2.
+        let mut b = NetlistBuilder::new("t");
+        let fub = b.add_fub("f");
+        let q1 = flop(&mut b, "q1", fub);
+        let q2 = flop(&mut b, "q2", fub);
+        let q3 = flop(&mut b, "q3", fub);
+        // q1 has two drivers? Flop needs exactly one fan-in; route through a gate.
+        let g = b.add_node("g", NodeKind::Comb(GateOp::Or), fub);
+        b.connect(q1, q2);
+        b.connect(q2, g);
+        b.connect(q3, g);
+        b.connect(g, q1);
+        b.connect(q2, q3);
+        let nl = b.finish().unwrap();
+        let la = find_loops(&nl);
+        assert_eq!(la.components().len(), 1);
+        assert_eq!(la.loop_node_count(), 4);
+        assert_eq!(la.loop_seq_count(), 3);
+    }
+
+    #[test]
+    fn two_disjoint_loops_are_separate_components() {
+        let mut b = NetlistBuilder::new("t");
+        let fub = b.add_fub("f");
+        let a1 = flop(&mut b, "a1", fub);
+        let a2 = flop(&mut b, "a2", fub);
+        b.connect(a1, a2);
+        b.connect(a2, a1);
+        let b1 = flop(&mut b, "b1", fub);
+        let b2 = flop(&mut b, "b2", fub);
+        b.connect(b1, b2);
+        b.connect(b2, b1);
+        let nl = b.finish().unwrap();
+        let la = find_loops(&nl);
+        assert_eq!(la.components().len(), 2);
+        assert_eq!(la.loop_seq_count(), 4);
+        let total: usize = la.loop_nodes().count();
+        assert_eq!(total, 4);
+    }
+}

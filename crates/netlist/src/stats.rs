@@ -1,0 +1,147 @@
+//! Node censuses over a [`Netlist`], mirroring the counts the paper reports
+//! in §6.1 (sequential totals, loop membership, structure bits, per-FUB
+//! breakdowns).
+
+use crate::graph::{Netlist, NodeKind};
+use crate::scc::LoopAnalysis;
+
+/// Per-FUB node counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FubCensus {
+    /// FUB name.
+    pub name: String,
+    /// Flop/latch count.
+    pub sequential: usize,
+    /// Combinational gate count.
+    pub combinational: usize,
+    /// ACE-structure bit cells.
+    pub struct_cells: usize,
+    /// Boundary (input/output) nodes.
+    pub boundary: usize,
+    /// Sequential nodes that lie on loops.
+    pub loop_sequential: usize,
+}
+
+impl FubCensus {
+    /// Total nodes in the FUB.
+    pub fn total(&self) -> usize {
+        self.sequential + self.combinational + self.struct_cells + self.boundary
+    }
+}
+
+/// Whole-design census.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignCensus {
+    /// One entry per FUB, in FUB-id order.
+    pub fubs: Vec<FubCensus>,
+}
+
+impl DesignCensus {
+    /// Computes the census for a netlist, using `loops` for loop membership.
+    pub fn new(nl: &Netlist, loops: &LoopAnalysis) -> Self {
+        let mut fubs: Vec<FubCensus> = nl
+            .fub_ids()
+            .map(|f| FubCensus {
+                name: nl.fub_name(f).to_owned(),
+                ..FubCensus::default()
+            })
+            .collect();
+        for id in nl.nodes() {
+            let c = &mut fubs[nl.fub(id).index()];
+            match nl.kind(id) {
+                NodeKind::Seq { .. } => {
+                    c.sequential += 1;
+                    if loops.is_loop_node(id) {
+                        c.loop_sequential += 1;
+                    }
+                }
+                NodeKind::Comb(_) => c.combinational += 1,
+                NodeKind::StructCell { .. } => c.struct_cells += 1,
+                NodeKind::Input | NodeKind::Output => c.boundary += 1,
+            }
+        }
+        DesignCensus { fubs }
+    }
+
+    /// Total sequential nodes across the design.
+    pub fn total_sequential(&self) -> usize {
+        self.fubs.iter().map(|f| f.sequential).sum()
+    }
+
+    /// Total nodes across the design.
+    pub fn total_nodes(&self) -> usize {
+        self.fubs.iter().map(|f| f.total()).sum()
+    }
+
+    /// Total sequential nodes on loops (the paper's "bits belonging to
+    /// loops").
+    pub fn total_loop_sequential(&self) -> usize {
+        self.fubs.iter().map(|f| f.loop_sequential).sum()
+    }
+
+    /// Fraction of sequentials that lie on loops (the paper observes
+    /// 2–3%).
+    pub fn loop_fraction(&self) -> f64 {
+        let s = self.total_sequential();
+        if s == 0 {
+            0.0
+        } else {
+            self.total_loop_sequential() as f64 / s as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flatten::parse_netlist;
+    use crate::scc::find_loops;
+
+    #[test]
+    fn census_counts_kinds() {
+        let text = r"
+.design x
+.fub a
+  .input i
+  .struct st 3
+  .sw st[0] i
+  .gate not g st[0]
+  .flop q g
+  .flop r q
+  .output o r
+.endfub
+.fub b
+  .flop s1 s2
+  .flop s2 s1
+.endfub
+.end
+";
+        let nl = parse_netlist(text).unwrap();
+        let loops = find_loops(&nl);
+        let census = DesignCensus::new(&nl, &loops);
+        assert_eq!(census.fubs.len(), 2);
+        let a = &census.fubs[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.sequential, 2);
+        assert_eq!(a.combinational, 1);
+        assert_eq!(a.struct_cells, 3);
+        assert_eq!(a.boundary, 2);
+        assert_eq!(a.loop_sequential, 0);
+        let b = &census.fubs[1];
+        assert_eq!(b.sequential, 2);
+        assert_eq!(b.loop_sequential, 2);
+        assert_eq!(census.total_sequential(), 4);
+        assert_eq!(census.total_loop_sequential(), 2);
+        assert!((census.loop_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(census.total_nodes(), nl.node_count());
+    }
+
+    #[test]
+    fn empty_design_census() {
+        let nl = parse_netlist(".design x\n.end\n").unwrap();
+        let loops = find_loops(&nl);
+        let census = DesignCensus::new(&nl, &loops);
+        assert_eq!(census.total_nodes(), 0);
+        assert_eq!(census.loop_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,603 @@
+//! Seeded generator of processor-shaped synthetic designs.
+//!
+//! The paper runs its tool flow on proprietary Intel Xeon RTL, which is not
+//! available; this module substitutes a generator that emits designs built
+//! from the same topological vocabulary the propagation rules operate on
+//! (§4.1): simple pipelines between ACE-structure ports, logical join
+//! points, distribution split points, FSM feedback loops (§4.3), and
+//! configuration control registers (§5.1). Proportions are configurable and
+//! default to the paper's observations (a few percent of sequentials on
+//! loops, control registers identified by naming convention).
+//!
+//! The generator also returns [`SynthMeta`] ground truth: which netlist
+//! structures correspond to which performance-model structures, so the
+//! mapping stage of the tool flow (§5.1 step 4) can be exercised end to end.
+
+use rand_chacha::ChaCha8Rng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{
+    FubId, GateOp, Netlist, NetlistBuilder, NodeId, NodeKind, SeqKind, StructId,
+};
+
+/// Recipe for one ACE structure inside a FUB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructureRecipe {
+    /// Netlist-local structure name (unique within the FUB).
+    pub name: String,
+    /// Name of the performance-model structure whose port AVFs drive this
+    /// structure's cells (see `seqavf-perf`).
+    pub perf_name: String,
+    /// Number of bit cells.
+    pub width: u32,
+}
+
+/// Recipe for one functional block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FubRecipe {
+    /// FUB name.
+    pub name: String,
+    /// ACE structures living in this FUB.
+    pub structures: Vec<StructureRecipe>,
+    /// Number of independent data-path channels.
+    pub channels: usize,
+    /// Bits per channel.
+    pub channel_width: usize,
+    /// Pipeline stages per channel, inclusive range.
+    pub stages: (usize, usize),
+    /// Probability that a stage is a logical join with an auxiliary signal.
+    pub join_prob: f64,
+    /// Probability that a stage tees off a distribution split branch.
+    pub split_prob: f64,
+    /// Number of FSM feedback loops.
+    pub fsm_loops: usize,
+    /// FSM ring length, inclusive range.
+    pub fsm_size: (usize, usize),
+    /// Number of configuration control-register bits (named `creg_*`).
+    pub control_regs: usize,
+}
+
+impl FubRecipe {
+    /// A small default recipe used as a template.
+    pub fn basic(name: &str) -> Self {
+        FubRecipe {
+            name: name.to_owned(),
+            structures: Vec::new(),
+            channels: 4,
+            channel_width: 4,
+            stages: (2, 5),
+            join_prob: 0.3,
+            split_prob: 0.15,
+            fsm_loops: 1,
+            fsm_size: (2, 4),
+            control_regs: 4,
+        }
+    }
+}
+
+/// Configuration for a whole synthetic design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthConfig {
+    /// RNG seed: identical configs with identical seeds generate identical
+    /// designs.
+    pub seed: u64,
+    /// Design name.
+    pub name: String,
+    /// FUBs in pipeline order; channel sinks of FUB *i* feed sources of FUB
+    /// *i+1*.
+    pub fubs: Vec<FubRecipe>,
+    /// Number of cross-FUB feedback (stall-style) loops to add.
+    pub cross_fub_loops: usize,
+}
+
+impl SynthConfig {
+    /// A processor-core-shaped default: twelve FUBs covering fetch through
+    /// retire, with structures mapped onto the `seqavf-perf` pipeline-model
+    /// structures.
+    pub fn xeon_like(seed: u64) -> Self {
+        let s = |name: &str, perf: &str, width: u32| StructureRecipe {
+            name: name.to_owned(),
+            perf_name: perf.to_owned(),
+            width,
+        };
+        let fub = |name: &str,
+                       structures: Vec<StructureRecipe>,
+                       channels: usize,
+                       fsm_loops: usize,
+                       control_regs: usize| {
+            FubRecipe {
+                name: name.to_owned(),
+                structures,
+                channels,
+                channel_width: 6,
+                stages: (2, 6),
+                join_prob: 0.16,
+                split_prob: 0.10,
+                fsm_loops,
+                fsm_size: (2, 5),
+                control_regs,
+            }
+        };
+        SynthConfig {
+            seed,
+            name: "xeon_like".to_owned(),
+            fubs: vec![
+                fub(
+                    "ifu",
+                    vec![s("fb", "fetch_buffer", 48), s("itlb", "itlb", 16)],
+                    6,
+                    2,
+                    3,
+                ),
+                fub("bpu", vec![s("btb", "btb", 32), s("ras", "ras", 12)], 4, 2, 2),
+                fub("idu", vec![s("uq", "uop_queue", 40)], 6, 1, 3),
+                fub(
+                    "rat",
+                    vec![s("map", "rat", 24), s("fl", "free_list", 16)],
+                    4,
+                    2,
+                    2,
+                ),
+                fub("rs", vec![s("iq", "issue_queue", 48)], 8, 2, 3),
+                fub("alu0", vec![s("byp0", "bypass", 16)], 6, 1, 1),
+                fub("alu1", vec![s("byp1", "bypass", 16)], 6, 1, 1),
+                fub("fpu", vec![s("frf", "fp_regfile", 32)], 6, 1, 2),
+                fub("agu", vec![s("tlb", "dtlb", 16)], 4, 1, 1),
+                fub(
+                    "lsu",
+                    vec![s("ldq", "load_queue", 32), s("stq", "store_queue", 32)],
+                    6,
+                    3,
+                    2,
+                ),
+                fub(
+                    "rob",
+                    vec![s("rob", "rob", 64), s("prf", "prf", 48)],
+                    8,
+                    2,
+                    3,
+                ),
+                fub("mce", vec![s("csr", "csr_bank", 16)], 3, 1, 6),
+            ],
+            cross_fub_loops: 4,
+        }
+    }
+
+    /// A small in-order embedded-core shape: five FUBs, shallower pipes,
+    /// a single FSM-heavy control block — the kind of design the paper's
+    /// related work fault-injects directly (Blome et al.'s ARM core).
+    pub fn embedded_like(seed: u64) -> Self {
+        let s = |name: &str, perf: &str, width: u32| StructureRecipe {
+            name: name.to_owned(),
+            perf_name: perf.to_owned(),
+            width,
+        };
+        let fub = |name: &str,
+                   structures: Vec<StructureRecipe>,
+                   channels: usize,
+                   fsm_loops: usize,
+                   control_regs: usize| FubRecipe {
+            name: name.to_owned(),
+            structures,
+            channels,
+            channel_width: 4,
+            stages: (1, 3),
+            join_prob: 0.12,
+            split_prob: 0.08,
+            fsm_loops,
+            fsm_size: (2, 4),
+            control_regs,
+        };
+        SynthConfig {
+            seed,
+            name: "embedded_like".to_owned(),
+            fubs: vec![
+                fub("fetch", vec![s("fb", "fetch_buffer", 16)], 3, 1, 1),
+                fub("decode", vec![s("uq", "uop_queue", 12)], 3, 1, 1),
+                fub("exec", vec![s("rf", "prf", 32)], 4, 1, 1),
+                fub("mem", vec![s("lsq", "load_queue", 12)], 3, 1, 1),
+                fub("ctl", vec![s("csr", "csr_bank", 8)], 2, 3, 4),
+            ],
+            cross_fub_loops: 2,
+        }
+    }
+
+    /// Scales channel counts and structure widths by `factor` (≥ 0.1),
+    /// producing larger or smaller designs with the same shape.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        let f = factor.max(0.1);
+        for fub in &mut self.fubs {
+            fub.channels = ((fub.channels as f64 * f).round() as usize).max(1);
+            fub.channel_width = ((fub.channel_width as f64 * f).round() as usize).max(1);
+            fub.control_regs = ((fub.control_regs as f64 * f).round() as usize).max(1);
+            fub.fsm_loops = ((fub.fsm_loops as f64 * f).round() as usize).max(1);
+            for s in &mut fub.structures {
+                s.width = ((f64::from(s.width) * f).round() as u32).max(2);
+            }
+        }
+        self
+    }
+}
+
+/// Ground-truth metadata emitted alongside the generated netlist.
+#[derive(Debug, Clone)]
+pub struct SynthMeta {
+    /// `(netlist structure id, perf-model structure name)` pairs — the
+    /// content of the structure-to-RTL mapping step (§5.1).
+    pub structure_map: Vec<(StructId, String)>,
+    /// Names of generated control-register nodes.
+    pub control_reg_names: Vec<String>,
+}
+
+/// A generated design: flattened netlist plus ground truth.
+#[derive(Debug, Clone)]
+pub struct SynthDesign {
+    /// The generated netlist.
+    pub netlist: Netlist,
+    /// Ground-truth metadata.
+    pub meta: SynthMeta,
+}
+
+/// Generates a design from a configuration.
+///
+/// # Panics
+///
+/// Panics only on internal invariant violations; any [`SynthConfig`] with
+/// non-empty FUBs produces a valid netlist.
+pub fn generate(config: &SynthConfig) -> SynthDesign {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut b = NetlistBuilder::new(config.name.clone());
+    let mut meta = SynthMeta {
+        structure_map: Vec::new(),
+        control_reg_names: Vec::new(),
+    };
+
+    // Per-FUB export nodes available as sources to downstream FUBs, and
+    // multi-input gates eligible to absorb cross-FUB feedback.
+    let mut exports: Vec<Vec<NodeId>> = Vec::new();
+    let mut feedback_gates: Vec<Vec<NodeId>> = Vec::new();
+    let mut fub_ids: Vec<FubId> = Vec::new();
+
+    for recipe in &config.fubs {
+        let upstream: Vec<NodeId> = exports.iter().flatten().copied().collect();
+        let (ex, fg, fub) = generate_fub(&mut b, recipe, &upstream, &mut meta, &mut rng);
+        exports.push(ex);
+        feedback_gates.push(fg);
+        fub_ids.push(fub);
+    }
+
+    // Cross-FUB feedback loops: route a late FUB's export back into an
+    // earlier FUB's join gate through a couple of staging flops.
+    let n_fubs = config.fubs.len();
+    if n_fubs >= 2 {
+        for li in 0..config.cross_fub_loops {
+            let late = rng.gen_range(1..n_fubs);
+            let early = rng.gen_range(0..late);
+            let (Some(&src), true) = (
+                pick(&exports[late], &mut rng),
+                !feedback_gates[early].is_empty(),
+            ) else {
+                continue;
+            };
+            let &gate = pick(&feedback_gates[early], &mut rng).expect("non-empty");
+            let f1 = b.add_node(
+                format!("{}.fbk{li}_a", config.fubs[early].name),
+                flop(),
+                fub_ids[early],
+            );
+            let f2 = b.add_node(
+                format!("{}.fbk{li}_b", config.fubs[early].name),
+                flop(),
+                fub_ids[early],
+            );
+            b.connect(src, f1);
+            b.connect(f1, f2);
+            b.connect(f2, gate);
+        }
+    }
+
+    let netlist = b.finish().expect("generator produces valid netlists");
+    SynthDesign { netlist, meta }
+}
+
+fn flop() -> NodeKind {
+    NodeKind::Seq {
+        kind: SeqKind::Flop,
+        has_enable: false,
+    }
+}
+
+fn pick<'a, T>(v: &'a [T], rng: &mut ChaCha8Rng) -> Option<&'a T> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(&v[rng.gen_range(0..v.len())])
+    }
+}
+
+fn rand_gate2(rng: &mut ChaCha8Rng) -> GateOp {
+    match rng.gen_range(0..5) {
+        0 => GateOp::And,
+        1 => GateOp::Or,
+        2 => GateOp::Nand,
+        3 => GateOp::Nor,
+        _ => GateOp::Xor,
+    }
+}
+
+/// Generates one FUB; returns its export nodes and feedback-eligible gates.
+fn generate_fub(
+    b: &mut NetlistBuilder,
+    recipe: &FubRecipe,
+    upstream: &[NodeId],
+    meta: &mut SynthMeta,
+    rng: &mut ChaCha8Rng,
+) -> (Vec<NodeId>, Vec<NodeId>, FubId) {
+    let fub = b.add_fub(recipe.name.clone());
+    let p = |local: &str| format!("{}.{local}", recipe.name);
+
+    // Primary inputs: a small config/data bus.
+    let inputs: Vec<NodeId> = (0..4)
+        .map(|i| b.add_node(p(&format!("in{i}")), NodeKind::Input, fub))
+        .collect();
+
+    // Structures.
+    let mut struct_ids: Vec<StructId> = Vec::new();
+    for s in &recipe.structures {
+        let sid = b.add_structure(p(&s.name), s.width, fub);
+        meta.structure_map.push((sid, s.perf_name.clone()));
+        struct_ids.push(sid);
+    }
+
+    // Control registers: enabled flops loaded from the config bus, named by
+    // the `creg` convention the SART control-register identifier matches.
+    let mut aux_pool: Vec<NodeId> = Vec::new();
+    for i in 0..recipe.control_regs {
+        let name = p(&format!("creg_{i}"));
+        let q = b.add_node(
+            name.clone(),
+            NodeKind::Seq {
+                kind: SeqKind::Flop,
+                has_enable: true,
+            },
+            fub,
+        );
+        let d = inputs[i % inputs.len()];
+        let en = inputs[(i + 1) % inputs.len()];
+        b.connect(d, q);
+        b.connect(en, q);
+        meta.control_reg_names.push(name);
+        aux_pool.push(q);
+    }
+
+    // FSM loops: a ring of flops closed through a 2-input gate that also
+    // samples an external signal, so the loop has an entry point.
+    for l in 0..recipe.fsm_loops {
+        let len = rng.gen_range(recipe.fsm_size.0..=recipe.fsm_size.1).max(2);
+        let mut ring: Vec<NodeId> = Vec::new();
+        for k in 0..len {
+            ring.push(b.add_node(p(&format!("fsm{l}_q{k}")), flop(), fub));
+        }
+        let g = b.add_node(
+            p(&format!("fsm{l}_g")),
+            NodeKind::Comb(rand_gate2(rng)),
+            fub,
+        );
+        for k in 1..len {
+            b.connect(ring[k - 1], ring[k]);
+        }
+        b.connect(ring[len - 1], g);
+        let ext = *pick(upstream, rng)
+            .or_else(|| pick(&inputs, rng))
+            .expect("inputs are non-empty");
+        b.connect(ext, g);
+        b.connect(g, ring[0]);
+        // FSM state is visible to the datapath (loop AVF ripples outward).
+        aux_pool.extend(ring);
+    }
+
+    // Data-path channels.
+    let mut exports: Vec<NodeId> = Vec::new();
+    let mut feedback_gates: Vec<NodeId> = Vec::new();
+    let mut split_taps: Vec<NodeId> = Vec::new();
+    let mut gate_seq = 0usize;
+
+    for c in 0..recipe.channels {
+        let depth = rng.gen_range(recipe.stages.0..=recipe.stages.1).max(1);
+        for bit in 0..recipe.channel_width {
+            // Source: a structure cell (read port) when available, else an
+            // upstream FUB export, else a primary input.
+            let mut cur = source_node(b, &struct_ids, upstream, &inputs, rng);
+            for stage in 0..depth {
+                if rng.gen_bool(recipe.join_prob) && !aux_pool.is_empty() {
+                    let aux = *pick(&aux_pool, rng).expect("non-empty");
+                    let g = b.add_node(
+                        p(&format!("ch{c}_b{bit}_s{stage}_j{gate_seq}")),
+                        NodeKind::Comb(rand_gate2(rng)),
+                        fub,
+                    );
+                    gate_seq += 1;
+                    b.connect(cur, g);
+                    b.connect(aux, g);
+                    feedback_gates.push(g);
+                    cur = g;
+                }
+                let q = b.add_node(p(&format!("ch{c}_b{bit}_q{stage}")), flop(), fub);
+                b.connect(cur, q);
+                cur = q;
+                if rng.gen_bool(recipe.split_prob) {
+                    split_taps.push(cur);
+                }
+            }
+            // Sink: a structure write port or an exported output.
+            sink_node(
+                b,
+                cur,
+                &struct_ids,
+                &mut exports,
+                fub,
+                &p(&format!("ch{c}_b{bit}_out")),
+                rng,
+            );
+            // Channel state becomes join material for later channels;
+            // the pool is a sliding window so cross-coupling stays sparse
+            // (real datapaths do not join every prior signal).
+            aux_pool.push(cur);
+            if aux_pool.len() > 24 {
+                aux_pool.remove(0);
+            }
+        }
+    }
+
+    // Distribution-split branches: taps flow through a short staging pipe to
+    // a secondary sink.
+    for (ti, tap) in split_taps.iter().enumerate() {
+        let q1 = b.add_node(p(&format!("sp{ti}_q0")), flop(), fub);
+        b.connect(*tap, q1);
+        let q2 = b.add_node(p(&format!("sp{ti}_q1")), flop(), fub);
+        b.connect(q1, q2);
+        sink_node(
+            b,
+            q2,
+            &struct_ids,
+            &mut exports,
+            fub,
+            &p(&format!("sp{ti}_out")),
+            rng,
+        );
+    }
+
+    (exports, feedback_gates, fub)
+}
+
+/// Picks a data source: structure read cell, upstream export, or input.
+fn source_node(
+    b: &mut NetlistBuilder,
+    struct_ids: &[StructId],
+    upstream: &[NodeId],
+    inputs: &[NodeId],
+    rng: &mut ChaCha8Rng,
+) -> NodeId {
+    let roll: f64 = rng.gen();
+    if roll < 0.6 && !struct_ids.is_empty() {
+        let sid = *pick(struct_ids, rng).expect("non-empty");
+        let w = b.structure_width(sid);
+        b.structure_cell(sid, rng.gen_range(0..w))
+    } else if roll < 0.9 && !upstream.is_empty() {
+        *pick(upstream, rng).expect("non-empty")
+    } else {
+        *pick(inputs, rng).expect("non-empty")
+    }
+}
+
+/// Routes `cur` into a structure write cell or an exported FUB output.
+fn sink_node(
+    b: &mut NetlistBuilder,
+    cur: NodeId,
+    struct_ids: &[StructId],
+    exports: &mut Vec<NodeId>,
+    fub: FubId,
+    out_name: &str,
+    rng: &mut ChaCha8Rng,
+) {
+    if rng.gen_bool(0.8) && !struct_ids.is_empty() {
+        let sid = *pick(struct_ids, rng).expect("non-empty");
+        let w = b.structure_width(sid);
+        let cell = b.structure_cell(sid, rng.gen_range(0..w));
+        b.connect(cur, cell);
+    } else {
+        let o = b.add_node(out_name.to_owned(), NodeKind::Output, fub);
+        b.connect(cur, o);
+        exports.push(o);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scc::find_loops;
+    use crate::stats::DesignCensus;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthConfig::xeon_like(42);
+        let d1 = generate(&cfg);
+        let d2 = generate(&cfg);
+        assert_eq!(d1.netlist.node_count(), d2.netlist.node_count());
+        assert_eq!(d1.netlist.edge_count(), d2.netlist.edge_count());
+        for id in d1.netlist.nodes() {
+            assert_eq!(d1.netlist.name(id), d2.netlist.name(id));
+            assert_eq!(d1.netlist.kind(id), d2.netlist.kind(id));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SynthConfig::xeon_like(1));
+        let b = generate(&SynthConfig::xeon_like(2));
+        assert_ne!(a.netlist.node_count(), b.netlist.node_count());
+    }
+
+    #[test]
+    fn xeon_like_has_expected_shape() {
+        let d = generate(&SynthConfig::xeon_like(7));
+        let nl = &d.netlist;
+        assert_eq!(nl.fub_count(), 12);
+        assert!(nl.seq_count() > 500, "seq_count = {}", nl.seq_count());
+        assert!(nl.structure_count() >= 12);
+        assert!(!d.meta.control_reg_names.is_empty());
+        // Control registers resolve to enabled flops.
+        for name in &d.meta.control_reg_names {
+            let id = nl.lookup(name).expect("creg exists");
+            assert!(matches!(
+                nl.kind(id),
+                NodeKind::Seq {
+                    has_enable: true,
+                    ..
+                }
+            ));
+        }
+        // Structure map covers every declared structure.
+        assert_eq!(d.meta.structure_map.len(), nl.structure_count());
+    }
+
+    #[test]
+    fn loops_exist_and_are_minority() {
+        let d = generate(&SynthConfig::xeon_like(5));
+        let loops = find_loops(&d.netlist);
+        assert!(loops.loop_seq_count() > 0, "generator must make FSM loops");
+        let census = DesignCensus::new(&d.netlist, &loops);
+        let frac = census.loop_fraction();
+        assert!(
+            frac > 0.0 && frac < 0.5,
+            "loop fraction {frac} out of expected band"
+        );
+    }
+
+    #[test]
+    fn embedded_preset_is_small_and_valid() {
+        let d = generate(&SynthConfig::embedded_like(9));
+        assert_eq!(d.netlist.fub_count(), 5);
+        assert!(d.netlist.node_count() < 1000);
+        assert!(d.netlist.seq_count() > 30);
+        let loops = find_loops(&d.netlist);
+        assert!(loops.loop_seq_count() > 0);
+    }
+
+    #[test]
+    fn scaled_config_changes_size() {
+        let small = generate(&SynthConfig::xeon_like(3).scaled(0.5));
+        let big = generate(&SynthConfig::xeon_like(3).scaled(2.0));
+        assert!(big.netlist.node_count() > small.netlist.node_count() * 2);
+    }
+
+    #[test]
+    fn exlif_roundtrip_of_generated_design() {
+        let d = generate(&SynthConfig::xeon_like(11).scaled(0.3));
+        let text = crate::exlif::write(&d.netlist);
+        let nl2 = crate::flatten::parse_netlist(&text).unwrap();
+        assert_eq!(nl2.node_count(), d.netlist.node_count());
+        assert_eq!(nl2.edge_count(), d.netlist.edge_count());
+        assert_eq!(nl2.seq_count(), d.netlist.seq_count());
+    }
+}

@@ -1,0 +1,501 @@
+//! A structural-Verilog frontend.
+//!
+//! Production flows extract the node graph from compiled RTL; this module
+//! accepts a gate-level structural subset of Verilog directly, so designs
+//! written or synthesized outside this crate can be analyzed without
+//! converting to EXLIF by hand. The subset:
+//!
+//! ```verilog
+//! // line and /* block */ comments
+//! module fetch (input a, input b, output y);
+//!   wire w1, w2;
+//!   structure st [7:0];          // ACE structure: cells st[0]..st[7]
+//!   and  g1 (w1, a, st[0]);      // primitives: and or nand nor xor xnor
+//!   not  g2 (w2, w1);            //             not buf mux
+//!   dff  q1 (.q(q1_out), .d(w2));          // flop
+//!   dff  q2 (.q(q2_out), .d(w1), .en(a));  // enabled flop
+//!   latch l1 (.q(l1_out), .d(w2));
+//!   assign st[1] = w2;           // structure write port
+//!   assign y = q1_out;           // output driver
+//! endmodule
+//! ```
+//!
+//! Each `module` becomes one FUB. Nets referenced as `other.net` resolve
+//! across modules (the same convention as the EXLIF format); `.subckt`
+//! hierarchy is the EXLIF format's job — module instantiation is not part
+//! of this subset. The parser lowers to the EXLIF AST, so
+//! [`crate::flatten::build_netlist`] performs all semantic checking.
+
+use crate::error::{ExlifError, ExlifErrorKind};
+use crate::exlif::{DesignAst, FubAst, Stmt};
+use crate::graph::{GateOp, Netlist, SeqKind};
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+struct Tok {
+    text: String,
+    line: usize,
+}
+
+fn err(line: usize, kind: ExlifErrorKind) -> ExlifError {
+    ExlifError { line, kind }
+}
+
+/// Splits source text into tokens, stripping `//` and `/* */` comments.
+/// Punctuation characters are individual tokens; identifiers may contain
+/// `[`, `]` and `.` only through explicit tokens re-joined by the parser.
+fn tokenize(src: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut chars = src.chars().peekable();
+    let mut cur = String::new();
+    let flush = |cur: &mut String, toks: &mut Vec<Tok>, line: usize| {
+        if !cur.is_empty() {
+            toks.push(Tok {
+                text: std::mem::take(cur),
+                line,
+            });
+        }
+    };
+    while let Some(c) = chars.next() {
+        match c {
+            '\n' => {
+                flush(&mut cur, &mut toks, line);
+                line += 1;
+            }
+            '/' if chars.peek() == Some(&'/') => {
+                flush(&mut cur, &mut toks, line);
+                for c2 in chars.by_ref() {
+                    if c2 == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '/' if chars.peek() == Some(&'*') => {
+                flush(&mut cur, &mut toks, line);
+                chars.next();
+                let mut prev = ' ';
+                for c2 in chars.by_ref() {
+                    if c2 == '\n' {
+                        line += 1;
+                    }
+                    if prev == '*' && c2 == '/' {
+                        break;
+                    }
+                    prev = c2;
+                }
+            }
+            c if c.is_whitespace() => flush(&mut cur, &mut toks, line),
+            '(' | ')' | ',' | ';' | '=' => {
+                flush(&mut cur, &mut toks, line);
+                toks.push(Tok {
+                    text: c.to_string(),
+                    line,
+                });
+            }
+            // Bit selects and dotted references stay inside identifiers.
+            _ => cur.push(c),
+        }
+    }
+    flush(&mut cur, &mut toks, line);
+    toks
+}
+
+/// Parses the structural-Verilog subset into the EXLIF AST.
+pub fn parse_to_ast(src: &str) -> Result<DesignAst, ExlifError> {
+    let toks = tokenize(src);
+    let mut p = Parser { toks, pos: 0 };
+    let mut fubs = Vec::new();
+    while !p.at_end() {
+        fubs.push(p.module()?);
+    }
+    Ok(DesignAst {
+        name: "verilog".to_owned(),
+        models: Vec::new(),
+        fubs,
+    })
+}
+
+/// Parses structural Verilog and builds the flattened netlist.
+pub fn parse_netlist(src: &str) -> Result<Netlist, ExlifError> {
+    crate::flatten::build_netlist(&parse_to_ast(src)?)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn peek(&self) -> Option<&str> {
+        self.toks.get(self.pos).map(|t| t.text.as_str())
+    }
+
+    fn next(&mut self, what: &'static str) -> Result<String, ExlifError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .ok_or_else(|| err(self.line(), ExlifErrorKind::UnexpectedEof(what)))?;
+        self.pos += 1;
+        Ok(t.text.clone())
+    }
+
+    fn expect(&mut self, text: &'static str) -> Result<(), ExlifError> {
+        let line = self.line();
+        let t = self.next(text)?;
+        if t == text {
+            Ok(())
+        } else {
+            Err(err(line, ExlifErrorKind::UnknownDirective(t)))
+        }
+    }
+
+    fn module(&mut self) -> Result<FubAst, ExlifError> {
+        self.expect("module")?;
+        let name = self.next("module name")?;
+        let mut stmts = Vec::new();
+        // Port list.
+        self.expect("(")?;
+        let mut outputs: Vec<String> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(")") => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(",") => {
+                    self.pos += 1;
+                }
+                Some("input") => {
+                    self.pos += 1;
+                    let net = self.next("input port name")?;
+                    stmts.push(Stmt::Input(net));
+                }
+                Some("output") => {
+                    self.pos += 1;
+                    outputs.push(self.next("output port name")?);
+                }
+                _ => {
+                    let line = self.line();
+                    let t = self.next("port declaration")?;
+                    return Err(err(line, ExlifErrorKind::UnknownDirective(t)));
+                }
+            }
+        }
+        self.expect(";")?;
+
+        // Body.
+        let mut assigns: Vec<(usize, String, String)> = Vec::new();
+        loop {
+            let line = self.line();
+            let head = self.next("statement or endmodule")?;
+            match head.as_str() {
+                "endmodule" => break,
+                "wire" => {
+                    // Declarations carry no information for the graph.
+                    while self.peek() != Some(";") {
+                        self.pos += 1;
+                        if self.at_end() {
+                            return Err(err(line, ExlifErrorKind::UnexpectedEof("wire list")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                "structure" => {
+                    let name = self.next("structure name")?;
+                    // [hi:lo]
+                    let range = self.next("structure range")?;
+                    let (hi, lo) = parse_range(&range)
+                        .ok_or_else(|| err(line, ExlifErrorKind::BadBitRef(range.clone())))?;
+                    self.expect(";")?;
+                    stmts.push(Stmt::Struct {
+                        name,
+                        width: hi - lo + 1,
+                    });
+                }
+                "assign" => {
+                    let lhs = self.next("assign target")?;
+                    self.expect("=")?;
+                    let rhs = self.next("assign source")?;
+                    self.expect(";")?;
+                    assigns.push((line, lhs, rhs));
+                }
+                "dff" | "latch" => {
+                    let kind = if head == "dff" {
+                        SeqKind::Flop
+                    } else {
+                        SeqKind::Latch
+                    };
+                    let _inst = self.next("instance name")?;
+                    let conns = self.named_conns()?;
+                    self.expect(";")?;
+                    let find = |port: &str| {
+                        conns
+                            .iter()
+                            .find(|(p, _)| p == port)
+                            .map(|(_, n)| n.clone())
+                    };
+                    let q = find("q").ok_or_else(|| {
+                        err(line, ExlifErrorKind::MissingOperand("dff .q() connection"))
+                    })?;
+                    let d = find("d").ok_or_else(|| {
+                        err(line, ExlifErrorKind::MissingOperand("dff .d() connection"))
+                    })?;
+                    stmts.push(Stmt::Seq {
+                        kind,
+                        out: q,
+                        d,
+                        en: find("en"),
+                    });
+                }
+                prim => {
+                    let op = GateOp::from_mnemonic(prim).ok_or_else(|| {
+                        err(line, ExlifErrorKind::UnknownDirective(prim.to_owned()))
+                    })?;
+                    let _inst = self.next("instance name")?;
+                    let nets = self.positional_conns()?;
+                    self.expect(";")?;
+                    let mut it = nets.into_iter();
+                    let out = it.next().ok_or_else(|| {
+                        err(line, ExlifErrorKind::MissingOperand("gate output net"))
+                    })?;
+                    stmts.push(Stmt::Gate {
+                        op,
+                        out,
+                        ins: it.collect(),
+                    });
+                }
+            }
+        }
+
+        // Lower assigns: struct-bit targets become write ports, output
+        // ports become .output statements, everything else a buffer.
+        for (line, lhs, rhs) in assigns {
+            if let Some((structure, bit)) = split_bit_ref(&lhs) {
+                stmts.push(Stmt::StructWrite {
+                    structure: structure.to_owned(),
+                    bit,
+                    src: rhs,
+                });
+            } else if outputs.contains(&lhs) {
+                stmts.push(Stmt::Output {
+                    name: lhs,
+                    src: rhs,
+                });
+            } else {
+                let _ = line;
+                stmts.push(Stmt::Gate {
+                    op: GateOp::Buf,
+                    out: lhs,
+                    ins: vec![rhs],
+                });
+            }
+        }
+        // Outputs never assigned are an error surfaced by netlist
+        // validation (an Output node without a fan-in cannot exist because
+        // it is never created); report them here with a line number.
+        for o in &outputs {
+            let driven = stmts
+                .iter()
+                .any(|s| matches!(s, Stmt::Output { name, .. } if name == o));
+            if !driven {
+                return Err(err(0, ExlifErrorKind::UndefinedNet(format!("{name}.{o} (undriven output)"))));
+            }
+        }
+        Ok(FubAst { name, stmts })
+    }
+
+    /// `(.port(net), .port(net), …)`
+    fn named_conns(&mut self) -> Result<Vec<(String, String)>, ExlifError> {
+        self.expect("(")?;
+        let mut conns = Vec::new();
+        loop {
+            match self.peek() {
+                Some(")") => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(",") => {
+                    self.pos += 1;
+                }
+                _ => {
+                    let line = self.line();
+                    let t = self.next("named connection")?;
+                    let Some(port) = t.strip_prefix('.') else {
+                        return Err(err(line, ExlifErrorKind::UnknownDirective(t)));
+                    };
+                    let port = port.to_owned();
+                    self.expect("(")?;
+                    let net = self.next("connection net")?;
+                    self.expect(")")?;
+                    conns.push((port, net));
+                }
+            }
+        }
+        Ok(conns)
+    }
+
+    /// `(net, net, …)`
+    fn positional_conns(&mut self) -> Result<Vec<String>, ExlifError> {
+        self.expect("(")?;
+        let mut nets = Vec::new();
+        loop {
+            match self.peek() {
+                Some(")") => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(",") => {
+                    self.pos += 1;
+                }
+                _ => nets.push(self.next("connection net")?),
+            }
+        }
+        Ok(nets)
+    }
+}
+
+/// `[7:0]` → `(7, 0)`.
+fn parse_range(s: &str) -> Option<(u32, u32)> {
+    let inner = s.strip_prefix('[')?.strip_suffix(']')?;
+    let (hi, lo) = inner.split_once(':')?;
+    let hi: u32 = hi.parse().ok()?;
+    let lo: u32 = lo.parse().ok()?;
+    (hi >= lo).then_some((hi, lo))
+}
+
+/// `st[3]` → `("st", 3)`.
+fn split_bit_ref(s: &str) -> Option<(&str, u32)> {
+    let open = s.find('[')?;
+    let bit: u32 = s[open + 1..].strip_suffix(']')?.parse().ok()?;
+    Some((&s[..open], bit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    const SMALL: &str = r"
+// a small structural module
+module core (input a, input b, output y);
+  wire w1, w2;
+  structure st [1:0];
+  and g1 (w1, a, st[0]);
+  not g2 (w2, w1);
+  dff q1 (.q(q1_out), .d(w2));
+  dff q2 (.q(q2_out), .d(w1), .en(b));
+  assign st[1] = q2_out;
+  assign y = q1_out;
+endmodule
+";
+
+    #[test]
+    fn parses_small_module() {
+        let nl = parse_netlist(SMALL).unwrap();
+        assert_eq!(nl.fub_count(), 1);
+        assert_eq!(nl.seq_count(), 2);
+        assert_eq!(nl.structure_count(), 1);
+        let q1 = nl.lookup("core.q1_out").unwrap();
+        assert!(nl.kind(q1).is_sequential());
+        let q2 = nl.lookup("core.q2_out").unwrap();
+        assert!(matches!(
+            nl.kind(q2),
+            NodeKind::Seq {
+                has_enable: true,
+                ..
+            }
+        ));
+        // Structure write landed on st[1].
+        let sid = nl.lookup_structure("core.st").unwrap();
+        let cell1 = nl.structure(sid).cells()[1];
+        assert_eq!(nl.fanin(cell1), &[q2]);
+        // Output wired.
+        let y = nl.lookup("core.y").unwrap();
+        assert_eq!(nl.fanin(y), &[q1]);
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let src = "module m (input a, output y);\n/* block\ncomment */ wire w;\nassign y = a; // ok\nendmodule\n";
+        let nl = parse_netlist(src).unwrap();
+        assert_eq!(nl.node_count(), 2);
+    }
+
+    #[test]
+    fn cross_module_reference_resolves() {
+        let src = r"
+module a (input i, output o);
+  dff q (.q(qo), .d(i));
+  assign o = qo;
+endmodule
+module b (output o2);
+  not g (n, a.o);
+  assign o2 = n;
+endmodule
+";
+        let nl = parse_netlist(src).unwrap();
+        assert_eq!(nl.fub_count(), 2);
+        let g = nl.lookup("b.g").unwrap_or_else(|| nl.lookup("b.n").unwrap());
+        let o = nl.lookup("a.o").unwrap();
+        assert!(nl.fanin(g).contains(&o));
+    }
+
+    #[test]
+    fn undriven_output_rejected() {
+        let src = "module m (input a, output y);\nwire w;\nendmodule\n";
+        let e = parse_netlist(src).unwrap_err();
+        assert!(matches!(e.kind, ExlifErrorKind::UndefinedNet(_)));
+    }
+
+    #[test]
+    fn dff_missing_d_rejected() {
+        let src = "module m (input a, output y);\ndff q (.q(x));\nassign y = a;\nendmodule\n";
+        let e = parse_netlist(src).unwrap_err();
+        assert!(matches!(e.kind, ExlifErrorKind::MissingOperand(_)));
+    }
+
+    #[test]
+    fn unknown_primitive_rejected() {
+        let src = "module m (input a, output y);\nfoo g (x, a);\nassign y = a;\nendmodule\n";
+        let e = parse_netlist(src).unwrap_err();
+        assert!(matches!(e.kind, ExlifErrorKind::UnknownDirective(_)));
+    }
+
+    #[test]
+    fn bad_structure_range_rejected() {
+        let src = "module m (input a, output y);\nstructure st [0:3];\nassign y = a;\nendmodule\n";
+        let e = parse_netlist(src).unwrap_err();
+        assert!(matches!(e.kind, ExlifErrorKind::BadBitRef(_)));
+    }
+
+    #[test]
+    fn parsed_design_runs_through_exlif_writer() {
+        let nl = parse_netlist(SMALL).unwrap();
+        let text = crate::exlif::write(&nl);
+        let nl2 = crate::flatten::parse_netlist(&text).unwrap();
+        assert_eq!(nl.node_count(), nl2.node_count());
+        assert_eq!(nl.edge_count(), nl2.edge_count());
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(parse_range("[7:0]"), Some((7, 0)));
+        assert_eq!(parse_range("[3:3]"), Some((3, 3)));
+        assert_eq!(parse_range("[0:3]"), None);
+        assert_eq!(parse_range("7:0"), None);
+        assert_eq!(split_bit_ref("st[3]"), Some(("st", 3)));
+        assert_eq!(split_bit_ref("st"), None);
+    }
+}

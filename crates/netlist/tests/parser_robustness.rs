@@ -1,0 +1,79 @@
+//! Robustness properties for the two text frontends: arbitrary input must
+//! produce an error, never a panic, and valid-vocabulary token soup must
+//! never crash the flattener either.
+
+use proptest::prelude::*;
+
+use seqavf_netlist::exlif;
+use seqavf_netlist::flatten;
+use seqavf_netlist::verilog;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn exlif_parser_never_panics(src in "\\PC{0,400}") {
+        let _ = exlif::parse(&src);
+    }
+
+    #[test]
+    fn verilog_parser_never_panics(src in "\\PC{0,400}") {
+        let _ = verilog::parse_to_ast(&src);
+    }
+
+    #[test]
+    fn exlif_token_soup_never_panics(words in prop::collection::vec(
+        prop::sample::select(vec![
+            ".design", ".fub", ".endfub", ".end", ".model", ".endmodel",
+            ".minput", ".moutput", ".input", ".output", ".struct", ".sw",
+            ".gate", ".flop", ".latch", ".subckt", "and", "nor", "mux",
+            "a", "b", "q", "s", "st[0]", "st[1]", "x=y", "3", "-1", "#",
+        ]),
+        0..60,
+    )) {
+        let src = words.join(" ").replace("# ", "#c\n") + "\n";
+        // Parsing may fail; building may fail; neither may panic.
+        if let Ok(ast) = exlif::parse(&src) {
+            let _ = flatten::build_netlist(&ast);
+        }
+    }
+
+    #[test]
+    fn verilog_token_soup_never_panics(words in prop::collection::vec(
+        prop::sample::select(vec![
+            "module", "endmodule", "input", "output", "wire", "structure",
+            "assign", "dff", "latch", "and", "or", "not", "(", ")", ",",
+            ";", "=", ".q", ".d", ".en", "a", "b", "w", "st[0]", "[3:0]",
+            "m", "//x",
+        ]),
+        0..60,
+    )) {
+        let src = words.join(" ") + "\n";
+        if let Ok(ast) = verilog::parse_to_ast(&src) {
+            let _ = flatten::build_netlist(&ast);
+        }
+    }
+
+    #[test]
+    fn valid_designs_with_random_identifiers_roundtrip(
+        names in prop::collection::vec("[a-z][a-z0-9_]{0,12}", 3..8),
+    ) {
+        // Unique-ify the names to build a legal pipeline design.
+        let mut names = names;
+        names.sort();
+        names.dedup();
+        prop_assume!(names.len() >= 3);
+        let mut src = String::from(".design d\n.fub f\n.input clk_in\n");
+        let mut prev = "clk_in".to_owned();
+        for n in &names {
+            src.push_str(&format!(".flop {n} {prev}\n"));
+            prev = n.clone();
+        }
+        src.push_str(&format!(".output out {prev}\n.endfub\n.end\n"));
+        let nl = flatten::parse_netlist(&src).unwrap();
+        prop_assert_eq!(nl.seq_count(), names.len());
+        let text = exlif::write(&nl);
+        let nl2 = flatten::parse_netlist(&text).unwrap();
+        prop_assert_eq!(nl2.node_count(), nl.node_count());
+    }
+}

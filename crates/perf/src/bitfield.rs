@@ -1,0 +1,257 @@
+//! Bit-field analysis (§5.1).
+//!
+//! "Many structures, especially control structures, tended to hold bits
+//! that were used in different ways … an entry being broken into various
+//! bit fields representing different pre-coded information. Not all the bit
+//! fields were ACE simultaneously, but rather depended on the instruction,
+//! data type, or other micro-architectural details. As a result, we modeled
+//! each bit field of these structures as a separate ACE structure."
+//!
+//! This module defines per-structure field layouts keyed on instruction
+//! class: when an entry is written for an instruction that does not use a
+//! field, that field's write is un-ACE, yielding strictly less conservative
+//! per-field port AVFs.
+
+use crate::ace::Aceness;
+use crate::lifetime::LifetimeTracker;
+use crate::report::FieldStats;
+use seqavf_workloads::trace::{Instr, OpClass};
+
+/// Which instruction classes make a field ACE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldUse {
+    /// Always carries live information.
+    Always,
+    /// Only when the instruction produces a register result.
+    HasDest,
+    /// Only when the instruction reads registers.
+    HasSources,
+    /// Only for loads and stores.
+    Memory,
+    /// Only for floating-point operations.
+    FloatingPoint,
+    /// Only for branches.
+    Branch,
+}
+
+impl FieldUse {
+    /// Whether the field is live for `instr`.
+    pub fn applies(self, instr: &Instr) -> bool {
+        match self {
+            FieldUse::Always => true,
+            FieldUse::HasDest => instr.dst.is_some(),
+            FieldUse::HasSources => instr.sources().next().is_some(),
+            FieldUse::Memory => instr.op.is_mem(),
+            FieldUse::FloatingPoint => instr.op.is_fp(),
+            FieldUse::Branch => instr.op == OpClass::Branch,
+        }
+    }
+}
+
+/// One field of a control structure's entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// Field name.
+    pub name: &'static str,
+    /// Field width in bits.
+    pub bits: u32,
+    /// Liveness condition.
+    pub used: FieldUse,
+}
+
+/// The field layout for a control structure, or `None` if the structure has
+/// no defined layout (bit-field analysis then leaves it unrefined).
+pub fn layout(structure: &str) -> Option<Vec<FieldSpec>> {
+    let f = |name, bits, used| FieldSpec { name, bits, used };
+    match structure {
+        "rob" => Some(vec![
+            f("opcode", 10, FieldUse::Always),
+            f("seqnum", 8, FieldUse::Always),
+            f("dest_tag", 8, FieldUse::HasDest),
+            f("src_tags", 16, FieldUse::HasSources),
+            f("mem_info", 18, FieldUse::Memory),
+            f("fp_flags", 8, FieldUse::FloatingPoint),
+            f("branch_ctl", 8, FieldUse::Branch),
+        ]),
+        "issue_queue" => Some(vec![
+            f("opcode", 10, FieldUse::Always),
+            f("dest_tag", 8, FieldUse::HasDest),
+            f("src_tags", 16, FieldUse::HasSources),
+            f("mem_info", 12, FieldUse::Memory),
+            f("imm", 14, FieldUse::Always),
+        ]),
+        "csr_bank" => Some(vec![
+            f("value", 24, FieldUse::Always),
+            f("dirty_flags", 8, FieldUse::HasDest),
+        ]),
+        _ => None,
+    }
+}
+
+/// Per-field ACE accounting for one control structure.
+#[derive(Debug, Clone)]
+pub struct BitFieldAnalyzer {
+    fields: Vec<(FieldSpec, LifetimeTracker)>,
+}
+
+impl BitFieldAnalyzer {
+    /// Creates an analyzer for `structure` with `entries` entries, or
+    /// `None` when no layout is defined.
+    pub fn for_structure(structure: &str, entries: usize) -> Option<Self> {
+        let specs = layout(structure)?;
+        let fields = specs
+            .into_iter()
+            .map(|spec| {
+                let t = LifetimeTracker::new(
+                    format!("{structure}.{}", spec.name),
+                    entries,
+                    spec.bits,
+                );
+                (spec, t)
+            })
+            .collect();
+        Some(BitFieldAnalyzer { fields })
+    }
+
+    /// Records a write of `entry` for `instr`: fields the instruction does
+    /// not use are written un-ACE.
+    pub fn write(&mut self, entry: usize, cycle: u64, instr: &Instr, aceness: Aceness) {
+        for (spec, t) in &mut self.fields {
+            let a = if spec.used.applies(instr) {
+                aceness
+            } else {
+                Aceness::UnAce
+            };
+            t.write(entry, cycle, a);
+        }
+    }
+
+    /// Records a read of `entry`; per-field ACE-ness was fixed at write
+    /// time, so the same reader classification is applied to every field.
+    pub fn read(&mut self, entry: usize, cycle: u64, reader: Aceness) {
+        for (_, t) in &mut self.fields {
+            t.read(entry, cycle, reader);
+        }
+    }
+
+    /// Deallocates `entry`.
+    pub fn dealloc(&mut self, entry: usize, cycle: u64) {
+        for (_, t) in &mut self.fields {
+            t.dealloc(entry, cycle);
+        }
+    }
+
+    /// Ends the run and produces per-field statistics, spreading event
+    /// rates over the structure's port counts.
+    pub fn finish(
+        mut self,
+        end_cycle: u64,
+        cycles: u64,
+        read_ports: u32,
+        write_ports: u32,
+    ) -> Vec<FieldStats> {
+        self.fields
+            .iter_mut()
+            .map(|(spec, t)| {
+                t.finish(end_cycle);
+                let s = t.stats(cycles, read_ports, write_ports);
+                FieldStats {
+                    name: spec.name.to_owned(),
+                    bits: spec.bits,
+                    avf: s.avf,
+                    port: s.port,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqavf_workloads::trace::Reg;
+
+    fn int_alu() -> Instr {
+        Instr::alu(OpClass::IntAlu, Reg::new(1), Reg::new(2), None)
+    }
+
+    fn fp_op() -> Instr {
+        Instr::alu(OpClass::FpMul, Reg::new(1), Reg::new(2), Some(Reg::new(3)))
+    }
+
+    #[test]
+    fn layouts_cover_entry_width_reasonably() {
+        for name in ["rob", "issue_queue", "csr_bank"] {
+            let fields = layout(name).unwrap();
+            let total: u32 = fields.iter().map(|f| f.bits).sum();
+            assert!(total > 0);
+            let spec = crate::structures::spec(name).unwrap();
+            assert!(
+                total <= spec.bits_per_entry,
+                "{name}: fields {total} > entry {}",
+                spec.bits_per_entry
+            );
+        }
+        assert!(layout("prf").is_none());
+    }
+
+    #[test]
+    fn field_use_predicates() {
+        assert!(FieldUse::Always.applies(&int_alu()));
+        assert!(FieldUse::HasDest.applies(&int_alu()));
+        assert!(!FieldUse::Memory.applies(&int_alu()));
+        assert!(FieldUse::FloatingPoint.applies(&fp_op()));
+        assert!(!FieldUse::FloatingPoint.applies(&int_alu()));
+        assert!(FieldUse::Branch.applies(&Instr::branch(Reg::new(0), true)));
+        assert!(!FieldUse::HasDest.applies(&Instr::nop()));
+    }
+
+    #[test]
+    fn unused_fields_get_unace_writes() {
+        let mut a = BitFieldAnalyzer::for_structure("rob", 4).unwrap();
+        // An integer ALU op: fp_flags / mem_info / branch_ctl fields unused.
+        a.write(0, 0, &int_alu(), Aceness::Ace);
+        a.read(0, 5, Aceness::Ace);
+        a.dealloc(0, 6);
+        let fields = a.finish(10, 10, 1, 1);
+        let by_name = |n: &str| fields.iter().find(|f| f.name == n).unwrap();
+        assert!(by_name("opcode").avf > 0.0);
+        assert!(by_name("dest_tag").avf > 0.0);
+        assert_eq!(by_name("fp_flags").avf, 0.0);
+        assert_eq!(by_name("mem_info").avf, 0.0);
+        assert_eq!(by_name("branch_ctl").avf, 0.0);
+    }
+
+    #[test]
+    fn refinement_is_less_conservative_than_aggregate() {
+        // Aggregate tracker: everything ACE. Bit-field: only live fields.
+        let mut agg = LifetimeTracker::new("rob", 4, 76);
+        let mut bf = BitFieldAnalyzer::for_structure("rob", 4).unwrap();
+        for c in 0..20u64 {
+            let i = int_alu();
+            agg.write((c % 4) as usize, c, Aceness::Ace);
+            agg.read((c % 4) as usize, c, Aceness::Ace);
+            bf.write((c % 4) as usize, c, &i, Aceness::Ace);
+            bf.read((c % 4) as usize, c, Aceness::Ace);
+        }
+        agg.finish(20);
+        let agg_stats = agg.stats(40, 1, 1);
+        let fields = bf.finish(20, 40, 1, 1);
+        let total_bits: f64 = fields.iter().map(|f| f64::from(f.bits)).sum();
+        let weighted_read: f64 = fields
+            .iter()
+            .map(|f| f.port.read * f64::from(f.bits))
+            .sum::<f64>()
+            / total_bits;
+        assert!(
+            weighted_read < agg_stats.port.read,
+            "bit-field read pAVF {weighted_read} should refine aggregate {}",
+            agg_stats.port.read
+        );
+    }
+
+    #[test]
+    fn unknown_structure_has_no_analyzer() {
+        assert!(BitFieldAnalyzer::for_structure("prf", 8).is_none());
+    }
+}

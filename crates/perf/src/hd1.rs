@@ -1,0 +1,186 @@
+//! Hamming-distance-1 analysis for address-based structures.
+//!
+//! Following Biswas et al. \[2\], the ACE-ness of a *tag* bit in a CAM-style
+//! structure (TLB, BTB, load/store queue match logic) is not determined by
+//! data lifetime but by whether flipping that single bit would change a
+//! match outcome:
+//!
+//! - **False match** — flipping bit *b* of a resident tag makes it equal to
+//!   a looked-up address (the resident tag is at hamming distance 1 from
+//!   the lookup): bit *b* of that entry is ACE for the lookup.
+//! - **False mismatch** — flipping any bit of the tag that *should* match a
+//!   lookup causes a miss: every tag bit of the matching entry is ACE for
+//!   an ACE lookup.
+//!
+//! The tracker aggregates these per-lookup bit events into an *HD-1 factor*
+//! in `[0, 1]`: the fraction of tag-bit observations that were actually
+//! ACE. Without this analysis every tag bit would be conservatively ACE
+//! (factor 1.0).
+
+use std::collections::HashMap;
+
+use crate::ace::Aceness;
+
+/// Hamming-distance-1 tracker for one CAM structure.
+#[derive(Debug, Clone)]
+pub struct Hd1Tracker {
+    tag_bits: u32,
+    /// Resident tags → entry index.
+    resident: HashMap<u64, usize>,
+    /// Tag-bit events that were ACE under HD-1 reasoning.
+    ace_bit_events: u64,
+    /// Total tag-bit observations (lookups × resident tag bits examined).
+    total_bit_events: u64,
+    lookups: u64,
+}
+
+impl Hd1Tracker {
+    /// Creates a tracker for tags of `tag_bits` bits.
+    pub fn new(tag_bits: u32) -> Self {
+        Hd1Tracker {
+            tag_bits: tag_bits.min(63),
+            resident: HashMap::new(),
+            ace_bit_events: 0,
+            total_bit_events: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Inserts (or replaces) a resident tag for `entry`.
+    pub fn insert(&mut self, entry: usize, tag: u64) {
+        self.resident.retain(|_, e| *e != entry);
+        self.resident.insert(self.mask(tag), entry);
+    }
+
+    /// Removes the tag held by `entry`, if any.
+    pub fn remove(&mut self, entry: usize) {
+        self.resident.retain(|_, e| *e != entry);
+    }
+
+    /// Performs a lookup of `tag` by a consumer with classification
+    /// `reader`, accumulating HD-1 ACE bit events.
+    ///
+    /// Returns whether the lookup hit.
+    pub fn lookup(&mut self, tag: u64, reader: Aceness) -> bool {
+        let tag = self.mask(tag);
+        self.lookups += 1;
+        let bits = u64::from(self.tag_bits);
+        // Every resident entry's tag bits are observed by the match.
+        self.total_bit_events += bits * self.resident.len() as u64;
+        if !reader.counts_as_ace() {
+            return self.resident.contains_key(&tag);
+        }
+        let mut hit = false;
+        if self.resident.contains_key(&tag) {
+            // False-mismatch: all bits of the matching tag are ACE.
+            self.ace_bit_events += bits;
+            hit = true;
+        }
+        // False-match: resident tags at hamming distance exactly 1.
+        for b in 0..self.tag_bits {
+            let probe = tag ^ (1u64 << b);
+            if self.resident.contains_key(&probe) {
+                self.ace_bit_events += 1;
+            }
+        }
+        hit
+    }
+
+    /// Number of lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// The HD-1 factor: fraction of observed tag-bit events that were ACE.
+    /// Returns 1.0 (fully conservative) when nothing was observed.
+    pub fn factor(&self) -> f64 {
+        if self.total_bit_events == 0 {
+            1.0
+        } else {
+            (self.ace_bit_events as f64 / self.total_bit_events as f64).min(1.0)
+        }
+    }
+
+    fn mask(&self, tag: u64) -> u64 {
+        if self.tag_bits >= 63 {
+            tag
+        } else {
+            tag & ((1u64 << self.tag_bits) - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_is_conservative() {
+        let t = Hd1Tracker::new(16);
+        assert_eq!(t.factor(), 1.0);
+    }
+
+    #[test]
+    fn exact_hit_marks_all_bits_ace() {
+        let mut t = Hd1Tracker::new(8);
+        t.insert(0, 0xAB);
+        assert!(t.lookup(0xAB, Aceness::Ace));
+        // 8 ACE bits out of 8 observed.
+        assert_eq!(t.factor(), 1.0);
+    }
+
+    #[test]
+    fn miss_far_away_contributes_no_ace_bits() {
+        let mut t = Hd1Tracker::new(8);
+        t.insert(0, 0b0000_0000);
+        assert!(!t.lookup(0b0000_1111, Aceness::Ace)); // HD = 4
+        assert_eq!(t.factor(), 0.0);
+    }
+
+    #[test]
+    fn hd1_neighbour_contributes_one_bit() {
+        let mut t = Hd1Tracker::new(8);
+        t.insert(0, 0b0000_0001);
+        assert!(!t.lookup(0b0000_0000, Aceness::Ace)); // HD = 1
+        assert!((t.factor() - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_lookup_counts_observation_but_no_ace() {
+        let mut t = Hd1Tracker::new(8);
+        t.insert(0, 0x10);
+        t.lookup(0x10, Aceness::UnAce);
+        assert_eq!(t.factor(), 0.0);
+    }
+
+    #[test]
+    fn replacement_and_removal() {
+        let mut t = Hd1Tracker::new(8);
+        t.insert(0, 0x10);
+        t.insert(0, 0x20); // replaces entry 0's tag
+        assert!(!t.lookup(0x10, Aceness::Ace));
+        assert!(t.lookup(0x20, Aceness::Ace));
+        t.remove(0);
+        assert!(!t.lookup(0x20, Aceness::Ace));
+    }
+
+    #[test]
+    fn factor_between_zero_and_one() {
+        let mut t = Hd1Tracker::new(12);
+        for i in 0..10u64 {
+            t.insert(i as usize, i * 17);
+        }
+        for i in 0..50u64 {
+            t.lookup(i * 13, Aceness::Ace);
+        }
+        let f = t.factor();
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn tags_are_masked_to_width() {
+        let mut t = Hd1Tracker::new(4);
+        t.insert(0, 0xF3); // masked to 0x3
+        assert!(t.lookup(0x3, Aceness::Ace));
+    }
+}

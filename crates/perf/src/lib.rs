@@ -1,0 +1,35 @@
+//! Trace-driven out-of-order performance model with ACE instrumentation.
+//!
+//! This crate is the "performance model" half of the paper's hybrid flow
+//! (§3.2, §5.1 steps 1–2): it runs workload traces through a simplified
+//! out-of-order pipeline whose storage structures (fetch buffer, uop queue,
+//! RAT, issue queue, ROB, physical register file, load/store queues, TLBs,
+//! BTB, …) are instrumented with ACE lifetime analysis. Its outputs are:
+//!
+//! - **Structure AVFs** via Equation 3 — ACE residency over bit-cycles.
+//! - **Port AVFs** (the paper's key input to SART): for each structure,
+//!   `pAVF_R` = ACE reads / cycles and `pAVF_W` = ACE writes / cycles.
+//!
+//! Three refinements from the paper are implemented:
+//!
+//! - [`ace`] — architectural ACE analysis of the dynamic trace itself
+//!   (NOPs, hints, and transitively dead code are un-ACE).
+//! - [`hd1`] — hamming-distance-1 analysis for address-based (CAM)
+//!   structures, after Biswas et al. \[2\].
+//! - [`bitfield`] — "Bit Field Analysis" (§5.1): control structures whose
+//!   entries pack per-class fields are split so each field gets its own,
+//!   less conservative, ACE accounting.
+
+pub mod ace;
+pub mod bitfield;
+pub mod hd1;
+pub mod lifetime;
+pub mod pipeline;
+pub mod report;
+pub mod structures;
+pub mod window;
+
+pub use ace::{analyze_trace, Aceness, TraceAce};
+pub use pipeline::{run_ace, PerfConfig};
+pub use report::{AceReport, PortAvf, StructureStats, SuiteReport};
+pub use window::{Quantizer, WindowStats};

@@ -1,0 +1,367 @@
+//! Result types for ACE analysis runs.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Port AVFs of a structure (§4): the probability per cycle that ACE data
+/// crosses the structure's read or write port bits.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PortAvf {
+    /// `pAVF_R` — ACE reads per cycle, clamped to `[0, 1]`.
+    pub read: f64,
+    /// `pAVF_W` — ACE writes per cycle, clamped to `[0, 1]`.
+    pub write: f64,
+}
+
+/// Per-bit-field statistics produced by bit-field analysis (§5.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FieldStats {
+    /// Field name (e.g. `"dest_tag"`).
+    pub name: String,
+    /// Field width in bits.
+    pub bits: u32,
+    /// Field AVF.
+    pub avf: f64,
+    /// Field port AVFs.
+    pub port: PortAvf,
+}
+
+/// Statistics for one ACE-modeled structure over one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StructureStats {
+    /// Structure name.
+    pub name: String,
+    /// Number of entries.
+    pub entries: usize,
+    /// Bits per entry.
+    pub bits_per_entry: u32,
+    /// Total read events.
+    pub reads: u64,
+    /// Total write events.
+    pub writes: u64,
+    /// ACE read events.
+    pub ace_reads: u64,
+    /// ACE write events.
+    pub ace_writes: u64,
+    /// ACE residency in bit-cycles.
+    pub ace_bit_cycles: u64,
+    /// Unknown (conservatively ACE) residency in bit-cycles.
+    pub unknown_bit_cycles: u64,
+    /// Bit-cycles during which entries held *any* data (fill to eviction),
+    /// the denominator for [`StructureStats::resident_avf`].
+    pub occupied_bit_cycles: u64,
+    /// Structure AVF per Equation 3.
+    pub avf: f64,
+    /// Port AVFs.
+    pub port: PortAvf,
+    /// Per-field refinement when bit-field analysis is enabled; empty
+    /// otherwise.
+    pub fields: Vec<FieldStats>,
+    /// Quantized per-window AVF series when windowed tracking is enabled
+    /// (see [`crate::window`]); empty otherwise.
+    pub windows: Vec<f64>,
+}
+
+impl StructureStats {
+    /// Total bits in the structure.
+    pub fn total_bits(&self) -> u64 {
+        self.entries as u64 * u64::from(self.bits_per_entry)
+    }
+
+    /// The vulnerability of a *resident* entry: ACE residency over occupied
+    /// bit-cycles rather than total bit-cycles. This is the number an
+    /// engineer would conservatively carry over to a pipeline sequential
+    /// (which, unlike an array, has no "empty entries"), and is the proxy
+    /// the Figure 10 before-model uses. Returns 0 for never-occupied
+    /// structures.
+    pub fn resident_avf(&self) -> f64 {
+        if self.occupied_bit_cycles == 0 {
+            0.0
+        } else {
+            ((self.ace_bit_cycles + self.unknown_bit_cycles) as f64
+                / self.occupied_bit_cycles as f64)
+                .min(1.0)
+        }
+    }
+
+    /// The effective port AVF after bit-field refinement: the bit-weighted
+    /// mean of field port AVFs when fields are present, else the aggregate
+    /// port AVF. Bit-field analysis only ever lowers conservatism (§5.1).
+    pub fn refined_port(&self) -> PortAvf {
+        if self.fields.is_empty() {
+            return self.port;
+        }
+        let total: f64 = self.fields.iter().map(|f| f64::from(f.bits)).sum();
+        if total == 0.0 {
+            return self.port;
+        }
+        let read = self
+            .fields
+            .iter()
+            .map(|f| f.port.read * f64::from(f.bits))
+            .sum::<f64>()
+            / total;
+        let write = self
+            .fields
+            .iter()
+            .map(|f| f.port.write * f64::from(f.bits))
+            .sum::<f64>()
+            / total;
+        PortAvf {
+            read: read.min(self.port.read),
+            write: write.min(self.port.write),
+        }
+    }
+}
+
+/// The result of running ACE analysis over one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AceReport {
+    /// Workload name.
+    pub workload: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Per-structure statistics, keyed by structure name.
+    pub structures: BTreeMap<String, StructureStats>,
+}
+
+impl AceReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// The port-AVF table consumed by the SART stage, using bit-field
+    /// refined values where available.
+    pub fn port_avfs(&self) -> BTreeMap<String, PortAvf> {
+        self.structures
+            .iter()
+            .map(|(k, v)| (k.clone(), v.refined_port()))
+            .collect()
+    }
+
+    /// Bit-weighted average structure AVF across all structures.
+    pub fn average_structure_avf(&self) -> f64 {
+        let total: u64 = self.structures.values().map(StructureStats::total_bits).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.structures
+            .values()
+            .map(|s| s.avf * s.total_bits() as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+/// Aggregated ACE results across a workload suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// One report per workload, in suite order.
+    pub runs: Vec<AceReport>,
+}
+
+impl SuiteReport {
+    /// Builds a suite report.
+    pub fn new(runs: Vec<AceReport>) -> Self {
+        SuiteReport { runs }
+    }
+
+    /// Mean port AVFs per structure across all workloads — the values the
+    /// paper plugs into the node walk.
+    pub fn mean_port_avfs(&self) -> BTreeMap<String, PortAvf> {
+        let mut acc: BTreeMap<String, (f64, f64, u64)> = BTreeMap::new();
+        for run in &self.runs {
+            for (name, pavf) in run.port_avfs() {
+                let e = acc.entry(name).or_insert((0.0, 0.0, 0));
+                e.0 += pavf.read;
+                e.1 += pavf.write;
+                e.2 += 1;
+            }
+        }
+        acc.into_iter()
+            .map(|(k, (r, w, n))| {
+                let n = n.max(1) as f64;
+                (
+                    k,
+                    PortAvf {
+                        read: r / n,
+                        write: w / n,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Mean structure AVF per structure across workloads.
+    pub fn mean_structure_avfs(&self) -> BTreeMap<String, f64> {
+        let mut acc: BTreeMap<String, (f64, u64)> = BTreeMap::new();
+        for run in &self.runs {
+            for (name, s) in &run.structures {
+                let e = acc.entry(name.clone()).or_insert((0.0, 0));
+                e.0 += s.avf;
+                e.1 += 1;
+            }
+        }
+        acc.into_iter()
+            .map(|(k, (a, n))| (k, a / n.max(1) as f64))
+            .collect()
+    }
+
+    /// Mean resident-entry AVF over structures and workloads — the
+    /// conservative per-entry vulnerability an engineer would carry as a
+    /// sequential-AVF proxy (see [`StructureStats::resident_avf`]).
+    /// Structures that were never occupied in a run are skipped.
+    pub fn mean_resident_avf(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for run in &self.runs {
+            for s in run.structures.values() {
+                if s.occupied_bit_cycles > 0 {
+                    sum += s.resident_avf();
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Bit-weighted average structure AVF over the whole suite.
+    pub fn average_structure_avf(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(AceReport::average_structure_avf).sum::<f64>()
+            / self.runs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(name: &str, avf: f64, read: f64, write: f64) -> StructureStats {
+        StructureStats {
+            name: name.into(),
+            entries: 4,
+            bits_per_entry: 8,
+            reads: 0,
+            writes: 0,
+            ace_reads: 0,
+            ace_writes: 0,
+            ace_bit_cycles: 0,
+            unknown_bit_cycles: 0,
+            occupied_bit_cycles: 0,
+            avf,
+            port: PortAvf { read, write },
+            fields: Vec::new(),
+            windows: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn refined_port_without_fields_is_aggregate() {
+        let s = stats("a", 0.1, 0.4, 0.2);
+        assert_eq!(s.refined_port(), s.port);
+    }
+
+    #[test]
+    fn refined_port_weights_fields_by_bits() {
+        let mut s = stats("a", 0.1, 0.8, 0.8);
+        s.fields = vec![
+            FieldStats {
+                name: "f0".into(),
+                bits: 6,
+                avf: 0.0,
+                port: PortAvf {
+                    read: 0.9,
+                    write: 0.9,
+                },
+            },
+            FieldStats {
+                name: "f1".into(),
+                bits: 2,
+                avf: 0.0,
+                port: PortAvf {
+                    read: 0.1,
+                    write: 0.1,
+                },
+            },
+        ];
+        let p = s.refined_port();
+        // Weighted mean 0.7 but clamped by the aggregate 0.8.
+        assert!((p.read - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refined_port_never_exceeds_aggregate() {
+        let mut s = stats("a", 0.1, 0.3, 0.3);
+        s.fields = vec![FieldStats {
+            name: "f0".into(),
+            bits: 8,
+            avf: 0.0,
+            port: PortAvf {
+                read: 0.9,
+                write: 0.9,
+            },
+        }];
+        let p = s.refined_port();
+        assert_eq!(p.read, 0.3);
+        assert_eq!(p.write, 0.3);
+    }
+
+    #[test]
+    fn report_averages() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_owned(), stats("a", 0.2, 0.5, 0.1));
+        m.insert("b".to_owned(), stats("b", 0.4, 0.3, 0.3));
+        let r = AceReport {
+            workload: "w".into(),
+            cycles: 100,
+            instructions: 150,
+            structures: m,
+        };
+        assert!((r.ipc() - 1.5).abs() < 1e-12);
+        // Equal bit counts -> plain mean.
+        assert!((r.average_structure_avf() - 0.3).abs() < 1e-12);
+        assert_eq!(r.port_avfs().len(), 2);
+    }
+
+    #[test]
+    fn suite_means() {
+        let mk = |avf, read| {
+            let mut m = BTreeMap::new();
+            m.insert("a".to_owned(), stats("a", avf, read, 0.0));
+            AceReport {
+                workload: "w".into(),
+                cycles: 10,
+                instructions: 10,
+                structures: m,
+            }
+        };
+        let suite = SuiteReport::new(vec![mk(0.2, 0.4), mk(0.4, 0.8)]);
+        let p = suite.mean_port_avfs();
+        assert!((p["a"].read - 0.6).abs() < 1e-12);
+        let a = suite.mean_structure_avfs();
+        assert!((a["a"] - 0.3).abs() < 1e-12);
+        assert!((suite.average_structure_avf() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_suite_is_zero() {
+        let s = SuiteReport::new(vec![]);
+        assert_eq!(s.average_structure_avf(), 0.0);
+        assert!(s.mean_port_avfs().is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Catalog of the performance model's ACE-instrumented structures.
+//!
+//! The paper instruments "over 100 ACE-modeled structures" in a production
+//! performance model; this model instruments sixteen representative ones
+//! spanning the same categories — fetch/decode buffers, rename state,
+//! scheduler, register files, memory-order queues, address-based CAMs, and
+//! a control-register bank.
+
+use serde::{Deserialize, Serialize};
+
+/// Broad structure category, controlling which analyses apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StructureClass {
+    /// FIFO-style buffer or queue.
+    Queue,
+    /// Random-access register file / array.
+    RegFile,
+    /// Content-addressed (tag-matched) structure: hamming-distance-1
+    /// analysis applies.
+    Cam,
+    /// Control/configuration state: bit-field analysis applies.
+    Control,
+}
+
+/// Static description of one structure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StructureSpec {
+    /// Structure name (the key used in port-AVF tables and RTL mapping).
+    pub name: &'static str,
+    /// Number of entries.
+    pub entries: usize,
+    /// Bits per entry.
+    pub bits_per_entry: u32,
+    /// Category.
+    pub class: StructureClass,
+    /// Number of read ports. The paper's `pAVF_R` is a per-port-bit rate:
+    /// ACE reads are spread across the structure's read ports, so the rate
+    /// seen by any single port bit is `ACE reads / (read ports × cycles)`.
+    pub read_ports: u32,
+    /// Number of write ports (denominator for `pAVF_W`).
+    pub write_ports: u32,
+}
+
+/// The default structure catalog. Port counts follow the default pipeline
+/// widths (4-wide front end, 6-wide issue, 4-wide retire).
+pub fn catalog() -> Vec<StructureSpec> {
+    use StructureClass::*;
+    let s = |name, entries, bits_per_entry, class, read_ports, write_ports| StructureSpec {
+        name,
+        entries,
+        bits_per_entry,
+        class,
+        read_ports,
+        write_ports,
+    };
+    vec![
+        s("fetch_buffer", 16, 64, Queue, 4, 4),
+        s("itlb", 32, 48, Cam, 1, 1),
+        s("btb", 64, 40, Cam, 1, 1),
+        s("ras", 16, 48, Queue, 1, 1),
+        s("uop_queue", 28, 72, Queue, 4, 4),
+        s("rat", 32, 8, RegFile, 8, 4),
+        s("free_list", 64, 8, Queue, 4, 4),
+        s("issue_queue", 40, 60, Control, 6, 4),
+        s("bypass", 8, 64, Queue, 6, 6),
+        s("fp_regfile", 64, 64, RegFile, 4, 2),
+        s("dtlb", 64, 48, Cam, 2, 1),
+        s("load_queue", 32, 56, Cam, 2, 2),
+        s("store_queue", 24, 96, Cam, 2, 1),
+        s("rob", 96, 76, Control, 4, 4),
+        s("prf", 128, 64, RegFile, 8, 6),
+        s("csr_bank", 32, 32, Control, 1, 1),
+    ]
+}
+
+/// Looks up a spec by name in the default catalog.
+pub fn spec(name: &str) -> Option<StructureSpec> {
+    catalog().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let c = catalog();
+        let mut names: Vec<_> = c.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), c.len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = spec("rob").unwrap();
+        assert_eq!(s.entries, 96);
+        assert_eq!(s.class, StructureClass::Control);
+        assert!(spec("nope").is_none());
+    }
+
+    #[test]
+    fn cams_present_for_hd1() {
+        assert!(catalog()
+            .iter()
+            .any(|s| s.class == StructureClass::Cam));
+    }
+}

@@ -1,0 +1,195 @@
+//! Quantized (time-windowed) AVF tracking.
+//!
+//! The paper's related work (§2.1) cites *Quantized AVF* — "a means of
+//! capturing vulnerability variations over small windows of time" (Biswas
+//! et al., SELSE 2009). A single scalar AVF hides phase behaviour: a
+//! structure can be idle for millions of cycles and saturated during a
+//! burst, which matters when sizing detection or checkpoint intervals.
+//!
+//! [`Quantizer`] distributes each ACE residency span across fixed-size
+//! cycle windows, yielding a per-window AVF series whose weighted mean
+//! equals the scalar Equation 3 AVF.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates ACE bit-cycles into fixed-size windows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    window: u64,
+    /// ACE bit-cycles per window.
+    acc: Vec<f64>,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with the given window size in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window size must be positive");
+        Quantizer {
+            window,
+            acc: Vec::new(),
+        }
+    }
+
+    /// Window size in cycles.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Records an ACE residency span `[start, end)` of `bits` bits,
+    /// splitting the bit-cycles across the windows it overlaps.
+    pub fn record_span(&mut self, start: u64, end: u64, bits: u32) {
+        if end <= start || bits == 0 {
+            return;
+        }
+        let first = (start / self.window) as usize;
+        let last = ((end - 1) / self.window) as usize;
+        if self.acc.len() <= last {
+            self.acc.resize(last + 1, 0.0);
+        }
+        for w in first..=last {
+            let w_start = w as u64 * self.window;
+            let w_end = w_start + self.window;
+            let overlap = end.min(w_end) - start.max(w_start);
+            self.acc[w] += overlap as f64 * f64::from(bits);
+        }
+    }
+
+    /// Produces the per-window AVF series for a structure of `total_bits`
+    /// bits over `total_cycles` simulated cycles. The final (partial)
+    /// window is normalized by its actual length.
+    pub fn series(&self, total_bits: u64, total_cycles: u64) -> Vec<f64> {
+        if total_bits == 0 || total_cycles == 0 {
+            return Vec::new();
+        }
+        let n_windows = total_cycles.div_ceil(self.window) as usize;
+        (0..n_windows)
+            .map(|w| {
+                let w_start = w as u64 * self.window;
+                let len = self.window.min(total_cycles - w_start);
+                let denom = (total_bits * len) as f64;
+                let ace = self.acc.get(w).copied().unwrap_or(0.0);
+                (ace / denom).min(1.0)
+            })
+            .collect()
+    }
+
+    /// The length-weighted mean of [`Quantizer::series`] — equal to the
+    /// scalar Equation 3 AVF over the same spans.
+    pub fn mean(&self, total_bits: u64, total_cycles: u64) -> f64 {
+        if total_bits == 0 || total_cycles == 0 {
+            return 0.0;
+        }
+        let total_ace: f64 = self.acc.iter().sum();
+        (total_ace / (total_bits * total_cycles) as f64).min(1.0)
+    }
+}
+
+/// Summary statistics over a windowed AVF series — the "vulnerability
+/// variation" the quantized view exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Minimum window AVF.
+    pub min: f64,
+    /// Maximum window AVF.
+    pub max: f64,
+    /// Unweighted mean window AVF.
+    pub mean: f64,
+    /// Peak-to-mean ratio (1.0 = perfectly flat behaviour).
+    pub burstiness: f64,
+}
+
+impl WindowStats {
+    /// Computes statistics over a series; `None` for an empty series.
+    pub fn of(series: &[f64]) -> Option<WindowStats> {
+        if series.is_empty() {
+            return None;
+        }
+        let min = series.iter().copied().fold(1.0f64, f64::min);
+        let max = series.iter().copied().fold(0.0f64, f64::max);
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        Some(WindowStats {
+            min,
+            max,
+            mean,
+            burstiness: if mean == 0.0 { 1.0 } else { max / mean },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_within_one_window() {
+        let mut q = Quantizer::new(100);
+        q.record_span(10, 60, 2);
+        let s = q.series(2, 200);
+        assert_eq!(s.len(), 2);
+        assert!((s[0] - 100.0 / 200.0).abs() < 1e-12);
+        assert_eq!(s[1], 0.0);
+    }
+
+    #[test]
+    fn span_splits_across_windows() {
+        let mut q = Quantizer::new(100);
+        // 50 cycles in window 0, 50 in window 1.
+        q.record_span(50, 150, 1);
+        let s = q.series(1, 200);
+        assert!((s[0] - 0.5).abs() < 1e-12);
+        assert!((s[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_final_window_normalized() {
+        let mut q = Quantizer::new(100);
+        q.record_span(200, 250, 1);
+        // 250 total cycles: the third window is 50 cycles long and fully
+        // ACE.
+        let s = q.series(1, 250);
+        assert_eq!(s.len(), 3);
+        assert!((s[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_matches_equation_three() {
+        let mut q = Quantizer::new(64);
+        q.record_span(0, 100, 4);
+        q.record_span(300, 350, 4);
+        let total_bits = 8;
+        let cycles = 400;
+        let expected = ((100 + 50) * 4) as f64 / (total_bits * cycles) as f64;
+        assert!((q.mean(total_bits, cycles) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_degenerate_spans() {
+        let mut q = Quantizer::new(10);
+        q.record_span(5, 5, 1);
+        q.record_span(7, 3, 1);
+        q.record_span(0, 5, 0);
+        assert_eq!(q.mean(4, 100), 0.0);
+        assert!(q.series(0, 100).is_empty());
+        assert!(q.series(4, 0).is_empty());
+    }
+
+    #[test]
+    fn stats_capture_burstiness() {
+        let flat = WindowStats::of(&[0.2, 0.2, 0.2]).unwrap();
+        assert!((flat.burstiness - 1.0).abs() < 1e-12);
+        let bursty = WindowStats::of(&[0.0, 0.0, 0.6]).unwrap();
+        assert!(bursty.burstiness > 2.9);
+        assert_eq!(bursty.max, 0.6);
+        assert_eq!(WindowStats::of(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_window_panics() {
+        let _ = Quantizer::new(0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the performance model's ACE accounting
+//! (DESIGN.md §6, invariant 7).
+
+use proptest::prelude::*;
+
+use seqavf_perf::ace::analyze_trace;
+use seqavf_perf::hd1::Hd1Tracker;
+use seqavf_perf::pipeline::{run_ace, PerfConfig};
+use seqavf_workloads::trace::{Instr, OpClass, Reg, Trace};
+
+/// Arbitrary instruction from raw bytes.
+fn instr_from(bytes: (u8, u8, u8, u8)) -> Instr {
+    let (k, a, b, c) = bytes;
+    match k % 8 {
+        0 | 1 => Instr::alu(OpClass::IntAlu, Reg::new(a), Reg::new(b), Some(Reg::new(c))),
+        2 => Instr::alu(OpClass::FpMul, Reg::new(a), Reg::new(b), None),
+        3 => Instr::load(Reg::new(a), Some(Reg::new(b)), u64::from(c) << 4),
+        4 => Instr::store(Reg::new(a), Some(Reg::new(b)), u64::from(c) << 4),
+        5 => Instr::branch(Reg::new(a), b % 2 == 0),
+        6 => Instr::alu(OpClass::IntMul, Reg::new(a), Reg::new(b), Some(Reg::new(c))),
+        _ => Instr::nop(),
+    }
+}
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(any::<(u8, u8, u8, u8)>(), 1..400)
+        .prop_map(|v| Trace::new("prop", v.into_iter().map(instr_from).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn model_retires_everything_and_stats_are_sane(trace in trace_strategy()) {
+        let r = run_ace(&trace, &PerfConfig::default());
+        prop_assert_eq!(r.instructions as usize, trace.len());
+        prop_assert!(r.cycles > 0);
+        for (name, s) in &r.structures {
+            prop_assert!((0.0..=1.0).contains(&s.avf), "{} avf {}", name, s.avf);
+            prop_assert!((0.0..=1.0).contains(&s.port.read));
+            prop_assert!((0.0..=1.0).contains(&s.port.write));
+            prop_assert!(s.ace_reads <= s.reads, "{name}");
+            prop_assert!(s.ace_writes <= s.writes, "{name}");
+            prop_assert!(
+                s.ace_bit_cycles + s.unknown_bit_cycles
+                    <= s.total_bits() * r.cycles,
+                "{name}: residency exceeds bit-cycles"
+            );
+            prop_assert!(s.resident_avf() <= 1.0);
+            for f in &s.fields {
+                prop_assert!((0.0..=1.0).contains(&f.avf));
+            }
+        }
+    }
+
+    #[test]
+    fn ace_classification_is_consistent(trace in trace_strategy()) {
+        let a = analyze_trace(&trace);
+        prop_assert_eq!(a.all().len(), trace.len());
+        // NOPs are never ACE; stores and branches always are.
+        for (i, ins) in trace.instrs().iter().enumerate() {
+            match ins.op {
+                OpClass::Nop => prop_assert!(!a.of(i).counts_as_ace()),
+                OpClass::Store | OpClass::Branch => {
+                    prop_assert!(a.of(i).counts_as_ace())
+                }
+                _ => {}
+            }
+        }
+        prop_assert!((0.0..=1.0).contains(&a.ace_fraction()));
+        prop_assert!(a.unknown_fraction() <= a.ace_fraction() + 1e-12);
+    }
+
+    #[test]
+    fn conservative_residency_dominates_precise(trace in trace_strategy()) {
+        let precise = run_ace(&trace, &PerfConfig::default());
+        let cons = run_ace(
+            &trace,
+            &PerfConfig {
+                conservative_residency: true,
+                ..PerfConfig::default()
+            },
+        );
+        for (name, p) in &precise.structures {
+            let c = &cons.structures[name];
+            prop_assert!(
+                c.avf + 1e-12 >= p.avf,
+                "{name}: conservative {} < precise {}",
+                c.avf,
+                p.avf
+            );
+            // Port rates are residency-independent.
+            prop_assert!((c.port.read - p.port.read).abs() < 1e-12);
+            prop_assert!((c.port.write - p.port.write).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hd1_factor_bounded(tags in prop::collection::vec(any::<u16>(), 1..20),
+                          lookups in prop::collection::vec(any::<u16>(), 1..40)) {
+        let mut t = Hd1Tracker::new(16);
+        for (i, &tag) in tags.iter().enumerate() {
+            t.insert(i, u64::from(tag));
+        }
+        for &l in &lookups {
+            t.lookup(u64::from(l), seqavf_perf::ace::Aceness::Ace);
+        }
+        let f = t.factor();
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert_eq!(t.lookups(), lookups.len() as u64);
+    }
+}

@@ -1,0 +1,259 @@
+//! Injection campaigns: per-node AVF estimation with confidence intervals.
+//!
+//! A campaign injects into every target node at several randomized
+//! `(seed, cycle)` points and estimates the node's AVF per Equation 2:
+//!
+//! ```text
+//! Sequential AVF = (# Errors + # Unknown) / # Injected
+//! ```
+//!
+//! The per-node estimates come with Wilson score intervals; the campaign is
+//! parallelized across nodes with `crossbeam` scoped threads. This is the
+//! paper's "brute force" baseline (§3.1): complete coverage of a design
+//! requires `#nodes × #cycles` simulations, which is what makes SART's
+//! analytic approach necessary.
+
+use seqavf_netlist::graph::{Netlist, NodeId};
+
+use crate::inject::{observation_points, run_injection, InjectConfig, Outcome};
+
+/// Configuration of an injection campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Injections per target node.
+    pub injections_per_node: usize,
+    /// Base stimulus seed; each injection perturbs it deterministically.
+    pub seed: u64,
+    /// Maximum warmup cycles (each injection picks a warmup in
+    /// `[1, max_warmup]`, randomizing the flip cycle).
+    pub max_warmup: u64,
+    /// Propagation horizon after the flip.
+    pub horizon: u64,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            injections_per_node: 20,
+            seed: 0xfau64,
+            max_warmup: 32,
+            horizon: 150,
+            threads: 4,
+        }
+    }
+}
+
+/// Per-node AVF estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeAvfEstimate {
+    /// The injected node.
+    pub node: NodeId,
+    /// Number of injections performed.
+    pub injections: usize,
+    /// Injections that produced observation-point errors.
+    pub errors: usize,
+    /// Injections whose fault was still resident at the horizon.
+    pub unknowns: usize,
+    /// Equation 2: `(errors + unknowns) / injections`.
+    pub avf: f64,
+    /// Wilson 95% confidence interval for the AVF.
+    pub ci: (f64, f64),
+}
+
+/// Result of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Per-node estimates, in target order.
+    pub nodes: Vec<NodeAvfEstimate>,
+    /// Total injections performed.
+    pub total_injections: usize,
+}
+
+impl CampaignResult {
+    /// Mean AVF across targeted nodes.
+    pub fn mean_avf(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.nodes.iter().map(|n| n.avf).sum::<f64>() / self.nodes.len() as f64
+    }
+
+    /// The estimate for a specific node, if targeted.
+    pub fn estimate(&self, node: NodeId) -> Option<&NodeAvfEstimate> {
+        self.nodes.iter().find(|e| e.node == node)
+    }
+}
+
+/// Wilson score interval for a binomial proportion at ~95% confidence.
+pub fn wilson_interval(successes: usize, n: usize) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.96f64;
+    let nf = n as f64;
+    let p = successes as f64 / nf;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let center = (p + z2 / (2.0 * nf)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Runs an injection campaign over `targets` (typically the design's
+/// sequential nodes).
+pub fn run_campaign(nl: &Netlist, targets: &[NodeId], config: &CampaignConfig) -> CampaignResult {
+    let observed = observation_points(nl);
+    let threads = config.threads.max(1);
+
+    let estimate_one = |&node: &NodeId| -> NodeAvfEstimate {
+        let mut errors = 0usize;
+        let mut unknowns = 0usize;
+        for k in 0..config.injections_per_node {
+            // Deterministic per-injection seed and flip cycle.
+            let mix = config
+                .seed
+                .wrapping_add((node.index() as u64) << 20)
+                .wrapping_add(k as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let warmup = 1 + (mix >> 8) % config.max_warmup.max(1);
+            let icfg = InjectConfig {
+                warmup,
+                horizon: config.horizon,
+                seed: mix,
+            };
+            match run_injection(nl, node, &icfg, &observed) {
+                Outcome::Error => errors += 1,
+                Outcome::Unknown => unknowns += 1,
+                Outcome::Masked => {}
+            }
+        }
+        let n = config.injections_per_node;
+        NodeAvfEstimate {
+            node,
+            injections: n,
+            errors,
+            unknowns,
+            avf: if n == 0 {
+                0.0
+            } else {
+                (errors + unknowns) as f64 / n as f64
+            },
+            ci: wilson_interval(errors + unknowns, n),
+        }
+    };
+
+    let nodes: Vec<NodeAvfEstimate> = if threads == 1 || targets.len() < 2 {
+        targets.iter().map(estimate_one).collect()
+    } else {
+        let chunk = targets.len().div_ceil(threads);
+        let mut results: Vec<Vec<NodeAvfEstimate>> = Vec::new();
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = targets
+                .chunks(chunk)
+                .map(|part| s.spawn(move |_| part.iter().map(estimate_one).collect::<Vec<_>>()))
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("campaign worker panicked"));
+            }
+        })
+        .expect("campaign scope");
+        results.into_iter().flatten().collect()
+    };
+
+    CampaignResult {
+        total_injections: nodes.iter().map(|n| n.injections).sum(),
+        nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqavf_netlist::flatten::parse_netlist;
+
+    const PIPE: &str = r"
+.design t
+.fub f
+  .input i
+  .flop q1 i
+  .flop q2 q1
+  .flop dangling q1
+  .output o q2
+.endfub
+.end
+";
+
+    #[test]
+    fn wilson_interval_properties() {
+        let (lo, hi) = wilson_interval(0, 0);
+        assert_eq!((lo, hi), (0.0, 1.0));
+        let (lo, hi) = wilson_interval(10, 20);
+        assert!(lo < 0.5 && hi > 0.5);
+        let (lo, hi) = wilson_interval(20, 20);
+        assert!(lo > 0.8 && hi <= 1.0);
+        let (lo, hi) = wilson_interval(0, 20);
+        assert!(lo == 0.0 && hi < 0.2);
+    }
+
+    #[test]
+    fn campaign_separates_live_and_dead_paths() {
+        let nl = parse_netlist(PIPE).unwrap();
+        let q1 = nl.lookup("f.q1").unwrap();
+        let q2 = nl.lookup("f.q2").unwrap();
+        let dangling = nl.lookup("f.dangling").unwrap();
+        let cfg = CampaignConfig {
+            injections_per_node: 10,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&nl, &[q1, q2, dangling], &cfg);
+        assert_eq!(r.total_injections, 30);
+        let e_q1 = r.estimate(q1).unwrap();
+        let e_dang = r.estimate(dangling).unwrap();
+        assert!(e_q1.avf > 0.9, "on-path flop should almost always error");
+        assert_eq!(e_dang.avf, 0.0, "dangling flop can never error");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let nl = parse_netlist(PIPE).unwrap();
+        let targets: Vec<NodeId> = nl.seq_nodes().collect();
+        let seq_cfg = CampaignConfig {
+            injections_per_node: 6,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let par_cfg = CampaignConfig {
+            threads: 3,
+            ..seq_cfg
+        };
+        let a = run_campaign(&nl, &targets, &seq_cfg);
+        let b = run_campaign(&nl, &targets, &par_cfg);
+        assert_eq!(a, b, "campaigns must be deterministic regardless of threads");
+    }
+
+    #[test]
+    fn mean_avf_aggregates() {
+        let nl = parse_netlist(PIPE).unwrap();
+        let q1 = nl.lookup("f.q1").unwrap();
+        let dangling = nl.lookup("f.dangling").unwrap();
+        let cfg = CampaignConfig {
+            injections_per_node: 8,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&nl, &[q1, dangling], &cfg);
+        let expected = (r.nodes[0].avf + r.nodes[1].avf) / 2.0;
+        assert!((r.mean_avf() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_campaign() {
+        let nl = parse_netlist(PIPE).unwrap();
+        let r = run_campaign(&nl, &[], &CampaignConfig::default());
+        assert_eq!(r.total_injections, 0);
+        assert_eq!(r.mean_avf(), 0.0);
+    }
+}

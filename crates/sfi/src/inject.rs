@@ -1,0 +1,368 @@
+//! Golden/faulty paired simulation with single-bit-flip injection (§3.1).
+
+use seqavf_netlist::graph::{Netlist, NodeId, NodeKind};
+
+use crate::logic::LogicSim;
+
+/// Configuration of one injection experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectConfig {
+    /// Cycles simulated before the flip (lets state decorrelate from the
+    /// seed-derived initial values).
+    pub warmup: u64,
+    /// Cycles simulated after the flip during which a fault may propagate
+    /// to an observation point (the paper's RTL runs used 10,000–50,000;
+    /// our netlists are far shallower).
+    pub horizon: u64,
+    /// Stimulus/initial-state seed.
+    pub seed: u64,
+}
+
+impl Default for InjectConfig {
+    fn default() -> Self {
+        InjectConfig {
+            warmup: 16,
+            horizon: 200,
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of one injection (§3.1's categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The fault never reached an observation point and no corrupted state
+    /// remains: logically masked.
+    Masked,
+    /// The fault corrupted an observation point: a user-visible error.
+    Error,
+    /// The fault is still resident in non-observable state at the end of
+    /// the horizon; conservatively counted toward AVF (Equation 2).
+    Unknown,
+}
+
+/// The observation points for SDC analysis: program-visible state, which
+/// for these netlists means the design's primary outputs and the
+/// architectural contents of ACE structures.
+pub fn observation_points(nl: &Netlist) -> Vec<NodeId> {
+    nl.nodes()
+        .filter(|&id| match nl.kind(id) {
+            NodeKind::Output => nl.fanout(id).is_empty(),
+            NodeKind::StructCell { .. } => true,
+            _ => false,
+        })
+        .collect()
+}
+
+/// Outcome of an injection when error-detection logic is modeled — the
+/// paper's point that "the AVFs for SDC and DUE must be computed
+/// separately, since the observability points for faults will be
+/// different" (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetailedOutcome {
+    /// Fully masked.
+    Masked,
+    /// Reached a program-visible point undetected: silent data corruption.
+    Sdc,
+    /// Reached a detector (parity/ECC write port) first: detected
+    /// uncorrectable error.
+    Due,
+    /// Still resident, unobserved, at the horizon.
+    Unknown,
+}
+
+/// Runs one golden/faulty pair with separate SDC observation points and
+/// DUE detectors. Detection is checked first each cycle: a fault caught by
+/// a detector raises a machine-check before it can silently corrupt
+/// program output.
+pub fn run_injection_protected(
+    nl: &Netlist,
+    target: NodeId,
+    config: &InjectConfig,
+    sdc_points: &[NodeId],
+    detectors: &[NodeId],
+) -> DetailedOutcome {
+    let mut golden = LogicSim::new(nl, config.seed);
+    golden.run(config.warmup);
+    let mut faulty = golden.clone();
+    faulty.flip(target);
+
+    let observe = |golden: &LogicSim<'_>, faulty: &LogicSim<'_>| {
+        if detectors
+            .iter()
+            .any(|&d| golden.value(d) != faulty.value(d))
+        {
+            return Some(DetailedOutcome::Due);
+        }
+        if sdc_points
+            .iter()
+            .any(|&o| golden.value(o) != faulty.value(o))
+        {
+            return Some(DetailedOutcome::Sdc);
+        }
+        None
+    };
+
+    for _ in 0..config.horizon {
+        if let Some(out) = observe(&golden, &faulty) {
+            return out;
+        }
+        golden.step();
+        faulty.step();
+    }
+    if let Some(out) = observe(&golden, &faulty) {
+        return out;
+    }
+    if golden.state() != faulty.state() {
+        DetailedOutcome::Unknown
+    } else {
+        DetailedOutcome::Masked
+    }
+}
+
+/// Runs one golden/faulty pair: flip `target` after `warmup` cycles, then
+/// watch the observation points for `horizon` cycles.
+pub fn run_injection(
+    nl: &Netlist,
+    target: NodeId,
+    config: &InjectConfig,
+    observed: &[NodeId],
+) -> Outcome {
+    let mut golden = LogicSim::new(nl, config.seed);
+    golden.run(config.warmup);
+    let mut faulty = golden.clone();
+    faulty.flip(target);
+
+    for _ in 0..config.horizon {
+        // Check observation points (including combinationally-reached
+        // outputs in the injection cycle itself).
+        for &o in observed {
+            if golden.value(o) != faulty.value(o) {
+                return Outcome::Error;
+            }
+        }
+        golden.step();
+        faulty.step();
+    }
+    for &o in observed {
+        if golden.value(o) != faulty.value(o) {
+            return Outcome::Error;
+        }
+    }
+    if golden.state() != faulty.state() {
+        Outcome::Unknown
+    } else {
+        Outcome::Masked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqavf_netlist::flatten::parse_netlist;
+
+    #[test]
+    fn flip_on_straight_path_to_output_is_an_error() {
+        let text = r"
+.design t
+.fub f
+  .input i
+  .flop q1 i
+  .flop q2 q1
+  .output o q2
+.endfub
+.end
+";
+        let nl = parse_netlist(text).unwrap();
+        let obs = observation_points(&nl);
+        let q1 = nl.lookup("f.q1").unwrap();
+        let out = run_injection(&nl, q1, &InjectConfig::default(), &obs);
+        assert_eq!(out, Outcome::Error);
+    }
+
+    #[test]
+    fn flip_on_dangling_flop_is_masked_or_unknown() {
+        // q2 drives nothing: the flip can never reach the output, but the
+        // corrupted bit is overwritten next cycle, so it is fully masked.
+        let text = r"
+.design t
+.fub f
+  .input i
+  .flop q1 i
+  .flop q2 q1
+  .output o q1
+.endfub
+.end
+";
+        let nl = parse_netlist(text).unwrap();
+        let obs = observation_points(&nl);
+        let q2 = nl.lookup("f.q2").unwrap();
+        let out = run_injection(&nl, q2, &InjectConfig::default(), &obs);
+        assert_eq!(out, Outcome::Masked);
+    }
+
+    #[test]
+    fn flip_in_gated_and_path_can_be_logically_masked() {
+        // q1 AND zero: the AND gate masks q1 completely.
+        let text = r"
+.design t
+.fub f
+  .input i
+  .gate const0 zero
+  .flop q1 i
+  .gate and g q1 zero
+  .flop q2 g
+  .output o q2
+.endfub
+.end
+";
+        let nl = parse_netlist(text).unwrap();
+        let obs = observation_points(&nl);
+        let q1 = nl.lookup("f.q1").unwrap();
+        let out = run_injection(&nl, q1, &InjectConfig::default(), &obs);
+        assert_eq!(out, Outcome::Masked, "AND-0 must logically mask");
+    }
+
+    #[test]
+    fn fault_stuck_in_disabled_register_is_unknown() {
+        // A flop that never loads (enable const-0) and drives nothing
+        // observable retains the corrupted bit forever.
+        let text = r"
+.design t
+.fub f
+  .input i
+  .gate const0 never
+  .flop stuck i never
+  .flop q1 i
+  .output o q1
+.endfub
+.end
+";
+        let nl = parse_netlist(text).unwrap();
+        let obs = observation_points(&nl);
+        let stuck = nl.lookup("f.stuck").unwrap();
+        let out = run_injection(&nl, stuck, &InjectConfig::default(), &obs);
+        assert_eq!(out, Outcome::Unknown);
+    }
+
+    #[test]
+    fn structure_cells_are_observation_points() {
+        let text = r"
+.design t
+.fub f
+  .input i
+  .struct st 1
+  .flop q1 i
+  .sw st[0] q1
+.endfub
+.end
+";
+        let nl = parse_netlist(text).unwrap();
+        let obs = observation_points(&nl);
+        assert_eq!(obs.len(), 1);
+        let q1 = nl.lookup("f.q1").unwrap();
+        let out = run_injection(&nl, q1, &InjectConfig::default(), &obs);
+        assert_eq!(out, Outcome::Error, "corrupt data written to a structure");
+    }
+
+    #[test]
+    fn detection_precedes_silent_corruption() {
+        // q1 feeds a protected structure (detector) and the output: the
+        // detector fires before the corrupt data becomes program-visible.
+        let text = r"
+.design t
+.fub f
+  .input i
+  .struct prot 1
+  .flop q1 i
+  .sw prot[0] q1
+  .flop q2 q1
+  .output o q2
+.endfub
+.end
+";
+        let nl = parse_netlist(text).unwrap();
+        let q1 = nl.lookup("f.q1").unwrap();
+        let detector = nl.lookup("f.prot[0]").unwrap();
+        let out_node = nl.lookup("f.o").unwrap();
+        let r = run_injection_protected(
+            &nl,
+            q1,
+            &InjectConfig::default(),
+            &[out_node],
+            &[detector],
+        );
+        assert_eq!(r, DetailedOutcome::Due);
+    }
+
+    #[test]
+    fn unprotected_path_is_sdc() {
+        let text = r"
+.design t
+.fub f
+  .input i
+  .flop q1 i
+  .flop q2 q1
+  .output o q2
+.endfub
+.end
+";
+        let nl = parse_netlist(text).unwrap();
+        let q1 = nl.lookup("f.q1").unwrap();
+        let out_node = nl.lookup("f.o").unwrap();
+        let r = run_injection_protected(&nl, q1, &InjectConfig::default(), &[out_node], &[]);
+        assert_eq!(r, DetailedOutcome::Sdc);
+    }
+
+    #[test]
+    fn protected_outcomes_cover_masked_and_unknown() {
+        let text = r"
+.design t
+.fub f
+  .input i
+  .gate const0 never
+  .flop stuck i never
+  .flop dead i
+  .flop q1 i
+  .output o q1
+.endfub
+.end
+";
+        let nl = parse_netlist(text).unwrap();
+        let out_node = nl.lookup("f.o").unwrap();
+        let stuck = nl.lookup("f.stuck").unwrap();
+        let dead = nl.lookup("f.dead").unwrap();
+        let cfg = InjectConfig::default();
+        assert_eq!(
+            run_injection_protected(&nl, stuck, &cfg, &[out_node], &[]),
+            DetailedOutcome::Unknown
+        );
+        assert_eq!(
+            run_injection_protected(&nl, dead, &cfg, &[out_node], &[]),
+            DetailedOutcome::Masked
+        );
+    }
+
+    #[test]
+    fn deterministic_outcomes() {
+        let text = r"
+.design t
+.fub f
+  .input i
+  .flop q1 i
+  .gate xor g q1 i
+  .flop q2 g
+  .output o q2
+.endfub
+.end
+";
+        let nl = parse_netlist(text).unwrap();
+        let obs = observation_points(&nl);
+        let q1 = nl.lookup("f.q1").unwrap();
+        let cfg = InjectConfig::default();
+        assert_eq!(
+            run_injection(&nl, q1, &cfg, &obs),
+            run_injection(&nl, q1, &cfg, &obs)
+        );
+    }
+}

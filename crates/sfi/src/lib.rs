@@ -1,0 +1,30 @@
+//! Statistical fault injection (SFI) into the gate-level netlist — the
+//! paper's baseline technique (§3.1).
+//!
+//! "SFI works by running two copies of the RTL simulation. A fault is
+//! injected into one copy by artificially flipping a random bit at a random
+//! timestep. The simulations are then run for some number of cycles … If a
+//! state mismatch occurs at a point that impacts correct program operation,
+//! the fault is considered to have propagated to an error. … The sequential
+//! AVF is computed as the number of errors seen at the observation points
+//! divided by the number of injected faults" plus the unknown component
+//! (Equation 2).
+//!
+//! This crate provides:
+//!
+//! - [`logic`] — a two-valued, levelized gate-level simulator over
+//!   `seqavf-netlist` graphs (the "RTL simulation").
+//! - [`inject`] — golden/faulty paired simulation with single-bit flips and
+//!   observation-point mismatch detection.
+//! - [`campaign`] — injection campaigns with per-node AVF estimates and
+//!   Wilson confidence intervals; this is both the speed baseline (§3.1:
+//!   months-to-years vs days) and the accuracy ground truth used to
+//!   validate SART's conservatism.
+
+pub mod campaign;
+pub mod inject;
+pub mod logic;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignResult, NodeAvfEstimate};
+pub use inject::{run_injection, InjectConfig, Outcome};
+pub use logic::LogicSim;

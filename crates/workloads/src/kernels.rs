@@ -1,0 +1,17 @@
+//! Re-implementations of the paper's two beam-test kernels (§6.2).
+//!
+//! - [`lattice`] — "calculates the location of a particle in a 3d lattice
+//!   with inter-particle forces. We modified it to be a 2d lattice."
+//! - [`md5`] — "calculates 128-bit MD5 hashes … modified to remove memory
+//!   accesses … does all the same calculations."
+//!
+//! Both generators execute the real computation while recording the dynamic
+//! instruction stream, so the traces carry authentic dependence structure.
+
+pub mod lattice;
+pub mod md5;
+pub mod sdc_virus;
+
+pub use lattice::lattice_trace;
+pub use md5::md5_trace;
+pub use sdc_virus::sdc_virus_trace;

@@ -1,0 +1,222 @@
+//! The 2-D lattice particle kernel.
+//!
+//! The beam-test workload "calculates the location of a particle in a 3d
+//! lattice with inter-particle forces. We modified it to be a 2d lattice"
+//! (§6.2). This re-implementation integrates point particles on a 2-D
+//! periodic grid under pairwise spring-like forces from their four lattice
+//! neighbours, and records the dynamic instruction stream: position/velocity
+//! loads, floating-point force evaluation, integration arithmetic, and
+//! position stores, with a branch per neighbour distance test.
+
+use crate::trace::{Instr, OpClass, Reg, Trace, TraceBuilder};
+
+/// Parameters for the lattice kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatticeConfig {
+    /// Grid side length; the kernel simulates `side × side` particles.
+    pub side: usize,
+    /// Number of integration timesteps.
+    pub steps: usize,
+    /// Spring constant for neighbour forces.
+    pub stiffness: f64,
+    /// Integration timestep.
+    pub dt: f64,
+}
+
+impl Default for LatticeConfig {
+    fn default() -> Self {
+        LatticeConfig {
+            side: 8,
+            steps: 4,
+            stiffness: 0.35,
+            dt: 0.01,
+        }
+    }
+}
+
+/// State of the simulated particle field (exposed for testing physical
+/// plausibility of the kernel itself).
+#[derive(Debug, Clone)]
+pub struct LatticeState {
+    side: usize,
+    /// Displacements from rest position, row-major `(x, y)` pairs.
+    pub disp: Vec<(f64, f64)>,
+    /// Velocities, row-major `(x, y)` pairs.
+    pub vel: Vec<(f64, f64)>,
+}
+
+impl LatticeState {
+    fn new(side: usize) -> Self {
+        // Deterministic, mildly irregular initial displacement field.
+        let mut disp = Vec::with_capacity(side * side);
+        for i in 0..side * side {
+            let phase = i as f64 * 0.7;
+            disp.push((0.05 * phase.sin(), 0.05 * (1.3 * phase).cos()));
+        }
+        LatticeState {
+            side,
+            disp,
+            vel: vec![(0.0, 0.0); side * side],
+        }
+    }
+
+    /// Total kinetic energy (used to sanity-check the integration).
+    pub fn kinetic_energy(&self) -> f64 {
+        self.vel.iter().map(|(x, y)| 0.5 * (x * x + y * y)).sum()
+    }
+
+    fn idx(&self, r: usize, c: usize) -> usize {
+        (r % self.side) * self.side + (c % self.side)
+    }
+}
+
+/// Runs the kernel and returns `(trace, final state)`.
+///
+/// The trace length scales as `O(side² × steps)`.
+pub fn lattice_kernel(config: &LatticeConfig) -> (Trace, LatticeState) {
+    let side = config.side.max(2);
+    let mut state = LatticeState::new(side);
+    let mut tb = TraceBuilder::new(format!("lattice_{side}x{side}_{}", config.steps));
+
+    // Register conventions for the recorded stream.
+    let rx = Reg::new(0); // position x
+    let ry = Reg::new(1); // position y
+    let rvx = Reg::new(2); // velocity x
+    let rvy = Reg::new(3); // velocity y
+    let rfx = Reg::new(4); // force accumulator x
+    let rfy = Reg::new(5); // force accumulator y
+    let rnx = Reg::new(6); // neighbour x
+    let rny = Reg::new(7); // neighbour y
+    let rk = Reg::new(8); // stiffness constant
+    let rdt = Reg::new(9); // dt constant
+    let rbase = Reg::new(10); // array base pointer
+    let rtmp = Reg::new(11);
+
+    let base_pos = 0x1000_0000u64;
+    let base_vel = 0x2000_0000u64;
+    let elem = 16u64; // two f64s
+
+    for _step in 0..config.steps {
+        let prev = state.clone();
+        for r in 0..side {
+            for c in 0..side {
+                let i = state.idx(r, c);
+                let a = base_pos + i as u64 * elem;
+                // Load own position and velocity.
+                tb.push(Instr::load(rx, Some(rbase), a));
+                tb.push(Instr::load(ry, Some(rbase), a + 8));
+                tb.push(Instr::load(rvx, Some(rbase), base_vel + i as u64 * elem));
+                tb.push(Instr::load(rvy, Some(rbase), base_vel + i as u64 * elem + 8));
+                // Zero the force accumulators.
+                tb.push(Instr::alu(OpClass::IntAlu, rfx, rfx, None));
+                tb.push(Instr::alu(OpClass::IntAlu, rfy, rfy, None));
+
+                let (px, py) = prev.disp[i];
+                let mut fx = 0.0;
+                let mut fy = 0.0;
+                let neighbours = [
+                    state.idx(r + 1, c),
+                    state.idx(r + side - 1, c),
+                    state.idx(r, c + 1),
+                    state.idx(r, c + side - 1),
+                ];
+                for &n in &neighbours {
+                    let na = base_pos + n as u64 * elem;
+                    tb.push(Instr::load(rnx, Some(rbase), na));
+                    tb.push(Instr::load(rny, Some(rbase), na + 8));
+                    // dx = nx - x ; dy = ny - y
+                    tb.push(Instr::alu(OpClass::FpAdd, rtmp, rnx, Some(rx)));
+                    tb.push(Instr::alu(OpClass::FpAdd, rtmp, rny, Some(ry)));
+                    // f += k * d
+                    tb.push(Instr::alu(OpClass::FpMul, rfx, rk, Some(rfx)));
+                    tb.push(Instr::alu(OpClass::FpMul, rfy, rk, Some(rfy)));
+                    let (nx, ny) = prev.disp[n];
+                    let dx = nx - px;
+                    let dy = ny - py;
+                    fx += config.stiffness * dx;
+                    fy += config.stiffness * dy;
+                    // Distance cutoff test.
+                    let near = dx * dx + dy * dy < 1.0;
+                    tb.push(Instr::branch(rtmp, near));
+                }
+                // v += f * dt ; x += v * dt (semi-implicit Euler)
+                tb.push(Instr::alu(OpClass::FpMul, rvx, rfx, Some(rdt)));
+                tb.push(Instr::alu(OpClass::FpMul, rvy, rfy, Some(rdt)));
+                tb.push(Instr::alu(OpClass::FpMul, rx, rvx, Some(rdt)));
+                tb.push(Instr::alu(OpClass::FpMul, ry, rvy, Some(rdt)));
+                let (vx, vy) = prev.vel[i];
+                let nvx = vx + fx * config.dt;
+                let nvy = vy + fy * config.dt;
+                state.vel[i] = (nvx, nvy);
+                state.disp[i] = (px + nvx * config.dt, py + nvy * config.dt);
+                // Store updated state.
+                tb.push(Instr::store(rx, Some(rbase), a));
+                tb.push(Instr::store(ry, Some(rbase), a + 8));
+                tb.push(Instr::store(rvx, Some(rbase), base_vel + i as u64 * elem));
+                tb.push(Instr::store(
+                    rvy,
+                    Some(rbase),
+                    base_vel + i as u64 * elem + 8,
+                ));
+            }
+        }
+    }
+    (tb.finish(), state)
+}
+
+/// Runs the kernel with `config` and returns just the trace.
+pub fn lattice_trace(config: &LatticeConfig) -> Trace {
+    lattice_kernel(config).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_and_nonempty() {
+        let cfg = LatticeConfig::default();
+        let a = lattice_trace(&cfg);
+        let b = lattice_trace(&cfg);
+        assert_eq!(a, b);
+        assert!(a.len() > 1000);
+    }
+
+    #[test]
+    fn trace_is_memory_heavy() {
+        let t = lattice_trace(&LatticeConfig::default());
+        let mem = t.class_fraction(OpClass::Load) + t.class_fraction(OpClass::Store);
+        assert!(mem > 0.3, "lattice should be memory-heavy, got {mem}");
+        assert!(t.class_fraction(OpClass::FpMul) > 0.1);
+        assert!(t.class_fraction(OpClass::Branch) > 0.05);
+    }
+
+    #[test]
+    fn physics_moves_particles() {
+        let (_, state) = lattice_kernel(&LatticeConfig {
+            side: 6,
+            steps: 10,
+            ..LatticeConfig::default()
+        });
+        assert!(state.kinetic_energy() > 0.0, "forces should induce motion");
+        assert!(
+            state.kinetic_energy().is_finite(),
+            "integration must not blow up"
+        );
+    }
+
+    #[test]
+    fn scales_with_parameters() {
+        let small = lattice_trace(&LatticeConfig {
+            side: 4,
+            steps: 2,
+            ..LatticeConfig::default()
+        });
+        let large = lattice_trace(&LatticeConfig {
+            side: 8,
+            steps: 2,
+            ..LatticeConfig::default()
+        });
+        assert!(large.len() > small.len() * 3);
+    }
+}

@@ -1,0 +1,83 @@
+//! An SDC-virus-style stress workload.
+//!
+//! The paper's measurement setup "was the same as that used for prior work
+//! such as the SDC virus measurement testing" (§6.2, citing Dey et al.,
+//! SELSE 2014): a workload deliberately constructed so that nearly every
+//! in-flight bit is ACE, maximizing SDC observability under the beam. This
+//! generator produces such a stream: long chains of value-producing
+//! instructions in which every result is consumed, no dead code, no NOPs,
+//! and stores that commit every accumulated value to memory — the
+//! worst-case (highest-AVF) counterpoint to the mixed suites.
+
+use crate::trace::{Instr, OpClass, Reg, Trace, TraceBuilder};
+
+/// Parameters for the SDC-virus workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdcVirusConfig {
+    /// Total dynamic instructions (rounded up to a whole chain).
+    pub len: usize,
+    /// Registers rotated through the dependence lattice.
+    pub live_regs: u8,
+}
+
+impl Default for SdcVirusConfig {
+    fn default() -> Self {
+        SdcVirusConfig {
+            len: 10_000,
+            live_regs: 24,
+        }
+    }
+}
+
+/// Generates the virus trace: a dependence lattice where every register is
+/// read before being overwritten and every chain ends in a store.
+pub fn sdc_virus_trace(config: &SdcVirusConfig) -> Trace {
+    let regs = config.live_regs.clamp(4, 30);
+    let mut tb = TraceBuilder::new(format!("sdc_virus_{}", config.len));
+    let mut addr = 0x4000_0000u64;
+    while tb.len() < config.len {
+        // One round: every live register is combined with its neighbour,
+        // so every previous value is consumed…
+        for r in 0..regs {
+            tb.push(Instr::alu(
+                OpClass::IntAlu,
+                Reg::new(r),
+                Reg::new(r),
+                Some(Reg::new((r + 1) % regs)),
+            ));
+        }
+        // …and one representative value is made architecturally visible.
+        tb.push(Instr::store(Reg::new(0), Some(Reg::new(1)), addr));
+        addr += 8;
+    }
+    tb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virus_has_no_slack() {
+        let t = sdc_virus_trace(&SdcVirusConfig::default());
+        assert!(t.len() >= 10_000);
+        assert_eq!(t.class_fraction(OpClass::Nop), 0.0);
+        assert!(t.class_fraction(OpClass::IntAlu) > 0.9);
+        assert!(t.class_fraction(OpClass::Store) > 0.0);
+    }
+
+    #[test]
+    fn virus_is_deterministic() {
+        let cfg = SdcVirusConfig::default();
+        assert_eq!(sdc_virus_trace(&cfg), sdc_virus_trace(&cfg));
+    }
+
+    #[test]
+    fn register_count_is_clamped() {
+        let t = sdc_virus_trace(&SdcVirusConfig {
+            len: 100,
+            live_regs: 200,
+        });
+        assert!(t.len() >= 100);
+    }
+}

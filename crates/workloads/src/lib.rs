@@ -1,0 +1,23 @@
+//! Workload substrate: instruction traces that drive the ACE-instrumented
+//! performance model in `seqavf-perf`.
+//!
+//! The paper collects port-AVF data from "a set of 547 workloads from a
+//! custom server benchmark suite … industry-standard benchmarks such as SPEC
+//! as well as traces of actual server workloads" (§6.1), plus two kernels
+//! with silicon beam-test data: a 2-D particle *lattice* kernel and an
+//! *MD5Sum* variant with memory accesses removed (§6.2). None of those
+//! binaries or traces are public, so this crate substitutes:
+//!
+//! - [`trace`] — a compact dynamic-instruction trace format.
+//! - [`kernels`] — re-implementations of the two beam-test kernels from
+//!   their paper descriptions, emitting traces with realistic dependence
+//!   structure (the MD5 kernel executes the real MD5 block transform).
+//! - [`suite`] — parametric instruction-mix families that expand into an
+//!   arbitrarily large seeded suite (547 workloads by default).
+
+pub mod kernels;
+pub mod suite;
+pub mod trace;
+
+pub use suite::{standard_suite, MixFamily, SuiteConfig};
+pub use trace::{Instr, OpClass, Reg, Trace, TraceBuilder};

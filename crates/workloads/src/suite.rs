@@ -1,0 +1,296 @@
+//! Parametric workload-suite generation.
+//!
+//! The paper's pAVF data came from 547 workloads mixing SPEC-style
+//! benchmarks with server traces (§6.1). This module generates a suite of
+//! the same scale: each workload is drawn from a [`MixFamily`] describing an
+//! instruction-class mix, working-set size, branch behaviour, and a fraction
+//! of dynamically dead code (results never consumed — the first-order
+//! source of un-ACE state that ACE analysis exploits).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::kernels::lattice::{lattice_trace, LatticeConfig};
+use crate::kernels::md5::{md5_trace, Md5Config};
+use crate::trace::{Instr, OpClass, Reg, Trace};
+
+/// An instruction-mix family from which workloads are sampled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixFamily {
+    /// Family name; generated workloads are named `<family>_<index>`.
+    pub name: String,
+    /// Relative weights for (int ALU, int mul, fp add, fp mul, load, store,
+    /// branch, nop).
+    pub weights: [f64; 8],
+    /// Probability a value-producing instruction is dynamically dead (its
+    /// result is overwritten before any use).
+    pub dead_fraction: f64,
+    /// Log2 of the working-set size in bytes, bounding generated addresses.
+    pub working_set_log2: u32,
+    /// Probability that a conditional branch is taken.
+    pub taken_prob: f64,
+}
+
+impl MixFamily {
+    fn new(
+        name: &str,
+        weights: [f64; 8],
+        dead_fraction: f64,
+        working_set_log2: u32,
+        taken_prob: f64,
+    ) -> Self {
+        MixFamily {
+            name: name.to_owned(),
+            weights,
+            dead_fraction,
+            working_set_log2,
+            taken_prob,
+        }
+    }
+
+    /// The six built-in families: SPEC-int-like, SPEC-fp-like, server OLTP,
+    /// web serving, HPC stencil, and pointer chasing.
+    pub fn builtin() -> Vec<MixFamily> {
+        vec![
+            //                        alu   mul   fpa   fpm   ld    st    br    nop
+            MixFamily::new(
+                "spec_int",
+                [0.42, 0.05, 0.00, 0.00, 0.22, 0.10, 0.18, 0.03],
+                0.12,
+                22,
+                0.62,
+            ),
+            MixFamily::new(
+                "spec_fp",
+                [0.18, 0.03, 0.22, 0.20, 0.22, 0.10, 0.04, 0.01],
+                0.06,
+                25,
+                0.55,
+            ),
+            MixFamily::new(
+                "server_oltp",
+                [0.36, 0.02, 0.01, 0.01, 0.26, 0.14, 0.17, 0.03],
+                0.18,
+                27,
+                0.58,
+            ),
+            MixFamily::new(
+                "web",
+                [0.40, 0.02, 0.01, 0.01, 0.24, 0.12, 0.16, 0.04],
+                0.22,
+                26,
+                0.60,
+            ),
+            MixFamily::new(
+                "hpc_stencil",
+                [0.15, 0.02, 0.28, 0.25, 0.18, 0.09, 0.03, 0.00],
+                0.04,
+                28,
+                0.52,
+            ),
+            MixFamily::new(
+                "pointer_chase",
+                [0.30, 0.01, 0.00, 0.00, 0.40, 0.05, 0.20, 0.04],
+                0.10,
+                29,
+                0.50,
+            ),
+        ]
+    }
+
+    /// Generates one workload of `len` instructions with the given seed.
+    pub fn generate(&self, index: usize, len: usize, seed: u64) -> Trace {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let total: f64 = self.weights.iter().sum();
+        let mask = (1u64 << self.working_set_log2) - 1;
+        let mut instrs = Vec::with_capacity(len);
+        for _ in 0..len {
+            let mut roll = rng.gen::<f64>() * total;
+            let mut class = OpClass::Nop;
+            for (w, op) in self.weights.iter().zip([
+                OpClass::IntAlu,
+                OpClass::IntMul,
+                OpClass::FpAdd,
+                OpClass::FpMul,
+                OpClass::Load,
+                OpClass::Store,
+                OpClass::Branch,
+                OpClass::Nop,
+            ]) {
+                if roll < *w {
+                    class = op;
+                    break;
+                }
+                roll -= w;
+            }
+            let r = |rng: &mut ChaCha8Rng| Reg::new(rng.gen::<u8>());
+            let instr = match class {
+                OpClass::Load => {
+                    Instr::load(r(&mut rng), Some(r(&mut rng)), rng.gen::<u64>() & mask)
+                }
+                OpClass::Store => {
+                    Instr::store(r(&mut rng), Some(r(&mut rng)), rng.gen::<u64>() & mask)
+                }
+                OpClass::Branch => Instr::branch(r(&mut rng), rng.gen_bool(self.taken_prob)),
+                OpClass::Nop => Instr::nop(),
+                op => {
+                    let two_src = rng.gen_bool(0.7);
+                    Instr::alu(
+                        op,
+                        r(&mut rng),
+                        r(&mut rng),
+                        two_src.then(|| r(&mut rng)),
+                    )
+                }
+            };
+            instrs.push(instr);
+        }
+        // Inject dead chains: overwrite a register immediately, making the
+        // first producer dynamically dead.
+        let dead_count = (len as f64 * self.dead_fraction) as usize;
+        for _ in 0..dead_count {
+            if instrs.len() < 2 {
+                break;
+            }
+            let pos = rng.gen_range(0..instrs.len() - 1);
+            if let Some(dst) = instrs[pos].dst {
+                // Rewrite the following instruction to clobber `dst` without
+                // reading it.
+                let nxt = &mut instrs[pos + 1];
+                if nxt.op == OpClass::IntAlu || nxt.op == OpClass::FpAdd {
+                    nxt.dst = Some(dst);
+                    if nxt.srcs[0] == Some(dst) {
+                        nxt.srcs[0] = Some(Reg::new(dst.index() as u8 ^ 1));
+                    }
+                    if nxt.srcs[1] == Some(dst) {
+                        nxt.srcs[1] = None;
+                    }
+                }
+            }
+        }
+        Trace::new(format!("{}_{index:03}", self.name), instrs)
+    }
+}
+
+/// Configuration for [`standard_suite`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteConfig {
+    /// Total number of workloads (the paper used 547).
+    pub workloads: usize,
+    /// Dynamic instructions per generated workload.
+    pub len: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Whether to include the two beam-test kernels (lattice, md5sum) as
+    /// the first two workloads.
+    pub include_kernels: bool,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            workloads: 547,
+            len: 10_000,
+            seed: 0xace_5eed,
+            include_kernels: true,
+        }
+    }
+}
+
+/// Generates the standard suite: the two beam-test kernels (optionally)
+/// followed by workloads cycled across the built-in mix families.
+pub fn standard_suite(config: &SuiteConfig) -> Vec<Trace> {
+    let families = MixFamily::builtin();
+    let mut out = Vec::with_capacity(config.workloads);
+    if config.include_kernels && config.workloads >= 2 {
+        out.push(lattice_trace(&LatticeConfig::default()));
+        out.push(md5_trace(&Md5Config::default()));
+    }
+    let mut idx = 0usize;
+    while out.len() < config.workloads {
+        let fam = &families[idx % families.len()];
+        out.push(fam.generate(
+            idx / families.len(),
+            config.len,
+            config.seed.wrapping_add(idx as u64),
+        ));
+        idx += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_suite_has_547_workloads() {
+        let cfg = SuiteConfig {
+            len: 100,
+            ..SuiteConfig::default()
+        };
+        let suite = standard_suite(&cfg);
+        assert_eq!(suite.len(), 547);
+        assert!(suite[0].name().starts_with("lattice"));
+        assert!(suite[1].name().starts_with("md5sum"));
+        // All names unique.
+        let mut names: Vec<_> = suite.iter().map(|t| t.name().to_owned()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 547);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let fam = &MixFamily::builtin()[0];
+        let a = fam.generate(0, 500, 9);
+        let b = fam.generate(0, 500, 9);
+        assert_eq!(a, b);
+        let c = fam.generate(0, 500, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mixes_roughly_match_weights() {
+        let fam = &MixFamily::builtin()[0]; // spec_int
+        let t = fam.generate(0, 20_000, 3);
+        let ld = t.class_fraction(OpClass::Load);
+        assert!((ld - 0.22).abs() < 0.03, "load fraction {ld}");
+        let fp = t.class_fraction(OpClass::FpAdd) + t.class_fraction(OpClass::FpMul);
+        assert!(fp < 0.05, "spec_int should have almost no fp, got {fp}");
+    }
+
+    #[test]
+    fn fp_family_is_fp_heavy() {
+        let fam = &MixFamily::builtin()[4]; // hpc_stencil
+        let t = fam.generate(0, 20_000, 3);
+        let fp = t.class_fraction(OpClass::FpAdd) + t.class_fraction(OpClass::FpMul);
+        assert!(fp > 0.4, "stencil fp fraction {fp}");
+    }
+
+    #[test]
+    fn addresses_respect_working_set() {
+        let fam = &MixFamily::builtin()[0];
+        let t = fam.generate(0, 5_000, 3);
+        let bound = 1u64 << fam.working_set_log2;
+        for i in t.instrs() {
+            if let Some(a) = i.addr {
+                assert!(a < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn suite_without_kernels() {
+        let cfg = SuiteConfig {
+            workloads: 10,
+            len: 50,
+            include_kernels: false,
+            ..SuiteConfig::default()
+        };
+        let suite = standard_suite(&cfg);
+        assert_eq!(suite.len(), 10);
+        assert!(!suite[0].name().starts_with("lattice"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Dynamic instruction traces.
+//!
+//! A [`Trace`] is the unit of work the performance model consumes: a named
+//! sequence of dynamic instructions with register and memory operands. The
+//! format deliberately carries only what ACE analysis needs — operand
+//! dependences (for dead-instruction analysis), memory addresses (for
+//! hamming-distance-1 analysis of address-based structures), branch
+//! outcomes, and per-instruction hints that make an instruction un-ACE at
+//! the architectural level (NOPs, prefetches).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of architectural registers in the trace ISA.
+pub const NUM_REGS: u8 = 32;
+
+/// An architectural register `r0`–`r31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register, wrapping into the valid range.
+    pub fn new(i: u8) -> Self {
+        Reg(i % NUM_REGS)
+    }
+
+    /// Raw register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Dynamic instruction class, the granularity the pipeline model schedules
+/// at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Multi-cycle integer multiply/divide.
+    IntMul,
+    /// Floating-point add/sub.
+    FpAdd,
+    /// Floating-point multiply/divide.
+    FpMul,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Architectural no-op (un-ACE by definition).
+    Nop,
+}
+
+impl OpClass {
+    /// Whether the class reads or writes memory.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether the class uses the floating-point pipes.
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAdd | OpClass::FpMul)
+    }
+
+    /// Nominal execution latency in cycles in the performance model.
+    pub fn latency(self) -> u32 {
+        match self {
+            OpClass::IntAlu | OpClass::Nop => 1,
+            OpClass::Branch => 1,
+            OpClass::IntMul => 3,
+            OpClass::FpAdd => 3,
+            OpClass::FpMul => 5,
+            OpClass::Load => 4,
+            OpClass::Store => 1,
+        }
+    }
+}
+
+/// One dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instr {
+    /// Operation class.
+    pub op: OpClass,
+    /// Destination register, if the instruction produces a value.
+    pub dst: Option<Reg>,
+    /// Up to two source registers.
+    pub srcs: [Option<Reg>; 2],
+    /// Effective address for loads/stores.
+    pub addr: Option<u64>,
+    /// Branch outcome (meaningful for [`OpClass::Branch`]).
+    pub taken: bool,
+    /// Architecturally discardable (software prefetch, hint): the result is
+    /// un-ACE regardless of dataflow.
+    pub hint: bool,
+}
+
+impl Instr {
+    /// A canonical NOP.
+    pub fn nop() -> Self {
+        Instr {
+            op: OpClass::Nop,
+            dst: None,
+            srcs: [None, None],
+            addr: None,
+            taken: false,
+            hint: true,
+        }
+    }
+
+    /// A register-to-register ALU-style instruction.
+    pub fn alu(op: OpClass, dst: Reg, a: Reg, b: Option<Reg>) -> Self {
+        Instr {
+            op,
+            dst: Some(dst),
+            srcs: [Some(a), b],
+            addr: None,
+            taken: false,
+            hint: false,
+        }
+    }
+
+    /// A load from `addr` into `dst`, with optional address register `base`.
+    pub fn load(dst: Reg, base: Option<Reg>, addr: u64) -> Self {
+        Instr {
+            op: OpClass::Load,
+            dst: Some(dst),
+            srcs: [base, None],
+            addr: Some(addr),
+            taken: false,
+            hint: false,
+        }
+    }
+
+    /// A store of `src` to `addr`, with optional address register `base`.
+    pub fn store(src: Reg, base: Option<Reg>, addr: u64) -> Self {
+        Instr {
+            op: OpClass::Store,
+            dst: None,
+            srcs: [Some(src), base],
+            addr: Some(addr),
+            taken: false,
+            hint: false,
+        }
+    }
+
+    /// A conditional branch testing `cond`.
+    pub fn branch(cond: Reg, taken: bool) -> Self {
+        Instr {
+            op: OpClass::Branch,
+            dst: None,
+            srcs: [Some(cond), None],
+            addr: None,
+            taken,
+            hint: false,
+        }
+    }
+
+    /// Iterates over the source registers that are present.
+    pub fn sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+}
+
+/// A named dynamic instruction trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    instrs: Vec<Instr>,
+}
+
+impl Trace {
+    /// Creates a trace from parts.
+    pub fn new(name: impl Into<String>, instrs: Vec<Instr>) -> Self {
+        Trace {
+            name: name.into(),
+            instrs,
+        }
+    }
+
+    /// The workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instructions in program order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Fraction of instructions in a given class.
+    pub fn class_fraction(&self, op: OpClass) -> f64 {
+        if self.instrs.is_empty() {
+            return 0.0;
+        }
+        self.instrs.iter().filter(|i| i.op == op).count() as f64 / self.instrs.len() as f64
+    }
+}
+
+/// Convenience builder for hand-written or kernel-generated traces.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+}
+
+impl TraceBuilder {
+    /// Starts an empty trace with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TraceBuilder {
+            name: name.into(),
+            instrs: Vec::new(),
+        }
+    }
+
+    /// Appends one instruction.
+    pub fn push(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    /// Number of instructions so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether no instructions have been added.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Finishes the trace.
+    pub fn finish(self) -> Trace {
+        Trace {
+            name: self.name,
+            instrs: self.instrs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_wraps_into_range() {
+        assert_eq!(Reg::new(5).index(), 5);
+        assert_eq!(Reg::new(NUM_REGS + 3).index(), 3);
+        assert_eq!(Reg::new(7).to_string(), "r7");
+    }
+
+    #[test]
+    fn constructors_fill_fields() {
+        let a = Reg::new(1);
+        let b = Reg::new(2);
+        let i = Instr::alu(OpClass::IntAlu, Reg::new(0), a, Some(b));
+        assert_eq!(i.dst, Some(Reg::new(0)));
+        assert_eq!(i.sources().count(), 2);
+
+        let l = Instr::load(a, Some(b), 0x100);
+        assert_eq!(l.op, OpClass::Load);
+        assert_eq!(l.addr, Some(0x100));
+
+        let s = Instr::store(a, None, 0x200);
+        assert_eq!(s.dst, None);
+        assert_eq!(s.sources().count(), 1);
+
+        let br = Instr::branch(a, true);
+        assert!(br.taken);
+
+        let n = Instr::nop();
+        assert!(n.hint);
+        assert_eq!(n.op, OpClass::Nop);
+    }
+
+    #[test]
+    fn op_class_properties() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+        assert!(OpClass::FpMul.is_fp());
+        assert!(OpClass::FpMul.latency() > OpClass::IntAlu.latency());
+    }
+
+    #[test]
+    fn trace_builder_and_queries() {
+        let mut b = TraceBuilder::new("t");
+        assert!(b.is_empty());
+        b.push(Instr::nop());
+        b.push(Instr::alu(OpClass::IntAlu, Reg::new(0), Reg::new(1), None));
+        let t = b.finish();
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.len(), 2);
+        assert!((t.class_fraction(OpClass::Nop) - 0.5).abs() < 1e-12);
+        assert_eq!(t.class_fraction(OpClass::Load), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_fraction_is_zero() {
+        let t = Trace::new("e", vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.class_fraction(OpClass::IntAlu), 0.0);
+    }
+}

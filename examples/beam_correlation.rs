@@ -1,0 +1,67 @@
+//! Model-to-measurement correlation under a simulated proton beam (§6.2,
+//! Figure 10), for the two kernels the paper beam-tested: the 2-D lattice
+//! particle workload and the memory-less MD5Sum variant.
+//!
+//! Run with: `cargo run --release --example beam_correlation`
+
+use seqavf::beam::campaign::{run_beam, BeamConfig};
+use seqavf::beam::correlate::{improvement, miscorrelation};
+use seqavf::beam::fit::BitPopulation;
+use seqavf::flow::{inputs_from_report, run_flow, FlowConfig};
+use seqavf::perf::pipeline::run_ace;
+use seqavf::workloads::kernels::lattice::{lattice_trace, LatticeConfig};
+use seqavf::workloads::kernels::md5::{md5_trace, Md5Config};
+
+fn main() {
+    let mut cfg = FlowConfig::xeon_like(42);
+    cfg.suite.workloads = 16;
+    cfg.suite.len = 4_000;
+    let out = run_flow(&cfg);
+    let nl = &out.design.netlist;
+    let seq_bits = nl.seq_count() as u64;
+    let fit_per_bit = 1.0e-3;
+
+    // The conservative proxy the paper previously carried for sequential
+    // bits: a suite-wide structure AVF.
+    let proxy = 0.35;
+
+    for (name, trace) in [
+        ("Lattice", lattice_trace(&LatticeConfig::default())),
+        ("MD5Sum ", md5_trace(&Md5Config::default())),
+    ] {
+        let rep = run_ace(&trace, &cfg.perf);
+        let inputs = inputs_from_report(&rep);
+        let avfs = out.result.reevaluate(nl, &inputs);
+        let seq_avf: f64 =
+            nl.seq_nodes().map(|id| avfs[id.index()]).sum::<f64>() / seq_bits as f64;
+
+        // Simulated device truth: SART's rate estimate derated by a
+        // nominal logical-masking factor (see the fig10 harness for the
+        // SFI-measured version).
+        let truth = seq_avf * 0.85;
+        let true_fit = BitPopulation::unprotected("seq", seq_bits, truth, fit_per_bit).fit();
+        let before_fit = BitPopulation::unprotected("seq", seq_bits, proxy, fit_per_bit).fit();
+        let after_fit = BitPopulation::unprotected("seq", seq_bits, seq_avf, fit_per_bit).fit();
+
+        let m = run_beam(
+            true_fit,
+            &BeamConfig {
+                hours: 24.0,
+                ..BeamConfig::default()
+            },
+        );
+        let mis_before = miscorrelation(before_fit, m.measured_fit);
+        let mis_after = miscorrelation(after_fit, m.measured_fit);
+        println!(
+            "{name}: measured {:>6.3} FIT (±{:.0}%) | before {:>6.3} (off {:>5.1}%) | after {:>6.3} (off {:>5.1}%) | improvement {:.0}%",
+            m.measured_fit,
+            m.relative_error() * 100.0,
+            before_fit,
+            mis_before * 100.0,
+            after_fit,
+            mis_after * 100.0,
+            improvement(mis_before, mis_after) * 100.0
+        );
+    }
+    println!("\nSee `cargo run --release -p seqavf-bench --bin fig10_beam_correlation`\nfor the full experiment with SFI-derived device truth and AU normalization.");
+}

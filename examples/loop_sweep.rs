@@ -1,0 +1,37 @@
+//! The loop-boundary pAVF study of §4.3 (Figure 8), run through the
+//! symbolic closed forms: the design is walked **once**, then every sweep
+//! point is a pure re-evaluation of the stored equations.
+//!
+//! Run with: `cargo run --release --example loop_sweep`
+
+use seqavf::flow::{run_flow, FlowConfig};
+
+fn main() {
+    let mut cfg = FlowConfig::xeon_like(42);
+    cfg.suite.workloads = 16;
+    cfg.suite.len = 4_000;
+    let out = run_flow(&cfg);
+    let nl = &out.design.netlist;
+
+    println!(
+        "loop study: {} of {} sequential bits sit on feedback loops ({:.1}%)\n",
+        out.summary.loop_seq_bits,
+        nl.seq_count(),
+        100.0 * out.summary.loop_seq_bits as f64 / nl.seq_count() as f64
+    );
+    println!("loop pAVF   mean seq AVF");
+    for k in 0..=10 {
+        let loop_pavf = f64::from(k) / 10.0;
+        let mut r = out.result.clone();
+        r.config.loop_pavf = loop_pavf;
+        let avfs = r.reevaluate(nl, &out.inputs);
+        let mean: f64 =
+            nl.seq_nodes().map(|id| avfs[id.index()]).sum::<f64>() / nl.seq_count() as f64;
+        let bar = "#".repeat((mean * 150.0) as usize);
+        println!("{loop_pavf:>9.1}   {mean:.4}  {bar}");
+    }
+    println!(
+        "\nThe curve does not saturate even at 100% — the MIN(F, B) rule and the\n\
+         measured port pAVFs bound the ripple (§4.3). The paper picks 0.3 at the heel."
+    );
+}

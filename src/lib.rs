@@ -1,0 +1,176 @@
+//! # seqavf
+//!
+//! A reproduction of *"A Fast and Accurate Analytical Technique to Compute
+//! the AVF of Sequential Bits in a Processor"* (Raasch, Biswas, Stephan,
+//! Racunas, Emer — MICRO-48, 2015) as a Rust workspace.
+//!
+//! The paper computes the architectural vulnerability factor (AVF) of
+//! every flop and latch in a processor by combining **port AVFs** measured
+//! with ACE analysis on a performance model with a node graph extracted
+//! from RTL, propagating the values through the graph with set-theoretic
+//! rules and an iterative relaxation (SART).
+//!
+//! This umbrella crate re-exports the workspace members and provides
+//! [`flow`], the end-to-end four-step tool flow of §5:
+//!
+//! 1. run the ACE-instrumented performance model over a workload suite
+//!    ([`perf`], [`workloads`]),
+//! 2. collect port-AVF data,
+//! 3. take the compiled/flattened RTL ([`netlist`]),
+//! 4. map ACE structure bits to RTL bits and walk the pAVF values through
+//!    the node graph ([`core`]).
+//!
+//! Baselines and validation live in [`sfi`] (statistical fault injection)
+//! and [`beam`] (accelerated-measurement simulation).
+//!
+//! ```
+//! use seqavf::flow::{run_flow, FlowConfig};
+//!
+//! let mut cfg = FlowConfig::small(7);
+//! cfg.suite.workloads = 4; // keep the doctest quick
+//! let out = run_flow(&cfg);
+//! assert!(out.summary.weighted_seq_avf > 0.0);
+//! assert!(out.summary.weighted_seq_avf < 1.0);
+//! ```
+
+pub use seqavf_beam as beam;
+pub use seqavf_core as core;
+pub use seqavf_netlist as netlist;
+pub use seqavf_perf as perf;
+pub use seqavf_sfi as sfi;
+pub use seqavf_workloads as workloads;
+
+pub mod flow {
+    //! The end-to-end tool flow (§5.1): performance model → port AVFs →
+    //! structure mapping → SART.
+
+    use seqavf_core::engine::{SartConfig, SartEngine, SartResult};
+    use seqavf_core::mapping::{PavfInputs, StructureMapping};
+    use seqavf_core::report::SartSummary;
+    use seqavf_netlist::synth::{generate, SynthConfig, SynthDesign};
+    use seqavf_perf::pipeline::{run_ace, PerfConfig};
+    use seqavf_perf::report::{AceReport, SuiteReport};
+    use seqavf_workloads::suite::{standard_suite, SuiteConfig};
+    use seqavf_workloads::trace::Trace;
+
+    /// Configuration of a full flow run.
+    #[derive(Debug, Clone)]
+    pub struct FlowConfig {
+        /// Synthetic design to generate (stands in for the compiled RTL).
+        pub design: SynthConfig,
+        /// Workload suite for the performance model.
+        pub suite: SuiteConfig,
+        /// Performance-model parameters.
+        pub perf: PerfConfig,
+        /// SART parameters.
+        pub sart: SartConfig,
+    }
+
+    impl FlowConfig {
+        /// A full-scale configuration: the Xeon-like design and the
+        /// 547-workload suite.
+        ///
+        /// The RTL-boundary pseudo-structures (§5.1: "circuits that lie
+        /// outside of the RTL being analyzed are grouped together into one
+        /// or more pseudo-structures, with its own pAVF_R and pAVF_W
+        /// values") are given calibrated uncore-traffic values rather than
+        /// the fully conservative 1.0 defaults.
+        pub fn xeon_like(seed: u64) -> Self {
+            FlowConfig {
+                design: SynthConfig::xeon_like(seed),
+                suite: SuiteConfig::default(),
+                perf: PerfConfig::default(),
+                sart: SartConfig {
+                    boundary_in_pavf: 0.35,
+                    boundary_out_pavf: 0.35,
+                    ..SartConfig::default()
+                },
+            }
+        }
+
+        /// A scaled-down configuration for tests and quick studies.
+        pub fn small(seed: u64) -> Self {
+            FlowConfig {
+                design: SynthConfig::xeon_like(seed).scaled(0.4),
+                suite: SuiteConfig {
+                    workloads: 8,
+                    len: 2_000,
+                    ..SuiteConfig::default()
+                },
+                perf: PerfConfig::default(),
+                sart: SartConfig {
+                    boundary_in_pavf: 0.35,
+                    boundary_out_pavf: 0.35,
+                    ..SartConfig::default()
+                },
+            }
+        }
+    }
+
+    /// Everything a flow run produces.
+    #[derive(Debug, Clone)]
+    pub struct FlowOutput {
+        /// The generated design and its ground-truth metadata.
+        pub design: SynthDesign,
+        /// Per-workload ACE reports.
+        pub suite_report: SuiteReport,
+        /// The measured pAVF table fed to SART.
+        pub inputs: PavfInputs,
+        /// The structure mapping used (from generator ground truth).
+        pub mapping: StructureMapping,
+        /// SART's full result (closed forms + AVFs).
+        pub result: SartResult,
+        /// Per-FUB summary (Figure 9 data).
+        pub summary: SartSummary,
+    }
+
+    /// Converts a suite's mean ACE measurements into SART inputs.
+    pub fn inputs_from_suite(report: &SuiteReport) -> PavfInputs {
+        let mut inputs = PavfInputs::new();
+        for (name, pavf) in report.mean_port_avfs() {
+            inputs.set_port(name, pavf.read, pavf.write);
+        }
+        for (name, avf) in report.mean_structure_avfs() {
+            inputs.set_structure_avf(name, avf);
+        }
+        inputs
+    }
+
+    /// Converts a single workload's ACE report into SART inputs.
+    pub fn inputs_from_report(report: &AceReport) -> PavfInputs {
+        let mut inputs = PavfInputs::new();
+        for (name, pavf) in report.port_avfs() {
+            inputs.set_port(name, pavf.read, pavf.write);
+        }
+        for (name, s) in &report.structures {
+            inputs.set_structure_avf(name.clone(), s.avf);
+        }
+        inputs
+    }
+
+    /// Runs the performance model over every trace.
+    pub fn run_suite(traces: &[Trace], perf: &PerfConfig) -> SuiteReport {
+        SuiteReport::new(traces.iter().map(|t| run_ace(t, perf)).collect())
+    }
+
+    /// Runs the complete flow: generate the design, simulate the suite,
+    /// extract pAVFs, map structures, and resolve sequential AVFs.
+    pub fn run_flow(config: &FlowConfig) -> FlowOutput {
+        let design = generate(&config.design);
+        let traces = standard_suite(&config.suite);
+        let suite_report = run_suite(&traces, &config.perf);
+        let inputs = inputs_from_suite(&suite_report);
+        let mapping = StructureMapping::from_pairs(design.meta.structure_map.clone());
+        let engine = SartEngine::new(&design.netlist, &mapping, config.sart.clone());
+        let result = engine.run(&inputs);
+        let summary = SartSummary::new(&design.netlist, &result);
+        FlowOutput {
+            design,
+            suite_report,
+            inputs,
+            mapping,
+            result,
+            summary,
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Property-based tests over randomly generated circuits, checking the
+//! invariants listed in DESIGN.md §6: range, the MIN resolution rule,
+//! partitioned/global equivalence, closed-form reuse, monotonicity in the
+//! measured inputs, EXLIF round-tripping, and SART's conservatism against
+//! fault injection.
+
+use proptest::prelude::*;
+
+use seqavf::core::engine::{SartConfig, SartEngine};
+use seqavf::core::mapping::{PavfInputs, StructureMapping};
+use seqavf::netlist::graph::{GateOp, Netlist, NetlistBuilder, NodeId, NodeKind, SeqKind};
+use seqavf::sfi::campaign::{run_campaign, CampaignConfig};
+
+/// Deterministically builds a valid circuit from a byte recipe: bytes
+/// select operations (gates, flops, FSM rings, structure writes, outputs)
+/// over a growing signal pool, so every generated netlist is valid by
+/// construction.
+fn build_circuit(recipe: &[(u8, u8, u8)], fubs: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("prop");
+    let fubs: Vec<_> = (0..fubs.max(1))
+        .map(|i| b.add_fub(format!("f{i}")))
+        .collect();
+    let mut pool: Vec<NodeId> = Vec::new();
+    // Two structures of three bits each plus two inputs seed the pool.
+    let s1 = b.add_structure("f0.sa", 3, fubs[0]);
+    let s2 = b.add_structure("f0.sb", 3, fubs[0]);
+    for bit in 0..3 {
+        pool.push(b.structure_cell(s1, bit));
+        pool.push(b.structure_cell(s2, bit));
+    }
+    for i in 0..2 {
+        pool.push(b.add_node(format!("f0.in{i}"), NodeKind::Input, fubs[0]));
+    }
+
+    let flop = NodeKind::Seq {
+        kind: SeqKind::Flop,
+        has_enable: false,
+    };
+    let gates = [GateOp::And, GateOp::Or, GateOp::Nor, GateOp::Xor, GateOp::Nand];
+    let mut struct_writes = 0usize;
+    for (i, &(kind, x, y)) in recipe.iter().enumerate() {
+        let fub = fubs[i % fubs.len()];
+        let fname = |n: &str| format!("f{}.{n}{i}", i % fubs.len());
+        let pick = |k: u8| pool[k as usize % pool.len()];
+        match kind % 6 {
+            0 | 1 => {
+                // Two-input gate followed by a flop (pipeline + join).
+                let g = b.add_node(
+                    fname("g"),
+                    NodeKind::Comb(gates[x as usize % gates.len()]),
+                    fub,
+                );
+                b.connect(pick(x), g);
+                b.connect(pick(y), g);
+                let q = b.add_node(fname("q"), flop, fub);
+                b.connect(g, q);
+                pool.push(q);
+            }
+            2 => {
+                // Plain pipeline flop.
+                let q = b.add_node(fname("p"), flop, fub);
+                b.connect(pick(x), q);
+                pool.push(q);
+            }
+            3 => {
+                // FSM loop: two flops closed through an OR with an entry.
+                let a = b.add_node(fname("la"), flop, fub);
+                let l2 = b.add_node(fname("lb"), flop, fub);
+                let g = b.add_node(fname("lg"), NodeKind::Comb(GateOp::Or), fub);
+                b.connect(a, l2);
+                b.connect(l2, g);
+                b.connect(pick(x), g);
+                b.connect(g, a);
+                pool.push(l2);
+            }
+            4 => {
+                // Structure write (bounded so some cells stay read-only).
+                if struct_writes < 4 {
+                    let cell = b.structure_cell(if x % 2 == 0 { s1 } else { s2 }, u32::from(y) % 3);
+                    b.connect(pick(x), cell);
+                    struct_writes += 1;
+                } else {
+                    let q = b.add_node(fname("pw"), flop, fub);
+                    b.connect(pick(x), q);
+                    pool.push(q);
+                }
+            }
+            _ => {
+                // Boundary output.
+                let o = b.add_node(fname("o"), NodeKind::Output, fub);
+                b.connect(pick(x), o);
+            }
+        }
+    }
+    // Guarantee at least one sink.
+    let last = *pool.last().expect("pool non-empty");
+    let o = b.add_node("f0.final_out", NodeKind::Output, fubs[0]);
+    b.connect(last, o);
+    b.finish().expect("recipe-built netlists are valid")
+}
+
+fn recipe_strategy() -> impl Strategy<Value = (Vec<(u8, u8, u8)>, usize)> {
+    (
+        prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..60),
+        1usize..4,
+    )
+}
+
+fn inputs_with(v: f64, w: f64) -> PavfInputs {
+    let mut p = PavfInputs::new();
+    p.set_port("f0.sa", v, w);
+    p.set_port("f0.sb", v / 2.0, w / 2.0);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn avf_is_min_of_walks_and_in_range((recipe, fubs) in recipe_strategy()) {
+        let nl = build_circuit(&recipe, fubs);
+        let inputs = inputs_with(0.3, 0.4);
+        let engine = SartEngine::new(&nl, &StructureMapping::new(), SartConfig::default());
+        let r = engine.run(&inputs);
+        for id in nl.nodes() {
+            let avf = r.avf(id);
+            prop_assert!((0.0..=1.0).contains(&avf), "{}", nl.name(id));
+            if !r.roles.role(id).is_injected() {
+                let f = r.forward_value(id, &inputs);
+                let b = r.backward_value(id, &inputs);
+                prop_assert!((avf - f.min(b)).abs() < 1e-12, "{}", nl.name(id));
+                prop_assert!(avf <= f + 1e-12);
+                prop_assert!(avf <= b + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_equals_global((recipe, fubs) in recipe_strategy()) {
+        let nl = build_circuit(&recipe, fubs);
+        let inputs = inputs_with(0.25, 0.35);
+        let part = SartEngine::new(&nl, &StructureMapping::new(), SartConfig::default())
+            .run(&inputs);
+        let glob = SartEngine::new(
+            &nl,
+            &StructureMapping::new(),
+            SartConfig { partitioned: false, ..SartConfig::default() },
+        )
+        .run(&inputs);
+        prop_assert!(part.outcome.converged);
+        for id in nl.nodes() {
+            prop_assert!(
+                (part.avf(id) - glob.avf(id)).abs() < 1e-12,
+                "{} partitioned {} vs global {}",
+                nl.name(id), part.avf(id), glob.avf(id)
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_reuse_is_exact((recipe, fubs) in recipe_strategy(),
+                                  v in 0.0f64..1.0, w in 0.0f64..1.0) {
+        let nl = build_circuit(&recipe, fubs);
+        let engine = SartEngine::new(&nl, &StructureMapping::new(), SartConfig::default());
+        let first = engine.run(&inputs_with(0.5, 0.5));
+        let new_inputs = inputs_with(v, w);
+        let cheap = first.reevaluate(&nl, &new_inputs);
+        let fresh = engine.run(&new_inputs);
+        for id in nl.nodes() {
+            prop_assert!((cheap[id.index()] - fresh.avf(id)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn avf_is_monotone_in_port_pavfs((recipe, fubs) in recipe_strategy(),
+                                     lo in 0.0f64..0.5) {
+        let nl = build_circuit(&recipe, fubs);
+        let engine = SartEngine::new(&nl, &StructureMapping::new(), SartConfig::default());
+        let low = engine.run(&inputs_with(lo, lo));
+        let high = engine.run(&inputs_with(lo + 0.4, lo + 0.4));
+        for id in nl.nodes() {
+            prop_assert!(
+                high.avf(id) + 1e-12 >= low.avf(id),
+                "{}: raising inputs lowered AVF {} -> {}",
+                nl.name(id), low.avf(id), high.avf(id)
+            );
+        }
+    }
+
+    #[test]
+    fn exlif_roundtrip_preserves_graph((recipe, fubs) in recipe_strategy()) {
+        let nl = build_circuit(&recipe, fubs);
+        let text = seqavf::netlist::exlif::write(&nl);
+        let nl2 = seqavf::netlist::flatten::parse_netlist(&text).unwrap();
+        prop_assert_eq!(nl.node_count(), nl2.node_count());
+        prop_assert_eq!(nl.edge_count(), nl2.edge_count());
+        prop_assert_eq!(nl.seq_count(), nl2.seq_count());
+        for id in nl.nodes() {
+            let id2 = nl2.lookup(nl.name(id)).expect("name preserved");
+            prop_assert_eq!(nl.kind(id), nl2.kind(id2));
+        }
+    }
+}
+
+proptest! {
+    // SFI pairs are comparatively expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn conservative_sart_dominates_sfi((recipe, fubs) in recipe_strategy()) {
+        let nl = build_circuit(&recipe, fubs);
+        let config = SartConfig {
+            loop_pavf: 1.0,
+            boundary_in_pavf: 1.0,
+            boundary_out_pavf: 1.0,
+            default_port_pavf: 1.0,
+            ..SartConfig::default()
+        };
+        let sart = SartEngine::new(&nl, &StructureMapping::new(), config)
+            .run(&PavfInputs::new());
+        let targets: Vec<NodeId> = nl.seq_nodes().collect();
+        let camp = run_campaign(
+            &nl,
+            &targets,
+            &CampaignConfig {
+                injections_per_node: 4,
+                threads: 1,
+                max_warmup: 8,
+                horizon: 60,
+                ..CampaignConfig::default()
+            },
+        );
+        for est in &camp.nodes {
+            let err = est.errors as f64 / est.injections as f64;
+            prop_assert!(
+                sart.avf(est.node) + 1e-9 >= err,
+                "{}: SFI {} > SART bound {}",
+                nl.name(est.node), err, sart.avf(est.node)
+            );
+        }
+    }
+}

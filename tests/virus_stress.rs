@@ -1,0 +1,44 @@
+//! The SDC-virus stress workload (§6.2's measurement companion) should be
+//! the high-water mark of the workload population: with no dead code and
+//! every value consumed and committed, its ACE rates — and therefore the
+//! sequential AVFs SART derives — must exceed those of the mixed suite.
+
+use seqavf::flow::{inputs_from_report, run_flow, FlowConfig};
+use seqavf::perf::pipeline::{run_ace, PerfConfig};
+use seqavf::workloads::kernels::sdc_virus::{sdc_virus_trace, SdcVirusConfig};
+use seqavf::workloads::suite::MixFamily;
+
+#[test]
+fn virus_maximizes_sequential_avf() {
+    let mut cfg = FlowConfig::small(31);
+    cfg.suite.workloads = 6;
+    cfg.suite.len = 1_500;
+    let out = run_flow(&cfg);
+    let nl = &out.design.netlist;
+
+    let virus = sdc_virus_trace(&SdcVirusConfig {
+        len: 4_000,
+        ..SdcVirusConfig::default()
+    });
+    let mixed = MixFamily::builtin()[3].generate(0, 4_000, 7); // web mix
+
+    let virus_rep = run_ace(&virus, &PerfConfig::default());
+    let mixed_rep = run_ace(&mixed, &PerfConfig::default());
+
+    // Architectural ACE fraction: the virus has essentially zero slack.
+    let virus_ace = seqavf::perf::ace::analyze_trace(&virus).ace_fraction();
+    let mixed_ace = seqavf::perf::ace::analyze_trace(&mixed).ace_fraction();
+    assert!(virus_ace > 0.99, "virus ACE fraction {virus_ace}");
+    assert!(virus_ace > mixed_ace);
+
+    // And the derived sequential AVFs follow.
+    let mean = |avfs: &[f64]| {
+        nl.seq_nodes().map(|id| avfs[id.index()]).sum::<f64>() / nl.seq_count() as f64
+    };
+    let virus_avf = mean(&out.result.reevaluate(nl, &inputs_from_report(&virus_rep)));
+    let mixed_avf = mean(&out.result.reevaluate(nl, &inputs_from_report(&mixed_rep)));
+    assert!(
+        virus_avf > mixed_avf,
+        "virus {virus_avf} must exceed mixed {mixed_avf}"
+    );
+}
