@@ -64,7 +64,10 @@ impl CorrelationRow {
         CorrelationRow {
             workload: workload.into(),
             measured_au: au(measurement.measured_fit),
-            measured_interval_au: (au(measurement.fit_interval.0), au(measurement.fit_interval.1)),
+            measured_interval_au: (
+                au(measurement.fit_interval.0),
+                au(measurement.fit_interval.1),
+            ),
             modeled_before_au: au(modeled_before),
             modeled_after_au: au(modeled_after),
         }

@@ -130,6 +130,51 @@ fn bench_netlist_generation(c: &mut Criterion) {
     });
 }
 
+fn bench_relax_thread_scaling(c: &mut Criterion) {
+    // The tentpole scaling curve: one full SART solve (dominated by the
+    // sharded relaxation) at 1/2/4/8 worker threads over the same design.
+    // On a multi-core host expect ≥2× at 4 threads; every point produces
+    // bit-identical annotations (checked in tests and by the
+    // `thread_scaling` harness binary).
+    let design = generate(&SynthConfig::xeon_like(42).scaled(2.0));
+    let mapping = StructureMapping::from_pairs(design.meta.structure_map.clone());
+    let inputs = PavfInputs::new();
+    let mut group = c.benchmark_group("relax_threads");
+    for threads in [1usize, 2, 4, 8] {
+        let engine = SartEngine::new(
+            &design.netlist,
+            &mapping,
+            SartConfig {
+                threads,
+                ..SartConfig::default()
+            },
+        );
+        group.bench_function(&format!("{threads}"), |b| {
+            b.iter(|| std::hint::black_box(engine.run(&inputs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reevaluate_many(c: &mut Criterion) {
+    // Batch closed-form re-evaluation across workloads, the fan-out
+    // companion of `symbolic_reeval`.
+    let design = generate(&SynthConfig::xeon_like(42));
+    let mapping = StructureMapping::from_pairs(design.meta.structure_map.clone());
+    let engine = SartEngine::new(&design.netlist, &mapping, SartConfig::default());
+    let result = engine.run(&PavfInputs::new());
+    let tables: Vec<PavfInputs> = (0..16).map(|_| PavfInputs::new()).collect();
+    let mut group = c.benchmark_group("reevaluate_many_16_workloads");
+    for threads in [1usize, 4] {
+        group.bench_function(&format!("{threads}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(result.reevaluate_many(&design.netlist, &tables, threads))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sart_full_run,
@@ -139,5 +184,7 @@ criterion_group!(
     bench_perf_model,
     bench_loop_sweep_point,
     bench_netlist_generation,
+    bench_relax_thread_scaling,
+    bench_reevaluate_many,
 );
 criterion_main!(benches);

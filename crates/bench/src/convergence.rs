@@ -78,7 +78,13 @@ pub fn run(scale: Scale, seed: u64) -> ConvergenceReport {
             .iter()
             .map(|s| s.changed_sets)
             .collect(),
-        max_delta: out.result.outcome.trace.iter().map(|s| s.max_delta).collect(),
+        max_delta: out
+            .result
+            .outcome
+            .trace
+            .iter()
+            .map(|s| s.max_delta)
+            .collect(),
         converged: out.result.outcome.converged,
     }
 }

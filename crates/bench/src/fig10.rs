@@ -81,7 +81,9 @@ impl Fig10Report {
             let _ = writeln!(
                 out,
                 "  measured        {:>6.3} AU  [{:.3}, {:.3}]  {}",
-                r.measured_au, r.measured_interval_au.0, r.measured_interval_au.1,
+                r.measured_au,
+                r.measured_interval_au.0,
+                r.measured_interval_au.1,
                 bar(r.measured_au)
             );
             let _ = writeln!(
@@ -185,11 +187,7 @@ pub fn run(scale: Scale, seed: u64) -> Fig10Report {
         // an array population the same size as the sequential population
         // ("about half of the processor's total SDC SER comes from
         // sequentials", §1).
-        let total_bits: f64 = rep
-            .structures
-            .values()
-            .map(|s| s.total_bits() as f64)
-            .sum();
+        let total_bits: f64 = rep.structures.values().map(|s| s.total_bits() as f64).sum();
         let array_avf: f64 = rep
             .structures
             .values()
@@ -269,7 +267,11 @@ mod tests {
             r.mean_improvement
         );
         // Sequential AVFs land well below the conservative proxy.
-        assert!(r.avf_reduction_vs_proxy > 0.15, "{}", r.avf_reduction_vs_proxy);
+        assert!(
+            r.avf_reduction_vs_proxy > 0.15,
+            "{}",
+            r.avf_reduction_vs_proxy
+        );
     }
 
     #[test]

@@ -48,8 +48,8 @@ impl Fig8Report {
         }
         let mut best = (0.0f64, None);
         for w in self.points.windows(3) {
-            let curvature = (w[2].mean_seq_avf - w[1].mean_seq_avf)
-                - (w[1].mean_seq_avf - w[0].mean_seq_avf);
+            let curvature =
+                (w[2].mean_seq_avf - w[1].mean_seq_avf) - (w[1].mean_seq_avf - w[0].mean_seq_avf);
             if curvature.abs() > best.0 {
                 best = (curvature.abs(), Some(w[1].loop_pavf));
             }
@@ -59,8 +59,16 @@ impl Fig8Report {
 
     /// Spread of the sweep: `max − min` of the mean sequential AVF.
     pub fn spread(&self) -> f64 {
-        let min = self.points.iter().map(|p| p.mean_seq_avf).fold(1.0, f64::min);
-        let max = self.points.iter().map(|p| p.mean_seq_avf).fold(0.0, f64::max);
+        let min = self
+            .points
+            .iter()
+            .map(|p| p.mean_seq_avf)
+            .fold(1.0, f64::min);
+        let max = self
+            .points
+            .iter()
+            .map(|p| p.mean_seq_avf)
+            .fold(0.0, f64::max);
         max - min
     }
 
@@ -78,7 +86,11 @@ impl Fig8Report {
         );
         for p in &self.points {
             let bar = "#".repeat((p.mean_seq_avf * 120.0) as usize);
-            let _ = writeln!(out, "loop pAVF {:>4.1}  {:.4}  {}", p.loop_pavf, p.mean_seq_avf, bar);
+            let _ = writeln!(
+                out,
+                "loop pAVF {:>4.1}  {:.4}  {}",
+                p.loop_pavf, p.mean_seq_avf, bar
+            );
         }
         let _ = writeln!(
             out,

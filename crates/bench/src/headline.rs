@@ -101,8 +101,7 @@ pub fn run(scale: Scale, seed: u64) -> HeadlineReport {
     // The aggregate-budget proxy: the mean conservative structure AVF (the
     // "typical conservative AVF value" of §4.3, ~30% in the paper's flow).
     let cons_avfs = cons.mean_structure_avfs();
-    let struct_proxy_avf =
-        cons_avfs.values().sum::<f64>() / cons_avfs.len().max(1) as f64;
+    let struct_proxy_avf = cons_avfs.values().sum::<f64>() / cons_avfs.len().max(1) as f64;
 
     // Whole-core SDC: sequentials plus arrays (half parity-protected,
     // matching the paper's observation that sequentials are roughly half
@@ -158,7 +157,10 @@ mod tests {
             "seq AVF {}",
             r.weighted_seq_avf
         );
-        assert!(r.sdc_fit_reduction > 0.0, "applying sequential AVFs must cut SDC");
+        assert!(
+            r.sdc_fit_reduction > 0.0,
+            "applying sequential AVFs must cut SDC"
+        );
         assert!(r.visited_fraction > 0.98);
         assert!(r.control_reg_bits > 0);
         assert!(r.loop_seq_bits > 0);

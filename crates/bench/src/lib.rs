@@ -18,9 +18,10 @@
 //! | [`symbolic`] | §5.2 — closed-form re-evaluation vs full re-run |
 //! | [`ablations`] | §4/§5.1 design-choice ablations |
 //! | [`scaling`] | §1/§5.2 — SART cost vs design size |
+//! | [`threads`] | sharded relaxation wall time vs worker-thread count |
 
-pub mod accuracy;
 pub mod ablations;
+pub mod accuracy;
 pub mod common;
 pub mod convergence;
 pub mod fig10;
@@ -30,3 +31,4 @@ pub mod headline;
 pub mod scaling;
 pub mod speed;
 pub mod symbolic;
+pub mod threads;

@@ -86,7 +86,11 @@ pub fn run(scale: Scale, seed: u64) -> SpeedReport {
 
     // SFI: time a bounded batch and derive the per-injection cost.
     let seqs: Vec<NodeId> = nl.seq_nodes().collect();
-    let probe: Vec<NodeId> = seqs.iter().step_by((seqs.len() / 24).max(1)).copied().collect();
+    let probe: Vec<NodeId> = seqs
+        .iter()
+        .step_by((seqs.len() / 24).max(1))
+        .copied()
+        .collect();
     let camp_cfg = CampaignConfig {
         injections_per_node: 4,
         threads: 1, // single-threaded for a fair per-core comparison
@@ -97,8 +101,7 @@ pub fn run(scale: Scale, seed: u64) -> SpeedReport {
     let sfi_seconds = t1.elapsed().as_secs_f64();
     let sfi_us_per_injection = sfi_seconds * 1e6 / camp.total_injections.max(1) as f64;
     let sfi_us_per_node = sfi_us_per_injection * SIGNIFICANT_INJECTIONS as f64;
-    let sfi_full_campaign_hours =
-        sfi_us_per_node * seqs.len() as f64 / 1e6 / 3600.0;
+    let sfi_full_campaign_hours = sfi_us_per_node * seqs.len() as f64 / 1e6 / 3600.0;
 
     SpeedReport {
         nodes: nl.node_count(),

@@ -5,8 +5,10 @@
 //! seqavf ace   --out pavf.json [--workloads 32] [--len 5000] [--conservative]
 //! seqavf sart  --design design.exlif --map design.map --pavf pavf.json
 //!              [--out avf.json] [--loop-pavf 0.3] [--iterations 20] [--global]
+//!              [--threads 4]
 //! seqavf sfi   --design design.exlif [--sample 100] [--injections 16]
 //! seqavf flow  [--seed 42] [--workloads 32] [--len 5000] [--scale 1.0]
+//!              [--threads 4]
 //! ```
 //!
 //! `gen` emits the synthetic design in EXLIF plus the structure-mapping
@@ -26,8 +28,8 @@ use seqavf_core::report::SartSummary;
 use seqavf_netlist::exlif;
 use seqavf_netlist::flatten;
 use seqavf_netlist::graph::Netlist;
-use seqavf_netlist::verilog;
 use seqavf_netlist::synth::{generate, SynthConfig};
+use seqavf_netlist::verilog;
 use seqavf_perf::pipeline::PerfConfig;
 use seqavf_workloads::suite::{standard_suite, SuiteConfig};
 
@@ -63,13 +65,13 @@ commands:
   ace   --out <pavf.json> [--workloads N] [--len N] [--seed N] [--conservative]
         run the ACE performance model over a workload suite
   sart  --design <exlif|.v> --map <file> --pavf <json> [--out <json>]
-        [--loop-pavf F] [--iterations N] [--global]
+        [--loop-pavf F] [--iterations N] [--global] [--threads N]
         [--protected a,b] [--equations node1,node2]
         resolve sequential AVFs for every node (designs may be EXLIF or
         structural Verilog, chosen by file extension)
   sfi   --design <exlif> [--sample N] [--injections N] [--seed N]
         statistical fault-injection baseline
-  flow  [--seed N] [--workloads N] [--len N] [--scale F]
+  flow  [--seed N] [--workloads N] [--len N] [--scale F] [--threads N]
         run the whole pipeline in memory and print the per-FUB report
 ";
 
@@ -144,6 +146,7 @@ fn cmd_sart(args: &Args) -> Result<(), String> {
         loop_pavf: args.num("loop-pavf", 0.3f64)?,
         max_iterations: args.num("iterations", 20usize)?,
         partitioned: !args.has("global"),
+        threads: args.num("threads", 1usize)?.max(1),
         ..SartConfig::default()
     };
     let engine = SartEngine::new(&netlist, &mapping, config);
@@ -156,6 +159,13 @@ fn cmd_sart(args: &Args) -> Result<(), String> {
         summary.visited_fraction * 100.0,
         summary.control_reg_bits,
         summary.loop_seq_bits
+    );
+    println!(
+        "relaxation wall time: {:.3} ms total over {} sweeps ({:.3} ms/sweep, {} threads)",
+        result.outcome.total_wall_seconds() * 1e3,
+        result.outcome.trace.len(),
+        result.outcome.mean_iteration_seconds() * 1e3,
+        result.config.threads
     );
     // SDC/DUE split when protected structures are named.
     if let Some(protected) = args.get("protected") {
@@ -192,7 +202,10 @@ fn cmd_sart(args: &Args) -> Result<(), String> {
                 avf: result.avf(id),
             })
             .collect();
-        write_file(out, &serde_json::to_string_pretty(&dump).map_err(|e| e.to_string())?)?;
+        write_file(
+            out,
+            &serde_json::to_string_pretty(&dump).map_err(|e| e.to_string())?,
+        )?;
         println!("wrote {out}: {} sequential AVFs", dump.len());
     }
     Ok(())
@@ -238,6 +251,7 @@ fn cmd_flow(args: &Args) -> Result<(), String> {
     cfg.design = cfg.design.scaled(args.num("scale", 1.0f64)?);
     cfg.suite.workloads = args.num("workloads", 32usize)?;
     cfg.suite.len = args.num("len", 5_000usize)?;
+    cfg.sart.threads = args.num("threads", 1usize)?.max(1);
     let t0 = std::time::Instant::now();
     let out = seqavf::flow::run_flow(&cfg);
     print!("{}", out.summary.to_table());
@@ -247,6 +261,12 @@ fn cmd_flow(args: &Args) -> Result<(), String> {
         out.summary.iterations,
         out.summary.visited_fraction * 100.0,
         t0.elapsed()
+    );
+    println!(
+        "relaxation wall time: {:.3} ms over {} sweeps ({} threads)",
+        out.result.outcome.total_wall_seconds() * 1e3,
+        out.result.outcome.trace.len(),
+        cfg.sart.threads
     );
     Ok(())
 }

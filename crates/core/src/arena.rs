@@ -213,6 +213,17 @@ impl UnionArena {
         self.intern(vec![t])
     }
 
+    /// Interns an explicit term list, normalizing it like any union
+    /// (sorted, deduplicated, TOP-absorbed). This is the canonicalization
+    /// hook of the sharded parallel relaxation: worker shards hand their
+    /// final per-node term lists to the shared arena at the iteration
+    /// barrier, and because normalization depends only on the term
+    /// *content*, the resulting [`SetId`] is independent of which shard
+    /// produced the list.
+    pub fn intern_terms(&mut self, terms: &[TermId]) -> SetId {
+        self.intern(terms.to_vec())
+    }
+
     /// Set union of two sets.
     pub fn union2(&mut self, a: SetId, b: SetId) -> SetId {
         if a == b {
@@ -259,20 +270,20 @@ impl UnionArena {
     /// Evaluates one set against a term-value vector: capped sum over
     /// distinct terms (the no-overlap union of Equations 5 and 10).
     pub fn eval(&self, s: SetId, values: &[f64]) -> f64 {
-        let sum: f64 = self.sets[s.index()]
-            .iter()
-            .map(|t| values[t.index()])
-            .sum();
+        let sum: f64 = self.sets[s.index()].iter().map(|t| values[t.index()]).sum();
         sum.min(1.0)
     }
 
     /// Evaluates every interned set at once; index the result by
     /// [`SetId::index`]. This is the fast re-evaluation path of §5.2.
     pub fn eval_all(&self, values: &[f64]) -> Vec<f64> {
-        self.sets.iter().map(|set| {
-            let sum: f64 = set.iter().map(|t| values[t.index()]).sum();
-            sum.min(1.0)
-        }).collect()
+        self.sets
+            .iter()
+            .map(|set| {
+                let sum: f64 = set.iter().map(|t| values[t.index()]).sum();
+                sum.min(1.0)
+            })
+            .collect()
     }
 
     /// Renders a set as a human-readable union expression.

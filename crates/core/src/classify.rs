@@ -166,7 +166,13 @@ mod tests {
     fn roles_assigned_as_expected() {
         let (nl, rm) = setup();
         assert_eq!(rm.role(nl.lookup("f.cfg").unwrap()), NodeRole::BoundaryIn);
-        assert_eq!(rm.role(nl.lookup("st[0]").unwrap_or_else(|| nl.lookup("f.st[0]").unwrap())), NodeRole::StructCell);
+        assert_eq!(
+            rm.role(
+                nl.lookup("st[0]")
+                    .unwrap_or_else(|| nl.lookup("f.st[0]").unwrap())
+            ),
+            NodeRole::StructCell
+        );
         assert_eq!(
             rm.role(nl.lookup("f.creg_mode").unwrap()),
             NodeRole::ControlReg
@@ -202,10 +208,7 @@ mod tests {
         let rm = classify(&nl, &loops, &[]);
         assert_eq!(rm.control_reg_bits(), 0);
         // Without the control-reg role, creg_mode is an ordinary flop.
-        assert_eq!(
-            rm.role(nl.lookup("f.creg_mode").unwrap()),
-            NodeRole::Normal
-        );
+        assert_eq!(rm.role(nl.lookup("f.creg_mode").unwrap()), NodeRole::Normal);
     }
 
     #[test]

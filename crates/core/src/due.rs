@@ -144,7 +144,14 @@ mod tests {
 .end
 ";
 
-    fn setup(protect: &[&str]) -> (seqavf_netlist::graph::Netlist, SartResult, PavfInputs, DueAnalysis) {
+    fn setup(
+        protect: &[&str],
+    ) -> (
+        seqavf_netlist::graph::Netlist,
+        SartResult,
+        PavfInputs,
+        DueAnalysis,
+    ) {
         let nl = parse_netlist(SPLIT).unwrap();
         let mut inputs = PavfInputs::new();
         inputs.set_port("f.src", 0.8, 0.1);

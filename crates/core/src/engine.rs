@@ -9,9 +9,7 @@ use crate::arena::{SetId, TermTable, UnionArena};
 use crate::classify::{classify, NodeRole, RoleMap};
 use crate::mapping::{PavfInputs, StructureMapping};
 use crate::relax::{relax_partitioned, solve_global, RelaxOutcome};
-use crate::walk::{
-    prepare, Propagator, INJ_BOUNDARY_IN, INJ_BOUNDARY_OUT, INJ_CTRL, INJ_LOOP,
-};
+use crate::walk::{prepare, Propagator, INJ_BOUNDARY_IN, INJ_BOUNDARY_OUT, INJ_CTRL, INJ_LOOP};
 
 /// Configuration of a SART run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,6 +35,11 @@ pub struct SartConfig {
     /// mode) or as one global pass (`false`; same fixpoint, useful for
     /// validation).
     pub partitioned: bool,
+    /// Worker threads for the partitioned relaxation and batch
+    /// re-evaluation. Every thread count produces bit-identical
+    /// annotations and `SetId` numbering (see [`crate::relax`]); `1`
+    /// runs the sharded engine inline.
+    pub threads: usize,
 }
 
 impl Default for SartConfig {
@@ -50,6 +53,7 @@ impl Default for SartConfig {
             ctrl_patterns: vec!["creg".to_owned()],
             max_iterations: 20,
             partitioned: true,
+            threads: 1,
         }
     }
 }
@@ -108,7 +112,12 @@ impl<'nl> SartEngine<'nl> {
         let mut prop = self.prop_template.clone();
         let values = term_values(&prop.prep.terms, inputs, &self.config);
         let outcome = if self.config.partitioned {
-            relax_partitioned(&mut prop, &values, self.config.max_iterations)
+            relax_partitioned(
+                &mut prop,
+                &values,
+                self.config.max_iterations,
+                self.config.threads,
+            )
         } else {
             solve_global(&mut prop, &values)
         };
@@ -130,11 +139,7 @@ impl<'nl> SartEngine<'nl> {
 
 /// Builds the term-value vector for an input table under a configuration.
 fn term_values(terms: &TermTable, inputs: &PavfInputs, config: &SartConfig) -> Vec<f64> {
-    let ports = |name: &str| {
-        inputs
-            .port(name)
-            .map(|p| (p.read.value(), p.write.value()))
-    };
+    let ports = |name: &str| inputs.port(name).map(|p| (p.read.value(), p.write.value()));
     let injected = |name: &str| match name {
         INJ_LOOP => Some(config.loop_pavf),
         INJ_CTRL => Some(config.ctrl_read_pavf),
@@ -223,6 +228,41 @@ impl SartResult {
             avf.push(v);
         }
         avf
+    }
+
+    /// Re-resolves every node's AVF for a *batch* of measured input tables
+    /// — the per-workload fast path of §5.2 fanned out over `threads`
+    /// scoped workers. Tables are independent (each is one closed-form
+    /// evaluation pass against the stored arena), so the output is exactly
+    /// `inputs.iter().map(|i| self.reevaluate(nl, i))`, in order.
+    pub fn reevaluate_many(
+        &self,
+        nl: &Netlist,
+        inputs: &[PavfInputs],
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        let threads = threads.max(1).min(inputs.len().max(1));
+        if threads == 1 {
+            return inputs.iter().map(|i| self.reevaluate(nl, i)).collect();
+        }
+        let chunk = inputs.len().div_ceil(threads);
+        let mut out: Vec<Vec<f64>> = Vec::with_capacity(inputs.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = inputs
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move || {
+                        part.iter()
+                            .map(|i| self.reevaluate(nl, i))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("re-evaluation worker panicked"));
+            }
+        });
+        out
     }
 
     /// Mean AVF over sequential nodes (weighted by count — every flop and
@@ -329,10 +369,7 @@ mod tests {
         // Q1a and Q2a carry pAVF_1 = 0.10.
         for q in ["f.q1a", "f.q2a"] {
             let id = nl.lookup(q).unwrap();
-            assert!(
-                (r.forward_value(id, &inputs) - 0.10).abs() < 1e-12,
-                "{q}"
-            );
+            assert!((r.forward_value(id, &inputs) - 0.10).abs() < 1e-12, "{q}");
         }
         // Q1b carries pAVF_2 = 0.02.
         let q1b = nl.lookup("f.q1b").unwrap();
@@ -356,11 +393,7 @@ mod tests {
         for id in nl.seq_nodes() {
             let f = r.forward_value(id, &inputs);
             let b = r.backward_value(id, &inputs);
-            assert!(
-                (r.avf(id) - f.min(b)).abs() < 1e-12,
-                "{}",
-                nl.name(id)
-            );
+            assert!((r.avf(id) - f.min(b)).abs() < 1e-12, "{}", nl.name(id));
         }
         // With write pAVFs of 0.9 through the backward union, forward
         // dominates: Q1a stays at 0.10.
@@ -378,11 +411,7 @@ mod tests {
         let (nl, r) = run(FIGURE7, &inputs, SartConfig::default());
         let q1a = nl.lookup("f.q1a").unwrap();
         // Q1a feeds both sinks: backward = 0.01 + 0.01 = 0.02 < 0.10.
-        assert!(
-            (r.avf(q1a) - 0.02).abs() < 1e-12,
-            "got {}",
-            r.avf(q1a)
-        );
+        assert!((r.avf(q1a) - 0.02).abs() < 1e-12, "got {}", r.avf(q1a));
     }
 
     #[test]
@@ -411,6 +440,53 @@ mod tests {
                 nl.name(id)
             );
         }
+    }
+
+    #[test]
+    fn reevaluate_many_matches_single() {
+        let (nl, r) = run(FIGURE7, &fig7_inputs(), SartConfig::default());
+        let tables: Vec<PavfInputs> = (0..5)
+            .map(|k| {
+                let mut p = fig7_inputs();
+                p.set_port("f.s1", 0.05 * (k + 1) as f64, 0.5);
+                p
+            })
+            .collect();
+        let batch = r.reevaluate_many(&nl, &tables, 3);
+        assert_eq!(batch.len(), tables.len());
+        for (k, table) in tables.iter().enumerate() {
+            let single = r.reevaluate(&nl, table);
+            assert_eq!(batch[k], single, "workload {k}");
+        }
+    }
+
+    #[test]
+    fn thread_count_is_invisible_in_results() {
+        let inputs = fig7_inputs();
+        let (_, seq) = run(FIGURE7, &inputs, SartConfig::default());
+        let (nl, par) = run(
+            FIGURE7,
+            &inputs,
+            SartConfig {
+                threads: 4,
+                ..SartConfig::default()
+            },
+        );
+        // Bit-identical SetId annotations and AVFs, per the sharded-arena
+        // contract.
+        assert_eq!(seq.fwd, par.fwd);
+        assert_eq!(seq.bwd, par.bwd);
+        assert_eq!(seq.arena.len(), par.arena.len());
+        for id in nl.nodes() {
+            assert_eq!(seq.avf(id).to_bits(), par.avf(id).to_bits());
+        }
+    }
+
+    #[test]
+    fn outcome_reports_wall_time() {
+        let (_, r) = run(FIGURE7, &fig7_inputs(), SartConfig::default());
+        assert!(!r.outcome.trace.is_empty());
+        assert!(r.outcome.total_wall_seconds() >= 0.0);
     }
 
     #[test]

@@ -69,7 +69,9 @@ impl StructureMapping {
 
     /// The performance-model name mapped to `sid`, if any.
     pub fn perf_name(&self, sid: StructId) -> Option<&str> {
-        self.by_struct.get(&(sid.index() as u32)).map(String::as_str)
+        self.by_struct
+            .get(&(sid.index() as u32))
+            .map(String::as_str)
     }
 
     /// Number of mapped structures.
@@ -151,8 +153,7 @@ impl PavfInputs {
 
     /// Inserts a structure's AVF.
     pub fn set_structure_avf(&mut self, name: impl Into<String>, avf: f64) -> &mut Self {
-        self.structure_avfs
-            .insert(name.into(), avf.clamp(0.0, 1.0));
+        self.structure_avfs.insert(name.into(), avf.clamp(0.0, 1.0));
         self
     }
 

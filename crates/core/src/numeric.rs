@@ -11,10 +11,9 @@
 //!    and the gap measures what the set representation buys.
 //! 2. **Parallelism** — per-iteration FUB passes are independent given the
 //!    FUBIO snapshot (Jacobi relaxation), so they parallelize trivially
-//!    with scoped threads, unlike the symbolic engine whose hash-consing
-//!    arena is shared mutable state.
+//!    with scoped threads. The symbolic engine parallelizes the same way
+//!    via per-worker arena shards (see [`crate::relax`]).
 
-use crossbeam::thread;
 use seqavf_netlist::graph::NodeId;
 
 use crate::walk::Propagator;
@@ -82,6 +81,10 @@ pub fn solve_parallel(
                     let i = node.index();
                     local_f[i] = match fwd_source[i] {
                         Some(v) => v,
+                        // Zero-fanin non-source nodes resolve to the
+                        // conservative 1.0, matching the symbolic walk's
+                        // TOP (see `Propagator::forward_pass`).
+                        None if nl.fanin(node).is_empty() => 1.0,
                         None => {
                             let mut acc = 0.0;
                             for &f in nl.fanin(node) {
@@ -130,17 +133,16 @@ pub fn solve_parallel(
         let updates: Vec<(usize, f64, f64)> = if threads == 1 || fub_ids.len() == 1 {
             pass(&fub_ids)
         } else {
-            thread::scope(|s| {
+            std::thread::scope(|s| {
                 let handles: Vec<_> = fub_ids
                     .chunks(chunk)
-                    .map(|part| s.spawn(move |_| pass(part)))
+                    .map(|part| s.spawn(|| pass(part)))
                     .collect();
                 handles
                     .into_iter()
                     .flat_map(|h| h.join().expect("numeric worker panicked"))
                     .collect()
             })
-            .expect("numeric scope")
         };
 
         let mut max_delta = 0.0f64;
@@ -209,7 +211,10 @@ mod tests {
 .end
 ";
 
-    fn run_both(text: &str, inputs: &PavfInputs) -> (Netlist, crate::engine::SartResult, NumericOutcome) {
+    fn run_both(
+        text: &str,
+        inputs: &PavfInputs,
+    ) -> (Netlist, crate::engine::SartResult, NumericOutcome) {
         let nl = parse_netlist(text).unwrap();
         let engine = SartEngine::new(&nl, &StructureMapping::new(), SartConfig::default());
         let symbolic = engine.run(inputs);

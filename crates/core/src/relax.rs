@@ -15,7 +15,32 @@
 //! a given term-value vector). Convergence is declared when nothing changes
 //! structurally — an exact, input-independent criterion available because
 //! the propagation is symbolic.
+//!
+//! # Parallelism: sharded arenas with a canonicalizing barrier
+//!
+//! Because every cross-FUB edge reads from the iteration-start snapshot
+//! (Jacobi relaxation), the per-FUB walks of one iteration are data
+//! parallel. The obstacle to running them concurrently is the hash-consing
+//! [`UnionArena`]: walks intern new term sets, and a shared arena would
+//! need locking on the hot path.
+//!
+//! [`relax_partitioned`] instead gives each worker a private *shard* arena.
+//! A worker walks its FUBs interning locally (importing snapshot and
+//! source sets by term content), and at the end of the iteration the main
+//! thread canonicalizes every node's final term set into the shared arena
+//! in deterministic FUB/topological order. Canonical [`SetId`]s therefore
+//! depend only on the netlist and inputs — never on the thread count — so
+//! the parallel engine is bit-identical to the sequential one (which runs
+//! the very same shard machinery inline). Shard-local intermediate sets
+//! (partial unions) die with the shard and never pollute the shared arena.
+//!
+//! [`UnionArena`]: crate::arena::UnionArena
 
+use std::time::Instant;
+
+use seqavf_netlist::graph::FubId;
+
+use crate::arena::{SetId, UnionArena};
 use crate::walk::Propagator;
 
 /// Per-iteration convergence telemetry.
@@ -28,20 +53,204 @@ pub struct IterationStats {
     /// Mean sequential-node `MIN(F, B)` value per FUB after this iteration
     /// (the paper's convergence plot, §6.1).
     pub fub_seq_mean: Vec<f64>,
+    /// Wall-clock time this iteration took (walks, barrier, telemetry),
+    /// in seconds.
+    pub wall_seconds: f64,
 }
 
 /// Outcome of the relaxation loop.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RelaxOutcome {
-    /// Iterations executed.
+    /// Productive sweeps executed. When the loop converges, the final
+    /// sweep merely *verifies* that nothing changes; it appears in
+    /// [`RelaxOutcome::trace`] but is not counted here.
     pub iterations: usize,
-    /// Whether the loop converged before hitting the iteration cap.
+    /// Whether a verification sweep observed `changed_sets == 0` before
+    /// the iteration cap.
     pub converged: bool,
-    /// Telemetry per iteration.
+    /// Telemetry per sweep, including the final verification sweep.
     pub trace: Vec<IterationStats>,
 }
 
-/// Runs partitioned relaxation to a structural fixpoint.
+impl RelaxOutcome {
+    /// Total wall-clock time across all sweeps, in seconds.
+    pub fn total_wall_seconds(&self) -> f64 {
+        self.trace.iter().map(|s| s.wall_seconds).sum()
+    }
+
+    /// Mean wall-clock time per sweep, in seconds.
+    pub fn mean_iteration_seconds(&self) -> f64 {
+        if self.trace.is_empty() {
+            0.0
+        } else {
+            self.total_wall_seconds() / self.trace.len() as f64
+        }
+    }
+}
+
+/// The annotations one worker computed for one FUB: shard-local set ids,
+/// parallel to `prep.fub_topo[fub]`.
+struct FubAnnotations {
+    fub: FubId,
+    fwd: Vec<SetId>,
+    bwd: Vec<SetId>,
+}
+
+/// One worker's share of an iteration: its shard arena plus the
+/// annotations of every FUB it walked.
+struct ShardOutput {
+    shard: UnionArena,
+    fubs: Vec<FubAnnotations>,
+}
+
+/// Walks a slice of FUBs against the iteration-start snapshot, interning
+/// every set into a private shard arena. Mirrors
+/// [`Propagator::forward_pass`]/[`Propagator::backward_pass`] exactly,
+/// including the conservative TOP for zero-fanin non-source nodes.
+fn walk_fubs_sharded(
+    prop: &Propagator<'_>,
+    fubs: &[FubId],
+    snap_f: &[SetId],
+    snap_b: &[SetId],
+) -> ShardOutput {
+    let nl = prop.nl;
+    let shared = &prop.arena;
+    let mut shard = UnionArena::new();
+    // Scratch for in-FUB values. Entries are only read for same-FUB
+    // fan-ins/fan-outs, which `fub_topo` guarantees were written earlier
+    // in the walk (it preserves the loop-cut topological order).
+    let n = nl.node_count();
+    let mut local_f: Vec<SetId> = vec![shard.top(); n];
+    let mut local_b: Vec<SetId> = vec![shard.top(); n];
+    let mut out = Vec::with_capacity(fubs.len());
+    for &fub in fubs {
+        let order = &prop.prep.fub_topo[fub.index()];
+        for &node in order {
+            let i = node.index();
+            local_f[i] = if let Some(s) = prop.prep.fwd_source[i] {
+                shard.intern_terms(shared.terms(s))
+            } else if nl.fanin(node).is_empty() {
+                shard.top()
+            } else {
+                let mut acc = shard.empty();
+                for &f in nl.fanin(node) {
+                    let v = if nl.fub(f) == fub {
+                        local_f[f.index()]
+                    } else {
+                        shard.intern_terms(shared.terms(snap_f[f.index()]))
+                    };
+                    acc = shard.union2(acc, v);
+                }
+                acc
+            };
+        }
+        for &node in order.iter().rev() {
+            let i = node.index();
+            local_b[i] = if let Some(s) = prop.prep.bwd_source[i] {
+                shard.intern_terms(shared.terms(s))
+            } else {
+                let mut acc = shard.empty();
+                for &m in nl.fanout(node) {
+                    let v = if let Some(c) = prop.prep.bwd_contrib[m.index()] {
+                        shard.intern_terms(shared.terms(c))
+                    } else if nl.fub(m) == fub {
+                        local_b[m.index()]
+                    } else {
+                        shard.intern_terms(shared.terms(snap_b[m.index()]))
+                    };
+                    acc = shard.union2(acc, v);
+                }
+                acc
+            };
+        }
+        out.push(FubAnnotations {
+            fub,
+            fwd: order.iter().map(|&nn| local_f[nn.index()]).collect(),
+            bwd: order.iter().map(|&nn| local_b[nn.index()]).collect(),
+        });
+    }
+    ShardOutput { shard, fubs: out }
+}
+
+/// One relaxation sweep: walk every FUB (concurrently when `threads > 1`)
+/// against the given snapshot, then canonicalize the shard results into
+/// the shared arena at the iteration barrier.
+fn sharded_sweep(prop: &mut Propagator<'_>, snap_f: &[SetId], snap_b: &[SetId], threads: usize) {
+    let nl = prop.nl;
+    let fub_ids: Vec<FubId> = nl.fub_ids().collect();
+    let threads = threads.max(1).min(fub_ids.len().max(1));
+    let outputs: Vec<ShardOutput> = if threads == 1 {
+        vec![walk_fubs_sharded(prop, &fub_ids, snap_f, snap_b)]
+    } else {
+        let chunk = fub_ids.len().div_ceil(threads);
+        let prop_ref: &Propagator<'_> = prop;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = fub_ids
+                .chunks(chunk)
+                .map(|part| s.spawn(move || walk_fubs_sharded(prop_ref, part, snap_f, snap_b)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("relaxation worker panicked"))
+                .collect()
+        })
+    };
+    // Iteration barrier: canonicalize shard-local sets into the shared
+    // arena in FUB order, nodes in topological order. The interning order
+    // — and with it every canonical SetId — is fully deterministic and
+    // independent of how FUBs were distributed over workers.
+    let mut where_is: Vec<(usize, usize)> = vec![(0, 0); nl.fub_count()];
+    for (oi, o) in outputs.iter().enumerate() {
+        for (fi, fa) in o.fubs.iter().enumerate() {
+            where_is[fa.fub.index()] = (oi, fi);
+        }
+    }
+    for fub in nl.fub_ids() {
+        let (oi, fi) = where_is[fub.index()];
+        let o = &outputs[oi];
+        let fa = &o.fubs[fi];
+        debug_assert_eq!(fa.fub, fub);
+        let order = &prop.prep.fub_topo[fub.index()];
+        for (k, &node) in order.iter().enumerate() {
+            prop.fwd[node.index()] = prop.arena.intern_terms(o.shard.terms(fa.fwd[k]));
+        }
+        for (k, &node) in order.iter().enumerate() {
+            prop.bwd[node.index()] = prop.arena.intern_terms(o.shard.terms(fa.bwd[k]));
+        }
+    }
+}
+
+/// Counts annotation changes against a snapshot and the largest numeric
+/// movement under `values`.
+fn diff_stats(
+    prop: &Propagator<'_>,
+    snap_f: &[SetId],
+    snap_b: &[SetId],
+    values: &[f64],
+) -> (usize, f64) {
+    let mut changed = 0usize;
+    let mut max_delta = 0.0f64;
+    for i in 0..prop.nl.node_count() {
+        if prop.fwd[i] != snap_f[i] {
+            changed += 1;
+            let d =
+                (prop.arena.eval(prop.fwd[i], values) - prop.arena.eval(snap_f[i], values)).abs();
+            max_delta = max_delta.max(d);
+        }
+        if prop.bwd[i] != snap_b[i] {
+            changed += 1;
+            let d =
+                (prop.arena.eval(prop.bwd[i], values) - prop.arena.eval(snap_b[i], values)).abs();
+            max_delta = max_delta.max(d);
+        }
+    }
+    (changed, max_delta)
+}
+
+/// Runs partitioned relaxation to a structural fixpoint, fanning the
+/// per-FUB walks of each iteration out over `threads` workers with
+/// per-worker arena shards (see the module docs). Any thread count yields
+/// bit-identical annotations and `SetId` numbering.
 ///
 /// `values` supplies term values for the numeric telemetry only; the
 /// propagation itself is symbolic and independent of them.
@@ -49,50 +258,38 @@ pub fn relax_partitioned(
     prop: &mut Propagator<'_>,
     values: &[f64],
     max_iterations: usize,
+    threads: usize,
 ) -> RelaxOutcome {
-    let nl = prop.nl;
     let mut trace = Vec::new();
     let mut converged = false;
     for _iter in 0..max_iterations {
+        let t0 = Instant::now();
         // FUBIO snapshot: the merged boundary values from the previous
         // iteration (initially the conservative TOP annotations).
         let snap_f = prop.fwd.clone();
         let snap_b = prop.bwd.clone();
-        for fub in nl.fub_ids() {
-            prop.forward_pass(Some(fub), Some(&snap_f));
-            prop.backward_pass(Some(fub), Some(&snap_b));
-        }
-        // Telemetry.
-        let mut changed = 0usize;
-        let mut max_delta = 0.0f64;
-        for i in 0..nl.node_count() {
-            if prop.fwd[i] != snap_f[i] {
-                changed += 1;
-                let d = (prop.arena.eval(prop.fwd[i], values)
-                    - prop.arena.eval(snap_f[i], values))
-                .abs();
-                max_delta = max_delta.max(d);
-            }
-            if prop.bwd[i] != snap_b[i] {
-                changed += 1;
-                let d = (prop.arena.eval(prop.bwd[i], values)
-                    - prop.arena.eval(snap_b[i], values))
-                .abs();
-                max_delta = max_delta.max(d);
-            }
-        }
+        sharded_sweep(prop, &snap_f, &snap_b, threads);
+        let (changed, max_delta) = diff_stats(prop, &snap_f, &snap_b, values);
         trace.push(IterationStats {
             changed_sets: changed,
             max_delta,
             fub_seq_mean: fub_seq_means(prop, values),
+            wall_seconds: t0.elapsed().as_secs_f64(),
         });
         if changed == 0 {
             converged = true;
             break;
         }
     }
+    // The sweep that observes no change is a verification, not a
+    // productive iteration; report only the sweeps that moved values.
+    let iterations = if converged {
+        trace.len().saturating_sub(1)
+    } else {
+        trace.len()
+    };
     RelaxOutcome {
-        iterations: trace.len(),
+        iterations,
         converged,
         trace,
     }
@@ -100,19 +297,35 @@ pub fn relax_partitioned(
 
 /// Runs the unpartitioned global analysis: one down walk and one up walk
 /// over the whole design. Because the loop-cut graph is acyclic, this
-/// computes the same fixpoint the partitioned relaxation converges to.
+/// computes the same fixpoint the partitioned relaxation converges to —
+/// but the claim is *verified*, not assumed: a second sweep re-walks the
+/// design and the outcome reports convergence only if it changed nothing.
 pub fn solve_global(prop: &mut Propagator<'_>, values: &[f64]) -> RelaxOutcome {
-    prop.forward_pass(None, None);
-    prop.backward_pass(None, None);
-    let stats = IterationStats {
-        changed_sets: 0,
-        max_delta: 0.0,
-        fub_seq_mean: fub_seq_means(prop, values),
+    let mut trace = Vec::new();
+    for _sweep in 0..2 {
+        let t0 = Instant::now();
+        let snap_f = prop.fwd.clone();
+        let snap_b = prop.bwd.clone();
+        prop.forward_pass(None, None);
+        prop.backward_pass(None, None);
+        let (changed, max_delta) = diff_stats(prop, &snap_f, &snap_b, values);
+        trace.push(IterationStats {
+            changed_sets: changed,
+            max_delta,
+            fub_seq_mean: fub_seq_means(prop, values),
+            wall_seconds: t0.elapsed().as_secs_f64(),
+        });
+    }
+    let converged = trace.last().is_some_and(|s| s.changed_sets == 0);
+    let iterations = if converged {
+        trace.len().saturating_sub(1)
+    } else {
+        trace.len()
     };
     RelaxOutcome {
-        iterations: 1,
-        converged: true,
-        trace: vec![stats],
+        iterations,
+        converged,
+        trace,
     }
 }
 
@@ -189,7 +402,7 @@ mod tests {
         let (nl, mut p1) = propagator(CHAIN);
         let mut p2 = p1.clone();
         let values = default_values(&p1);
-        let out_part = relax_partitioned(&mut p1, &values, 20);
+        let out_part = relax_partitioned(&mut p1, &values, 20, 1);
         let out_glob = solve_global(&mut p2, &values);
         assert!(out_part.converged);
         assert!(out_glob.converged);
@@ -208,20 +421,22 @@ mod tests {
     fn chain_needs_multiple_iterations() {
         let (_, mut p) = propagator(CHAIN);
         let values = default_values(&p);
-        let out = relax_partitioned(&mut p, &values, 20);
+        let out = relax_partitioned(&mut p, &values, 20, 1);
         assert!(out.converged);
         assert!(
             out.iterations >= 3,
             "a two-boundary crossing needs ≥3 iterations, got {}",
             out.iterations
         );
+        // The verification sweep is traced but not counted.
+        assert_eq!(out.trace.len(), out.iterations + 1);
     }
 
     #[test]
     fn iteration_cap_respected() {
         let (_, mut p) = propagator(CHAIN);
         let values = default_values(&p);
-        let out = relax_partitioned(&mut p, &values, 1);
+        let out = relax_partitioned(&mut p, &values, 1, 1);
         assert_eq!(out.iterations, 1);
         assert!(!out.converged);
     }
@@ -230,7 +445,7 @@ mod tests {
     fn deltas_shrink_to_zero() {
         let (_, mut p) = propagator(CHAIN);
         let values = default_values(&p);
-        let out = relax_partitioned(&mut p, &values, 20);
+        let out = relax_partitioned(&mut p, &values, 20, 1);
         let last = out.trace.last().unwrap();
         assert_eq!(last.changed_sets, 0);
         assert_eq!(last.max_delta, 0.0);
@@ -243,12 +458,68 @@ mod tests {
     fn fub_means_tracked_per_iteration() {
         let (nl, mut p) = propagator(CHAIN);
         let values = default_values(&p);
-        let out = relax_partitioned(&mut p, &values, 20);
+        let out = relax_partitioned(&mut p, &values, 20, 1);
         for s in &out.trace {
             assert_eq!(s.fub_seq_mean.len(), nl.fub_count());
             for &m in &s.fub_seq_mean {
                 assert!((0.0..=1.0).contains(&m));
             }
         }
+    }
+
+    #[test]
+    fn thread_counts_are_bit_identical() {
+        let (_, p0) = propagator(CHAIN);
+        let values = default_values(&p0);
+        let mut runs = Vec::new();
+        for threads in [1usize, 2, 3, 8] {
+            let mut p = p0.clone();
+            let out = relax_partitioned(&mut p, &values, 20, threads);
+            assert!(out.converged, "threads={threads}");
+            runs.push((threads, p, out));
+        }
+        let (_, base, base_out) = &runs[0];
+        for (threads, p, out) in &runs[1..] {
+            // Identical SetId annotations, arena contents, and telemetry
+            // counters — the sharded engine is deterministic in the thread
+            // count by construction.
+            assert_eq!(&base.fwd, &p.fwd, "fwd SetIds differ at threads={threads}");
+            assert_eq!(&base.bwd, &p.bwd, "bwd SetIds differ at threads={threads}");
+            assert_eq!(base.arena.len(), p.arena.len(), "threads={threads}");
+            assert_eq!(base_out.iterations, out.iterations);
+            for (a, b) in base_out.trace.iter().zip(&out.trace) {
+                assert_eq!(a.changed_sets, b.changed_sets);
+                assert_eq!(a.max_delta, b.max_delta);
+                assert_eq!(a.fub_seq_mean, b.fub_seq_mean);
+            }
+        }
+    }
+
+    #[test]
+    fn wall_time_is_recorded_per_iteration() {
+        let (_, mut p) = propagator(CHAIN);
+        let values = default_values(&p);
+        let out = relax_partitioned(&mut p, &values, 20, 2);
+        assert!(!out.trace.is_empty());
+        for s in &out.trace {
+            assert!(s.wall_seconds >= 0.0);
+        }
+        let total = out.total_wall_seconds();
+        assert!(total >= 0.0);
+        assert!(out.mean_iteration_seconds() <= total + 1e-15);
+    }
+
+    #[test]
+    fn global_telemetry_is_honest() {
+        let (_, mut p) = propagator(CHAIN);
+        let values = default_values(&p);
+        let out = solve_global(&mut p, &values);
+        // The first sweep moves annotations off the conservative TOP; the
+        // second verifies the fixpoint rather than assuming it.
+        assert_eq!(out.trace.len(), 2);
+        assert!(out.trace[0].changed_sets > 0);
+        assert_eq!(out.trace.last().unwrap().changed_sets, 0);
+        assert!(out.converged);
+        assert_eq!(out.iterations, 1);
     }
 }

@@ -62,7 +62,9 @@ impl SartSummary {
         }
         let rows: Vec<FubAvfRow> = (0..nf)
             .map(|f| FubAvfRow {
-                fub: nl.fub_name(seqavf_netlist::graph::FubId::from_index(f)).to_owned(),
+                fub: nl
+                    .fub_name(seqavf_netlist::graph::FubId::from_index(f))
+                    .to_owned(),
                 seq_count: seq_cnt[f],
                 node_count: node_cnt[f],
                 seq_avf: if seq_cnt[f] == 0 {

@@ -151,10 +151,7 @@ pub fn prepare(
         }
         indeg[id.index()] = nl.fanin(id).len() as u32;
     }
-    let mut queue: Vec<NodeId> = nl
-        .nodes()
-        .filter(|&id| indeg[id.index()] == 0)
-        .collect();
+    let mut queue: Vec<NodeId> = nl.nodes().filter(|&id| indeg[id.index()] == 0).collect();
     let mut topo: Vec<NodeId> = Vec::with_capacity(n);
     let mut head = 0;
     while head < queue.len() {
@@ -238,6 +235,15 @@ impl<'nl> Propagator<'nl> {
                 self.fwd[i] = s;
                 continue;
             }
+            // A non-source node with no fan-in (e.g. a constant gate) has
+            // no measured provenance. The empty set would evaluate to 0.0 —
+            // optimistically un-ACE — so resolve it conservatively to TOP;
+            // only injected sources and boundary inputs may carry a
+            // non-conservative fixed value.
+            if self.nl.fanin(n).is_empty() {
+                self.fwd[i] = self.arena.top();
+                continue;
+            }
             let mut acc = self.arena.empty();
             for &f in self.nl.fanin(n) {
                 let in_part = fub.is_none() || self.nl.fub(f) == fub.expect("some");
@@ -317,7 +323,7 @@ mod tests {
 ";
 
     #[test]
-    fn simple_pipeline_forward_copies_read_term(){
+    fn simple_pipeline_forward_copies_read_term() {
         let (nl, mut p) = build(PIPE, &[]);
         p.forward_pass(None, None);
         let s1 = nl.lookup("f.s1[0]").unwrap();
@@ -462,6 +468,45 @@ mod tests {
         // `dead` has no consumers at all -> backward empty -> resolves to 0.
         let dead = nl.lookup("f.dead").unwrap();
         assert_eq!(p.bwd[dead.index()], p.arena.empty());
+    }
+
+    #[test]
+    fn zero_fanin_normal_node_resolves_to_top() {
+        use seqavf_netlist::graph::{GateOp, NetlistBuilder, NodeKind, SeqKind};
+        let mut b = NetlistBuilder::new("z");
+        let f = b.add_fub("f");
+        let s1 = b.add_structure("f.s1", 1, f);
+        let cell = b.structure_cell(s1, 0);
+        let c = b.add_node("f.c", NodeKind::Comb(GateOp::Const1), f);
+        let g = b.add_node("f.g", NodeKind::Comb(GateOp::And), f);
+        let q = b.add_node(
+            "f.q",
+            NodeKind::Seq {
+                kind: SeqKind::Flop,
+                has_enable: false,
+            },
+            f,
+        );
+        let o = b.add_node("f.o", NodeKind::Output, f);
+        b.connect(cell, g);
+        b.connect(c, g);
+        b.connect(g, q);
+        b.connect(q, o);
+        let nl = Box::leak(Box::new(b.finish().unwrap()));
+        let loops = find_loops(nl);
+        let roles = classify(nl, &loops, &[]);
+        assert_eq!(roles.role(c), crate::classify::NodeRole::Normal);
+        let mut arena = UnionArena::new();
+        let prep = prepare(nl, roles, &StructureMapping::new(), &mut arena);
+        let mut p = Propagator::new(nl, prep, arena);
+        p.forward_pass(None, None);
+        // The constant gate has no fan-in and no injected source: its
+        // forward value must be the conservative TOP, not the optimistic
+        // empty set (which evaluates to 0.0).
+        assert_eq!(p.fwd[c.index()], p.arena.top());
+        // TOP absorbs through the downstream join.
+        assert_eq!(p.fwd[g.index()], p.arena.top());
+        assert_eq!(p.fwd[q.index()], p.arena.top());
     }
 
     #[test]

@@ -240,7 +240,10 @@ pub fn parse(text: &str) -> Result<DesignAst, ExlifError> {
             }
             ".end" => {
                 if scope != Scope::Top {
-                    return Err(err(line, ExlifErrorKind::UnexpectedEof("open scope at .end")));
+                    return Err(err(
+                        line,
+                        ExlifErrorKind::UnexpectedEof("open scope at .end"),
+                    ));
                 }
                 ended = true;
             }
@@ -311,7 +314,10 @@ pub fn parse(text: &str) -> Result<DesignAst, ExlifError> {
                 push_stmt(&mut cur_model, &mut cur_fub, s, line, ".subckt", true)?;
             }
             other => {
-                return Err(err(line, ExlifErrorKind::UnknownDirective(other.to_owned())));
+                return Err(err(
+                    line,
+                    ExlifErrorKind::UnknownDirective(other.to_owned()),
+                ));
             }
         }
     }

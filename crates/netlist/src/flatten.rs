@@ -34,10 +34,24 @@ struct Scope {
 
 #[derive(Debug)]
 enum FlatStmt {
-    Output { node: NodeId, src: Ref },
-    Gate { node: NodeId, ins: Vec<Ref> },
-    Seq { node: NodeId, d: Ref, en: Option<Ref> },
-    StructWrite { structure: StructId, bit: u32, src: Ref },
+    Output {
+        node: NodeId,
+        src: Ref,
+    },
+    Gate {
+        node: NodeId,
+        ins: Vec<Ref>,
+    },
+    Seq {
+        node: NodeId,
+        d: Ref,
+        en: Option<Ref>,
+    },
+    StructWrite {
+        structure: StructId,
+        bit: u32,
+        src: Ref,
+    },
 }
 
 fn err0(kind: ExlifErrorKind) -> ExlifError {
@@ -268,11 +282,7 @@ fn expand_stmts<'a>(
 
 /// Resolves a reference: formal substitution first, then scope-local, then
 /// design-global.
-fn resolve(
-    builder: &NetlistBuilder,
-    scopes: &[Scope],
-    r: &Ref,
-) -> Result<NodeId, ExlifError> {
+fn resolve(builder: &NetlistBuilder, scopes: &[Scope], r: &Ref) -> Result<NodeId, ExlifError> {
     let scope = &scopes[r.scope];
     if let Some(actual) = scope.subst.get(&r.raw) {
         let parent = scope.parent.expect("substitution implies a parent scope");

@@ -729,7 +729,10 @@ mod tests {
         let a = b.add_node("a", NodeKind::Input, fub);
         let c = b.add_node("c", NodeKind::Input, fub);
         b.connect(a, c);
-        assert_eq!(b.finish().unwrap_err(), BuildError::InputHasFanin("c".into()));
+        assert_eq!(
+            b.finish().unwrap_err(),
+            BuildError::InputHasFanin("c".into())
+        );
     }
 
     #[test]

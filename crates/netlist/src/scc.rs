@@ -147,10 +147,7 @@ pub fn find_loops(nl: &Netlist) -> LoopAnalysis {
     }
 
     let loop_node_count = in_loop.iter().filter(|&&b| b).count();
-    let loop_seq_count = nl
-        .seq_nodes()
-        .filter(|&id| in_loop[id.index()])
-        .count();
+    let loop_seq_count = nl.seq_nodes().filter(|&id| in_loop[id.index()]).count();
     LoopAnalysis {
         in_loop,
         components,

@@ -13,12 +13,10 @@
 //! structures correspond to which performance-model structures, so the
 //! mapping stage of the tool flow (§5.1 step 4) can be exercised end to end.
 
-use rand_chacha::ChaCha8Rng;
 use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-use crate::graph::{
-    FubId, GateOp, Netlist, NetlistBuilder, NodeId, NodeKind, SeqKind, StructId,
-};
+use crate::graph::{FubId, GateOp, Netlist, NetlistBuilder, NodeId, NodeKind, SeqKind, StructId};
 
 /// Recipe for one ACE structure inside a FUB.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,10 +99,10 @@ impl SynthConfig {
             width,
         };
         let fub = |name: &str,
-                       structures: Vec<StructureRecipe>,
-                       channels: usize,
-                       fsm_loops: usize,
-                       control_regs: usize| {
+                   structures: Vec<StructureRecipe>,
+                   channels: usize,
+                   fsm_loops: usize,
+                   control_regs: usize| {
             FubRecipe {
                 name: name.to_owned(),
                 structures,
@@ -129,7 +127,13 @@ impl SynthConfig {
                     2,
                     3,
                 ),
-                fub("bpu", vec![s("btb", "btb", 32), s("ras", "ras", 12)], 4, 2, 2),
+                fub(
+                    "bpu",
+                    vec![s("btb", "btb", 32), s("ras", "ras", 12)],
+                    4,
+                    2,
+                    2,
+                ),
                 fub("idu", vec![s("uq", "uop_queue", 40)], 6, 1, 3),
                 fub(
                     "rat",

@@ -310,7 +310,10 @@ impl Parser {
                 .iter()
                 .any(|s| matches!(s, Stmt::Output { name, .. } if name == o));
             if !driven {
-                return Err(err(0, ExlifErrorKind::UndefinedNet(format!("{name}.{o} (undriven output)"))));
+                return Err(err(
+                    0,
+                    ExlifErrorKind::UndefinedNet(format!("{name}.{o} (undriven output)")),
+                ));
             }
         }
         Ok(FubAst { name, stmts })
@@ -447,7 +450,9 @@ endmodule
 ";
         let nl = parse_netlist(src).unwrap();
         assert_eq!(nl.fub_count(), 2);
-        let g = nl.lookup("b.g").unwrap_or_else(|| nl.lookup("b.n").unwrap());
+        let g = nl
+            .lookup("b.g")
+            .unwrap_or_else(|| nl.lookup("b.n").unwrap());
         let o = nl.lookup("a.o").unwrap();
         assert!(nl.fanin(g).contains(&o));
     }

@@ -124,7 +124,9 @@ pub fn analyze_trace(trace: &Trace) -> TraceAce {
             ace[i] = Aceness::UnAce;
             continue;
         }
-        let any_live_consumer = consumers[i].iter().any(|&c| ace[c as usize].counts_as_ace());
+        let any_live_consumer = consumers[i]
+            .iter()
+            .any(|&c| ace[c as usize].counts_as_ace());
         ace[i] = if any_live_consumer {
             Aceness::Ace
         } else if open[i] {

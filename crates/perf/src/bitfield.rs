@@ -102,11 +102,8 @@ impl BitFieldAnalyzer {
         let fields = specs
             .into_iter()
             .map(|spec| {
-                let t = LifetimeTracker::new(
-                    format!("{structure}.{}", spec.name),
-                    entries,
-                    spec.bits,
-                );
+                let t =
+                    LifetimeTracker::new(format!("{structure}.{}", spec.name), entries, spec.bits);
                 (spec, t)
             })
             .collect();

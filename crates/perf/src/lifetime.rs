@@ -160,8 +160,7 @@ impl LifetimeTracker {
     pub fn finish(&mut self, end_cycle: u64) {
         for e in 0..self.live.len() {
             if let Some(l) = self.live[e].take() {
-                let span =
-                    end_cycle.saturating_sub(l.write_cycle) * u64::from(self.bits_per_entry);
+                let span = end_cycle.saturating_sub(l.write_cycle) * u64::from(self.bits_per_entry);
                 self.unknown_bit_cycles += span;
                 self.occupied_bit_cycles += span;
                 if let Some(q) = self.quantizer.as_mut() {

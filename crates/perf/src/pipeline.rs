@@ -142,7 +142,13 @@ pub fn run_ace(trace: &Trace, config: &PerfConfig) -> AceReport {
             }
         }
     }
-    let cap = |name: &str| specs.iter().find(|s| s.name == name).expect("known").entries;
+    let cap = |name: &str| {
+        specs
+            .iter()
+            .find(|s| s.name == name)
+            .expect("known")
+            .entries
+    };
 
     // Pipeline state.
     let mut fetch_q: VecDeque<(u32, usize)> = VecDeque::new();
@@ -193,8 +199,7 @@ pub fn run_ace(trace: &Trace, config: &PerfConfig) -> AceReport {
         let mut n_ret = 0;
         while n_ret < config.retire_width {
             let Some(&front) = rob.front() else { break };
-            if done_cycle[front.idx as usize] == NOT_DONE
-                || done_cycle[front.idx as usize] > cycle
+            if done_cycle[front.idx as usize] == NOT_DONE || done_cycle[front.idx as usize] > cycle
             {
                 break;
             }
@@ -293,9 +298,10 @@ pub fn run_ace(trace: &Trace, config: &PerfConfig) -> AceReport {
             if e.issued {
                 continue;
             }
-            let ready = e.producers.iter().flatten().all(|&p| {
-                done_cycle[p as usize] != NOT_DONE && done_cycle[p as usize] <= cycle
-            });
+            let ready =
+                e.producers.iter().flatten().all(|&p| {
+                    done_cycle[p as usize] != NOT_DONE && done_cycle[p as usize] <= cycle
+                });
             if !ready {
                 continue;
             }
@@ -382,8 +388,7 @@ pub fn run_ace(trace: &Trace, config: &PerfConfig) -> AceReport {
             let mut latency = u64::from(ins.op.latency());
             if ins.op == OpClass::Load {
                 if let Some(a) = ins.addr {
-                    let h = (a ^ 0x9e37_79b9_7f4a_7c15)
-                        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    let h = (a ^ 0x9e37_79b9_7f4a_7c15).wrapping_mul(0xbf58_476d_1ce4_e5b9);
                     if (h >> 33).is_multiple_of(8) {
                         latency = 24;
                     }
@@ -396,7 +401,9 @@ pub fn run_ace(trace: &Trace, config: &PerfConfig) -> AceReport {
 
         // ---- Rename / dispatch ----
         for _ in 0..config.width {
-            let Some(&(idx, uslot)) = uop_q.front() else { break };
+            let Some(&(idx, uslot)) = uop_q.front() else {
+                break;
+            };
             let i = idx as usize;
             let ins = &instrs[i];
             let needs_prf = ins.dst.is_some();
@@ -475,7 +482,9 @@ pub fn run_ace(trace: &Trace, config: &PerfConfig) -> AceReport {
             if !uop_slots.has_space() {
                 break;
             }
-            let Some(&(idx, fslot)) = fetch_q.front() else { break };
+            let Some(&(idx, fslot)) = fetch_q.front() else {
+                break;
+            };
             fetch_q.pop_front();
             let a = ace_of(idx);
             {
@@ -576,7 +585,10 @@ pub fn run_ace(trace: &Trace, config: &PerfConfig) -> AceReport {
         .into_iter()
         .map(|(name, bf)| {
             let spec = specs.iter().find(|x| x.name == name).expect("known");
-            (name, bf.finish(cycles, cycles, spec.read_ports, spec.write_ports))
+            (
+                name,
+                bf.finish(cycles, cycles, spec.read_ports, spec.write_ports),
+            )
         })
         .collect();
     for (name, mut t) in trackers {
@@ -737,12 +749,7 @@ mod tests {
         // independent stream.
         let mut serial = TraceBuilder::new("serial");
         for _ in 0..1_000 {
-            serial.push(Instr::alu(
-                OpClass::IntMul,
-                Reg::new(1),
-                Reg::new(1),
-                None,
-            ));
+            serial.push(Instr::alu(OpClass::IntMul, Reg::new(1), Reg::new(1), None));
         }
         let mut parallel = TraceBuilder::new("parallel");
         for i in 0..1_000u32 {

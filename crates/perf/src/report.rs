@@ -149,7 +149,11 @@ impl AceReport {
 
     /// Bit-weighted average structure AVF across all structures.
     pub fn average_structure_avf(&self) -> f64 {
-        let total: u64 = self.structures.values().map(StructureStats::total_bits).sum();
+        let total: u64 = self
+            .structures
+            .values()
+            .map(StructureStats::total_bits)
+            .sum();
         if total == 0 {
             return 0.0;
         }
@@ -242,7 +246,10 @@ impl SuiteReport {
         if self.runs.is_empty() {
             return 0.0;
         }
-        self.runs.iter().map(AceReport::average_structure_avf).sum::<f64>()
+        self.runs
+            .iter()
+            .map(AceReport::average_structure_avf)
+            .sum::<f64>()
             / self.runs.len() as f64
     }
 }

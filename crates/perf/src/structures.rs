@@ -101,8 +101,6 @@ mod tests {
 
     #[test]
     fn cams_present_for_hd1() {
-        assert!(catalog()
-            .iter()
-            .any(|s| s.class == StructureClass::Cam));
+        assert!(catalog().iter().any(|s| s.class == StructureClass::Cam));
     }
 }

@@ -8,7 +8,7 @@
 //! ```
 //!
 //! The per-node estimates come with Wilson score intervals; the campaign is
-//! parallelized across nodes with `crossbeam` scoped threads. This is the
+//! parallelized across nodes with std scoped threads. This is the
 //! paper's "brute force" baseline (§3.1): complete coverage of a design
 //! requires `#nodes × #cycles` simulations, which is what makes SART's
 //! analytic approach necessary.
@@ -149,16 +149,15 @@ pub fn run_campaign(nl: &Netlist, targets: &[NodeId], config: &CampaignConfig) -
     } else {
         let chunk = targets.len().div_ceil(threads);
         let mut results: Vec<Vec<NodeAvfEstimate>> = Vec::new();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = targets
                 .chunks(chunk)
-                .map(|part| s.spawn(move |_| part.iter().map(estimate_one).collect::<Vec<_>>()))
+                .map(|part| s.spawn(|| part.iter().map(estimate_one).collect::<Vec<_>>()))
                 .collect();
             for h in handles {
                 results.push(h.join().expect("campaign worker panicked"));
             }
-        })
-        .expect("campaign scope");
+        });
         results.into_iter().flatten().collect()
     };
 
@@ -231,7 +230,10 @@ mod tests {
         };
         let a = run_campaign(&nl, &targets, &seq_cfg);
         let b = run_campaign(&nl, &targets, &par_cfg);
-        assert_eq!(a, b, "campaigns must be deterministic regardless of threads");
+        assert_eq!(
+            a, b,
+            "campaigns must be deterministic regardless of threads"
+        );
     }
 
     #[test]

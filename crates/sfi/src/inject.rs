@@ -285,13 +285,8 @@ mod tests {
         let q1 = nl.lookup("f.q1").unwrap();
         let detector = nl.lookup("f.prot[0]").unwrap();
         let out_node = nl.lookup("f.o").unwrap();
-        let r = run_injection_protected(
-            &nl,
-            q1,
-            &InjectConfig::default(),
-            &[out_node],
-            &[detector],
-        );
+        let r =
+            run_injection_protected(&nl, q1, &InjectConfig::default(), &[out_node], &[detector]);
         assert_eq!(r, DetailedOutcome::Due);
     }
 

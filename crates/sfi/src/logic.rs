@@ -40,8 +40,7 @@ impl<'nl> LogicSim<'nl> {
         for id in nl.nodes() {
             state[id.index()] = match nl.kind(id) {
                 NodeKind::Seq { .. } | NodeKind::StructCell { .. } => {
-                    splitmix64(seed ^ (id.index() as u64).wrapping_mul(0x517c_c1b7_2722_0a95))
-                        & 1
+                    splitmix64(seed ^ (id.index() as u64).wrapping_mul(0x517c_c1b7_2722_0a95)) & 1
                         == 1
                 }
                 _ => false,
@@ -198,20 +197,14 @@ fn eval_gate(op: GateOp, ins: &[NodeId], state: &[bool]) -> bool {
 /// Topological order over combinational and output nodes (state elements
 /// and inputs are level 0 and excluded).
 fn comb_topo(nl: &Netlist) -> Vec<NodeId> {
-    let is_comb_like = |id: NodeId| {
-        matches!(nl.kind(id), NodeKind::Comb(_) | NodeKind::Output)
-    };
+    let is_comb_like = |id: NodeId| matches!(nl.kind(id), NodeKind::Comb(_) | NodeKind::Output);
     let n = nl.node_count();
     let mut indeg = vec![0u32; n];
     for id in nl.nodes() {
         if !is_comb_like(id) {
             continue;
         }
-        indeg[id.index()] = nl
-            .fanin(id)
-            .iter()
-            .filter(|&&f| is_comb_like(f))
-            .count() as u32;
+        indeg[id.index()] = nl.fanin(id).iter().filter(|&&f| is_comb_like(f)).count() as u32;
     }
     let mut queue: Vec<NodeId> = nl
         .nodes()

@@ -106,7 +106,11 @@ pub fn lattice_kernel(config: &LatticeConfig) -> (Trace, LatticeState) {
                 tb.push(Instr::load(rx, Some(rbase), a));
                 tb.push(Instr::load(ry, Some(rbase), a + 8));
                 tb.push(Instr::load(rvx, Some(rbase), base_vel + i as u64 * elem));
-                tb.push(Instr::load(rvy, Some(rbase), base_vel + i as u64 * elem + 8));
+                tb.push(Instr::load(
+                    rvy,
+                    Some(rbase),
+                    base_vel + i as u64 * elem + 8,
+                ));
                 // Zero the force accumulators.
                 tb.push(Instr::alu(OpClass::IntAlu, rfx, rfx, None));
                 tb.push(Instr::alu(OpClass::IntAlu, rfy, rfy, None));

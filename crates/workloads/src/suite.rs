@@ -136,12 +136,7 @@ impl MixFamily {
                 OpClass::Nop => Instr::nop(),
                 op => {
                     let two_src = rng.gen_bool(0.7);
-                    Instr::alu(
-                        op,
-                        r(&mut rng),
-                        r(&mut rng),
-                        two_src.then(|| r(&mut rng)),
-                    )
+                    Instr::alu(op, r(&mut rng), r(&mut rng), two_src.then(|| r(&mut rng)))
                 }
             };
             instrs.push(instr);

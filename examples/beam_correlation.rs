@@ -32,8 +32,7 @@ fn main() {
         let rep = run_ace(&trace, &cfg.perf);
         let inputs = inputs_from_report(&rep);
         let avfs = out.result.reevaluate(nl, &inputs);
-        let seq_avf: f64 =
-            nl.seq_nodes().map(|id| avfs[id.index()]).sum::<f64>() / seq_bits as f64;
+        let seq_avf: f64 = nl.seq_nodes().map(|id| avfs[id.index()]).sum::<f64>() / seq_bits as f64;
 
         // Simulated device truth: SART's rate estimate derated by a
         // nominal logical-masking factor (see the fig10 harness for the

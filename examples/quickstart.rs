@@ -47,9 +47,15 @@ fn main() {
     let engine = SartEngine::new(&netlist, &StructureMapping::new(), SartConfig::default());
     let result = engine.run(&inputs);
 
-    println!("Figure 7 pAVF propagation ({} nodes, {} sequential)\n",
-        netlist.node_count(), netlist.seq_count());
-    println!("{:<8} {:>8} {:>8} {:>8}  closed form", "node", "fwd", "bwd", "AVF");
+    println!(
+        "Figure 7 pAVF propagation ({} nodes, {} sequential)\n",
+        netlist.node_count(),
+        netlist.seq_count()
+    );
+    println!(
+        "{:<8} {:>8} {:>8} {:>8}  closed form",
+        "node", "fwd", "bwd", "AVF"
+    );
     for id in netlist.seq_nodes() {
         println!(
             "{:<8} {:>8.4} {:>8.4} {:>8.4}  {}",

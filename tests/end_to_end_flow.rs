@@ -66,9 +66,8 @@ fn per_workload_inputs_shift_node_avfs() {
     let nop_rep = run_ace(&nop_trace, &PerfConfig::default());
     let busy_avfs = out.result.reevaluate(nl, &inputs_from_report(&busy_rep));
     let nop_avfs = out.result.reevaluate(nl, &inputs_from_report(&nop_rep));
-    let mean = |v: &[f64]| {
-        nl.seq_nodes().map(|id| v[id.index()]).sum::<f64>() / nl.seq_count() as f64
-    };
+    let mean =
+        |v: &[f64]| nl.seq_nodes().map(|id| v[id.index()]).sum::<f64>() / nl.seq_count() as f64;
     assert!(
         mean(&nop_avfs) < mean(&busy_avfs),
         "un-ACE workload {} must yield lower AVFs than busy {}",
@@ -108,13 +107,8 @@ fn mapping_text_roundtrip_through_cli_formats() {
 
     let nl2 = seqavf::netlist::flatten::parse_netlist(&exlif_text).unwrap();
     let mapping2 = seqavf::core::mapping::StructureMapping::from_text(&nl2, &map_text).unwrap();
-    let inputs2: seqavf::core::mapping::PavfInputs =
-        serde_json::from_str(&inputs_json).unwrap();
-    let engine = seqavf::core::engine::SartEngine::new(
-        &nl2,
-        &mapping2,
-        out.result.config.clone(),
-    );
+    let inputs2: seqavf::core::mapping::PavfInputs = serde_json::from_str(&inputs_json).unwrap();
+    let engine = seqavf::core::engine::SartEngine::new(&nl2, &mapping2, out.result.config.clone());
     let result2 = engine.run(&inputs2);
     // Same design, same inputs, same config → same AVFs (matched by name;
     // node ids are preserved by the writer's id-order emission).

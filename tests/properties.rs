@@ -36,7 +36,13 @@ fn build_circuit(recipe: &[(u8, u8, u8)], fubs: usize) -> Netlist {
         kind: SeqKind::Flop,
         has_enable: false,
     };
-    let gates = [GateOp::And, GateOp::Or, GateOp::Nor, GateOp::Xor, GateOp::Nand];
+    let gates = [
+        GateOp::And,
+        GateOp::Or,
+        GateOp::Nor,
+        GateOp::Xor,
+        GateOp::Nand,
+    ];
     let mut struct_writes = 0usize;
     for (i, &(kind, x, y)) in recipe.iter().enumerate() {
         let fub = fubs[i % fubs.len()];
@@ -97,6 +103,79 @@ fn build_circuit(recipe: &[(u8, u8, u8)], fubs: usize) -> Netlist {
     let o = b.add_node("f0.final_out", NodeKind::Output, fubs[0]);
     b.connect(last, o);
     b.finish().expect("recipe-built netlists are valid")
+}
+
+/// Builds a multi-FUB circuit stressing the partition machinery:
+/// configuration control registers (classified by the `creg` name
+/// pattern), FSM rings whose flops live in *different* FUBs (loop-cut
+/// nodes on partition boundaries), join gates, and cross-FUB pipeline
+/// flops. Deterministic in the recipe, valid by construction.
+fn build_partition_stress_circuit(recipe: &[(u8, u8, u8)], fubs: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("stress");
+    let fub_ids: Vec<_> = (0..fubs.max(2))
+        .map(|i| b.add_fub(format!("g{i}")))
+        .collect();
+    let s1 = b.add_structure("g0.sa", 2, fub_ids[0]);
+    let flop = NodeKind::Seq {
+        kind: SeqKind::Flop,
+        has_enable: false,
+    };
+    let mut pool: Vec<NodeId> = vec![b.structure_cell(s1, 0), b.structure_cell(s1, 1)];
+    pool.push(b.add_node("g0.cfg", NodeKind::Input, fub_ids[0]));
+    for (i, &(kind, x, y)) in recipe.iter().enumerate() {
+        let here = i % fub_ids.len();
+        let next = (i + 1) % fub_ids.len();
+        let pick = |k: u8| pool[k as usize % pool.len()];
+        match kind % 4 {
+            0 => {
+                // Control register (the name makes classify() tag it).
+                let c = b.add_node(format!("g{here}.creg{i}"), flop, fub_ids[here]);
+                b.connect(pick(x), c);
+                pool.push(c);
+            }
+            1 => {
+                // FSM ring spanning two FUBs: the loop cut happens on a
+                // partition boundary.
+                let la = b.add_node(format!("g{here}.xla{i}"), flop, fub_ids[here]);
+                let lb = b.add_node(format!("g{next}.xlb{i}"), flop, fub_ids[next]);
+                let g = b.add_node(
+                    format!("g{here}.xlg{i}"),
+                    NodeKind::Comb(GateOp::Or),
+                    fub_ids[here],
+                );
+                b.connect(la, lb);
+                b.connect(lb, g);
+                b.connect(pick(x), g);
+                b.connect(g, la);
+                pool.push(lb);
+            }
+            2 => {
+                // Join gate feeding a flop.
+                let g = b.add_node(
+                    format!("g{here}.jg{i}"),
+                    NodeKind::Comb(GateOp::And),
+                    fub_ids[here],
+                );
+                b.connect(pick(x), g);
+                b.connect(pick(y), g);
+                let q = b.add_node(format!("g{here}.jq{i}"), flop, fub_ids[here]);
+                b.connect(g, q);
+                pool.push(q);
+            }
+            _ => {
+                // Pipeline flop in the *next* FUB: a cross-partition edge.
+                let q = b.add_node(format!("g{next}.pq{i}"), flop, fub_ids[next]);
+                b.connect(pick(x), q);
+                pool.push(q);
+            }
+        }
+    }
+    // A structure write and an output keep both walks anchored.
+    let wcell = b.structure_cell(s1, 1);
+    b.connect(*pool.last().expect("pool non-empty"), wcell);
+    let o = b.add_node("g0.out", NodeKind::Output, fub_ids[0]);
+    b.connect(pool[pool.len() / 2], o);
+    b.finish().expect("stress-built netlists are valid")
 }
 
 fn recipe_strategy() -> impl Strategy<Value = (Vec<(u8, u8, u8)>, usize)> {
@@ -188,6 +267,59 @@ proptest! {
     }
 
     #[test]
+    fn partitioned_equals_global_with_loops_and_ctrl((recipe, fubs) in recipe_strategy()) {
+        // Multi-FUB netlists with cross-partition FSM loops and control
+        // registers: the partitioned relaxation must still converge to
+        // the global fixpoint. A generous iteration cap keeps deep
+        // cross-FUB chains from hitting the limit.
+        let nl = build_partition_stress_circuit(&recipe, fubs);
+        let mut inputs = PavfInputs::new();
+        inputs.set_port("g0.sa", 0.2, 0.6);
+        let config = SartConfig { max_iterations: 64, ..SartConfig::default() };
+        let part = SartEngine::new(&nl, &StructureMapping::new(), config.clone())
+            .run(&inputs);
+        let glob = SartEngine::new(
+            &nl,
+            &StructureMapping::new(),
+            SartConfig { partitioned: false, ..config },
+        )
+        .run(&inputs);
+        prop_assert!(part.outcome.converged);
+        prop_assert!(glob.outcome.converged);
+        for id in nl.nodes() {
+            prop_assert!(
+                (part.avf(id) - glob.avf(id)).abs() < 1e-12,
+                "{} partitioned {} vs global {}",
+                nl.name(id), part.avf(id), glob.avf(id)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_relax_is_bit_identical_to_sequential((recipe, fubs) in recipe_strategy()) {
+        // The sharded parallel engine's contract: any thread count yields
+        // the same SetId annotations, arena size, and bitwise-equal AVFs.
+        let nl = build_partition_stress_circuit(&recipe, fubs);
+        let mut inputs = PavfInputs::new();
+        inputs.set_port("g0.sa", 0.35, 0.15);
+        let config = SartConfig { max_iterations: 64, ..SartConfig::default() };
+        let seq = SartEngine::new(&nl, &StructureMapping::new(), config.clone())
+            .run(&inputs);
+        let par = SartEngine::new(
+            &nl,
+            &StructureMapping::new(),
+            SartConfig { threads: 5, ..config },
+        )
+        .run(&inputs);
+        prop_assert_eq!(&seq.fwd, &par.fwd);
+        prop_assert_eq!(&seq.bwd, &par.bwd);
+        prop_assert_eq!(seq.arena.len(), par.arena.len());
+        for id in nl.nodes() {
+            prop_assert_eq!(seq.avf(id).to_bits(), par.avf(id).to_bits(), "{}", nl.name(id));
+        }
+    }
+
+    #[test]
     fn exlif_roundtrip_preserves_graph((recipe, fubs) in recipe_strategy()) {
         let nl = build_circuit(&recipe, fubs);
         let text = seqavf::netlist::exlif::write(&nl);
@@ -199,6 +331,56 @@ proptest! {
             let id2 = nl2.lookup(nl.name(id)).expect("name preserved");
             prop_assert_eq!(nl.kind(id), nl2.kind(id2));
         }
+    }
+}
+
+/// Replays the shrunk failing case recorded in
+/// `tests/properties.proptest-regressions` for `closed_form_reuse_is_exact`.
+/// The offline proptest stand-in does not read regression files, so the
+/// seed is pinned here as a plain test.
+#[test]
+fn closed_form_reuse_regression_seed() {
+    let recipe: Vec<(u8, u8, u8)> = vec![
+        (94, 0, 0),
+        (160, 0, 0),
+        (184, 0, 0),
+        (214, 0, 0),
+        (46, 0, 0),
+        (0, 0, 0),
+        (0, 0, 0),
+        (0, 0, 0),
+        (0, 0, 3),
+        (217, 174, 150),
+        (168, 19, 112),
+        (25, 111, 184),
+        (195, 92, 195),
+        (88, 172, 60),
+        (165, 60, 188),
+        (136, 149, 183),
+        (186, 163, 67),
+        (216, 100, 4),
+        (90, 214, 83),
+        (55, 40, 14),
+        (23, 55, 242),
+        (144, 167, 235),
+        (7, 47, 204),
+        (30, 26, 203),
+        (128, 52, 150),
+    ];
+    let (fubs, v, w) = (2usize, 0.4015249373321048f64, 0.06049688487082415f64);
+    let nl = build_circuit(&recipe, fubs);
+    let engine = SartEngine::new(&nl, &StructureMapping::new(), SartConfig::default());
+    let first = engine.run(&inputs_with(0.5, 0.5));
+    let cheap = first.reevaluate(&nl, &inputs_with(v, w));
+    let fresh = engine.run(&inputs_with(v, w));
+    for id in nl.nodes() {
+        assert!(
+            (cheap[id.index()] - fresh.avf(id)).abs() < 1e-12,
+            "{}: reused {} vs fresh {}",
+            nl.name(id),
+            cheap[id.index()],
+            fresh.avf(id)
+        );
     }
 }
 

@@ -1,0 +1,259 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Measures real wall-clock time and prints a plain-text report — no
+//! statistics engine, no plotting, no baseline storage. Each benchmark is
+//! warmed up briefly, then timed over enough iterations to fill a short
+//! measurement window; the report shows mean time per iteration.
+//!
+//! Environment knobs (all optional):
+//! - `CRITERION_WARMUP_MS` — warm-up window per benchmark (default 300).
+//! - `CRITERION_MEASURE_MS` — measurement window per benchmark (default 1000).
+
+use std::time::{Duration, Instant};
+
+fn env_ms(name: &str, default_ms: u64) -> Duration {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(default_ms))
+}
+
+/// How `iter_batched` amortizes setup cost; the stub runs one setup per
+/// routine call regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Routine input is cheap to set up.
+    SmallInput,
+    /// Routine input is expensive to set up.
+    LargeInput,
+    /// Each batch is a single routine call.
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    /// Mean seconds per iteration, filled by `iter`/`iter_batched`.
+    result_secs: f64,
+    /// Iterations actually measured.
+    result_iters: u64,
+}
+
+impl Bencher {
+    fn new(warmup: Duration, measure: Duration) -> Bencher {
+        Bencher {
+            warmup,
+            measure,
+            result_secs: 0.0,
+            result_iters: 0,
+        }
+    }
+
+    /// Times `routine` over the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the window elapses (at least once).
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            if start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        // Measurement.
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.measure {
+                break;
+            }
+        }
+        self.result_secs = start.elapsed().as_secs_f64() / iters as f64;
+        self.result_iters = iters;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            if start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let mut iters: u64 = 0;
+        let mut busy = Duration::ZERO;
+        let wall = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            busy += t0.elapsed();
+            iters += 1;
+            if wall.elapsed() >= self.measure {
+                break;
+            }
+        }
+        self.result_secs = busy.as_secs_f64() / iters as f64;
+        self.result_iters = iters;
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    /// Substring filter from argv (like real criterion's bench filter).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: env_ms("CRITERION_WARMUP_MS", 300),
+            measure: env_ms("CRITERION_MEASURE_MS", 1000),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads the benchmark-name filter from the command line, skipping the
+    /// flags cargo-bench passes through (`--bench`, `--exact`, ...).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    fn runs(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        println!(
+            "{id:<40} {:>12}/iter  ({} iterations)",
+            format_time(b.result_secs),
+            b.result_iters
+        );
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.runs(id) {
+            let mut b = Bencher::new(self.warmup, self.measure);
+            f(&mut b);
+            self.report(id, &b);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Prints the closing line (real criterion prints a summary here).
+    pub fn final_summary(&mut self) {
+        println!("benchmarks complete");
+    }
+}
+
+/// A named group of benchmarks; ids are `group/member`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        if self.parent.runs(&full) {
+            let mut b = Bencher::new(self.parent.warmup, self.parent.measure);
+            f(&mut b);
+            self.parent.report(&full, &b);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export so `criterion::black_box` works like upstream.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emits `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..100).sum::<u64>()
+            })
+        });
+        assert!(ran > 0);
+        let mut group = c.benchmark_group("g");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,698 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, `any::<T>()`,
+//! integer/float range strategies, `prop::collection::vec`,
+//! `prop::sample::select`, tuple strategies, `.prop_map`, regex-literal
+//! string strategies, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest: generation is seeded deterministically
+//! from the test name (every run replays the same cases), there is **no
+//! shrinking** (the failing input is printed verbatim), and
+//! `.proptest-regressions` files are not read.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic RNG + per-test configuration.
+
+    /// xoshiro256** generator; self-contained so the stub has no deps.
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeds deterministically from a test identifier string.
+        pub fn deterministic(name: &str) -> TestRng {
+            // FNV-1a over the name, then SplitMix64 to expand.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut state = h;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next() | 1],
+            }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform usize in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of passing cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub enum TestCaseResult {
+        /// Ran to completion.
+        Pass,
+        /// `prop_assume!` rejected the inputs; retry with fresh ones.
+        Reject,
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-range values for primitive types.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    macro_rules! impl_arbitrary_tuple {
+        ($(($($t:ident),+))*) => {$(
+            impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($(<$t as Arbitrary>::arbitrary(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_tuple! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl strategy::Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl strategy::Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-literal string strategies
+// ---------------------------------------------------------------------------
+
+/// Compiled atom of the tiny regex subset used for string strategies.
+enum RegexAtom {
+    /// One char drawn from an explicit alphabet.
+    Class {
+        alphabet: Vec<char>,
+        min: usize,
+        max: usize,
+    },
+}
+
+/// Parses the regex subset `[...]`, `\PC`, `.`, literal chars, each with an
+/// optional `{m,n}` repetition. Anything fancier panics loudly so a future
+/// test author knows to extend the stub.
+fn compile_regex_subset(pattern: &str) -> Vec<RegexAtom> {
+    let mut atoms = Vec::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    // Printable, newline-free alphabet used for `\PC` and `.`: ASCII plus a
+    // couple of multibyte chars to exercise UTF-8 handling in parsers.
+    let printable: Vec<char> = (' '..='~').chain(['é', 'λ', '→']).collect();
+    while i < chars.len() {
+        let alphabet: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unterminated [class] in regex strategy")
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        set.extend(lo..=hi);
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                // Only `\PC` (printable char) is supported.
+                assert!(
+                    chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                    "unsupported escape in regex strategy `{pattern}`"
+                );
+                i += 3;
+                printable.clone()
+            }
+            '.' => {
+                i += 1;
+                printable.clone()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional {m,n} / {n} repetition.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated {rep} in regex strategy")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad {m,n} lower bound"),
+                    hi.trim().parse().expect("bad {m,n} upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad {n} count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!alphabet.is_empty(), "empty alphabet in regex strategy");
+        atoms.push(RegexAtom::Class { alphabet, min, max });
+    }
+    atoms
+}
+
+impl strategy::Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> String {
+        let atoms = compile_regex_subset(self);
+        let mut out = String::new();
+        for RegexAtom::Class { alphabet, min, max } in &atoms {
+            let n = if max > min {
+                min + rng.below(max - min + 1)
+            } else {
+                *min
+            };
+            for _ in 0..n {
+                out.push(alphabet[rng.below(alphabet.len())]);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection + sample strategies
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    //! `prop::collection::vec`.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds, buildable from `n`, `a..b`, or `a..=b`
+    /// (mirroring real proptest's `SizeRange`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for variable-length vectors.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.min + rng.below(self.size.max - self.size.min + 1);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of elements drawn from `element`, with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! `prop::sample::select`.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy choosing uniformly from a fixed list.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len())].clone()
+        }
+    }
+
+    /// Chooses one of `options` uniformly.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use super::arbitrary::any;
+    pub use super::strategy::Strategy;
+    pub use super::test_runner::ProptestConfig;
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias matching real proptest's `prop::...` paths.
+    pub mod prop {
+        pub use super::super::collection;
+        pub use super::super::sample;
+    }
+}
+
+/// Drives one property: generates up to `cases` inputs, skipping
+/// `prop_assume!` rejections, and reports the first failing input.
+#[doc(hidden)]
+pub fn __run<F>(config: &test_runner::ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> CaseOutcome,
+{
+    let mut rng = test_runner::TestRng::deterministic(test_name);
+    let mut passed = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = (config.cases as u64) * 20 + 100;
+    while passed < config.cases {
+        attempts += 1;
+        if attempts > max_attempts {
+            panic!(
+                "proptest stub: `{test_name}` rejected too many inputs \
+                 ({passed}/{} passed after {attempts} attempts)",
+                config.cases
+            );
+        }
+        match case(&mut rng) {
+            CaseOutcome::Pass => passed += 1,
+            CaseOutcome::Reject => {}
+            CaseOutcome::Fail { inputs, payload } => {
+                eprintln!("proptest stub: `{test_name}` failed on case {attempts}:");
+                for line in inputs {
+                    eprintln!("    {line}");
+                }
+                eprintln!("    (no shrinking in the offline stub)");
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Result of one case inside [`__run`].
+#[doc(hidden)]
+pub enum CaseOutcome {
+    /// Body completed.
+    Pass,
+    /// `prop_assume!` bailed out.
+    Reject,
+    /// Body panicked; inputs are pre-rendered for the report.
+    Fail {
+        inputs: Vec<String>,
+        payload: Box<dyn std::any::Any + Send>,
+    },
+}
+
+/// Renders one generated input for the failure report.
+#[doc(hidden)]
+pub fn __describe<T: Debug>(name: &str, value: &T) -> String {
+    format!("{name} = {value:?}")
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg_pat:pat in $arg_strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::__run(
+                &__config,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng| {
+                    let mut __inputs: Vec<String> = Vec::new();
+                    $(
+                        let __value =
+                            $crate::strategy::Strategy::generate(&($arg_strat), __rng);
+                        __inputs.push($crate::__describe(
+                            stringify!($arg_pat),
+                            &__value,
+                        ));
+                        let $arg_pat = __value;
+                    )+
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || {
+                            $body
+                            $crate::test_runner::TestCaseResult::Pass
+                        }),
+                    );
+                    match __outcome {
+                        Ok($crate::test_runner::TestCaseResult::Pass) => {
+                            $crate::CaseOutcome::Pass
+                        }
+                        Ok($crate::test_runner::TestCaseResult::Reject) => {
+                            $crate::CaseOutcome::Reject
+                        }
+                        Err(payload) => $crate::CaseOutcome::Fail {
+                            inputs: __inputs,
+                            payload,
+                        },
+                    }
+                },
+            );
+        }
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Skips the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::test_runner::TestCaseResult::Reject;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subsets_generate_matching_strings() {
+        let mut rng = crate::test_runner::TestRng::deterministic("regex");
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::generate(&"[a-z][a-z0-9_]{0,12}", &mut rng);
+            let mut cs = s.chars();
+            let first = cs.next().expect("at least one char");
+            assert!(first.is_ascii_lowercase(), "{s}");
+            assert!(s.chars().count() <= 13, "{s}");
+            for c in cs {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_',
+                    "{s}"
+                );
+            }
+            let p = crate::strategy::Strategy::generate(&"\\PC{0,400}", &mut rng);
+            assert!(p.chars().count() <= 400);
+            assert!(!p.contains('\n'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_round_trips(v in prop::collection::vec(any::<u8>(), 0..8),
+                             x in 0.25f64..0.75,
+                             s in prop::sample::select(vec![1u32, 2, 3])) {
+            prop_assume!(v.len() != 7);
+            prop_assert!(v.len() < 8);
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!(s >= 1 && s <= 3);
+            prop_assert_eq!(v.len(), v.iter().count());
+        }
+
+        #[test]
+        fn tuple_args_destructure((a, b) in (0u8..10, 0u8..10)) {
+            prop_assert!(a < 10 && b < 10);
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! item shapes this workspace actually uses — plain structs (named,
+//! tuple/newtype) and enums (unit, newtype, tuple, struct variants),
+//! optionally with lifetime generics — without depending on `syn`/`quote`
+//! (unavailable offline). Parsing walks the raw [`proc_macro::TokenStream`];
+//! code generation builds a string and re-parses it.
+//!
+//! Unsupported (by design): `#[serde(...)]` attributes, type-parameter
+//! generics, unions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: name (or tuple index) and type text.
+struct Field {
+    name: String,
+    ty: String,
+}
+
+enum Shape {
+    /// `struct S { a: T, … }`
+    NamedStruct(Vec<Field>),
+    /// `struct S(T, …);` — a single field serializes transparently.
+    TupleStruct(Vec<Field>),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { … }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    /// Generics text including angle brackets, e.g. `<'a>`; empty if none.
+    generics: String,
+    shape: Shape,
+}
+
+/// Skips attribute tokens (`#[...]`, including doc comments) starting at
+/// `i`; returns the next index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a token slice on top-level commas, tracking `<`/`>` depth (groups
+/// are already atomic in a token stream).
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Renders tokens back to source text via `TokenStream`'s spacing-aware
+/// `Display` (a plain space-join would split lifetimes like `'static`
+/// into `' static`, an unterminated char literal).
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+/// Parses `name: Type` fields from a brace-group body.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<Field> {
+    split_commas(body)
+        .into_iter()
+        .filter_map(|entry| {
+            let mut i = skip_attrs(&entry, 0);
+            i = skip_vis(&entry, i);
+            let name = match entry.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return None,
+            };
+            // Skip the `:`.
+            let ty = tokens_to_string(&entry[i + 2..]);
+            Some(Field { name, ty })
+        })
+        .collect()
+}
+
+/// Parses tuple-struct / tuple-variant element types from a paren body.
+fn parse_tuple_fields(body: &[TokenTree]) -> Vec<Field> {
+    split_commas(body)
+        .into_iter()
+        .enumerate()
+        .map(|(idx, entry)| {
+            let mut i = skip_attrs(&entry, 0);
+            i = skip_vis(&entry, i);
+            Field {
+                name: idx.to_string(),
+                ty: tokens_to_string(&entry[i..]),
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other}"),
+    };
+    i += 1;
+    // Optional generics.
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            let mut parts: Vec<TokenTree> = Vec::new();
+            while let Some(t) = tokens.get(i) {
+                if let TokenTree::Punct(p) = t {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                parts.push(t.clone());
+                i += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            generics = tokens_to_string(&parts);
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::NamedStruct(parse_named_fields(&body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::TupleStruct(parse_tuple_fields(&body))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("serde_derive: enum without body");
+            };
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            let variants = split_commas(&body)
+                .into_iter()
+                .filter_map(|entry| {
+                    let j = skip_attrs(&entry, 0);
+                    let name = match entry.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        _ => return None,
+                    };
+                    let shape = match entry.get(j + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let b: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantShape::Named(parse_named_fields(&b))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let b: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantShape::Tuple(parse_tuple_fields(&b))
+                        }
+                        _ => VariantShape::Unit,
+                    };
+                    Some(Variant { name, shape })
+                })
+                .collect();
+            Shape::Enum(variants)
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        generics,
+        shape,
+    }
+}
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    format!(
+        "impl {g} ::serde::{t} for {n} {g}",
+        g = item.generics,
+        t = trait_name,
+        n = item.name,
+    )
+}
+
+/// `#[derive(Serialize)]` — renders the item into `::serde::Value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", pairs.join(", "))
+        }
+        Shape::TupleStruct(fields) if fields.len() == 1 => {
+            "::serde::Serialize::to_value(&self.0)".to_owned()
+        }
+        Shape::TupleStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("::serde::Serialize::to_value(&self.{})", f.name))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_owned(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.shape {
+                    VariantShape::Unit => format!(
+                        "Self::{n} => ::serde::Value::Str(\"{n}\".to_string()),",
+                        n = v.name
+                    ),
+                    VariantShape::Tuple(fields) if fields.len() == 1 => format!(
+                        "Self::{n}(x0) => ::serde::Value::Obj(vec![(\"{n}\".to_string(), \
+                         ::serde::Serialize::to_value(x0))]),",
+                        n = v.name
+                    ),
+                    VariantShape::Tuple(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "Self::{n}({binds}) => ::serde::Value::Obj(vec![(\"{n}\".to_string(), \
+                             ::serde::Value::Arr(vec![{items}]))]),",
+                            n = v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "Self::{n} {{ {binds} }} => ::serde::Value::Obj(vec![\
+                             (\"{n}\".to_string(), ::serde::Value::Obj(vec![{pairs}]))]),",
+                            n = v.name,
+                            binds = binds.join(", "),
+                            pairs = pairs.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let code = format!(
+        "{header} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        header = impl_header(&item, "Serialize"),
+    );
+    code.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]` — reconstructs the item from `::serde::Value`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let named_fields = |fields: &[Field], src: &str, ctor: &str| -> String {
+        let inits: Vec<String> = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "{n}: <{t} as ::serde::Deserialize>::from_value(::serde::field({src}, \
+                     \"{n}\")).map_err(|e| ::serde::de_error(format!(\"{owner}.{n}: {{e}}\")))?,",
+                    n = f.name,
+                    t = f.ty,
+                    src = src,
+                    owner = name,
+                )
+            })
+            .collect();
+        format!("Ok({ctor} {{ {} }})", inits.join(" "))
+    };
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => named_fields(fields, "v", name),
+        Shape::TupleStruct(fields) if fields.len() == 1 => format!(
+            "Ok({name}(<{t} as ::serde::Deserialize>::from_value(v)?))",
+            t = fields[0].ty
+        ),
+        Shape::TupleStruct(fields) => {
+            let tys: Vec<String> = fields.iter().map(|f| f.ty.clone()).collect();
+            format!(
+                "{{ let t = <({tuple},) as ::serde::Deserialize>::from_value(v)?; \
+                 Ok({name}({unpack})) }}",
+                tuple = tys.join(", "),
+                unpack = (0..fields.len())
+                    .map(|i| format!("t.{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{n}\" => Ok(Self::{n}),", n = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.shape {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(fields) if fields.len() == 1 => Some(format!(
+                        "\"{n}\" => Ok(Self::{n}(<{t} as ::serde::Deserialize>::from_value(pv)?)),",
+                        n = v.name,
+                        t = fields[0].ty
+                    )),
+                    VariantShape::Tuple(fields) => {
+                        let tys: Vec<String> = fields.iter().map(|f| f.ty.clone()).collect();
+                        Some(format!(
+                            "\"{n}\" => {{ let t = <({tuple},) as ::serde::Deserialize>\
+                             ::from_value(pv)?; Ok(Self::{n}({unpack})) }},",
+                            n = v.name,
+                            tuple = tys.join(", "),
+                            unpack = (0..fields.len())
+                                .map(|i| format!("t.{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        ))
+                    }
+                    VariantShape::Named(fields) => Some(format!(
+                        "\"{n}\" => {body},",
+                        n = v.name,
+                        body = named_fields(fields, "pv", &format!("Self::{}", v.name)),
+                    )),
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                   ::serde::Value::Str(s) => match s.as_str() {{ \
+                     {unit_arms} \
+                     other => Err(::serde::de_error(format!(\"unknown {name} variant `{{other}}`\"))), \
+                   }}, \
+                   ::serde::Value::Obj(pairs) if pairs.len() == 1 => {{ \
+                     let (k, pv) = &pairs[0]; \
+                     match k.as_str() {{ \
+                       {data_arms} \
+                       other => Err(::serde::de_error(format!(\"unknown {name} variant `{{other}}`\"))), \
+                     }} \
+                   }}, \
+                   other => Err(::serde::de_error(format!(\"expected {name}, got {{other:?}}\"))), \
+                 }}",
+                unit_arms = unit_arms.join(" "),
+                data_arms = data_arms.join(" "),
+                name = name,
+            )
+        }
+    };
+    let code = format!(
+        "{header} {{ fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, \
+         ::serde::DeError> {{ {body} }} }}",
+        header = impl_header(&item, "Deserialize"),
+    );
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
