@@ -10,6 +10,7 @@ use seqavf_core::engine::{SartConfig, SartEngine};
 use seqavf_core::mapping::{PavfInputs, StructureMapping};
 use seqavf_netlist::graph::NodeId;
 use seqavf_netlist::synth::{generate, SynthConfig};
+use seqavf_obs::Collector;
 use seqavf_perf::pipeline::{run_ace, PerfConfig};
 use seqavf_sfi::campaign::{run_campaign, CampaignConfig};
 use seqavf_sfi::inject::{observation_points, run_injection, InjectConfig};
@@ -151,6 +152,25 @@ fn bench_relax_thread_scaling(c: &mut Criterion) {
         );
         group.bench_function(&format!("{threads}"), |b| {
             b.iter(|| std::hint::black_box(engine.run(&inputs)))
+        });
+    }
+    // The observability budget check: the same 4-thread solve with a live
+    // collector (one span + one counter update per sweep). The acceptance
+    // bar is <5% regression against the untraced `4` point above.
+    {
+        let engine = SartEngine::new(
+            &design.netlist,
+            &mapping,
+            SartConfig {
+                threads: 4,
+                ..SartConfig::default()
+            },
+        );
+        group.bench_function("4_traced", |b| {
+            b.iter(|| {
+                let obs = Collector::new();
+                std::hint::black_box(engine.run_traced(&inputs, &obs))
+            })
         });
     }
     group.finish();

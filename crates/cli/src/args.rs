@@ -1,5 +1,10 @@
 //! A minimal dependency-free argument parser: `--key value` flags and
 //! `--switch` booleans after a subcommand word.
+//!
+//! Parsing is strict: duplicate flags and stray positionals are usage
+//! errors that name the offending token, and each subcommand declares its
+//! accepted flags/switches via [`Args::validate`] so misspelled options
+//! fail loudly instead of being silently ignored.
 
 use std::collections::BTreeMap;
 
@@ -16,8 +21,10 @@ impl Args {
     /// Parses raw arguments (excluding the program name).
     ///
     /// A token starting with `--` that is followed by a non-flag token
-    /// becomes a key/value flag; otherwise it is a boolean switch.
-    pub fn parse<I, S>(raw: I) -> Args
+    /// becomes a key/value flag; otherwise it is a boolean switch. Errors
+    /// on a repeated `--key` and on any positional beyond the subcommand,
+    /// naming the offending token.
+    pub fn parse<I, S>(raw: I) -> Result<Args, String>
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
@@ -28,6 +35,9 @@ impl Args {
         while i < tokens.len() {
             let t = &tokens[i];
             if let Some(key) = t.strip_prefix("--") {
+                if args.flags.contains_key(key) || args.switches.iter().any(|s| s == key) {
+                    return Err(format!("duplicate flag --{key}"));
+                }
                 if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
                     args.flags.insert(key.to_owned(), tokens[i + 1].clone());
                     i += 2;
@@ -36,13 +46,38 @@ impl Args {
                     i += 1;
                 }
             } else {
-                if args.command.is_empty() {
-                    args.command = t.clone();
+                if !args.command.is_empty() {
+                    return Err(format!("unexpected argument `{t}`"));
                 }
+                args.command = t.clone();
                 i += 1;
             }
         }
-        args
+        Ok(args)
+    }
+
+    /// Checks every parsed option against the subcommand's accepted
+    /// `flags` (take a value) and `switches` (boolean). Reports unknown
+    /// options by name, switches that were given a value, and flags that
+    /// are missing one.
+    pub fn validate(&self, flags: &[&str], switches: &[&str]) -> Result<(), String> {
+        for key in self.flags.keys() {
+            if switches.iter().any(|s| s == key) {
+                return Err(format!("switch --{key} does not take a value"));
+            }
+            if !flags.iter().any(|f| f == key) {
+                return Err(format!("unknown flag --{key}"));
+            }
+        }
+        for key in &self.switches {
+            if flags.iter().any(|f| f == key) {
+                return Err(format!("flag --{key} requires a value"));
+            }
+            if !switches.iter().any(|s| s == key) {
+                return Err(format!("unknown flag --{key}"));
+            }
+        }
+        Ok(())
     }
 
     /// String flag value.
@@ -78,7 +113,7 @@ mod tests {
 
     #[test]
     fn parses_command_flags_and_switches() {
-        let a = Args::parse(["sart", "--design", "d.exlif", "--verbose", "--iters", "20"]);
+        let a = Args::parse(["sart", "--design", "d.exlif", "--verbose", "--iters", "20"]).unwrap();
         assert_eq!(a.command, "sart");
         assert_eq!(a.get("design"), Some("d.exlif"));
         assert!(a.has("verbose"));
@@ -87,7 +122,7 @@ mod tests {
 
     #[test]
     fn missing_and_default_values() {
-        let a = Args::parse(["gen"]);
+        let a = Args::parse(["gen"]).unwrap();
         assert_eq!(a.get("x"), None);
         assert!(a.require("x").is_err());
         assert_eq!(a.num::<u64>("seed", 42).unwrap(), 42);
@@ -96,14 +131,79 @@ mod tests {
 
     #[test]
     fn bad_number_reports_flag() {
-        let a = Args::parse(["gen", "--seed", "abc"]);
+        let a = Args::parse(["gen", "--seed", "abc"]).unwrap();
         let e = a.num::<u64>("seed", 0).unwrap_err();
         assert!(e.contains("--seed"));
     }
 
     #[test]
     fn trailing_switch() {
-        let a = Args::parse(["flow", "--full"]);
+        let a = Args::parse(["flow", "--full"]).unwrap();
         assert!(a.has("full"));
+    }
+
+    #[test]
+    fn duplicate_flag_is_an_error() {
+        let e = Args::parse(["sart", "--threads", "4", "--threads", "8"]).unwrap_err();
+        assert_eq!(e, "duplicate flag --threads");
+    }
+
+    #[test]
+    fn duplicate_switch_is_an_error() {
+        let e = Args::parse(["flow", "--metrics", "--metrics"]).unwrap_err();
+        assert_eq!(e, "duplicate flag --metrics");
+    }
+
+    #[test]
+    fn flag_repeated_as_switch_is_an_error() {
+        let e = Args::parse(["sart", "--threads", "4", "--threads"]).unwrap_err();
+        assert_eq!(e, "duplicate flag --threads");
+    }
+
+    #[test]
+    fn stray_positional_is_an_error() {
+        let e = Args::parse(["gen", "extra.exlif"]).unwrap_err();
+        assert_eq!(e, "unexpected argument `extra.exlif`");
+    }
+
+    #[test]
+    fn positional_after_flags_is_an_error() {
+        let e = Args::parse(["gen", "--seed", "1", "oops"]).unwrap_err();
+        assert_eq!(e, "unexpected argument `oops`");
+    }
+
+    #[test]
+    fn validate_rejects_misspelled_flag() {
+        let a = Args::parse(["gen", "--seeed", "7"]).unwrap();
+        let e = a.validate(&["seed", "out"], &["metrics"]).unwrap_err();
+        assert_eq!(e, "unknown flag --seeed");
+    }
+
+    #[test]
+    fn validate_rejects_misspelled_switch() {
+        let a = Args::parse(["flow", "--metrix"]).unwrap();
+        let e = a.validate(&["seed"], &["metrics"]).unwrap_err();
+        assert_eq!(e, "unknown flag --metrix");
+    }
+
+    #[test]
+    fn validate_rejects_switch_with_value() {
+        let a = Args::parse(["ace", "--conservative", "yes"]).unwrap();
+        let e = a.validate(&["out"], &["conservative"]).unwrap_err();
+        assert_eq!(e, "switch --conservative does not take a value");
+    }
+
+    #[test]
+    fn validate_rejects_flag_without_value() {
+        let a = Args::parse(["gen", "--out"]).unwrap();
+        let e = a.validate(&["out"], &["metrics"]).unwrap_err();
+        assert_eq!(e, "flag --out requires a value");
+    }
+
+    #[test]
+    fn validate_accepts_known_options() {
+        let a = Args::parse(["sart", "--threads", "4", "--global", "--metrics"]).unwrap();
+        a.validate(&["threads", "design"], &["global", "metrics"])
+            .unwrap();
     }
 }

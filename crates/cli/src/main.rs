@@ -16,6 +16,10 @@
 //! performance model and writes the port-AVF table; `sart` resolves every
 //! node's AVF; `sfi` runs the fault-injection baseline; `flow` chains the
 //! whole pipeline in memory.
+//!
+//! Every subcommand accepts `--trace-out <path>` (write a
+//! `seqavf-trace/1` NDJSON trace of all pipeline phases) and `--metrics`
+//! (print a per-phase wall-time/counter table after the run).
 
 mod args;
 
@@ -30,11 +34,18 @@ use seqavf_netlist::flatten;
 use seqavf_netlist::graph::Netlist;
 use seqavf_netlist::synth::{generate, SynthConfig};
 use seqavf_netlist::verilog;
+use seqavf_obs::Collector;
 use seqavf_perf::pipeline::PerfConfig;
 use seqavf_workloads::suite::{standard_suite, SuiteConfig};
 
 fn main() -> ExitCode {
-    let args = Args::parse(std::env::args().skip(1));
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("seqavf: {e}\nrun `seqavf help` for usage");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match args.command.as_str() {
         "gen" => cmd_gen(&args),
         "ace" => cmd_ace(&args),
@@ -73,6 +84,10 @@ commands:
         statistical fault-injection baseline
   flow  [--seed N] [--workloads N] [--len N] [--scale F] [--threads N]
         run the whole pipeline in memory and print the per-FUB report
+
+every command also accepts:
+        [--trace-out <file.ndjson>]  write a seqavf-trace/1 phase trace
+        [--metrics]                  print the per-phase metrics table
 ";
 
 fn write_file(path: &str, contents: &str) -> Result<(), String> {
@@ -83,23 +98,75 @@ fn read_file(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
 }
 
+/// The CLI's observability handle: a collector that is enabled only when
+/// `--trace-out` or `--metrics` was given, so untraced runs pay nothing.
+struct Obs {
+    collector: Collector,
+    trace_out: Option<String>,
+    metrics: bool,
+}
+
+impl Obs {
+    fn from_args(args: &Args) -> Obs {
+        let trace_out = args.get("trace-out").map(str::to_owned);
+        let metrics = args.has("metrics");
+        let collector = if trace_out.is_some() || metrics {
+            Collector::new()
+        } else {
+            Collector::disabled()
+        };
+        Obs {
+            collector,
+            trace_out,
+            metrics,
+        }
+    }
+
+    /// Writes the NDJSON trace and/or prints the metrics table, as asked.
+    fn finish(&self, command: &str) -> Result<(), String> {
+        if let Some(path) = &self.trace_out {
+            let mut buf = Vec::new();
+            self.collector
+                .write_ndjson(&mut buf, &[("cmd", command)])
+                .map_err(|e| format!("serializing trace: {e}"))?;
+            std::fs::write(path, &buf).map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "wrote {path}: {} trace events",
+                self.collector.spans().len()
+            );
+        }
+        if self.metrics {
+            print!("{}", self.collector.report().to_table());
+        }
+        Ok(())
+    }
+}
+
 /// Loads a design, selecting the frontend by file extension: `.v`/`.sv`
 /// use the structural-Verilog parser, everything else the EXLIF parser.
-fn load_design(path: &str) -> Result<Netlist, String> {
+fn load_design(path: &str, obs: &Collector) -> Result<Netlist, String> {
     let text = read_file(path)?;
     let result = if path.ends_with(".v") || path.ends_with(".sv") {
-        verilog::parse_netlist(&text)
+        verilog::parse_netlist_traced(&text, obs)
     } else {
-        flatten::parse_netlist(&text)
+        flatten::parse_netlist_traced(&text, obs)
     };
     result.map_err(|e| format!("parsing {path}: {e}"))
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
+    args.validate(&["out", "map", "seed", "scale", "trace-out"], &["metrics"])?;
+    let obs = Obs::from_args(args);
     let out = args.require("out")?;
     let seed = args.num("seed", 42u64)?;
     let scale = args.num("scale", 1.0f64)?;
-    let design = generate(&SynthConfig::xeon_like(seed).scaled(scale));
+    let design = {
+        let mut span = obs.collector.span("flow.generate");
+        let design = generate(&SynthConfig::xeon_like(seed).scaled(scale));
+        span.field_u64("nodes", design.netlist.node_count() as u64);
+        span.field_u64("fubs", design.netlist.fub_count() as u64);
+        design
+    };
     write_file(out, &exlif::write(&design.netlist))?;
     println!(
         "wrote {out}: {} nodes, {} sequentials, {} structures",
@@ -112,10 +179,15 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
         write_file(map_path, &mapping.to_text(&design.netlist))?;
         println!("wrote {map_path}: {} structure mappings", mapping.len());
     }
-    Ok(())
+    obs.finish("gen")
 }
 
 fn cmd_ace(args: &Args) -> Result<(), String> {
+    args.validate(
+        &["out", "workloads", "len", "seed", "trace-out"],
+        &["conservative", "metrics"],
+    )?;
+    let obs = Obs::from_args(args);
     let out = args.require("out")?;
     let suite_cfg = SuiteConfig {
         workloads: args.num("workloads", 32usize)?,
@@ -129,16 +201,32 @@ fn cmd_ace(args: &Args) -> Result<(), String> {
     };
     let traces = standard_suite(&suite_cfg);
     println!("running {} workloads through the ACE model…", traces.len());
-    let suite = seqavf::flow::run_suite(&traces, &perf);
+    let suite = seqavf::flow::run_suite_traced(&traces, &perf, &obs.collector);
     let inputs = seqavf::flow::inputs_from_suite(&suite);
     let json = serde_json::to_string_pretty(&inputs).map_err(|e| e.to_string())?;
     write_file(out, &json)?;
     println!("wrote {out}: {} structures", inputs.ports.len());
-    Ok(())
+    obs.finish("ace")
 }
 
 fn cmd_sart(args: &Args) -> Result<(), String> {
-    let netlist = load_design(args.require("design")?)?;
+    args.validate(
+        &[
+            "design",
+            "map",
+            "pavf",
+            "out",
+            "loop-pavf",
+            "iterations",
+            "threads",
+            "protected",
+            "equations",
+            "trace-out",
+        ],
+        &["global", "metrics"],
+    )?;
+    let obs = Obs::from_args(args);
+    let netlist = load_design(args.require("design")?, &obs.collector)?;
     let mapping = StructureMapping::from_text(&netlist, &read_file(args.require("map")?)?)?;
     let inputs: PavfInputs = serde_json::from_str(&read_file(args.require("pavf")?)?)
         .map_err(|e| format!("parsing pAVF table: {e}"))?;
@@ -149,8 +237,8 @@ fn cmd_sart(args: &Args) -> Result<(), String> {
         threads: args.num("threads", 1usize)?.max(1),
         ..SartConfig::default()
     };
-    let engine = SartEngine::new(&netlist, &mapping, config);
-    let result = engine.run(&inputs);
+    let engine = SartEngine::new_traced(&netlist, &mapping, config, &obs.collector);
+    let result = engine.run_traced(&inputs, &obs.collector);
     let summary = SartSummary::new(&netlist, &result);
     print!("{}", summary.to_table());
     println!(
@@ -208,12 +296,25 @@ fn cmd_sart(args: &Args) -> Result<(), String> {
         )?;
         println!("wrote {out}: {} sequential AVFs", dump.len());
     }
-    Ok(())
+    obs.finish("sart")
 }
 
 fn cmd_sfi(args: &Args) -> Result<(), String> {
-    use seqavf_sfi::campaign::{run_campaign, CampaignConfig};
-    let netlist = load_design(args.require("design")?)?;
+    use seqavf_sfi::campaign::{run_campaign_traced, CampaignConfig};
+    args.validate(
+        &[
+            "design",
+            "sample",
+            "injections",
+            "seed",
+            "threads",
+            "show",
+            "trace-out",
+        ],
+        &["metrics"],
+    )?;
+    let obs = Obs::from_args(args);
+    let netlist = load_design(args.require("design")?, &obs.collector)?;
     let sample_n = args.num("sample", 100usize)?;
     let seqs: Vec<_> = netlist.seq_nodes().collect();
     let stride = (seqs.len() / sample_n.max(1)).max(1);
@@ -230,7 +331,7 @@ fn cmd_sfi(args: &Args) -> Result<(), String> {
         sample.len(),
         cfg.injections_per_node
     );
-    let camp = run_campaign(&netlist, &sample, &cfg);
+    let camp = run_campaign_traced(&netlist, &sample, &cfg, &obs.collector);
     println!("mean SFI AVF = {:.4}", camp.mean_avf());
     for est in camp.nodes.iter().take(args.num("show", 10usize)?) {
         println!(
@@ -243,17 +344,22 @@ fn cmd_sfi(args: &Args) -> Result<(), String> {
             est.unknowns
         );
     }
-    Ok(())
+    obs.finish("sfi")
 }
 
 fn cmd_flow(args: &Args) -> Result<(), String> {
+    args.validate(
+        &["seed", "workloads", "len", "scale", "threads", "trace-out"],
+        &["metrics"],
+    )?;
+    let obs = Obs::from_args(args);
     let mut cfg = seqavf::flow::FlowConfig::xeon_like(args.num("seed", 42u64)?);
     cfg.design = cfg.design.scaled(args.num("scale", 1.0f64)?);
     cfg.suite.workloads = args.num("workloads", 32usize)?;
     cfg.suite.len = args.num("len", 5_000usize)?;
     cfg.sart.threads = args.num("threads", 1usize)?.max(1);
     let t0 = std::time::Instant::now();
-    let out = seqavf::flow::run_flow(&cfg);
+    let out = seqavf::flow::run_flow_traced(&cfg, &obs.collector);
     print!("{}", out.summary.to_table());
     println!(
         "\naverage sequential AVF = {:.1}%   ({} iterations, {:.1}% visited, {:?})",
@@ -268,5 +374,5 @@ fn cmd_flow(args: &Args) -> Result<(), String> {
         out.result.outcome.trace.len(),
         cfg.sart.threads
     );
-    Ok(())
+    obs.finish("flow")
 }

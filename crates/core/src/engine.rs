@@ -2,7 +2,8 @@
 //! resolves final AVFs, and exposes the closed-form results.
 
 use seqavf_netlist::graph::{Netlist, NodeId, NodeKind};
-use seqavf_netlist::scc::find_loops;
+use seqavf_netlist::scc::find_loops_traced;
+use seqavf_obs::Collector;
 use serde::{Deserialize, Serialize};
 
 use crate::arena::{SetId, TermTable, UnionArena};
@@ -76,10 +77,26 @@ impl<'nl> SartEngine<'nl> {
     /// Prepares the engine: detects loops, classifies nodes, interns pAVF
     /// terms, and computes the loop-cut topological order.
     pub fn new(nl: &'nl Netlist, mapping: &StructureMapping, config: SartConfig) -> Self {
-        let loops = find_loops(nl);
+        Self::new_traced(nl, mapping, config, &Collector::disabled())
+    }
+
+    /// [`SartEngine::new`] with observability: loop detection reports
+    /// through `netlist.scc`, and classification plus term interning
+    /// through a `sart.prepare` span.
+    pub fn new_traced(
+        nl: &'nl Netlist,
+        mapping: &StructureMapping,
+        config: SartConfig,
+        obs: &Collector,
+    ) -> Self {
+        let loops = find_loops_traced(nl, obs);
+        let mut span = obs.span("sart.prepare");
         let roles = classify(nl, &loops, &config.ctrl_patterns);
         let mut arena = UnionArena::new();
         let prep = prepare(nl, roles, mapping, &mut arena);
+        span.field_u64("nodes", nl.node_count() as u64);
+        span.field_u64("terms", prep.terms.len() as u64);
+        span.finish();
         let struct_perf_names = nl
             .structure_ids()
             .map(|sid| {
@@ -109,6 +126,14 @@ impl<'nl> SartEngine<'nl> {
 
     /// Runs the full analysis against a measured pAVF table.
     pub fn run(&self, inputs: &PavfInputs) -> SartResult {
+        self.run_traced(inputs, &Collector::disabled())
+    }
+
+    /// [`SartEngine::run`] with observability: every relaxation sweep
+    /// reports a `relax.sweep` span, and the final closed-form resolution
+    /// a `sart.resolve` span. Collection never changes the result — the
+    /// bit-identity contract across thread counts holds with it on.
+    pub fn run_traced(&self, inputs: &PavfInputs, obs: &Collector) -> SartResult {
         let mut prop = self.prop_template.clone();
         let values = term_values(&prop.prep.terms, inputs, &self.config);
         let outcome = if self.config.partitioned {
@@ -117,10 +142,12 @@ impl<'nl> SartEngine<'nl> {
                 &values,
                 self.config.max_iterations,
                 self.config.threads,
+                obs,
             )
         } else {
-            solve_global(&mut prop, &values)
+            solve_global(&mut prop, &values, obs)
         };
+        obs.count("relax.iterations", outcome.iterations as u64);
         let mut result = SartResult {
             config: self.config.clone(),
             terms: prop.prep.terms.clone(),
@@ -132,7 +159,10 @@ impl<'nl> SartEngine<'nl> {
             avf: Vec::new(),
             outcome,
         };
+        let mut span = obs.span("sart.resolve");
         result.avf = result.reevaluate(self.nl, inputs);
+        span.field_u64("nodes", result.avf.len() as u64);
+        span.finish();
         result
     }
 }
@@ -551,6 +581,41 @@ mod tests {
     fn visited_fraction_is_high() {
         let (nl, r) = run(FIGURE7, &fig7_inputs(), SartConfig::default());
         assert!(r.visited_fraction(&nl) > 0.98);
+    }
+
+    #[test]
+    fn traced_run_emits_phase_spans_and_identical_results() {
+        let nl = parse_netlist(FIGURE7).unwrap();
+        let inputs = fig7_inputs();
+        let obs = Collector::new();
+        let engine = SartEngine::new_traced(
+            &nl,
+            &StructureMapping::new(),
+            SartConfig {
+                threads: 2,
+                ..SartConfig::default()
+            },
+            &obs,
+        );
+        let traced = engine.run_traced(&inputs, &obs);
+        let plain = engine.run(&inputs);
+        // Collection must not perturb the analysis in any way.
+        assert_eq!(traced.fwd, plain.fwd);
+        assert_eq!(traced.bwd, plain.bwd);
+        for id in nl.nodes() {
+            assert_eq!(traced.avf(id).to_bits(), plain.avf(id).to_bits());
+        }
+        let report = obs.report();
+        for phase in ["netlist.scc", "sart.prepare", "relax.sweep", "sart.resolve"] {
+            assert!(report.span(phase).is_some(), "missing span `{phase}`");
+        }
+        // One relax.sweep span per traced sweep.
+        assert_eq!(
+            report.span("relax.sweep").unwrap().count,
+            traced.outcome.trace.len()
+        );
+        assert!(report.counter("relax.iterations").is_some());
+        assert!(report.counter("relax.changed_sets").is_some());
     }
 
     #[test]

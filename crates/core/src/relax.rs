@@ -39,6 +39,7 @@
 use std::time::Instant;
 
 use seqavf_netlist::graph::FubId;
+use seqavf_obs::{Collector, FieldValue};
 
 use crate::arena::{SetId, UnionArena};
 use crate::walk::Propagator;
@@ -254,15 +255,21 @@ fn diff_stats(
 ///
 /// `values` supplies term values for the numeric telemetry only; the
 /// propagation itself is symbolic and independent of them.
+///
+/// Every sweep is reported to `obs` as a `relax.sweep` span sharing the
+/// single per-sweep clock measurement with [`IterationStats`], plus the
+/// `relax.changed_sets` monotonic counter; collection never affects the
+/// computed annotations.
 pub fn relax_partitioned(
     prop: &mut Propagator<'_>,
     values: &[f64],
     max_iterations: usize,
     threads: usize,
+    obs: &Collector,
 ) -> RelaxOutcome {
     let mut trace = Vec::new();
     let mut converged = false;
-    for _iter in 0..max_iterations {
+    for iter in 0..max_iterations {
         let t0 = Instant::now();
         // FUBIO snapshot: the merged boundary values from the previous
         // iteration (initially the conservative TOP annotations).
@@ -270,11 +277,24 @@ pub fn relax_partitioned(
         let snap_b = prop.bwd.clone();
         sharded_sweep(prop, &snap_f, &snap_b, threads);
         let (changed, max_delta) = diff_stats(prop, &snap_f, &snap_b, values);
+        let wall = t0.elapsed();
+        obs.record_span(
+            "relax.sweep",
+            t0,
+            wall,
+            vec![
+                ("iter", FieldValue::U64(iter as u64)),
+                ("changed_sets", FieldValue::U64(changed as u64)),
+                ("max_delta", FieldValue::F64(max_delta)),
+                ("threads", FieldValue::U64(threads as u64)),
+            ],
+        );
+        obs.count("relax.changed_sets", changed as u64);
         trace.push(IterationStats {
             changed_sets: changed,
             max_delta,
             fub_seq_mean: fub_seq_means(prop, values),
-            wall_seconds: t0.elapsed().as_secs_f64(),
+            wall_seconds: wall.as_secs_f64(),
         });
         if changed == 0 {
             converged = true;
@@ -300,20 +320,33 @@ pub fn relax_partitioned(
 /// computes the same fixpoint the partitioned relaxation converges to —
 /// but the claim is *verified*, not assumed: a second sweep re-walks the
 /// design and the outcome reports convergence only if it changed nothing.
-pub fn solve_global(prop: &mut Propagator<'_>, values: &[f64]) -> RelaxOutcome {
+pub fn solve_global(prop: &mut Propagator<'_>, values: &[f64], obs: &Collector) -> RelaxOutcome {
     let mut trace = Vec::new();
-    for _sweep in 0..2 {
+    for sweep in 0..2 {
         let t0 = Instant::now();
         let snap_f = prop.fwd.clone();
         let snap_b = prop.bwd.clone();
         prop.forward_pass(None, None);
         prop.backward_pass(None, None);
         let (changed, max_delta) = diff_stats(prop, &snap_f, &snap_b, values);
+        let wall = t0.elapsed();
+        obs.record_span(
+            "relax.sweep",
+            t0,
+            wall,
+            vec![
+                ("iter", FieldValue::U64(sweep as u64)),
+                ("changed_sets", FieldValue::U64(changed as u64)),
+                ("max_delta", FieldValue::F64(max_delta)),
+                ("threads", FieldValue::U64(1)),
+            ],
+        );
+        obs.count("relax.changed_sets", changed as u64);
         trace.push(IterationStats {
             changed_sets: changed,
             max_delta,
             fub_seq_mean: fub_seq_means(prop, values),
-            wall_seconds: t0.elapsed().as_secs_f64(),
+            wall_seconds: wall.as_secs_f64(),
         });
     }
     let converged = trace.last().is_some_and(|s| s.changed_sets == 0);
@@ -402,8 +435,8 @@ mod tests {
         let (nl, mut p1) = propagator(CHAIN);
         let mut p2 = p1.clone();
         let values = default_values(&p1);
-        let out_part = relax_partitioned(&mut p1, &values, 20, 1);
-        let out_glob = solve_global(&mut p2, &values);
+        let out_part = relax_partitioned(&mut p1, &values, 20, 1, &Collector::disabled());
+        let out_glob = solve_global(&mut p2, &values, &Collector::disabled());
         assert!(out_part.converged);
         assert!(out_glob.converged);
         for id in nl.nodes() {
@@ -421,7 +454,7 @@ mod tests {
     fn chain_needs_multiple_iterations() {
         let (_, mut p) = propagator(CHAIN);
         let values = default_values(&p);
-        let out = relax_partitioned(&mut p, &values, 20, 1);
+        let out = relax_partitioned(&mut p, &values, 20, 1, &Collector::disabled());
         assert!(out.converged);
         assert!(
             out.iterations >= 3,
@@ -436,7 +469,7 @@ mod tests {
     fn iteration_cap_respected() {
         let (_, mut p) = propagator(CHAIN);
         let values = default_values(&p);
-        let out = relax_partitioned(&mut p, &values, 1, 1);
+        let out = relax_partitioned(&mut p, &values, 1, 1, &Collector::disabled());
         assert_eq!(out.iterations, 1);
         assert!(!out.converged);
     }
@@ -445,7 +478,7 @@ mod tests {
     fn deltas_shrink_to_zero() {
         let (_, mut p) = propagator(CHAIN);
         let values = default_values(&p);
-        let out = relax_partitioned(&mut p, &values, 20, 1);
+        let out = relax_partitioned(&mut p, &values, 20, 1, &Collector::disabled());
         let last = out.trace.last().unwrap();
         assert_eq!(last.changed_sets, 0);
         assert_eq!(last.max_delta, 0.0);
@@ -458,7 +491,7 @@ mod tests {
     fn fub_means_tracked_per_iteration() {
         let (nl, mut p) = propagator(CHAIN);
         let values = default_values(&p);
-        let out = relax_partitioned(&mut p, &values, 20, 1);
+        let out = relax_partitioned(&mut p, &values, 20, 1, &Collector::disabled());
         for s in &out.trace {
             assert_eq!(s.fub_seq_mean.len(), nl.fub_count());
             for &m in &s.fub_seq_mean {
@@ -474,7 +507,7 @@ mod tests {
         let mut runs = Vec::new();
         for threads in [1usize, 2, 3, 8] {
             let mut p = p0.clone();
-            let out = relax_partitioned(&mut p, &values, 20, threads);
+            let out = relax_partitioned(&mut p, &values, 20, threads, &Collector::disabled());
             assert!(out.converged, "threads={threads}");
             runs.push((threads, p, out));
         }
@@ -499,7 +532,7 @@ mod tests {
     fn wall_time_is_recorded_per_iteration() {
         let (_, mut p) = propagator(CHAIN);
         let values = default_values(&p);
-        let out = relax_partitioned(&mut p, &values, 20, 2);
+        let out = relax_partitioned(&mut p, &values, 20, 2, &Collector::disabled());
         assert!(!out.trace.is_empty());
         for s in &out.trace {
             assert!(s.wall_seconds >= 0.0);
@@ -513,7 +546,7 @@ mod tests {
     fn global_telemetry_is_honest() {
         let (_, mut p) = propagator(CHAIN);
         let values = default_values(&p);
-        let out = solve_global(&mut p, &values);
+        let out = solve_global(&mut p, &values, &Collector::disabled());
         // The first sweep moves annotations off the conservative TOP; the
         // second verifies the fixpoint rather than assuming it.
         assert_eq!(out.trace.len(), 2);

@@ -135,7 +135,30 @@ pub fn build_netlist(ast: &DesignAst) -> Result<Netlist, ExlifError> {
 
 /// Convenience: [`exlif::parse`] followed by [`build_netlist`].
 pub fn parse_netlist(text: &str) -> Result<Netlist, ExlifError> {
-    build_netlist(&exlif::parse(text)?)
+    parse_netlist_traced(text, &seqavf_obs::Collector::disabled())
+}
+
+/// [`parse_netlist`] with observability: records a `netlist.parse` span
+/// over the EXLIF parse and a `netlist.flatten` span over hierarchy
+/// expansion, with design-size fields.
+pub fn parse_netlist_traced(
+    text: &str,
+    obs: &seqavf_obs::Collector,
+) -> Result<Netlist, ExlifError> {
+    let ast = {
+        let mut span = obs.span("netlist.parse");
+        let ast = exlif::parse(text)?;
+        span.field_str("frontend", "exlif");
+        span.field_u64("models", ast.models.len() as u64);
+        span.field_u64("fubs", ast.fubs.len() as u64);
+        ast
+    };
+    let mut span = obs.span("netlist.flatten");
+    let nl = build_netlist(&ast)?;
+    span.field_u64("nodes", nl.node_count() as u64);
+    span.field_u64("seq_nodes", nl.seq_count() as u64);
+    span.field_u64("structures", nl.structure_count() as u64);
+    Ok(nl)
 }
 
 #[allow(clippy::too_many_arguments)]

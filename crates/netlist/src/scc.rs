@@ -60,6 +60,22 @@ impl LoopAnalysis {
 /// points: paths through them do not count as loops because pAVF walks
 /// already terminate there (§4.1).
 pub fn find_loops(nl: &Netlist) -> LoopAnalysis {
+    find_loops_traced(nl, &seqavf_obs::Collector::disabled())
+}
+
+/// [`find_loops`] with observability: records a `netlist.scc` span with
+/// loop-population fields.
+pub fn find_loops_traced(nl: &Netlist, obs: &seqavf_obs::Collector) -> LoopAnalysis {
+    let mut span = obs.span("netlist.scc");
+    let la = find_loops_impl(nl);
+    span.field_u64("nodes", nl.node_count() as u64);
+    span.field_u64("components", la.components.len() as u64);
+    span.field_u64("loop_nodes", la.loop_node_count as u64);
+    span.field_u64("loop_seq_nodes", la.loop_seq_count as u64);
+    la
+}
+
+fn find_loops_impl(nl: &Netlist) -> LoopAnalysis {
     let n = nl.node_count();
     let passable = |id: NodeId| {
         let k = nl.kind(id);

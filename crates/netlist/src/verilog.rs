@@ -119,7 +119,25 @@ pub fn parse_to_ast(src: &str) -> Result<DesignAst, ExlifError> {
 
 /// Parses structural Verilog and builds the flattened netlist.
 pub fn parse_netlist(src: &str) -> Result<Netlist, ExlifError> {
-    crate::flatten::build_netlist(&parse_to_ast(src)?)
+    parse_netlist_traced(src, &seqavf_obs::Collector::disabled())
+}
+
+/// [`parse_netlist`] with observability: `netlist.parse` covers the
+/// Verilog parse, `netlist.flatten` the hierarchy expansion.
+pub fn parse_netlist_traced(src: &str, obs: &seqavf_obs::Collector) -> Result<Netlist, ExlifError> {
+    let ast = {
+        let mut span = obs.span("netlist.parse");
+        let ast = parse_to_ast(src)?;
+        span.field_str("frontend", "verilog");
+        span.field_u64("fubs", ast.fubs.len() as u64);
+        ast
+    };
+    let mut span = obs.span("netlist.flatten");
+    let nl = crate::flatten::build_netlist(&ast)?;
+    span.field_u64("nodes", nl.node_count() as u64);
+    span.field_u64("seq_nodes", nl.seq_count() as u64);
+    span.field_u64("structures", nl.structure_count() as u64);
+    Ok(nl)
 }
 
 struct Parser {

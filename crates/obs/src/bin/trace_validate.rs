@@ -1,0 +1,43 @@
+//! `trace-validate` — checks NDJSON traces against the `seqavf-trace/1`
+//! schema.
+//!
+//! ```text
+//! trace-validate <trace.ndjson> [more.ndjson ...]
+//! ```
+//!
+//! Exits 0 when every file validates, 1 otherwise. CI runs this on traces
+//! emitted by the CLI's `--trace-out` to keep the schema honest.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace-validate <trace.ndjson> [more.ndjson ...]");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                ok = false;
+            }
+            Ok(text) => match seqavf_obs::validate_trace(&text) {
+                Ok(stats) => println!(
+                    "{path}: OK ({} spans, {} counters, {} histograms)",
+                    stats.spans, stats.counters, stats.hists
+                ),
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    ok = false;
+                }
+            },
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

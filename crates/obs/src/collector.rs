@@ -1,0 +1,318 @@
+//! The [`Collector`] handle: spans, counters, and event storage.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A typed span-field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (counts, sizes).
+    U64(u64),
+    /// A float (deltas, fractions).
+    F64(f64),
+    /// A short label.
+    Str(String),
+}
+
+/// One recorded span: a named wall-time interval with typed fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Span name, dot-separated by convention (`"netlist.parse"`).
+    pub name: &'static str,
+    /// Start offset from the collector's epoch, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Typed fields attached before the span closed.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    spans: Vec<SpanEvent>,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+/// A cloneable observability handle.
+///
+/// All clones share the same event store. A disabled collector (from
+/// [`Collector::disabled`] or [`Default`]) makes every operation a no-op
+/// without clock reads, allocation, or locking.
+#[derive(Debug, Clone, Default)]
+pub struct Collector {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Collector {
+    /// Creates an enabled collector; its epoch is the creation instant.
+    pub fn new() -> Self {
+        Collector {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    /// Creates a disabled collector: every operation is a no-op.
+    pub fn disabled() -> Self {
+        Collector { inner: None }
+    }
+
+    /// Whether this collector records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span. The returned guard records the interval when dropped
+    /// (or when [`Span::finish`] is called). On a disabled collector this
+    /// reads no clock and allocates nothing.
+    pub fn span(&self, name: &'static str) -> Span {
+        Span {
+            inner: self.inner.as_ref().map(|inner| SpanBody {
+                inner: Arc::clone(inner),
+                start: Instant::now(),
+                fields: Vec::new(),
+            }),
+            name,
+        }
+    }
+
+    /// Records an already-measured interval — the fold-in path for code
+    /// that measures wall time itself (e.g. the relaxation loop's
+    /// per-sweep telemetry, which shares one `Instant` read between the
+    /// span and its `IterationStats`).
+    pub fn record_span(
+        &self,
+        name: &'static str,
+        start: Instant,
+        dur: Duration,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        if let Some(inner) = &self.inner {
+            let start_us = start
+                .saturating_duration_since(inner.epoch)
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64;
+            let ev = SpanEvent {
+                name,
+                start_us,
+                dur_us: dur.as_micros().min(u128::from(u64::MAX)) as u64,
+                fields,
+            };
+            inner
+                .state
+                .lock()
+                .expect("collector poisoned")
+                .spans
+                .push(ev);
+        }
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    pub fn count(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.state.lock().expect("collector poisoned");
+            *st.counters.entry(name).or_insert(0) += delta;
+        }
+    }
+
+    /// Snapshot of every recorded span, in recording order.
+    pub fn spans(&self) -> Vec<SpanEvent> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .state
+                .lock()
+                .expect("collector poisoned")
+                .spans
+                .clone(),
+        }
+    }
+
+    /// Snapshot of every counter and its current value.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .state
+                .lock()
+                .expect("collector poisoned")
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k, v))
+                .collect(),
+        }
+    }
+
+    /// Aggregates spans and counters into the per-phase summary used by
+    /// `--metrics`.
+    pub fn report(&self) -> crate::report::MetricsReport {
+        crate::report::MetricsReport::from_events(&self.spans(), &self.counters())
+    }
+
+    /// Serializes the collected trace as `seqavf-trace/1` NDJSON (see
+    /// [`crate::ndjson`]). `meta` key/value pairs are added to the header
+    /// line (e.g. the CLI subcommand).
+    pub fn write_ndjson(
+        &self,
+        w: &mut dyn std::io::Write,
+        meta: &[(&str, &str)],
+    ) -> std::io::Result<()> {
+        crate::ndjson::write_trace(w, &self.spans(), &self.counters(), meta)
+    }
+}
+
+#[derive(Debug)]
+struct SpanBody {
+    inner: Arc<Inner>,
+    start: Instant,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// An open span; records its interval when dropped.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<SpanBody>,
+    name: &'static str,
+}
+
+impl Span {
+    /// Attaches an integer field.
+    pub fn field_u64(&mut self, key: &'static str, value: u64) {
+        if let Some(body) = &mut self.inner {
+            body.fields.push((key, FieldValue::U64(value)));
+        }
+    }
+
+    /// Attaches a float field.
+    pub fn field_f64(&mut self, key: &'static str, value: f64) {
+        if let Some(body) = &mut self.inner {
+            body.fields.push((key, FieldValue::F64(value)));
+        }
+    }
+
+    /// Attaches a string field.
+    pub fn field_str(&mut self, key: &'static str, value: &str) {
+        if let Some(body) = &mut self.inner {
+            body.fields.push((key, FieldValue::Str(value.to_owned())));
+        }
+    }
+
+    /// Closes the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(body) = self.inner.take() {
+            let dur = body.start.elapsed();
+            let start_us = body
+                .start
+                .saturating_duration_since(body.inner.epoch)
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64;
+            let ev = SpanEvent {
+                name: self.name,
+                start_us,
+                dur_us: dur.as_micros().min(u128::from(u64::MAX)) as u64,
+                fields: body.fields,
+            };
+            body.inner
+                .state
+                .lock()
+                .expect("collector poisoned")
+                .spans
+                .push(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let c = Collector::disabled();
+        assert!(!c.is_enabled());
+        let mut s = c.span("x");
+        s.field_u64("n", 3);
+        s.finish();
+        c.count("k", 5);
+        assert!(c.spans().is_empty());
+        assert!(c.counters().is_empty());
+    }
+
+    #[test]
+    fn spans_record_name_fields_and_order() {
+        let c = Collector::new();
+        {
+            let mut s = c.span("a.first");
+            s.field_u64("nodes", 10);
+            s.field_f64("delta", 0.5);
+            s.field_str("mode", "global");
+        }
+        c.span("b.second").finish();
+        let spans = c.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "a.first");
+        assert_eq!(spans[1].name, "b.second");
+        assert_eq!(spans[0].fields.len(), 3);
+        assert_eq!(spans[0].fields[0], ("nodes", FieldValue::U64(10)));
+        // Later spans start no earlier than earlier ones.
+        assert!(spans[1].start_us >= spans[0].start_us);
+    }
+
+    #[test]
+    fn counters_accumulate_monotonically() {
+        let c = Collector::new();
+        c.count("relax.changed_sets", 7);
+        c.count("relax.changed_sets", 3);
+        c.count("sfi.errors", 1);
+        let counters = c.counters();
+        assert_eq!(
+            counters,
+            vec![("relax.changed_sets", 10), ("sfi.errors", 1)]
+        );
+    }
+
+    #[test]
+    fn record_span_uses_caller_measurement() {
+        let c = Collector::new();
+        let t0 = Instant::now();
+        c.record_span(
+            "relax.sweep",
+            t0,
+            Duration::from_micros(1234),
+            vec![("changed_sets", FieldValue::U64(9))],
+        );
+        let spans = c.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].dur_us, 1234);
+        assert_eq!(spans[0].fields[0], ("changed_sets", FieldValue::U64(9)));
+    }
+
+    #[test]
+    fn clones_share_the_store_across_threads() {
+        let c = Collector::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = c.clone();
+                s.spawn(move || {
+                    h.span("worker.step").finish();
+                    h.count("steps", 1);
+                });
+            }
+        });
+        assert_eq!(c.spans().len(), 4);
+        assert_eq!(c.counters(), vec![("steps", 4)]);
+    }
+}

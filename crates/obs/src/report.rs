@@ -1,0 +1,180 @@
+//! Human-readable aggregation of collected telemetry (the `--metrics`
+//! table).
+
+use std::collections::BTreeMap;
+
+use crate::collector::SpanEvent;
+
+/// Aggregated wall-time statistics for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSummary {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of recorded spans.
+    pub count: usize,
+    /// Total wall time, microseconds.
+    pub total_us: u64,
+    /// Shortest span, microseconds.
+    pub min_us: u64,
+    /// Longest span, microseconds.
+    pub max_us: u64,
+}
+
+impl SpanSummary {
+    /// Mean span duration, microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// The per-phase summary a collector aggregates to.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsReport {
+    /// One row per span name, sorted by name.
+    pub spans: Vec<SpanSummary>,
+    /// Final counter values, sorted by name.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+fn fmt_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.3} s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.3} ms", us / 1e3)
+    } else {
+        format!("{us:.0} µs")
+    }
+}
+
+impl MetricsReport {
+    /// Aggregates raw events into the report.
+    pub fn from_events(spans: &[SpanEvent], counters: &[(&'static str, u64)]) -> Self {
+        let mut agg: BTreeMap<&'static str, SpanSummary> = BTreeMap::new();
+        for ev in spans {
+            let e = agg.entry(ev.name).or_insert(SpanSummary {
+                name: ev.name,
+                count: 0,
+                total_us: 0,
+                min_us: u64::MAX,
+                max_us: 0,
+            });
+            e.count += 1;
+            e.total_us += ev.dur_us;
+            e.min_us = e.min_us.min(ev.dur_us);
+            e.max_us = e.max_us.max(ev.dur_us);
+        }
+        MetricsReport {
+            spans: agg.into_values().collect(),
+            counters: counters.to_vec(),
+        }
+    }
+
+    /// The summary row for a span name, if any spans were recorded.
+    pub fn span(&self, name: &str) -> Option<&SpanSummary> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// The final value of a counter, if it was ever incremented.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Renders the per-phase table.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.spans.is_empty() && self.counters.is_empty() {
+            out.push_str("no telemetry collected\n");
+            return out;
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>7} {:>12} {:>12} {:>12} {:>12}",
+                "phase", "count", "total", "mean", "min", "max"
+            );
+            for s in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>7} {:>12} {:>12} {:>12} {:>12}",
+                    s.name,
+                    s.count,
+                    fmt_us(s.total_us as f64),
+                    fmt_us(s.mean_us()),
+                    fmt_us(s.min_us as f64),
+                    fmt_us(s.max_us as f64)
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:<28} {:>12}", "counter", "value");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "{name:<28} {value:>12}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+
+    #[test]
+    fn aggregates_by_name() {
+        let spans = vec![
+            SpanEvent {
+                name: "relax.sweep",
+                start_us: 0,
+                dur_us: 100,
+                fields: Vec::new(),
+            },
+            SpanEvent {
+                name: "relax.sweep",
+                start_us: 100,
+                dur_us: 300,
+                fields: Vec::new(),
+            },
+            SpanEvent {
+                name: "netlist.parse",
+                start_us: 0,
+                dur_us: 50,
+                fields: Vec::new(),
+            },
+        ];
+        let r = MetricsReport::from_events(&spans, &[("relax.changed_sets", 9)]);
+        assert_eq!(r.spans.len(), 2);
+        let sweep = r.span("relax.sweep").unwrap();
+        assert_eq!(sweep.count, 2);
+        assert_eq!(sweep.total_us, 400);
+        assert_eq!(sweep.min_us, 100);
+        assert_eq!(sweep.max_us, 300);
+        assert!((sweep.mean_us() - 200.0).abs() < 1e-12);
+        assert_eq!(r.counter("relax.changed_sets"), Some(9));
+        assert_eq!(r.counter("missing"), None);
+    }
+
+    #[test]
+    fn table_mentions_every_phase_and_counter() {
+        let c = Collector::new();
+        c.span("a.phase").finish();
+        c.count("b.counter", 3);
+        let table = c.report().to_table();
+        assert!(table.contains("a.phase"), "{table}");
+        assert!(table.contains("b.counter"), "{table}");
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = MetricsReport::default();
+        assert!(r.to_table().contains("no telemetry"));
+    }
+}

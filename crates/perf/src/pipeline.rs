@@ -114,6 +114,28 @@ struct IqEntry {
 
 /// Runs ACE analysis for one workload and returns the report.
 pub fn run_ace(trace: &Trace, config: &PerfConfig) -> AceReport {
+    run_ace_traced(trace, config, &seqavf_obs::Collector::disabled())
+}
+
+/// [`run_ace`] with observability: records one `ace.workload` span per
+/// run, carrying the workload name and the simulated instruction/cycle
+/// totals.
+pub fn run_ace_traced(
+    trace: &Trace,
+    config: &PerfConfig,
+    obs: &seqavf_obs::Collector,
+) -> AceReport {
+    let mut span = obs.span("ace.workload");
+    let report = run_ace_impl(trace, config);
+    span.field_str("workload", trace.name());
+    span.field_u64("instructions", report.instructions);
+    span.field_u64("cycles", report.cycles);
+    obs.count("ace.instructions", report.instructions);
+    obs.count("ace.cycles", report.cycles);
+    report
+}
+
+fn run_ace_impl(trace: &Trace, config: &PerfConfig) -> AceReport {
     let ace = analyze_trace(trace);
     let n = trace.len();
     let instrs = trace.instrs();

@@ -69,9 +69,30 @@ pub struct CampaignResult {
     pub nodes: Vec<NodeAvfEstimate>,
     /// Total injections performed.
     pub total_injections: usize,
+    /// Lookup index: `(node, position in `nodes`)`, sorted by node id.
+    /// When a node was targeted more than once, only its first estimate
+    /// is indexed (matching the old linear scan's front-to-back order).
+    index: Vec<(NodeId, u32)>,
 }
 
 impl CampaignResult {
+    /// Builds a result from per-node estimates, deriving the lookup index
+    /// and the injection total.
+    pub fn new(nodes: Vec<NodeAvfEstimate>) -> Self {
+        let mut index: Vec<(NodeId, u32)> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.node, i as u32))
+            .collect();
+        index.sort(); // stable order: by node, then by first occurrence
+        index.dedup_by_key(|&mut (node, _)| node);
+        CampaignResult {
+            total_injections: nodes.iter().map(|n| n.injections).sum(),
+            nodes,
+            index,
+        }
+    }
+
     /// Mean AVF across targeted nodes.
     pub fn mean_avf(&self) -> f64 {
         if self.nodes.is_empty() {
@@ -80,9 +101,14 @@ impl CampaignResult {
         self.nodes.iter().map(|n| n.avf).sum::<f64>() / self.nodes.len() as f64
     }
 
-    /// The estimate for a specific node, if targeted.
+    /// The estimate for a specific node, if targeted. `O(log n)` via the
+    /// sorted index — callers iterating every target no longer pay a
+    /// quadratic scan.
     pub fn estimate(&self, node: NodeId) -> Option<&NodeAvfEstimate> {
-        self.nodes.iter().find(|e| e.node == node)
+        self.index
+            .binary_search_by_key(&node, |&(n, _)| n)
+            .ok()
+            .map(|k| &self.nodes[self.index[k].1 as usize])
     }
 }
 
@@ -104,6 +130,33 @@ pub fn wilson_interval(successes: usize, n: usize) -> (f64, f64) {
 /// Runs an injection campaign over `targets` (typically the design's
 /// sequential nodes).
 pub fn run_campaign(nl: &Netlist, targets: &[NodeId], config: &CampaignConfig) -> CampaignResult {
+    run_campaign_traced(nl, targets, config, &seqavf_obs::Collector::disabled())
+}
+
+/// [`run_campaign`] with observability: records one `sfi.campaign` span
+/// with target/outcome fields plus `sfi.injections`, `sfi.errors` and
+/// `sfi.unknowns` counters. Telemetry is aggregated after the workers
+/// join — nothing touches the collector on the per-injection hot path.
+pub fn run_campaign_traced(
+    nl: &Netlist,
+    targets: &[NodeId],
+    config: &CampaignConfig,
+    obs: &seqavf_obs::Collector,
+) -> CampaignResult {
+    let mut span = obs.span("sfi.campaign");
+    let result = run_campaign_impl(nl, targets, config);
+    let errors: u64 = result.nodes.iter().map(|n| n.errors as u64).sum();
+    let unknowns: u64 = result.nodes.iter().map(|n| n.unknowns as u64).sum();
+    span.field_u64("targets", targets.len() as u64);
+    span.field_u64("injections", result.total_injections as u64);
+    span.field_u64("threads", config.threads.max(1) as u64);
+    obs.count("sfi.injections", result.total_injections as u64);
+    obs.count("sfi.errors", errors);
+    obs.count("sfi.unknowns", unknowns);
+    result
+}
+
+fn run_campaign_impl(nl: &Netlist, targets: &[NodeId], config: &CampaignConfig) -> CampaignResult {
     let observed = observation_points(nl);
     let threads = config.threads.max(1);
 
@@ -161,10 +214,7 @@ pub fn run_campaign(nl: &Netlist, targets: &[NodeId], config: &CampaignConfig) -
         results.into_iter().flatten().collect()
     };
 
-    CampaignResult {
-        total_injections: nodes.iter().map(|n| n.injections).sum(),
-        nodes,
-    }
+    CampaignResult::new(nodes)
 }
 
 #[cfg(test)]
@@ -194,6 +244,49 @@ mod tests {
         assert!(lo > 0.8 && hi <= 1.0);
         let (lo, hi) = wilson_interval(0, 20);
         assert!(lo == 0.0 && hi < 0.2);
+    }
+
+    #[test]
+    fn wilson_interval_edge_cases_stay_in_unit_range() {
+        // n = 0: no information, full interval.
+        assert_eq!(wilson_interval(0, 0), (0.0, 1.0));
+        for n in [1usize, 2, 20, 1_000, 1_000_000_000] {
+            // Zero successes: the lower bound is pinned to 0.
+            let (lo, hi) = wilson_interval(0, n);
+            assert_eq!(lo, 0.0, "n={n}");
+            assert!(hi > 0.0 && hi <= 1.0, "n={n}");
+            // All successes: the upper bound is pinned to 1.
+            let (lo, hi) = wilson_interval(n, n);
+            assert!((0.0..1.0).contains(&lo), "n={n}");
+            assert!((hi - 1.0).abs() < 1e-9 && hi <= 1.0, "n={n}");
+        }
+        // Large n: the interval tightens around p.
+        let (lo, hi) = wilson_interval(500_000_000, 1_000_000_000);
+        assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        assert!(hi - lo < 1e-3, "large-n interval should be tight");
+        assert!(lo < 0.5 && hi > 0.5);
+    }
+
+    #[test]
+    fn wilson_interval_is_monotone_in_successes() {
+        for n in [7usize, 20, 1_000] {
+            let mut prev = wilson_interval(0, n);
+            assert!(prev.0 <= prev.1);
+            for s in 1..=n {
+                let cur = wilson_interval(s, n);
+                assert!((0.0..=1.0).contains(&cur.0) && (0.0..=1.0).contains(&cur.1));
+                assert!(cur.0 <= cur.1, "s={s} n={n}");
+                assert!(
+                    cur.0 >= prev.0 - 1e-12,
+                    "lower bound regressed at s={s} n={n}"
+                );
+                assert!(
+                    cur.1 >= prev.1 - 1e-12,
+                    "upper bound regressed at s={s} n={n}"
+                );
+                prev = cur;
+            }
+        }
     }
 
     #[test]
@@ -257,5 +350,68 @@ mod tests {
         let r = run_campaign(&nl, &[], &CampaignConfig::default());
         assert_eq!(r.total_injections, 0);
         assert_eq!(r.mean_avf(), 0.0);
+        assert_eq!(r.estimate(NodeId::from_index(0)), None);
+    }
+
+    #[test]
+    fn estimate_resolves_every_target_through_the_index() {
+        let nl = parse_netlist(PIPE).unwrap();
+        // Deliberately out of id order so index order ≠ target order.
+        let mut targets: Vec<NodeId> = nl.seq_nodes().collect();
+        targets.reverse();
+        let cfg = CampaignConfig {
+            injections_per_node: 4,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&nl, &targets, &cfg);
+        for (k, &node) in targets.iter().enumerate() {
+            let est = r.estimate(node).expect("targeted node resolves");
+            assert_eq!(est.node, node);
+            // The estimate must be the one recorded at the target's
+            // position, not just any estimate.
+            assert_eq!(est, &r.nodes[k]);
+        }
+        // An untargeted node (a primary input) resolves to None.
+        let input = nl.lookup("f.i").unwrap();
+        assert_eq!(r.estimate(input), None);
+    }
+
+    #[test]
+    fn duplicate_targets_resolve_to_the_first_estimate() {
+        let nl = parse_netlist(PIPE).unwrap();
+        let q1 = nl.lookup("f.q1").unwrap();
+        let cfg = CampaignConfig {
+            injections_per_node: 4,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&nl, &[q1, q1], &cfg);
+        assert_eq!(r.nodes.len(), 2);
+        let est = r.estimate(q1).unwrap();
+        assert!(std::ptr::eq(est, &r.nodes[0]), "first occurrence wins");
+    }
+
+    #[test]
+    fn traced_campaign_records_span_and_counters() {
+        let nl = parse_netlist(PIPE).unwrap();
+        let targets: Vec<NodeId> = nl.seq_nodes().collect();
+        let cfg = CampaignConfig {
+            injections_per_node: 5,
+            threads: 2,
+            ..CampaignConfig::default()
+        };
+        let obs = seqavf_obs::Collector::new();
+        let traced = run_campaign_traced(&nl, &targets, &cfg, &obs);
+        let plain = run_campaign(&nl, &targets, &cfg);
+        assert_eq!(traced, plain, "collection must not perturb the campaign");
+        let report = obs.report();
+        assert_eq!(report.span("sfi.campaign").unwrap().count, 1);
+        assert_eq!(
+            report.counter("sfi.injections"),
+            Some(traced.total_injections as u64)
+        );
+        let errors: u64 = traced.nodes.iter().map(|n| n.errors as u64).sum();
+        assert_eq!(report.counter("sfi.errors"), Some(errors));
     }
 }

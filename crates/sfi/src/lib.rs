@@ -25,6 +25,8 @@ pub mod campaign;
 pub mod inject;
 pub mod logic;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult, NodeAvfEstimate};
+pub use campaign::{
+    run_campaign, run_campaign_traced, CampaignConfig, CampaignResult, NodeAvfEstimate,
+};
 pub use inject::{run_injection, InjectConfig, Outcome};
 pub use logic::LogicSim;

@@ -36,6 +36,7 @@
 pub use seqavf_beam as beam;
 pub use seqavf_core as core;
 pub use seqavf_netlist as netlist;
+pub use seqavf_obs as obs;
 pub use seqavf_perf as perf;
 pub use seqavf_sfi as sfi;
 pub use seqavf_workloads as workloads;
@@ -48,7 +49,8 @@ pub mod flow {
     use seqavf_core::mapping::{PavfInputs, StructureMapping};
     use seqavf_core::report::SartSummary;
     use seqavf_netlist::synth::{generate, SynthConfig, SynthDesign};
-    use seqavf_perf::pipeline::{run_ace, PerfConfig};
+    use seqavf_obs::Collector;
+    use seqavf_perf::pipeline::{run_ace_traced, PerfConfig};
     use seqavf_perf::report::{AceReport, SuiteReport};
     use seqavf_workloads::suite::{standard_suite, SuiteConfig};
     use seqavf_workloads::trace::Trace;
@@ -150,19 +152,48 @@ pub mod flow {
 
     /// Runs the performance model over every trace.
     pub fn run_suite(traces: &[Trace], perf: &PerfConfig) -> SuiteReport {
-        SuiteReport::new(traces.iter().map(|t| run_ace(t, perf)).collect())
+        run_suite_traced(traces, perf, &Collector::disabled())
+    }
+
+    /// [`run_suite`] with observability: an `ace.suite` span wraps the
+    /// whole sweep, and every workload records its own `ace.workload`
+    /// span.
+    pub fn run_suite_traced(traces: &[Trace], perf: &PerfConfig, obs: &Collector) -> SuiteReport {
+        let mut span = obs.span("ace.suite");
+        span.field_u64("workloads", traces.len() as u64);
+        SuiteReport::new(
+            traces
+                .iter()
+                .map(|t| run_ace_traced(t, perf, obs))
+                .collect(),
+        )
     }
 
     /// Runs the complete flow: generate the design, simulate the suite,
     /// extract pAVFs, map structures, and resolve sequential AVFs.
     pub fn run_flow(config: &FlowConfig) -> FlowOutput {
-        let design = generate(&config.design);
+        run_flow_traced(config, &Collector::disabled())
+    }
+
+    /// [`run_flow`] with observability: every stage reports through the
+    /// collector — `flow.generate` (design synthesis), `ace.suite` /
+    /// `ace.workload` (performance model), `netlist.scc` / `sart.prepare`
+    /// (engine preparation), `relax.sweep` (each relaxation sweep) and
+    /// `sart.resolve` (closed-form resolution).
+    pub fn run_flow_traced(config: &FlowConfig, obs: &Collector) -> FlowOutput {
+        let design = {
+            let mut span = obs.span("flow.generate");
+            let design = generate(&config.design);
+            span.field_u64("nodes", design.netlist.node_count() as u64);
+            span.field_u64("fubs", design.netlist.fub_count() as u64);
+            design
+        };
         let traces = standard_suite(&config.suite);
-        let suite_report = run_suite(&traces, &config.perf);
+        let suite_report = run_suite_traced(&traces, &config.perf, obs);
         let inputs = inputs_from_suite(&suite_report);
         let mapping = StructureMapping::from_pairs(design.meta.structure_map.clone());
-        let engine = SartEngine::new(&design.netlist, &mapping, config.sart.clone());
-        let result = engine.run(&inputs);
+        let engine = SartEngine::new_traced(&design.netlist, &mapping, config.sart.clone(), obs);
+        let result = engine.run_traced(&inputs, obs);
         let summary = SartSummary::new(&design.netlist, &result);
         FlowOutput {
             design,
