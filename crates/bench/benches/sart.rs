@@ -6,6 +6,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use seqavf::flow::{inputs_from_suite, run_suite};
+use seqavf_core::compile::CompiledSweep;
 use seqavf_core::engine::{SartConfig, SartEngine};
 use seqavf_core::mapping::{PavfInputs, StructureMapping};
 use seqavf_netlist::graph::NodeId;
@@ -195,6 +196,41 @@ fn bench_reevaluate_many(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sweep_compiled(c: &mut Criterion) {
+    // The compiled term DAG against the interpreted baseline on the same
+    // 16-workload batch: `compiled/*` must beat `interpreted/*` at equal
+    // thread counts (the sweep subsystem's acceptance bar).
+    let design = generate(&SynthConfig::xeon_like(42));
+    let mapping = StructureMapping::from_pairs(design.meta.structure_map.clone());
+    let engine = SartEngine::new(&design.netlist, &mapping, SartConfig::default());
+    let result = engine.run(&PavfInputs::new());
+    let compiled = CompiledSweep::compile(&result, &design.netlist);
+    let tables: Vec<PavfInputs> = (0..16)
+        .map(|k| {
+            let mut p = PavfInputs::new();
+            for (_, name) in design.meta.structure_map.iter().take(8) {
+                p.set_port(name.as_str(), 0.05 * k as f64 % 1.0, 0.5);
+            }
+            p
+        })
+        .collect();
+    let mut group = c.benchmark_group("sweep_compiled_16_workloads");
+    for threads in [1usize, 4] {
+        group.bench_function(&format!("interpreted/{threads}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(result.reevaluate_many(&design.netlist, &tables, threads))
+            })
+        });
+        group.bench_function(&format!("compiled/{threads}"), |b| {
+            b.iter(|| std::hint::black_box(compiled.evaluate_many(&tables, threads)))
+        });
+    }
+    group.bench_function("compile_once", |b| {
+        b.iter(|| std::hint::black_box(CompiledSweep::compile(&result, &design.netlist)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sart_full_run,
@@ -206,5 +242,6 @@ criterion_group!(
     bench_netlist_generation,
     bench_relax_thread_scaling,
     bench_reevaluate_many,
+    bench_sweep_compiled,
 );
 criterion_main!(benches);

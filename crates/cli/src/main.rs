@@ -7,6 +7,9 @@
 //!              [--out avf.json] [--loop-pavf 0.3] [--iterations 20] [--global]
 //!              [--threads 4]
 //! seqavf sfi   --design design.exlif [--sample 100] [--injections 16]
+//! seqavf sweep --design design.exlif --map design.map --pavf pavf.json
+//!              [--workloads 8] [--len 5000] [--seed N] [--threads 4]
+//!              [--cache-dir .seqavf-cache] [--out sweep.json]
 //! seqavf flow  [--seed 42] [--workloads 32] [--len 5000] [--scale 1.0]
 //!              [--threads 4]
 //! ```
@@ -51,6 +54,7 @@ fn main() -> ExitCode {
         "ace" => cmd_ace(&args),
         "sart" => cmd_sart(&args),
         "sfi" => cmd_sfi(&args),
+        "sweep" => cmd_sweep(&args),
         "flow" => cmd_flow(&args),
         "" | "help" => {
             print!("{USAGE}");
@@ -82,6 +86,13 @@ commands:
         structural Verilog, chosen by file extension)
   sfi   --design <exlif> [--sample N] [--injections N] [--seed N]
         statistical fault-injection baseline
+  sweep --design <exlif|.v> --map <file> --pavf <json> [--out <json>]
+        [--workloads N] [--len N] [--seed N] [--threads N]
+        [--cache-dir <dir>] [--loop-pavf F] [--iterations N]
+        [--global] [--conservative]
+        compile the closed forms once and evaluate a whole workload suite;
+        --cache-dir reuses the compiled artifact across runs (keyed by
+        netlist content + configuration), skipping relaxation entirely
   flow  [--seed N] [--workloads N] [--len N] [--scale F] [--threads N]
         run the whole pipeline in memory and print the per-FUB report
 
@@ -345,6 +356,126 @@ fn cmd_sfi(args: &Args) -> Result<(), String> {
         );
     }
     obs.finish("sfi")
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    use seqavf_core::sweep::{run_sweep_traced, CacheStatus, SweepOptions};
+    args.validate(
+        &[
+            "design",
+            "map",
+            "pavf",
+            "out",
+            "workloads",
+            "len",
+            "seed",
+            "threads",
+            "cache-dir",
+            "loop-pavf",
+            "iterations",
+            "trace-out",
+        ],
+        &["global", "conservative", "metrics"],
+    )?;
+    let obs = Obs::from_args(args);
+    let netlist = load_design(args.require("design")?, &obs.collector)?;
+    let mapping = StructureMapping::from_text(&netlist, &read_file(args.require("map")?)?)?;
+    let base_inputs: PavfInputs = serde_json::from_str(&read_file(args.require("pavf")?)?)
+        .map_err(|e| format!("parsing pAVF table: {e}"))?;
+    let config = SartConfig {
+        loop_pavf: args.num("loop-pavf", 0.3f64)?,
+        max_iterations: args.num("iterations", 20usize)?,
+        partitioned: !args.has("global"),
+        threads: args.num("threads", 1usize)?.max(1),
+        ..SartConfig::default()
+    };
+    // Per-workload pAVF tables from the ACE model, one per suite trace.
+    let suite_cfg = SuiteConfig {
+        workloads: args.num("workloads", 8usize)?,
+        len: args.num("len", 5_000usize)?,
+        seed: args.num("seed", 0xace_5eedu64)?,
+        include_kernels: true,
+    };
+    let perf = PerfConfig {
+        conservative_residency: args.has("conservative"),
+        ..PerfConfig::default()
+    };
+    let traces = standard_suite(&suite_cfg);
+    println!("running {} workloads through the ACE model…", traces.len());
+    let suite = seqavf::flow::run_suite_traced(&traces, &perf, &obs.collector);
+    let workloads: Vec<(String, PavfInputs)> = suite
+        .runs
+        .iter()
+        .map(|r| (r.workload.clone(), seqavf::flow::inputs_from_report(r)))
+        .collect();
+    let opts = SweepOptions {
+        threads: config.threads,
+        cache_dir: args.get("cache-dir").map(Into::into),
+    };
+    let t0 = std::time::Instant::now();
+    let outcome = run_sweep_traced(
+        &netlist,
+        &mapping,
+        &config,
+        &base_inputs,
+        &workloads,
+        &opts,
+        &obs.collector,
+    )?;
+    let cache_word = match outcome.cache {
+        CacheStatus::Disabled => "cache disabled",
+        CacheStatus::Miss => "cache miss (relaxed fresh, artifact stored)",
+        CacheStatus::Hit => "cache hit (relaxation skipped)",
+    };
+    println!(
+        "compiled DAG: {} nodes, {} sum ops, {} min ops ({} arena sets, {} terms) — {cache_word}",
+        outcome.stats.nodes,
+        outcome.stats.sum_ops,
+        outcome.stats.min_ops,
+        outcome.stats.arena_sets,
+        outcome.stats.terms
+    );
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "workload", "mean", "min", "max"
+    );
+    for row in &outcome.rows {
+        println!(
+            "{:<28} {:>10.4} {:>10.4} {:>10.4}",
+            row.workload, row.mean_seq_avf, row.min_seq_avf, row.max_seq_avf
+        );
+    }
+    println!(
+        "swept {} workloads over {} sequential bits in {:?}",
+        outcome.rows.len(),
+        netlist.seq_count(),
+        t0.elapsed()
+    );
+    if let Some(out) = args.get("out") {
+        #[derive(serde::Serialize)]
+        struct Row<'a> {
+            workload: &'a str,
+            mean_seq_avf: f64,
+            min_seq_avf: f64,
+            max_seq_avf: f64,
+        }
+        let dump: Vec<Row<'_>> = outcome
+            .rows
+            .iter()
+            .map(|r| Row {
+                workload: &r.workload,
+                mean_seq_avf: r.mean_seq_avf,
+                min_seq_avf: r.min_seq_avf,
+                max_seq_avf: r.max_seq_avf,
+            })
+            .collect();
+        write_file(
+            out,
+            &serde_json::to_string_pretty(&dump).map_err(|e| e.to_string())?,
+        )?;
+        println!("wrote {out}: {} workload rows", dump.len());
+    }
+    obs.finish("sweep")
 }
 
 fn cmd_flow(args: &Args) -> Result<(), String> {

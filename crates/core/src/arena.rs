@@ -63,7 +63,7 @@ impl fmt::Display for TermKind {
 }
 
 /// Interning table for terms.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TermTable {
     terms: Vec<TermKind>,
     index: HashMap<TermKind, TermId>,

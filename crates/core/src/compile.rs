@@ -1,0 +1,666 @@
+//! Compilation of resolved closed forms into a flat, CSE-deduplicated
+//! term DAG — the engine behind the multi-workload sweep (§5.2).
+//!
+//! [`SartResult::reevaluate`] is already the paper's "plug new pAVFs into
+//! the closed form equations" fast path, but it *interprets* the union-set
+//! structure on every call: it evaluates **every** set the relaxation ever
+//! interned (most are dead intermediates of the walks), re-matches each
+//! node's role, and resolves struct-cell overrides through per-node string
+//! map lookups. [`CompiledSweep`] lowers the resolved annotations once into
+//! a three-level DAG —
+//!
+//! ```text
+//! term leaves  →  capped-sum nodes (live sets only)  →  MIN nodes  →  node slots
+//! ```
+//!
+//! — where both capped-sum and MIN nodes are hash-consed: every distinct
+//! live set becomes exactly one sum node and every distinct `(F, B)` pair
+//! exactly one MIN node, shared across all sequential bits that resolve to
+//! it. A workload evaluation is then a single topological pass over the
+//! flat op arrays plus a gather into the per-node AVF vector, with
+//! struct-cell AVF overrides resolved once per distinct performance
+//! structure instead of once per cell.
+//!
+//! The compiled path is **bit-identical** (`f64::to_bits`) to
+//! [`SartResult::reevaluate`]: sums accumulate in the same (sorted
+//! term-id) order, the cap and `MIN` use the same `f64` operations in the
+//! same operand order, and overrides take the same precedence. A property
+//! test (`tests/compiled_equivalence.rs`) pins this contract against the
+//! interpreter and against fresh relaxations.
+//!
+//! [`CompiledSweep`] also serializes to a versioned text artifact
+//! ([`CompiledSweep::to_text`] / [`CompiledSweep::from_text`]) so the sweep
+//! cache ([`crate::sweep`]) can skip relaxation entirely on repeated
+//! sweeps of the same design.
+
+use std::collections::HashMap;
+
+use seqavf_netlist::graph::{Netlist, NodeKind};
+use seqavf_obs::Collector;
+
+use crate::arena::{SetId, TermKind, TermTable};
+use crate::classify::NodeRole;
+use crate::engine::{term_values, SartConfig, SartResult};
+use crate::mapping::PavfInputs;
+
+/// How one netlist node obtains its AVF from the evaluated DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// `MIN(F, B)` — index into the MIN-op array.
+    Min(u32),
+    /// Control register: the configured `ctrl_read_pavf` constant.
+    Ctrl,
+    /// Loop sequential: the configured `loop_pavf` constant.
+    Loop,
+    /// Structure cell: the measured structure AVF of `perf` when present,
+    /// else the `MIN(F, B)` fallback.
+    Struct { perf: u32, min: u32 },
+}
+
+/// Compile-time sharing statistics (reported through `sweep.compile`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Netlist nodes covered (one slot each).
+    pub nodes: usize,
+    /// Distinct live sets lowered to capped-sum ops.
+    pub sum_ops: usize,
+    /// Distinct `(F, B)` pairs lowered to MIN ops.
+    pub min_ops: usize,
+    /// Sets the relaxation arena held in total (dead intermediates the
+    /// compiled DAG does not evaluate).
+    pub arena_sets: usize,
+    /// Interned pAVF terms (DAG leaves).
+    pub terms: usize,
+}
+
+/// A compiled multi-workload evaluator: the hash-consed term DAG plus the
+/// captured configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledSweep {
+    config: SartConfig,
+    terms: TermTable,
+    /// Flattened term indices of every sum op, in sorted term-id order
+    /// (matching [`crate::arena::UnionArena::eval`] accumulation order).
+    sum_terms: Vec<u32>,
+    /// `sum_bounds[k]..sum_bounds[k+1]` delimits sum op `k` in `sum_terms`.
+    sum_bounds: Vec<u32>,
+    /// MIN ops as `(forward sum, backward sum)` — operand order preserved.
+    mins: Vec<(u32, u32)>,
+    /// One slot per netlist node, indexed by `NodeId::index`.
+    slots: Vec<Slot>,
+    /// Distinct performance-structure names referenced by struct slots.
+    perf_names: Vec<String>,
+    /// Sets the source arena held (for [`CompileStats`] only).
+    arena_sets: usize,
+}
+
+impl CompiledSweep {
+    /// Lowers a resolved [`SartResult`] into the compiled DAG.
+    pub fn compile(result: &SartResult, nl: &Netlist) -> CompiledSweep {
+        Self::compile_traced(result, nl, &Collector::disabled())
+    }
+
+    /// [`CompiledSweep::compile`] with observability: one `sweep.compile`
+    /// span carrying the sharing statistics.
+    pub fn compile_traced(result: &SartResult, nl: &Netlist, obs: &Collector) -> CompiledSweep {
+        let mut span = obs.span("sweep.compile");
+        let n = nl.node_count();
+        let mut sum_terms: Vec<u32> = Vec::new();
+        let mut sum_bounds: Vec<u32> = vec![0];
+        let mut sum_index: HashMap<SetId, u32> = HashMap::new();
+        let mut mins: Vec<(u32, u32)> = Vec::new();
+        let mut min_index: HashMap<(SetId, SetId), u32> = HashMap::new();
+        let mut perf_names: Vec<String> = Vec::new();
+        let mut perf_index: HashMap<String, u32> = HashMap::new();
+        let mut slots: Vec<Slot> = Vec::with_capacity(n);
+
+        let mut lower_sum =
+            |s: SetId, sum_terms: &mut Vec<u32>, sum_bounds: &mut Vec<u32>| -> u32 {
+                *sum_index.entry(s).or_insert_with(|| {
+                    let k = sum_bounds.len() - 1;
+                    sum_terms.extend(result.arena.terms(s).iter().map(|t| t.index() as u32));
+                    sum_bounds.push(sum_terms.len() as u32);
+                    u32::try_from(k).expect("sum op count fits u32")
+                })
+            };
+
+        for id in nl.nodes() {
+            let i = id.index();
+            let slot = match result.roles.role(id) {
+                NodeRole::ControlReg => Slot::Ctrl,
+                NodeRole::LoopSeq => Slot::Loop,
+                role => {
+                    let pair = (result.fwd[i], result.bwd[i]);
+                    let min = *min_index.entry(pair).or_insert_with(|| {
+                        let a = lower_sum(pair.0, &mut sum_terms, &mut sum_bounds);
+                        let b = lower_sum(pair.1, &mut sum_terms, &mut sum_bounds);
+                        mins.push((a, b));
+                        u32::try_from(mins.len() - 1).expect("min op count fits u32")
+                    });
+                    if role == NodeRole::StructCell {
+                        let NodeKind::StructCell { structure, .. } = nl.kind(id) else {
+                            unreachable!("role implies kind");
+                        };
+                        let name = &result.struct_perf_names[structure.index()];
+                        let perf = *perf_index.entry(name.clone()).or_insert_with(|| {
+                            perf_names.push(name.clone());
+                            u32::try_from(perf_names.len() - 1).expect("perf count fits u32")
+                        });
+                        Slot::Struct { perf, min }
+                    } else {
+                        Slot::Min(min)
+                    }
+                }
+            };
+            slots.push(slot);
+        }
+
+        let compiled = CompiledSweep {
+            config: result.config.clone(),
+            terms: result.terms.clone(),
+            sum_terms,
+            sum_bounds,
+            mins,
+            slots,
+            perf_names,
+            arena_sets: result.arena.len(),
+        };
+        let st = compiled.stats();
+        span.field_u64("nodes", st.nodes as u64);
+        span.field_u64("sum_ops", st.sum_ops as u64);
+        span.field_u64("min_ops", st.min_ops as u64);
+        span.field_u64("arena_sets", st.arena_sets as u64);
+        span.field_u64("terms", st.terms as u64);
+        span.finish();
+        compiled
+    }
+
+    /// The configuration captured at compile time.
+    pub fn config(&self) -> &SartConfig {
+        &self.config
+    }
+
+    /// Number of node slots (equals the compiled netlist's node count).
+    pub fn node_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Sharing statistics of the compiled DAG.
+    pub fn stats(&self) -> CompileStats {
+        CompileStats {
+            nodes: self.slots.len(),
+            sum_ops: self.sum_bounds.len() - 1,
+            min_ops: self.mins.len(),
+            arena_sets: self.arena_sets,
+            terms: self.terms.len(),
+        }
+    }
+
+    /// Evaluates every node's AVF for one workload's input table —
+    /// bit-identical to [`SartResult::reevaluate`] on the source result.
+    pub fn evaluate(&self, inputs: &PavfInputs) -> Vec<f64> {
+        let mut scratch = EvalScratch::default();
+        self.evaluate_with(inputs, &mut scratch)
+    }
+
+    /// [`CompiledSweep::evaluate`] with observability: one `sweep.eval`
+    /// span per workload.
+    pub fn evaluate_traced(&self, inputs: &PavfInputs, obs: &Collector) -> Vec<f64> {
+        let mut span = obs.span("sweep.eval");
+        let mut scratch = EvalScratch::default();
+        let avf = self.evaluate_with(inputs, &mut scratch);
+        span.field_u64("nodes", avf.len() as u64);
+        span.finish();
+        avf
+    }
+
+    /// One topological pass with caller-provided scratch buffers (reused
+    /// across workloads by [`CompiledSweep::evaluate_many`]).
+    fn evaluate_with(&self, inputs: &PavfInputs, scratch: &mut EvalScratch) -> Vec<f64> {
+        let values = term_values(&self.terms, inputs, &self.config);
+        let n_sums = self.sum_bounds.len() - 1;
+        scratch.sums.clear();
+        scratch.sums.reserve(n_sums);
+        for k in 0..n_sums {
+            let lo = self.sum_bounds[k] as usize;
+            let hi = self.sum_bounds[k + 1] as usize;
+            // Same accumulation order as `UnionArena::eval`: sorted term
+            // ids, left fold, then the cap.
+            let sum: f64 = self.sum_terms[lo..hi]
+                .iter()
+                .map(|&t| values[t as usize])
+                .sum();
+            scratch.sums.push(sum.min(1.0));
+        }
+        scratch.mins.clear();
+        scratch.mins.reserve(self.mins.len());
+        for &(a, b) in &self.mins {
+            scratch
+                .mins
+                .push(scratch.sums[a as usize].min(scratch.sums[b as usize]));
+        }
+        // Struct-cell overrides: one map lookup per distinct performance
+        // structure, not per cell.
+        scratch.struct_avfs.clear();
+        scratch
+            .struct_avfs
+            .extend(self.perf_names.iter().map(|p| inputs.structure_avf(p)));
+        self.slots
+            .iter()
+            .map(|slot| match *slot {
+                Slot::Min(m) => scratch.mins[m as usize],
+                Slot::Ctrl => self.config.ctrl_read_pavf,
+                Slot::Loop => self.config.loop_pavf,
+                Slot::Struct { perf, min } => {
+                    scratch.struct_avfs[perf as usize].unwrap_or(scratch.mins[min as usize])
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates a batch of workload tables, fanned out over `threads`
+    /// scoped workers. Output order matches the input order; each entry is
+    /// exactly `self.evaluate(&tables[k])`.
+    pub fn evaluate_many(&self, tables: &[PavfInputs], threads: usize) -> Vec<Vec<f64>> {
+        self.evaluate_many_traced(tables, threads, &Collector::disabled())
+    }
+
+    /// [`CompiledSweep::evaluate_many`] with observability: every workload
+    /// records its own `sweep.eval` span (workers share the collector).
+    pub fn evaluate_many_traced(
+        &self,
+        tables: &[PavfInputs],
+        threads: usize,
+        obs: &Collector,
+    ) -> Vec<Vec<f64>> {
+        let threads = threads.max(1).min(tables.len().max(1));
+        let eval_chunk = |part: &[PavfInputs]| {
+            let mut scratch = EvalScratch::default();
+            part.iter()
+                .map(|t| {
+                    let mut span = obs.span("sweep.eval");
+                    let avf = self.evaluate_with(t, &mut scratch);
+                    span.field_u64("nodes", avf.len() as u64);
+                    span.finish();
+                    avf
+                })
+                .collect::<Vec<_>>()
+        };
+        if threads == 1 {
+            return eval_chunk(tables);
+        }
+        let chunk = tables.len().div_ceil(threads);
+        let mut out: Vec<Vec<f64>> = Vec::with_capacity(tables.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = tables
+                .chunks(chunk)
+                .map(|part| s.spawn(|| eval_chunk(part)))
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("sweep evaluation worker panicked"));
+            }
+        });
+        out
+    }
+
+    // -----------------------------------------------------------------
+    // Artifact serialization (the sweep cache's on-disk format)
+    // -----------------------------------------------------------------
+
+    /// Serializes the compiled DAG to the versioned `seqavf-sweep/1` text
+    /// artifact. Term and performance-structure names are stored verbatim
+    /// on their own lines, so any name is safe except ones containing a
+    /// newline (impossible for parsed netlists).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("seqavf-sweep/1\n");
+        out.push_str(&format!("config {:?}\n", self.config));
+        out.push_str(&format!("terms {}\n", self.terms.len()));
+        for (_, kind) in self.terms.iter() {
+            match kind {
+                TermKind::Top => out.push_str("T\n"),
+                TermKind::ReadPort(s) => out.push_str(&format!("R {s}\n")),
+                TermKind::WritePort(s) => out.push_str(&format!("W {s}\n")),
+                TermKind::Injected(s) => out.push_str(&format!("I {s}\n")),
+            }
+        }
+        out.push_str(&format!("sums {}\n", self.sum_bounds.len() - 1));
+        for k in 0..self.sum_bounds.len() - 1 {
+            let lo = self.sum_bounds[k] as usize;
+            let hi = self.sum_bounds[k + 1] as usize;
+            let terms: Vec<String> = self.sum_terms[lo..hi].iter().map(u32::to_string).collect();
+            out.push_str(&terms.join(" "));
+            out.push('\n');
+        }
+        out.push_str(&format!("mins {}\n", self.mins.len()));
+        for &(a, b) in &self.mins {
+            out.push_str(&format!("{a} {b}\n"));
+        }
+        out.push_str(&format!("perf {}\n", self.perf_names.len()));
+        for name in &self.perf_names {
+            out.push_str(name);
+            out.push('\n');
+        }
+        out.push_str(&format!("slots {}\n", self.slots.len()));
+        for slot in &self.slots {
+            match *slot {
+                Slot::Min(m) => out.push_str(&format!("m {m}\n")),
+                Slot::Ctrl => out.push_str("c\n"),
+                Slot::Loop => out.push_str("l\n"),
+                Slot::Struct { perf, min } => out.push_str(&format!("s {perf} {min}\n")),
+            }
+        }
+        out.push_str(&format!("arena {}\n", self.arena_sets));
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a `seqavf-sweep/1` artifact back into a compiled DAG. The
+    /// caller supplies the configuration it expects (the cache key binds
+    /// it); a stored artifact whose embedded configuration differs is
+    /// rejected. Every index is bounds-checked — a corrupt artifact yields
+    /// `Err`, never a panic or an out-of-range evaluator.
+    pub fn from_text(text: &str, config: &SartConfig) -> Result<CompiledSweep, String> {
+        let mut lines = text.lines().enumerate();
+        let mut next = |what: &str| -> Result<(usize, &str), String> {
+            lines
+                .next()
+                .map(|(i, l)| (i + 1, l))
+                .ok_or_else(|| format!("truncated artifact: missing {what}"))
+        };
+        let (_, header) = next("header")?;
+        if header != "seqavf-sweep/1" {
+            return Err(format!("unknown artifact header `{header}`"));
+        }
+        let (_, cfg_line) = next("config")?;
+        let embedded = cfg_line
+            .strip_prefix("config ")
+            .ok_or("expected `config` line")?;
+        if embedded != format!("{:?}", config) {
+            return Err("artifact configuration does not match the request".to_owned());
+        }
+        let section_count = |line: &str, tag: &str| -> Result<usize, String> {
+            line.strip_prefix(tag)
+                .and_then(|r| r.strip_prefix(' '))
+                .and_then(|r| r.parse().ok())
+                .ok_or_else(|| format!("expected `{tag} <count>`, got `{line}`"))
+        };
+
+        let (_, l) = next("terms section")?;
+        let n_terms = section_count(l, "terms")?;
+        let mut terms = TermTable::new();
+        for k in 0..n_terms {
+            let (lineno, l) = next("term line")?;
+            let kind = match (l.chars().next(), l.get(2..)) {
+                (Some('T'), _) if l == "T" => TermKind::Top,
+                (Some('R'), Some(name)) => TermKind::ReadPort(name.to_owned()),
+                (Some('W'), Some(name)) => TermKind::WritePort(name.to_owned()),
+                (Some('I'), Some(name)) => TermKind::Injected(name.to_owned()),
+                _ => return Err(format!("line {lineno}: bad term `{l}`")),
+            };
+            let id = terms.intern(kind);
+            if id.index() != k {
+                return Err(format!("line {lineno}: duplicate or misordered term `{l}`"));
+            }
+        }
+
+        let (_, l) = next("sums section")?;
+        let n_sums = section_count(l, "sums")?;
+        let mut sum_terms: Vec<u32> = Vec::new();
+        let mut sum_bounds: Vec<u32> = vec![0];
+        for _ in 0..n_sums {
+            let (lineno, l) = next("sum line")?;
+            for tok in l.split_whitespace() {
+                let t: u32 = tok
+                    .parse()
+                    .map_err(|_| format!("line {lineno}: bad term index `{tok}`"))?;
+                if t as usize >= n_terms {
+                    return Err(format!("line {lineno}: term index {t} out of range"));
+                }
+                sum_terms.push(t);
+            }
+            sum_bounds.push(sum_terms.len() as u32);
+        }
+
+        let (_, l) = next("mins section")?;
+        let n_mins = section_count(l, "mins")?;
+        let mut mins = Vec::with_capacity(n_mins);
+        for _ in 0..n_mins {
+            let (lineno, l) = next("min line")?;
+            let mut it = l.split_whitespace();
+            let (Some(a), Some(b), None) = (it.next(), it.next(), it.next()) else {
+                return Err(format!("line {lineno}: expected `<a> <b>`"));
+            };
+            let a: u32 = a
+                .parse()
+                .map_err(|_| format!("line {lineno}: bad sum index `{a}`"))?;
+            let b: u32 = b
+                .parse()
+                .map_err(|_| format!("line {lineno}: bad sum index `{b}`"))?;
+            if a as usize >= n_sums || b as usize >= n_sums {
+                return Err(format!("line {lineno}: sum index out of range"));
+            }
+            mins.push((a, b));
+        }
+
+        let (_, l) = next("perf section")?;
+        let n_perf = section_count(l, "perf")?;
+        let mut perf_names = Vec::with_capacity(n_perf);
+        for _ in 0..n_perf {
+            let (_, l) = next("perf name")?;
+            perf_names.push(l.to_owned());
+        }
+
+        let (_, l) = next("slots section")?;
+        let n_slots = section_count(l, "slots")?;
+        let mut slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            let (lineno, l) = next("slot line")?;
+            let mut it = l.split_whitespace();
+            let slot = match it.next() {
+                Some("c") => Slot::Ctrl,
+                Some("l") => Slot::Loop,
+                Some("m") => {
+                    let m: u32 = it
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| format!("line {lineno}: bad min slot"))?;
+                    if m as usize >= n_mins {
+                        return Err(format!("line {lineno}: min index {m} out of range"));
+                    }
+                    Slot::Min(m)
+                }
+                Some("s") => {
+                    let perf: u32 = it
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| format!("line {lineno}: bad struct slot"))?;
+                    let min: u32 = it
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| format!("line {lineno}: bad struct slot"))?;
+                    if perf as usize >= n_perf || min as usize >= n_mins {
+                        return Err(format!("line {lineno}: struct slot index out of range"));
+                    }
+                    Slot::Struct { perf, min }
+                }
+                _ => return Err(format!("line {lineno}: bad slot `{l}`")),
+            };
+            if it.next().is_some() {
+                return Err(format!("line {lineno}: trailing tokens in slot `{l}`"));
+            }
+            slots.push(slot);
+        }
+
+        let (lineno, l) = next("arena line")?;
+        let arena_sets = section_count(l, "arena").map_err(|e| format!("line {lineno}: {e}"))?;
+        let (lineno, l) = next("end line")?;
+        if l != "end" {
+            return Err(format!("line {lineno}: expected `end`, got `{l}`"));
+        }
+        Ok(CompiledSweep {
+            config: config.clone(),
+            terms,
+            sum_terms,
+            sum_bounds,
+            mins,
+            slots,
+            perf_names,
+            arena_sets,
+        })
+    }
+}
+
+/// Reusable evaluation buffers (one per worker thread).
+#[derive(Debug, Default)]
+struct EvalScratch {
+    sums: Vec<f64>,
+    mins: Vec<f64>,
+    struct_avfs: Vec<Option<f64>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SartEngine;
+    use crate::mapping::StructureMapping;
+    use seqavf_netlist::flatten::parse_netlist;
+
+    const FIGURE7: &str = r"
+.design fig7
+.fub f
+  .struct s1 1
+  .struct s2 1
+  .struct s3 1
+  .struct s4 1
+  .flop q1a s1[0]
+  .flop q1b s2[0]
+  .flop q2a q1a
+  .gate nor g1 q2a q1b
+  .flop q3b g1
+  .gate nor g2 q2a g1
+  .flop q3a g2
+  .sw s3[0] q3a
+  .sw s4[0] q3b
+.endfub
+.end
+";
+
+    fn fig7_inputs() -> PavfInputs {
+        let mut p = PavfInputs::new();
+        p.set_port("f.s1", 0.10, 0.5);
+        p.set_port("f.s2", 0.02, 0.5);
+        p.set_port("f.s3", 0.5, 0.9);
+        p.set_port("f.s4", 0.5, 0.9);
+        p
+    }
+
+    fn compiled_fig7() -> (Netlist, SartResult, CompiledSweep) {
+        let nl = parse_netlist(FIGURE7).unwrap();
+        let engine = SartEngine::new(&nl, &StructureMapping::new(), SartConfig::default());
+        let result = engine.run(&fig7_inputs());
+        let compiled = CompiledSweep::compile(&result, &nl);
+        (nl, result, compiled)
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_bitwise() {
+        let (nl, result, compiled) = compiled_fig7();
+        let mut tables = vec![fig7_inputs(), PavfInputs::new()];
+        let mut varied = fig7_inputs();
+        varied.set_port("f.s1", 0.31, 0.07);
+        varied.set_structure_avf("f.s2", 0.42);
+        tables.push(varied);
+        for (k, t) in tables.iter().enumerate() {
+            let fast = compiled.evaluate(t);
+            let slow = result.reevaluate(&nl, t);
+            assert_eq!(fast.len(), slow.len());
+            for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "table {k}, node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_many_matches_evaluate() {
+        let (_, _, compiled) = compiled_fig7();
+        let tables: Vec<PavfInputs> = (0..7)
+            .map(|k| {
+                let mut p = fig7_inputs();
+                p.set_port("f.s1", 0.05 * (k + 1) as f64, 0.4);
+                p
+            })
+            .collect();
+        let batch = compiled.evaluate_many(&tables, 3);
+        assert_eq!(batch.len(), tables.len());
+        for (k, t) in tables.iter().enumerate() {
+            assert_eq!(batch[k], compiled.evaluate(t), "workload {k}");
+        }
+    }
+
+    #[test]
+    fn dag_is_deduplicated() {
+        let (nl, result, compiled) = compiled_fig7();
+        let st = compiled.stats();
+        assert_eq!(st.nodes, nl.node_count());
+        // The DAG only lowers live sets; the arena holds at least as many.
+        assert!(st.sum_ops <= st.arena_sets, "{st:?}");
+        // MIN ops are shared: never more than one per node, and strictly
+        // fewer here because struct cells of one structure share pairs.
+        assert!(st.min_ops <= st.nodes);
+        assert_eq!(st.arena_sets, result.arena.len());
+    }
+
+    #[test]
+    fn artifact_roundtrips_bitwise() {
+        let (_, _, compiled) = compiled_fig7();
+        let text = compiled.to_text();
+        let back = CompiledSweep::from_text(&text, compiled.config()).unwrap();
+        assert_eq!(back, compiled);
+        let inputs = fig7_inputs();
+        let a = compiled.evaluate(&inputs);
+        let b = back.evaluate(&inputs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn artifact_rejects_config_mismatch_and_corruption() {
+        let (_, _, compiled) = compiled_fig7();
+        let text = compiled.to_text();
+        let other = SartConfig {
+            loop_pavf: 0.9,
+            ..SartConfig::default()
+        };
+        assert!(CompiledSweep::from_text(&text, &other)
+            .unwrap_err()
+            .contains("configuration"));
+        // Truncation anywhere must be an error, never a panic. (Cutting
+        // only the final newline leaves the content intact — `lines()`
+        // tolerates a missing trailing terminator — so stop one short.)
+        for cut in 0..text.len() - 1 {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(
+                CompiledSweep::from_text(&text[..cut], compiled.config()).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+        // An out-of-range term index inside a sum line is rejected.
+        let bumped: String = text
+            .lines()
+            .map(|l| {
+                if l == "0" {
+                    "999999\n".to_owned()
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        if bumped != text {
+            let err = CompiledSweep::from_text(&bumped, compiled.config()).unwrap_err();
+            assert!(err.contains("out of range"), "{err}");
+        }
+    }
+}

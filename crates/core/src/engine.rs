@@ -168,7 +168,7 @@ impl<'nl> SartEngine<'nl> {
 }
 
 /// Builds the term-value vector for an input table under a configuration.
-fn term_values(terms: &TermTable, inputs: &PavfInputs, config: &SartConfig) -> Vec<f64> {
+pub(crate) fn term_values(terms: &TermTable, inputs: &PavfInputs, config: &SartConfig) -> Vec<f64> {
     let ports = |name: &str| inputs.port(name).map(|p| (p.read.value(), p.write.value()));
     let injected = |name: &str| match name {
         INJ_LOOP => Some(config.loop_pavf),

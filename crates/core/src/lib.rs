@@ -37,6 +37,7 @@
 
 pub mod arena;
 pub mod classify;
+pub mod compile;
 pub mod due;
 pub mod engine;
 pub mod mapping;
@@ -44,13 +45,16 @@ pub mod numeric;
 pub mod pavf;
 pub mod relax;
 pub mod report;
+pub mod sweep;
 pub mod walk;
 
 pub use arena::{SetId, TermId, TermKind, TermTable, UnionArena};
 pub use classify::{NodeRole, RoleMap};
+pub use compile::{CompileStats, CompiledSweep};
 pub use due::{AvfSplit, DueAnalysis};
 pub use engine::{SartConfig, SartEngine, SartResult};
 pub use mapping::{PavfInputs, PortPavf, StructureMapping};
 pub use numeric::{solve_parallel, NumericOutcome};
 pub use pavf::Pavf;
 pub use report::{FubAvfRow, SartSummary};
+pub use sweep::{run_sweep, run_sweep_traced, CacheStatus, SweepCache, SweepOptions, SweepOutcome};

@@ -1,0 +1,287 @@
+//! The multi-workload sweep driver: compile once, evaluate per workload,
+//! and skip relaxation entirely on repeated sweeps via an on-disk cache.
+//!
+//! The paper's amortization argument (§5.2) is that SART's symbolic result
+//! makes per-workload AVF nearly free: one relaxation, then cheap
+//! substitution of each workload's measured pAVF terms. This module
+//! industrializes that path:
+//!
+//! 1. [`run_sweep`] relaxes the design once (or loads a cached compiled
+//!    DAG), lowers the closed forms with [`CompiledSweep::compile`], and
+//!    evaluates every workload's input table in parallel.
+//! 2. [`SweepCache`] persists the compiled DAG keyed by
+//!    **(netlist content hash, `SartConfig`)** — see [`cache_key`]. The
+//!    relaxation fixpoint is symbolic and independent of input values
+//!    (see [`crate::relax`]), so those two inputs fully determine the
+//!    compiled artifact; a byte-identical netlist under the same
+//!    configuration may reuse it regardless of file name, while any
+//!    netlist edit or configuration change produces a different key and a
+//!    fresh relaxation.
+//!
+//! Observability: compilation records a `sweep.compile` span, every
+//! workload evaluation a `sweep.eval` span, and cache consultations bump
+//! the `sweep.cache.hit` / `sweep.cache.miss` counters.
+
+use std::path::{Path, PathBuf};
+
+use seqavf_netlist::exlif;
+use seqavf_netlist::graph::Netlist;
+use seqavf_obs::Collector;
+
+use crate::compile::{CompileStats, CompiledSweep};
+use crate::engine::{SartConfig, SartEngine};
+use crate::mapping::{PavfInputs, StructureMapping};
+
+/// The sweep-cache key: a 64-bit FNV-1a hash over the netlist's canonical
+/// EXLIF serialization and the configuration's debug rendering. The
+/// serialization depends only on netlist *content*, never on the file it
+/// was parsed from, so renaming a design file cannot invalidate the cache
+/// while any structural edit must.
+pub fn cache_key(nl: &Netlist, config: &SartConfig) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.update(exlif::write(nl).as_bytes());
+    h.update(&[0]);
+    h.update(format!("{config:?}").as_bytes());
+    h.finish()
+}
+
+/// Incremental FNV-1a (64-bit).
+struct Fnv1a64(u64);
+
+impl Fnv1a64 {
+    fn new() -> Self {
+        Fnv1a64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// An on-disk cache of compiled sweep artifacts.
+///
+/// One directory, one `sweep-<key>.txt` artifact per key. Artifacts that
+/// fail to parse, embed a different configuration, or disagree with the
+/// requested netlist's node count are treated as misses (and overwritten
+/// by the fresh store) — corruption degrades to a recompute, never to a
+/// wrong answer.
+#[derive(Debug, Clone)]
+pub struct SweepCache {
+    dir: PathBuf,
+}
+
+impl SweepCache {
+    /// Opens (creating if needed) a cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<SweepCache, String> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create cache dir {}: {e}", dir.display()))?;
+        Ok(SweepCache { dir })
+    }
+
+    /// The artifact path for a key.
+    pub fn artifact_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("sweep-{key:016x}.txt"))
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Loads the artifact for `key` if present, parseable, configured as
+    /// requested, and shaped for a netlist of `node_count` nodes.
+    pub fn load(&self, key: u64, config: &SartConfig, node_count: usize) -> Option<CompiledSweep> {
+        let text = std::fs::read_to_string(self.artifact_path(key)).ok()?;
+        let compiled = CompiledSweep::from_text(&text, config).ok()?;
+        (compiled.node_count() == node_count).then_some(compiled)
+    }
+
+    /// Stores a compiled artifact under `key`.
+    pub fn store(&self, key: u64, compiled: &CompiledSweep) -> Result<PathBuf, String> {
+        let path = self.artifact_path(key);
+        std::fs::write(&path, compiled.to_text())
+            .map_err(|e| format!("cannot write cache artifact {}: {e}", path.display()))?;
+        Ok(path)
+    }
+}
+
+/// How the sweep obtained its compiled DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// No cache directory configured: relaxed and compiled fresh.
+    Disabled,
+    /// Cache consulted, artifact absent or invalid: relaxed, compiled,
+    /// and stored.
+    Miss,
+    /// Cache consulted and the artifact reused: relaxation skipped.
+    Hit,
+}
+
+/// Per-workload AVF summary row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadAvf {
+    /// Workload name.
+    pub workload: String,
+    /// Mean AVF over sequential nodes.
+    pub mean_seq_avf: f64,
+    /// Lowest sequential-node AVF.
+    pub min_seq_avf: f64,
+    /// Highest sequential-node AVF.
+    pub max_seq_avf: f64,
+    /// Every node's AVF, indexed by `NodeId::index`.
+    pub node_avfs: Vec<f64>,
+}
+
+/// Sweep-driver options.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads for the per-workload evaluation fan-out (0 and 1
+    /// both run inline).
+    pub threads: usize,
+    /// Artifact-cache directory; `None` disables the cache.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// Everything a sweep produces.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Whether the compiled DAG came from the cache.
+    pub cache: CacheStatus,
+    /// Sharing statistics of the compiled DAG.
+    pub stats: CompileStats,
+    /// One row per requested workload, in request order.
+    pub rows: Vec<WorkloadAvf>,
+}
+
+/// Runs a multi-workload sweep: obtain the compiled DAG (cache or fresh
+/// relaxation seeded by `base_inputs`), then evaluate every named workload
+/// table. See [`run_sweep_traced`] for the observability variant.
+pub fn run_sweep(
+    nl: &Netlist,
+    mapping: &StructureMapping,
+    config: &SartConfig,
+    base_inputs: &PavfInputs,
+    workloads: &[(String, PavfInputs)],
+    opts: &SweepOptions,
+) -> Result<SweepOutcome, String> {
+    run_sweep_traced(
+        nl,
+        mapping,
+        config,
+        base_inputs,
+        workloads,
+        opts,
+        &Collector::disabled(),
+    )
+}
+
+/// [`run_sweep`] with observability (spans `sweep.compile` / `sweep.eval`,
+/// counters `sweep.cache.hit` / `sweep.cache.miss`, plus the usual
+/// relaxation telemetry on a miss).
+pub fn run_sweep_traced(
+    nl: &Netlist,
+    mapping: &StructureMapping,
+    config: &SartConfig,
+    base_inputs: &PavfInputs,
+    workloads: &[(String, PavfInputs)],
+    opts: &SweepOptions,
+    obs: &Collector,
+) -> Result<SweepOutcome, String> {
+    let fresh = || {
+        let engine = SartEngine::new_traced(nl, mapping, config.clone(), obs);
+        let result = engine.run_traced(base_inputs, obs);
+        CompiledSweep::compile_traced(&result, nl, obs)
+    };
+    let (compiled, cache) = match &opts.cache_dir {
+        None => (fresh(), CacheStatus::Disabled),
+        Some(dir) => {
+            let store = SweepCache::open(dir)?;
+            let key = cache_key(nl, config);
+            match store.load(key, config, nl.node_count()) {
+                Some(c) => {
+                    obs.count("sweep.cache.hit", 1);
+                    (c, CacheStatus::Hit)
+                }
+                None => {
+                    obs.count("sweep.cache.miss", 1);
+                    let c = fresh();
+                    store.store(key, &c)?;
+                    (c, CacheStatus::Miss)
+                }
+            }
+        }
+    };
+
+    let tables: Vec<PavfInputs> = workloads.iter().map(|(_, t)| t.clone()).collect();
+    let avfs = compiled.evaluate_many_traced(&tables, opts.threads, obs);
+    let seq: Vec<usize> = nl.seq_nodes().map(|id| id.index()).collect();
+    let rows = workloads
+        .iter()
+        .zip(avfs)
+        .map(|((name, _), node_avfs)| {
+            let mut sum = 0.0;
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for &i in &seq {
+                let v = node_avfs[i];
+                sum += v;
+                min = min.min(v);
+                max = max.max(v);
+            }
+            let (mean, min, max) = if seq.is_empty() {
+                (0.0, 0.0, 0.0)
+            } else {
+                (sum / seq.len() as f64, min, max)
+            };
+            WorkloadAvf {
+                workload: name.clone(),
+                mean_seq_avf: mean,
+                min_seq_avf: min,
+                max_seq_avf: max,
+                node_avfs,
+            }
+        })
+        .collect();
+    Ok(SweepOutcome {
+        cache,
+        stats: compiled.stats(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        let mut h = Fnv1a64::new();
+        h.update(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a64::new();
+        h.update(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a64::new();
+        h.update(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_update_equals_one_shot() {
+        let mut a = Fnv1a64::new();
+        a.update(b"hello ");
+        a.update(b"world");
+        let mut b = Fnv1a64::new();
+        b.update(b"hello world");
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,217 @@
+//! Artifact-cache correctness: the sweep cache must be keyed by netlist
+//! *content* and configuration — a single-gate mutation invalidates it, a
+//! byte-identical netlist parsed from a differently named file reuses it —
+//! and cache hits must reproduce bit-identical node AVFs.
+
+use std::path::{Path, PathBuf};
+
+use seqavf_core::engine::SartConfig;
+use seqavf_core::mapping::{PavfInputs, StructureMapping};
+use seqavf_core::sweep::{cache_key, run_sweep_traced, CacheStatus, SweepOptions};
+use seqavf_netlist::flatten::parse_netlist;
+use seqavf_netlist::graph::Netlist;
+use seqavf_obs::Collector;
+
+const DESIGN: &str = r"
+.design cachetest
+.fub f
+  .struct s1 1
+  .struct s2 1
+  .flop q1 s1[0]
+  .flop q2 s2[0]
+  .gate nor g1 q1 q2
+  .flop q3 g1
+  .sw s2[0] q3
+.endfub
+.end
+";
+
+/// The same circuit with one gate changed (`nor` → `and`).
+const DESIGN_MUTATED: &str = r"
+.design cachetest
+.fub f
+  .struct s1 1
+  .struct s2 1
+  .flop q1 s1[0]
+  .flop q2 s2[0]
+  .gate and g1 q1 q2
+  .flop q3 g1
+  .sw s2[0] q3
+.endfub
+.end
+";
+
+fn temp_cache(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("seqavf-sweep-cache-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn workloads() -> Vec<(String, PavfInputs)> {
+    (0..3)
+        .map(|k| {
+            let mut p = PavfInputs::new();
+            p.set_port("f.s1", 0.1 + 0.2 * k as f64, 0.5);
+            p.set_port("f.s2", 0.4, 0.3 + 0.1 * k as f64);
+            (format!("w{k}"), p)
+        })
+        .collect()
+}
+
+fn sweep(
+    nl: &Netlist,
+    config: &SartConfig,
+    dir: &Path,
+    obs: &Collector,
+) -> seqavf_core::sweep::SweepOutcome {
+    run_sweep_traced(
+        nl,
+        &StructureMapping::new(),
+        config,
+        &PavfInputs::new(),
+        &workloads(),
+        &SweepOptions {
+            threads: 2,
+            cache_dir: Some(dir.to_path_buf()),
+        },
+        obs,
+    )
+    .expect("sweep succeeds")
+}
+
+#[test]
+fn second_run_hits_and_reproduces_avfs_bitwise() {
+    let dir = temp_cache("hit");
+    let nl = parse_netlist(DESIGN).unwrap();
+    let config = SartConfig::default();
+    let obs = Collector::new();
+    let first = sweep(&nl, &config, &dir, &obs);
+    assert_eq!(first.cache, CacheStatus::Miss);
+    let second = sweep(&nl, &config, &dir, &obs);
+    assert_eq!(second.cache, CacheStatus::Hit);
+    assert_eq!(first.rows.len(), second.rows.len());
+    for (a, b) in first.rows.iter().zip(&second.rows) {
+        assert_eq!(a.workload, b.workload);
+        for (x, y) in a.node_avfs.iter().zip(&b.node_avfs) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+    // One miss, one hit, observable through the counters.
+    let counters = obs.counters();
+    assert!(counters.contains(&("sweep.cache.miss", 1)), "{counters:?}");
+    assert!(counters.contains(&("sweep.cache.hit", 1)), "{counters:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn one_gate_mutation_is_a_cache_miss() {
+    let dir = temp_cache("mutate");
+    let nl = parse_netlist(DESIGN).unwrap();
+    let mutated = parse_netlist(DESIGN_MUTATED).unwrap();
+    assert_ne!(
+        cache_key(&nl, &SartConfig::default()),
+        cache_key(&mutated, &SartConfig::default()),
+        "a single-gate edit must change the cache key"
+    );
+    let config = SartConfig::default();
+    let obs = Collector::new();
+    assert_eq!(sweep(&nl, &config, &dir, &obs).cache, CacheStatus::Miss);
+    // The mutated netlist must not reuse the original's artifact.
+    assert_eq!(
+        sweep(&mutated, &config, &dir, &obs).cache,
+        CacheStatus::Miss
+    );
+    assert!(obs.counters().contains(&("sweep.cache.miss", 2)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn renamed_but_identical_netlist_is_a_cache_hit() {
+    let dir = temp_cache("rename");
+    // Simulate "same design, different file name": write the same bytes
+    // to two files and parse each — the key must depend on content only.
+    let file_a = dir.join("design-a.exlif");
+    let file_b = dir.join("copy-of-design.exlif");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(&file_a, DESIGN).unwrap();
+    std::fs::write(&file_b, DESIGN).unwrap();
+    let nl_a = parse_netlist(&std::fs::read_to_string(&file_a).unwrap()).unwrap();
+    let nl_b = parse_netlist(&std::fs::read_to_string(&file_b).unwrap()).unwrap();
+    let config = SartConfig::default();
+    let obs = Collector::new();
+    let first = sweep(&nl_a, &config, &dir, &obs);
+    assert_eq!(first.cache, CacheStatus::Miss);
+    let second = sweep(&nl_b, &config, &dir, &obs);
+    assert_eq!(
+        second.cache,
+        CacheStatus::Hit,
+        "content key must ignore file names"
+    );
+    for (a, b) in first.rows.iter().zip(&second.rows) {
+        for (x, y) in a.node_avfs.iter().zip(&b.node_avfs) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn config_change_is_a_cache_miss() {
+    let dir = temp_cache("config");
+    let nl = parse_netlist(DESIGN).unwrap();
+    let obs = Collector::disabled();
+    assert_eq!(
+        sweep(&nl, &SartConfig::default(), &dir, &obs).cache,
+        CacheStatus::Miss
+    );
+    let other = SartConfig {
+        loop_pavf: 0.7,
+        ..SartConfig::default()
+    };
+    assert_eq!(sweep(&nl, &other, &dir, &obs).cache, CacheStatus::Miss);
+    // And the original still hits.
+    assert_eq!(
+        sweep(&nl, &SartConfig::default(), &dir, &obs).cache,
+        CacheStatus::Hit
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_artifact_degrades_to_a_miss() {
+    let dir = temp_cache("corrupt");
+    let nl = parse_netlist(DESIGN).unwrap();
+    let config = SartConfig::default();
+    let obs = Collector::disabled();
+    assert_eq!(sweep(&nl, &config, &dir, &obs).cache, CacheStatus::Miss);
+    // Clobber the stored artifact; the next run must recompute (and
+    // overwrite it with a good copy), never error or return garbage.
+    let artifact = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .find(|e| e.file_name().to_string_lossy().starts_with("sweep-"))
+        .expect("artifact stored")
+        .path();
+    std::fs::write(&artifact, "seqavf-sweep/1\ngarbage\n").unwrap();
+    assert_eq!(sweep(&nl, &config, &dir, &obs).cache, CacheStatus::Miss);
+    assert_eq!(sweep(&nl, &config, &dir, &obs).cache, CacheStatus::Hit);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_trace_validates_against_the_schema() {
+    let dir = temp_cache("trace");
+    let nl = parse_netlist(DESIGN).unwrap();
+    let config = SartConfig::default();
+    let obs = Collector::new();
+    sweep(&nl, &config, &dir, &obs);
+    let mut buf = Vec::new();
+    obs.write_ndjson(&mut buf, &[("cmd", "sweep")]).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    seqavf_obs::validate_trace(&text).expect("sweep trace validates");
+    assert!(text.contains("sweep.compile"));
+    assert!(text.contains("sweep.eval"));
+    assert!(text.contains("sweep.cache.miss"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -8,6 +8,51 @@ use seqavf_netlist::exlif;
 use seqavf_netlist::flatten;
 use seqavf_netlist::verilog;
 
+/// A known-good EXLIF design used as the seed for truncation fuzzing.
+const VALID_EXLIF: &str = "\
+.design trunc
+.model stage
+  .minput d
+  .moutput q
+  .flop q d
+.endmodel
+.fub f0
+  .input din
+  .struct st 2
+  .gate and g1 din st[0]
+  .flop q1 g1
+  .sw st[1] q1
+  .subckt stage u0 d=q1
+  .output dout u0.q
+.endfub
+.end
+";
+
+/// A known-good structural-Verilog module used as the truncation seed.
+const VALID_VERILOG: &str = "\
+// truncation seed
+module core (input a, input b, output y);
+  wire w1, w2;
+  structure st [1:0];
+  and g1 (w1, a, st[0]);
+  not g2 (w2, w1);
+  dff q1 (.q(q1_out), .d(w2));
+  dff q2 (.q(q2_out), .d(w1), .en(b));
+  assign st[1] = q2_out;
+  assign y = q1_out;
+endmodule
+";
+
+/// Cut `src` to `len` bytes, snapping down to a char boundary so the
+/// result is still a `&str` (the lossy-bytes tests cover invalid UTF-8).
+fn truncate_at(src: &str, len: usize) -> &str {
+    let mut cut = len.min(src.len());
+    while !src.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    &src[..cut]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -51,6 +96,65 @@ proptest! {
         let src = words.join(" ") + "\n";
         if let Ok(ast) = verilog::parse_to_ast(&src) {
             let _ = flatten::build_netlist(&ast);
+        }
+    }
+
+    #[test]
+    fn exlif_parser_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..400),
+    ) {
+        // Raw bytes reach the parser the same way `load_design` feeds a
+        // file read with lossy UTF-8 decoding: replacement chars and all.
+        let src = String::from_utf8_lossy(&bytes);
+        if let Ok(ast) = exlif::parse(&src) {
+            let _ = flatten::build_netlist(&ast);
+        }
+    }
+
+    #[test]
+    fn verilog_parser_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let src = String::from_utf8_lossy(&bytes);
+        if let Ok(ast) = verilog::parse_to_ast(&src) {
+            let _ = flatten::build_netlist(&ast);
+        }
+    }
+
+    #[test]
+    fn exlif_parser_never_panics_on_truncated_valid_input(
+        len in 0usize..VALID_EXLIF.len(),
+        garbage in "\\PC{0,16}",
+    ) {
+        // A file cut off mid-write (plus optional trailing garbage from a
+        // torn page) must error cleanly, never panic.
+        let src = format!("{}{garbage}", truncate_at(VALID_EXLIF, len));
+        if let Ok(ast) = exlif::parse(&src) {
+            let _ = flatten::build_netlist(&ast);
+        }
+    }
+
+    #[test]
+    fn verilog_parser_never_panics_on_truncated_valid_input(
+        len in 0usize..VALID_VERILOG.len(),
+        garbage in "\\PC{0,16}",
+    ) {
+        let src = format!("{}{garbage}", truncate_at(VALID_VERILOG, len));
+        if let Ok(ast) = verilog::parse_to_ast(&src) {
+            let _ = flatten::build_netlist(&ast);
+        }
+    }
+
+    #[test]
+    fn full_valid_seeds_still_parse(
+        // Degenerate corner pinned as a property so shrinking never hides
+        // it: untruncated seeds must flatten end to end.
+        which in any::<bool>(),
+    ) {
+        if which {
+            flatten::parse_netlist(VALID_EXLIF).expect("EXLIF seed is valid");
+        } else {
+            verilog::parse_netlist(VALID_VERILOG).expect("Verilog seed is valid");
         }
     }
 

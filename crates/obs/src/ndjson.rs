@@ -412,17 +412,30 @@ pub struct TraceStats {
     pub hists: usize,
 }
 
-fn require_name(obj: &Json) -> Result<(), String> {
+fn require_name(obj: &Json) -> Result<String, String> {
     match obj.get("name").and_then(Json::as_str) {
-        Some(n) if !n.is_empty() => Ok(()),
+        Some(n) if !n.is_empty() => Ok(n.to_owned()),
         Some(_) => Err("empty `name`".to_owned()),
         None => Err("missing string `name`".to_owned()),
     }
 }
 
+/// What [`classify_line`] learned about one validated line.
+struct LineInfo {
+    ty: &'static str,
+    /// `name` of a span/counter/hist line.
+    name: Option<String>,
+    /// `count` of a hist line.
+    hist_count: Option<u64>,
+}
+
 /// Validates a single NDJSON line (any line type) against the schema and
 /// returns its `"type"`.
 pub fn validate_line(line: &str) -> Result<&'static str, String> {
+    classify_line(line).map(|info| info.ty)
+}
+
+fn classify_line(line: &str) -> Result<LineInfo, String> {
     let obj = Parser::new(line).parse_complete()?;
     if !matches!(obj, Json::Obj(_)) {
         return Err("line is not a JSON object".to_owned());
@@ -438,10 +451,14 @@ pub fn validate_line(line: &str) -> Result<&'static str, String> {
                 Some(s) => return Err(format!("unknown schema `{s}` (expected `{SCHEMA}`)")),
                 None => return Err("meta line missing `schema`".to_owned()),
             }
-            Ok("meta")
+            Ok(LineInfo {
+                ty: "meta",
+                name: None,
+                hist_count: None,
+            })
         }
         "span" => {
-            require_name(&obj)?;
+            let name = require_name(&obj)?;
             obj.get("start_us")
                 .and_then(Json::as_u64)
                 .ok_or("span missing u64 `start_us`")?;
@@ -458,17 +475,25 @@ pub fn validate_line(line: &str) -> Result<&'static str, String> {
                     }
                 }
             }
-            Ok("span")
+            Ok(LineInfo {
+                ty: "span",
+                name: Some(name),
+                hist_count: None,
+            })
         }
         "counter" => {
-            require_name(&obj)?;
+            let name = require_name(&obj)?;
             obj.get("value")
                 .and_then(Json::as_u64)
                 .ok_or("counter missing u64 `value`")?;
-            Ok("counter")
+            Ok(LineInfo {
+                ty: "counter",
+                name: Some(name),
+                hist_count: None,
+            })
         }
         "hist" => {
-            require_name(&obj)?;
+            let name = require_name(&obj)?;
             match obj.get("unit").and_then(Json::as_str) {
                 Some("us") => {}
                 _ => return Err("hist `unit` must be \"us\"".to_owned()),
@@ -507,31 +532,119 @@ pub fn validate_line(line: &str) -> Result<&'static str, String> {
                     "hist bucket counts sum to {total}, `count` says {count}"
                 ));
             }
-            Ok("hist")
+            Ok(LineInfo {
+                ty: "hist",
+                name: Some(name),
+                hist_count: Some(count),
+            })
         }
         other => Err(format!("unknown line type `{other}`")),
     }
 }
 
-/// Validates a complete trace: the first line must be a `meta` line with
-/// the current schema, and every following line must validate.
+/// Validates a complete trace. Beyond per-line schema checks, this
+/// enforces the structural invariants the writer guarantees, so damaged
+/// traces (truncation, reordered or spliced lines) are rejected:
+///
+/// - the first line must be a `meta` line with the current schema, and no
+///   other `meta` line may appear;
+/// - sections appear in writer order — all `span` lines, then all
+///   `counter` lines, then all `hist` lines;
+/// - `counter` and `hist` names are strictly ascending within their
+///   sections (the writer emits them from sorted maps; any other order
+///   means the counter section was tampered with or spliced);
+/// - each `hist` line's `count` must equal the number of `span` lines of
+///   that name, every histogrammed name must have spans, and — whenever a
+///   summary section (counters or hists) is present — every span name
+///   must have its histogram. A trace whose tail was cut off loses hist
+///   lines first and span lines next, so both mismatch directions are
+///   truncation detectors.
 pub fn validate_trace(text: &str) -> Result<TraceStats, String> {
     let mut stats = TraceStats::default();
     let mut saw_meta = false;
+    // 0 = spans, 1 = counters, 2 = hists (sections in writer order).
+    let mut section = 0u8;
+    let mut prev_counter: Option<String> = None;
+    let mut prev_hist: Option<String> = None;
+    let mut span_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut hist_names: Vec<String> = Vec::new();
     for (i, line) in text.lines().enumerate() {
-        let ty = validate_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
-        match ty {
+        let info = classify_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        match info.ty {
             "meta" if i == 0 => saw_meta = true,
             "meta" => return Err(format!("line {}: meta line after the header", i + 1)),
             _ if i == 0 => return Err("line 1: first line must be `meta`".to_owned()),
-            "span" => stats.spans += 1,
-            "counter" => stats.counters += 1,
-            "hist" => stats.hists += 1,
-            _ => unreachable!("validate_line returns known types"),
+            "span" => {
+                if section > 0 {
+                    return Err(format!(
+                        "line {}: span line after the counter/hist sections",
+                        i + 1
+                    ));
+                }
+                *span_counts
+                    .entry(info.name.expect("span has a name"))
+                    .or_insert(0) += 1;
+                stats.spans += 1;
+            }
+            "counter" => {
+                if section > 1 {
+                    return Err(format!(
+                        "line {}: counter line after the hist section",
+                        i + 1
+                    ));
+                }
+                section = 1;
+                let name = info.name.expect("counter has a name");
+                if prev_counter.as_deref().is_some_and(|p| p >= name.as_str()) {
+                    return Err(format!(
+                        "line {}: counter `{name}` breaks ascending name order (non-monotonic counter section)",
+                        i + 1
+                    ));
+                }
+                prev_counter = Some(name);
+                stats.counters += 1;
+            }
+            "hist" => {
+                section = 2;
+                let name = info.name.expect("hist has a name");
+                if prev_hist.as_deref().is_some_and(|p| p >= name.as_str()) {
+                    return Err(format!(
+                        "line {}: hist `{name}` breaks ascending name order",
+                        i + 1
+                    ));
+                }
+                let count = info.hist_count.expect("hist has a count");
+                match span_counts.get(&name) {
+                    None => {
+                        return Err(format!(
+                            "line {}: hist `{name}` has no matching span lines",
+                            i + 1
+                        ))
+                    }
+                    Some(&n) if n != count => {
+                        return Err(format!(
+                            "line {}: hist `{name}` counts {count} spans but {n} span lines are present (truncated trace?)",
+                            i + 1
+                        ))
+                    }
+                    Some(_) => {}
+                }
+                prev_hist = Some(name.clone());
+                hist_names.push(name);
+                stats.hists += 1;
+            }
+            _ => unreachable!("classify_line returns known types"),
         }
     }
     if !saw_meta {
         return Err("empty trace (no meta header)".to_owned());
+    }
+    // The writer always follows spans with their histograms; a span name
+    // without one means the trace's tail was cut off.
+    for name in span_counts.keys() {
+        if !hist_names.iter().any(|h| h == name) {
+            return Err(format!("span `{name}` has no hist line (truncated trace?)"));
+        }
     }
     Ok(stats)
 }
@@ -613,6 +726,100 @@ mod tests {
         c.write_ndjson(&mut buf, &[("cmd", "a\"b")]).unwrap();
         let text = String::from_utf8(buf).unwrap();
         validate_trace(&text).unwrap();
+    }
+
+    /// A written trace for structural-damage tests: two span names, one
+    /// counter, two hists.
+    fn sample_trace() -> String {
+        let c = Collector::new();
+        c.span("sweep.compile").finish();
+        c.span("sweep.eval").finish();
+        c.span("sweep.eval").finish();
+        c.count("sweep.cache.miss", 1);
+        c.count("sweep.cache.hit", 2);
+        let mut buf = Vec::new();
+        c.write_ndjson(&mut buf, &[("cmd", "sweep")]).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn rejects_span_after_summary_sections() {
+        let text = sample_trace();
+        let span = text
+            .lines()
+            .find(|l| l.contains("\"type\":\"span\""))
+            .unwrap();
+        let spliced = format!("{}{span}\n", text);
+        let e = validate_trace(&spliced).unwrap_err();
+        assert!(e.contains("span line after"), "{e}");
+        assert!(e.starts_with("line "), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_monotonic_counters() {
+        let text = sample_trace();
+        let counters: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"type\":\"counter\""))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        // Swap the two counter lines: names no longer ascend.
+        let swapped: String = text
+            .lines()
+            .map(|l| {
+                if l == counters[0] {
+                    format!("{}\n", counters[1])
+                } else if l == counters[1] {
+                    format!("{}\n", counters[0])
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let e = validate_trace(&swapped).unwrap_err();
+        assert!(e.contains("non-monotonic"), "{e}");
+        assert!(e.starts_with("line "), "{e}");
+    }
+
+    #[test]
+    fn rejects_truncated_trace() {
+        let text = sample_trace();
+        // Dropping the final hist line orphans its spans.
+        let truncated: String = text
+            .lines()
+            .take(text.lines().count() - 1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let e = validate_trace(&truncated).unwrap_err();
+        assert!(e.contains("truncated"), "{e}");
+        // Dropping one span line breaks its hist's count.
+        let a_span = text
+            .lines()
+            .find(|l| l.contains("sweep.eval") && l.contains("\"type\":\"span\""))
+            .unwrap();
+        let mut removed_one = false;
+        let spliced: String = text
+            .lines()
+            .filter(|l| {
+                if *l == a_span && !removed_one {
+                    removed_one = true;
+                    false
+                } else {
+                    true
+                }
+            })
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let e = validate_trace(&spliced).unwrap_err();
+        assert!(e.contains("truncated") && e.starts_with("line "), "{e}");
+    }
+
+    #[test]
+    fn rejects_hist_without_spans() {
+        let lone =
+            "{\"type\":\"meta\",\"schema\":\"seqavf-trace/1\"}\n{\"type\":\"hist\",\"name\":\"x\",\"unit\":\"us\",\"count\":0,\"buckets\":[]}\n";
+        let e = validate_trace(lone).unwrap_err();
+        assert!(e.contains("no matching span"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! End-to-end tests of the `trace-validate` binary: valid sweep-shaped
+//! traces pass, damaged ones fail with a nonzero exit and a line-numbered
+//! message on stderr.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use seqavf_obs::Collector;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_trace-validate")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seqavf-validate-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// A trace shaped like real `sweep --trace-out` output: compile + eval
+/// spans and the cache counters.
+fn sweep_trace() -> String {
+    let c = Collector::new();
+    {
+        let mut s = c.span("sweep.compile");
+        s.field_u64("nodes", 314);
+        s.field_u64("sum_ops", 53);
+    }
+    for _ in 0..3 {
+        let mut s = c.span("sweep.eval");
+        s.field_u64("nodes", 314);
+        s.finish();
+    }
+    c.count("sweep.cache.miss", 1);
+    let mut buf = Vec::new();
+    c.write_ndjson(&mut buf, &[("cmd", "sweep")]).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+fn run(paths: &[&PathBuf]) -> (bool, String, String) {
+    let out = Command::new(bin())
+        .args(paths.iter().map(|p| p.as_os_str()))
+        .output()
+        .expect("spawn trace-validate");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn accepts_valid_sweep_trace() {
+    let path = temp_path("valid.ndjson");
+    std::fs::write(&path, sweep_trace()).unwrap();
+    let (ok, stdout, stderr) = run(&[&path]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("OK"), "{stdout}");
+}
+
+#[test]
+fn rejects_truncated_trace_with_line_number() {
+    let text = sweep_trace();
+    // Cut the trace mid-file: drop the hist tail.
+    let cut: String = text
+        .lines()
+        .take_while(|l| !l.contains("\"type\":\"hist\""))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let path = temp_path("truncated.ndjson");
+    std::fs::write(&path, cut).unwrap();
+    let (ok, _, stderr) = run(&[&path]);
+    assert!(!ok);
+    assert!(stderr.contains("INVALID"), "{stderr}");
+    assert!(stderr.contains("truncated"), "{stderr}");
+}
+
+#[test]
+fn rejects_span_count_mismatch_with_line_number() {
+    let text = sweep_trace();
+    // Remove one sweep.eval span: its hist now over-counts.
+    let mut removed = false;
+    let damaged: String = text
+        .lines()
+        .filter(|l| {
+            if !removed && l.contains("\"type\":\"span\"") && l.contains("sweep.eval") {
+                removed = true;
+                false
+            } else {
+                true
+            }
+        })
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let path = temp_path("mismatch.ndjson");
+    std::fs::write(&path, damaged).unwrap();
+    let (ok, _, stderr) = run(&[&path]);
+    assert!(!ok);
+    assert!(stderr.contains("INVALID: line "), "{stderr}");
+}
+
+#[test]
+fn rejects_non_monotonic_counters_with_line_number() {
+    let c = Collector::new();
+    c.span("sweep.eval").finish();
+    c.count("sweep.cache.hit", 1);
+    c.count("sweep.cache.miss", 1);
+    let mut buf = Vec::new();
+    c.write_ndjson(&mut buf, &[]).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let counters: Vec<String> = text
+        .lines()
+        .filter(|l| l.contains("\"type\":\"counter\""))
+        .map(str::to_owned)
+        .collect();
+    assert_eq!(counters.len(), 2);
+    let swapped: String = text
+        .lines()
+        .map(|l| {
+            if l == counters[0] {
+                format!("{}\n", counters[1])
+            } else if l == counters[1] {
+                format!("{}\n", counters[0])
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    let path = temp_path("nonmono.ndjson");
+    std::fs::write(&path, swapped).unwrap();
+    let (ok, _, stderr) = run(&[&path]);
+    assert!(!ok);
+    assert!(stderr.contains("non-monotonic"), "{stderr}");
+    assert!(stderr.contains("INVALID: line "), "{stderr}");
+}
+
+#[test]
+fn rejects_bad_section_order() {
+    let text = sweep_trace();
+    let a_span = text
+        .lines()
+        .find(|l| l.contains("\"type\":\"span\""))
+        .unwrap();
+    let spliced = format!("{text}{a_span}\n");
+    let path = temp_path("order.ndjson");
+    std::fs::write(&path, spliced).unwrap();
+    let (ok, _, stderr) = run(&[&path]);
+    assert!(!ok);
+    assert!(stderr.contains("span line after"), "{stderr}");
+}
+
+#[test]
+fn one_bad_file_fails_the_whole_invocation() {
+    let good = temp_path("good.ndjson");
+    std::fs::write(&good, sweep_trace()).unwrap();
+    let bad = temp_path("bad.ndjson");
+    std::fs::write(&bad, "not json\n").unwrap();
+    let (ok, stdout, stderr) = run(&[&good, &bad]);
+    assert!(!ok);
+    assert!(stdout.contains("OK"), "{stdout}");
+    assert!(stderr.contains("INVALID"), "{stderr}");
+}
