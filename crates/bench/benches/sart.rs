@@ -177,6 +177,39 @@ fn bench_relax_thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_relax_incremental(c: &mut Criterion) {
+    // E13: full sweeps vs incremental dirty-FUB sweeps at 1 and 8
+    // threads on the thread-scaling design. The incremental points must
+    // not be slower than their full counterparts; the node-walk
+    // reduction itself is deterministic and checked by the
+    // `relax_incremental` harness binary and the property suite.
+    let design = generate(&SynthConfig::xeon_like(42).scaled(2.0));
+    let mapping = StructureMapping::from_pairs(design.meta.structure_map.clone());
+    let inputs = PavfInputs::new();
+    let mut group = c.benchmark_group("relax_incremental");
+    for threads in [1usize, 8] {
+        for incremental in [false, true] {
+            let engine = SartEngine::new(
+                &design.netlist,
+                &mapping,
+                SartConfig {
+                    threads,
+                    incremental,
+                    ..SartConfig::default()
+                },
+            );
+            let label = format!(
+                "{}/{threads}",
+                if incremental { "incremental" } else { "full" }
+            );
+            group.bench_function(&label, |b| {
+                b.iter(|| std::hint::black_box(engine.run(&inputs)))
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_reevaluate_many(c: &mut Criterion) {
     // Batch closed-form re-evaluation across workloads, the fan-out
     // companion of `symbolic_reeval`.
@@ -241,6 +274,7 @@ criterion_group!(
     bench_loop_sweep_point,
     bench_netlist_generation,
     bench_relax_thread_scaling,
+    bench_relax_incremental,
     bench_reevaluate_many,
     bench_sweep_compiled,
 );

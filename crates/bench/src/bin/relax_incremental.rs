@@ -1,0 +1,9 @@
+//! E13 — incremental dirty-FUB relaxation vs full sweeps.
+//! Usage: `relax_incremental [--scale full]`.
+use seqavf_bench::common::{emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = seqavf_bench::incremental::run(scale, 42, &[1, 8]);
+    emit("BENCH_4", &report.render(), &report);
+}

@@ -19,6 +19,7 @@
 //! | [`ablations`] | §4/§5.1 design-choice ablations |
 //! | [`scaling`] | §1/§5.2 — SART cost vs design size |
 //! | [`threads`] | sharded relaxation wall time vs worker-thread count |
+//! | [`incremental`] | incremental dirty-FUB sweeps vs full sweeps |
 
 pub mod ablations;
 pub mod accuracy;
@@ -28,6 +29,7 @@ pub mod fig10;
 pub mod fig8;
 pub mod fig9;
 pub mod headline;
+pub mod incremental;
 pub mod scaling;
 pub mod speed;
 pub mod symbolic;

@@ -81,19 +81,22 @@ commands:
         run the ACE performance model over a workload suite
   sart  --design <exlif|.v> --map <file> --pavf <json> [--out <json>]
         [--loop-pavf F] [--iterations N] [--global] [--threads N]
-        [--protected a,b] [--equations node1,node2]
+        [--no-incremental] [--protected a,b] [--equations node1,node2]
         resolve sequential AVFs for every node (designs may be EXLIF or
-        structural Verilog, chosen by file extension)
+        structural Verilog, chosen by file extension); --no-incremental
+        re-walks every FUB every relaxation sweep instead of only the
+        boundary-dirty ones (bit-identical results, more work)
   sfi   --design <exlif> [--sample N] [--injections N] [--seed N]
         statistical fault-injection baseline
   sweep --design <exlif|.v> --map <file> --pavf <json> [--out <json>]
         [--workloads N] [--len N] [--seed N] [--threads N]
         [--cache-dir <dir>] [--loop-pavf F] [--iterations N]
-        [--global] [--conservative]
+        [--global] [--no-incremental] [--conservative]
         compile the closed forms once and evaluate a whole workload suite;
         --cache-dir reuses the compiled artifact across runs (keyed by
         netlist content + configuration), skipping relaxation entirely
   flow  [--seed N] [--workloads N] [--len N] [--scale F] [--threads N]
+        [--no-incremental]
         run the whole pipeline in memory and print the per-FUB report
 
 every command also accepts:
@@ -234,7 +237,7 @@ fn cmd_sart(args: &Args) -> Result<(), String> {
             "equations",
             "trace-out",
         ],
-        &["global", "metrics"],
+        &["global", "no-incremental", "metrics"],
     )?;
     let obs = Obs::from_args(args);
     let netlist = load_design(args.require("design")?, &obs.collector)?;
@@ -245,6 +248,7 @@ fn cmd_sart(args: &Args) -> Result<(), String> {
         loop_pavf: args.num("loop-pavf", 0.3f64)?,
         max_iterations: args.num("iterations", 20usize)?,
         partitioned: !args.has("global"),
+        incremental: !args.has("no-incremental"),
         threads: args.num("threads", 1usize)?.max(1),
         ..SartConfig::default()
     };
@@ -260,11 +264,17 @@ fn cmd_sart(args: &Args) -> Result<(), String> {
         summary.loop_seq_bits
     );
     println!(
-        "relaxation wall time: {:.3} ms total over {} sweeps ({:.3} ms/sweep, {} threads)",
+        "relaxation wall time: {:.3} ms total over {} sweeps ({:.3} ms/sweep, {} threads, {} node-walks{})",
         result.outcome.total_wall_seconds() * 1e3,
         result.outcome.trace.len(),
         result.outcome.mean_iteration_seconds() * 1e3,
-        result.config.threads
+        result.config.threads,
+        result.outcome.total_walked_nodes(),
+        if result.config.incremental {
+            ", incremental"
+        } else {
+            ", full sweeps"
+        }
     );
     // SDC/DUE split when protected structures are named.
     if let Some(protected) = args.get("protected") {
@@ -375,7 +385,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             "iterations",
             "trace-out",
         ],
-        &["global", "conservative", "metrics"],
+        &["global", "no-incremental", "conservative", "metrics"],
     )?;
     let obs = Obs::from_args(args);
     let netlist = load_design(args.require("design")?, &obs.collector)?;
@@ -386,6 +396,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         loop_pavf: args.num("loop-pavf", 0.3f64)?,
         max_iterations: args.num("iterations", 20usize)?,
         partitioned: !args.has("global"),
+        incremental: !args.has("no-incremental"),
         threads: args.num("threads", 1usize)?.max(1),
         ..SartConfig::default()
     };
@@ -481,7 +492,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
 fn cmd_flow(args: &Args) -> Result<(), String> {
     args.validate(
         &["seed", "workloads", "len", "scale", "threads", "trace-out"],
-        &["metrics"],
+        &["no-incremental", "metrics"],
     )?;
     let obs = Obs::from_args(args);
     let mut cfg = seqavf::flow::FlowConfig::xeon_like(args.num("seed", 42u64)?);
@@ -489,6 +500,7 @@ fn cmd_flow(args: &Args) -> Result<(), String> {
     cfg.suite.workloads = args.num("workloads", 32usize)?;
     cfg.suite.len = args.num("len", 5_000usize)?;
     cfg.sart.threads = args.num("threads", 1usize)?.max(1);
+    cfg.sart.incremental = !args.has("no-incremental");
     let t0 = std::time::Instant::now();
     let out = seqavf::flow::run_flow_traced(&cfg, &obs.collector);
     print!("{}", out.summary.to_table());

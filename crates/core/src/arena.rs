@@ -163,6 +163,11 @@ impl SetId {
 pub struct UnionArena {
     sets: Vec<Box<[TermId]>>,
     index: HashMap<Box<[TermId]>, SetId>,
+    /// Memo for [`UnionArena::union2`] results past the trivial fast
+    /// paths, keyed by the unordered operand pair (stored min-first).
+    /// Interned ids never change, so entries stay valid for the arena's
+    /// whole lifetime.
+    union_memo: HashMap<(SetId, SetId), SetId>,
 }
 
 impl UnionArena {
@@ -171,6 +176,7 @@ impl UnionArena {
         let mut a = UnionArena {
             sets: Vec::new(),
             index: HashMap::new(),
+            union_memo: HashMap::new(),
         };
         let empty = a.intern(Vec::new());
         debug_assert_eq!(empty.index(), 0);
@@ -238,9 +244,15 @@ impl UnionArena {
         if a == self.top() || b == self.top() {
             return self.top();
         }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if let Some(&s) = self.union_memo.get(&key) {
+            return s;
+        }
         let mut v: Vec<TermId> = self.sets[a.index()].to_vec();
         v.extend_from_slice(&self.sets[b.index()]);
-        self.intern(v)
+        let s = self.intern(v);
+        self.union_memo.insert(key, s);
+        s
     }
 
     /// Set union of many sets.
@@ -350,6 +362,25 @@ mod tests {
         assert_eq!(ar.union2(ar.empty(), sb), sb);
         assert_eq!(ar.union2(sa, sb), ar.union2(sb, sa));
         assert_eq!(ar.union2(sa, sa), sa);
+    }
+
+    #[test]
+    fn union_memo_is_transparent() {
+        let (_, a, b, c) = table();
+        let mut ar = UnionArena::new();
+        let sa = ar.singleton(a);
+        let sb = ar.singleton(b);
+        let sc = ar.singleton(c);
+        let first = ar.union2(sa, sb);
+        // The memoized pair returns the same id in either operand order
+        // without growing the arena.
+        let len = ar.len();
+        assert_eq!(ar.union2(sa, sb), first);
+        assert_eq!(ar.union2(sb, sa), first);
+        assert_eq!(ar.len(), len);
+        // Unseen pairs still intern fresh sets.
+        let abc = ar.union2(first, sc);
+        assert_eq!(ar.terms(abc).len(), 3);
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub struct SartConfig {
     /// mode) or as one global pass (`false`; same fixpoint, useful for
     /// validation).
     pub partitioned: bool,
+    /// Skip FUBs whose cross-partition boundary reads did not change in
+    /// the previous relaxation sweep (`true`, the default). Results are
+    /// bit-identical to full sweeps — only the work shrinks; `false`
+    /// re-walks every FUB every iteration (the escape hatch behind the
+    /// CLI's `--no-incremental`).
+    pub incremental: bool,
     /// Worker threads for the partitioned relaxation and batch
     /// re-evaluation. Every thread count produces bit-identical
     /// annotations and `SetId` numbering (see [`crate::relax`]); `1`
@@ -54,6 +60,7 @@ impl Default for SartConfig {
             ctrl_patterns: vec!["creg".to_owned()],
             max_iterations: 20,
             partitioned: true,
+            incremental: true,
             threads: 1,
         }
     }
@@ -142,6 +149,7 @@ impl<'nl> SartEngine<'nl> {
                 &values,
                 self.config.max_iterations,
                 self.config.threads,
+                self.config.incremental,
                 obs,
             )
         } else {
@@ -510,6 +518,29 @@ mod tests {
         for id in nl.nodes() {
             assert_eq!(seq.avf(id).to_bits(), par.avf(id).to_bits());
         }
+    }
+
+    #[test]
+    fn incremental_mode_is_invisible_in_results() {
+        let inputs = fig7_inputs();
+        let (_, inc) = run(FIGURE7, &inputs, SartConfig::default());
+        let (nl, full) = run(
+            FIGURE7,
+            &inputs,
+            SartConfig {
+                incremental: false,
+                ..SartConfig::default()
+            },
+        );
+        assert_eq!(inc.fwd, full.fwd);
+        assert_eq!(inc.bwd, full.bwd);
+        assert_eq!(inc.arena.len(), full.arena.len());
+        assert_eq!(inc.iterations(), full.iterations());
+        for id in nl.nodes() {
+            assert_eq!(inc.avf(id).to_bits(), full.avf(id).to_bits());
+        }
+        // The default mode never walks more than the full mode.
+        assert!(inc.outcome.total_walked_nodes() <= full.outcome.total_walked_nodes());
     }
 
     #[test]

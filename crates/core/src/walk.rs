@@ -60,6 +60,84 @@ pub struct Prepared {
     pub topo: Vec<NodeId>,
     /// `topo` filtered per FUB.
     pub fub_topo: Vec<Vec<NodeId>>,
+    /// Cross-partition boundary-dependency graph for incremental
+    /// relaxation.
+    pub boundary: BoundaryDeps,
+}
+
+/// Which FUBs read which nodes across the partition, in each walk
+/// direction — the FUB-level dependency graph the incremental relaxation
+/// diffs at every iteration barrier (§5.2 only re-walks FUBs downstream
+/// of a changed FUBIO value).
+///
+/// A node appears as a *forward* boundary read when some node of another
+/// FUB takes it as a fan-in and is not itself a fixed forward source: the
+/// partitioned walk then reads the node's forward annotation from the
+/// iteration snapshot. Symmetrically, a node is a *backward* boundary read
+/// when some node of another FUB has it as a fan-out, is not a fixed
+/// backward source, and the read node's backward contribution is not
+/// overridden (overridden contributions are iteration-invariant).
+///
+/// Both directions are stored as a CSR: `*_reads[k]` is the observed node
+/// and `*_consumers[*_offsets[k]..*_offsets[k + 1]]` the deduplicated
+/// FUBs whose next walk depends on it.
+#[derive(Debug, Clone, Default)]
+pub struct BoundaryDeps {
+    /// Nodes whose forward annotation is read across a partition,
+    /// ascending.
+    pub fwd_reads: Vec<NodeId>,
+    /// CSR offsets into [`BoundaryDeps::fwd_consumers`].
+    pub fwd_offsets: Vec<u32>,
+    /// Consumer FUBs per forward boundary read.
+    pub fwd_consumers: Vec<FubId>,
+    /// Nodes whose backward annotation is read across a partition,
+    /// ascending.
+    pub bwd_reads: Vec<NodeId>,
+    /// CSR offsets into [`BoundaryDeps::bwd_consumers`].
+    pub bwd_offsets: Vec<u32>,
+    /// Consumer FUBs per backward boundary read.
+    pub bwd_consumers: Vec<FubId>,
+}
+
+impl BoundaryDeps {
+    /// FUBs whose forward walk reads `fwd_reads[k]` from the snapshot.
+    pub fn fwd_consumers_of(&self, k: usize) -> &[FubId] {
+        &self.fwd_consumers[self.fwd_offsets[k] as usize..self.fwd_offsets[k + 1] as usize]
+    }
+
+    /// FUBs whose backward walk reads `bwd_reads[k]` from the snapshot.
+    pub fn bwd_consumers_of(&self, k: usize) -> &[FubId] {
+        &self.bwd_consumers[self.bwd_offsets[k] as usize..self.bwd_offsets[k + 1] as usize]
+    }
+
+    fn from_pairs(fwd: Vec<(NodeId, FubId)>, bwd: Vec<(NodeId, FubId)>) -> BoundaryDeps {
+        fn csr(mut pairs: Vec<(NodeId, FubId)>) -> (Vec<NodeId>, Vec<u32>, Vec<FubId>) {
+            pairs.sort_unstable_by_key(|&(n, f)| (n.index(), f.index()));
+            pairs.dedup();
+            let mut reads = Vec::new();
+            let mut offsets = vec![0u32];
+            let mut consumers = Vec::with_capacity(pairs.len());
+            for (n, f) in pairs {
+                if reads.last() != Some(&n) {
+                    reads.push(n);
+                    offsets.push(consumers.len() as u32);
+                }
+                consumers.push(f);
+                *offsets.last_mut().expect("offsets never empty") = consumers.len() as u32;
+            }
+            (reads, offsets, consumers)
+        }
+        let (fwd_reads, fwd_offsets, fwd_consumers) = csr(fwd);
+        let (bwd_reads, bwd_offsets, bwd_consumers) = csr(bwd);
+        BoundaryDeps {
+            fwd_reads,
+            fwd_offsets,
+            fwd_consumers,
+            bwd_reads,
+            bwd_offsets,
+            bwd_consumers,
+        }
+    }
 }
 
 /// Builds the walk preparation for a netlist.
@@ -179,6 +257,31 @@ pub fn prepare(
         fub_topo[nl.fub(id).index()].push(id);
     }
 
+    // Boundary-dependency graph: exactly the cross-partition snapshot
+    // reads the partitioned walks perform. Forward: a non-source node
+    // reads every foreign fan-in. Backward: a non-source node reads every
+    // foreign fan-out whose contribution is not overridden.
+    let mut fwd_pairs: Vec<(NodeId, FubId)> = Vec::new();
+    let mut bwd_pairs: Vec<(NodeId, FubId)> = Vec::new();
+    for id in nl.nodes() {
+        let fub = nl.fub(id);
+        if fwd_source[id.index()].is_none() {
+            for &f in nl.fanin(id) {
+                if nl.fub(f) != fub {
+                    fwd_pairs.push((f, fub));
+                }
+            }
+        }
+        if bwd_source[id.index()].is_none() {
+            for &m in nl.fanout(id) {
+                if bwd_contrib[m.index()].is_none() && nl.fub(m) != fub {
+                    bwd_pairs.push((m, fub));
+                }
+            }
+        }
+    }
+    let boundary = BoundaryDeps::from_pairs(fwd_pairs, bwd_pairs);
+
     Prepared {
         terms,
         roles,
@@ -187,6 +290,7 @@ pub fn prepare(
         bwd_contrib,
         topo,
         fub_topo,
+        boundary,
     }
 }
 
@@ -224,68 +328,107 @@ impl<'nl> Propagator<'nl> {
 
     /// One forward pass over a FUB (or the whole design when `fub` is
     /// `None`). Cross-partition fan-ins read from `snapshot` when provided.
+    ///
+    /// The global and partitioned variants are separate loops so the
+    /// partition membership test is hoisted out of the per-edge hot path —
+    /// the global walk never pays it at all.
     pub fn forward_pass(&mut self, fub: Option<FubId>, snapshot: Option<&[SetId]>) {
-        let order: &[NodeId] = match fub {
-            Some(f) => &self.prep.fub_topo[f.index()],
-            None => &self.prep.topo,
-        };
-        for &n in order {
-            let i = n.index();
-            if let Some(s) = self.prep.fwd_source[i] {
-                self.fwd[i] = s;
-                continue;
+        match fub {
+            None => {
+                for k in 0..self.prep.topo.len() {
+                    let n = self.prep.topo[k];
+                    let i = n.index();
+                    if let Some(s) = self.prep.fwd_source[i] {
+                        self.fwd[i] = s;
+                        continue;
+                    }
+                    // A non-source node with no fan-in (e.g. a constant
+                    // gate) has no measured provenance. The empty set would
+                    // evaluate to 0.0 — optimistically un-ACE — so resolve
+                    // it conservatively to TOP; only injected sources and
+                    // boundary inputs may carry a non-conservative fixed
+                    // value.
+                    if self.nl.fanin(n).is_empty() {
+                        self.fwd[i] = self.arena.top();
+                        continue;
+                    }
+                    let mut acc = self.arena.empty();
+                    for &f in self.nl.fanin(n) {
+                        acc = self.arena.union2(acc, self.fwd[f.index()]);
+                    }
+                    self.fwd[i] = acc;
+                }
             }
-            // A non-source node with no fan-in (e.g. a constant gate) has
-            // no measured provenance. The empty set would evaluate to 0.0 —
-            // optimistically un-ACE — so resolve it conservatively to TOP;
-            // only injected sources and boundary inputs may carry a
-            // non-conservative fixed value.
-            if self.nl.fanin(n).is_empty() {
-                self.fwd[i] = self.arena.top();
-                continue;
+            Some(fub) => {
+                for k in 0..self.prep.fub_topo[fub.index()].len() {
+                    let n = self.prep.fub_topo[fub.index()][k];
+                    let i = n.index();
+                    if let Some(s) = self.prep.fwd_source[i] {
+                        self.fwd[i] = s;
+                        continue;
+                    }
+                    if self.nl.fanin(n).is_empty() {
+                        self.fwd[i] = self.arena.top();
+                        continue;
+                    }
+                    let mut acc = self.arena.empty();
+                    for &f in self.nl.fanin(n) {
+                        let v = if self.nl.fub(f) == fub {
+                            self.fwd[f.index()]
+                        } else {
+                            snapshot.map_or(self.arena.top(), |s| s[f.index()])
+                        };
+                        acc = self.arena.union2(acc, v);
+                    }
+                    self.fwd[i] = acc;
+                }
             }
-            let mut acc = self.arena.empty();
-            for &f in self.nl.fanin(n) {
-                let in_part = fub.is_none() || self.nl.fub(f) == fub.expect("some");
-                let v = if in_part {
-                    self.fwd[f.index()]
-                } else {
-                    snapshot.map_or(self.arena.top(), |s| s[f.index()])
-                };
-                acc = self.arena.union2(acc, v);
-            }
-            self.fwd[i] = acc;
         }
     }
 
     /// One backward pass over a FUB (or the whole design when `fub` is
-    /// `None`).
+    /// `None`). Split into global/partitioned loops for the same
+    /// hoisted-partition-check reason as [`Propagator::forward_pass`].
     pub fn backward_pass(&mut self, fub: Option<FubId>, snapshot: Option<&[SetId]>) {
-        let order: &[NodeId] = match fub {
-            Some(f) => &self.prep.fub_topo[f.index()],
-            None => &self.prep.topo,
-        };
-        for &n in order.iter().rev() {
-            let i = n.index();
-            if let Some(s) = self.prep.bwd_source[i] {
-                self.bwd[i] = s;
-                continue;
-            }
-            let mut acc = self.arena.empty();
-            for &m in self.nl.fanout(n) {
-                let v = if let Some(c) = self.prep.bwd_contrib[m.index()] {
-                    c
-                } else {
-                    let in_part = fub.is_none() || self.nl.fub(m) == fub.expect("some");
-                    if in_part {
-                        self.bwd[m.index()]
-                    } else {
-                        snapshot.map_or(self.arena.top(), |s| s[m.index()])
+        match fub {
+            None => {
+                for k in (0..self.prep.topo.len()).rev() {
+                    let n = self.prep.topo[k];
+                    let i = n.index();
+                    if let Some(s) = self.prep.bwd_source[i] {
+                        self.bwd[i] = s;
+                        continue;
                     }
-                };
-                acc = self.arena.union2(acc, v);
+                    let mut acc = self.arena.empty();
+                    for &m in self.nl.fanout(n) {
+                        let v = self.prep.bwd_contrib[m.index()].unwrap_or(self.bwd[m.index()]);
+                        acc = self.arena.union2(acc, v);
+                    }
+                    self.bwd[i] = acc;
+                }
             }
-            self.bwd[i] = acc;
+            Some(fub) => {
+                for k in (0..self.prep.fub_topo[fub.index()].len()).rev() {
+                    let n = self.prep.fub_topo[fub.index()][k];
+                    let i = n.index();
+                    if let Some(s) = self.prep.bwd_source[i] {
+                        self.bwd[i] = s;
+                        continue;
+                    }
+                    let mut acc = self.arena.empty();
+                    for &m in self.nl.fanout(n) {
+                        let v = if let Some(c) = self.prep.bwd_contrib[m.index()] {
+                            c
+                        } else if self.nl.fub(m) == fub {
+                            self.bwd[m.index()]
+                        } else {
+                            snapshot.map_or(self.arena.top(), |s| s[m.index()])
+                        };
+                        acc = self.arena.union2(acc, v);
+                    }
+                    self.bwd[i] = acc;
+                }
+            }
         }
     }
 }
@@ -507,6 +650,54 @@ mod tests {
         // TOP absorbs through the downstream join.
         assert_eq!(p.fwd[g.index()], p.arena.top());
         assert_eq!(p.fwd[q.index()], p.arena.top());
+    }
+
+    #[test]
+    fn boundary_deps_record_cross_fub_reads() {
+        let text = r"
+.design x
+.fub a
+  .struct s1 1
+  .flop q s1[0]
+  .output o q
+.endfub
+.fub b
+  .struct s2 1
+  .flop r a.o
+  .sw s2[0] r
+.endfub
+.end
+";
+        let (nl, p) = build(text, &[]);
+        let deps = &p.prep.boundary;
+        let a_o = nl.lookup("a.o").unwrap();
+        let b_r = nl.lookup("b.r").unwrap();
+        let fub_a = nl.fub(a_o);
+        let fub_b = nl.fub(b_r);
+        // Forward: b reads a.o's annotation from the snapshot.
+        let k = deps
+            .fwd_reads
+            .iter()
+            .position(|&n| n == a_o)
+            .expect("a.o is a forward boundary read");
+        assert_eq!(deps.fwd_consumers_of(k), &[fub_b]);
+        // Backward: a reads b.r's annotation from the snapshot.
+        let k = deps
+            .bwd_reads
+            .iter()
+            .position(|&n| n == b_r)
+            .expect("b.r is a backward boundary read");
+        assert_eq!(deps.bwd_consumers_of(k), &[fub_a]);
+        // Every recorded read really crosses the partition, and no
+        // consumer list names the read node's own FUB.
+        for (k, &n) in deps.fwd_reads.iter().enumerate() {
+            assert!(!deps.fwd_consumers_of(k).is_empty());
+            assert!(!deps.fwd_consumers_of(k).contains(&nl.fub(n)));
+        }
+        for (k, &n) in deps.bwd_reads.iter().enumerate() {
+            assert!(!deps.bwd_consumers_of(k).is_empty());
+            assert!(!deps.bwd_consumers_of(k).contains(&nl.fub(n)));
+        }
     }
 
     #[test]

@@ -320,6 +320,60 @@ proptest! {
     }
 
     #[test]
+    fn incremental_relax_equals_full_and_global((recipe, fubs) in recipe_strategy()) {
+        // The incremental dirty-FUB engine's contract: skipping clean FUBs
+        // must be invisible. At any thread count, incremental and full
+        // sweeps produce the same SetId annotations, arena size, iteration
+        // count, and bitwise-equal AVFs — and both match the global
+        // (unpartitioned) fixpoint in resolved values.
+        let nl = build_partition_stress_circuit(&recipe, fubs);
+        let mut inputs = PavfInputs::new();
+        inputs.set_port("g0.sa", 0.3, 0.45);
+        let config = SartConfig { max_iterations: 64, ..SartConfig::default() };
+        let glob = SartEngine::new(
+            &nl,
+            &StructureMapping::new(),
+            SartConfig { partitioned: false, ..config.clone() },
+        )
+        .run(&inputs);
+        for threads in [1usize, 2, 8] {
+            let full = SartEngine::new(
+                &nl,
+                &StructureMapping::new(),
+                SartConfig { threads, incremental: false, ..config.clone() },
+            )
+            .run(&inputs);
+            let inc = SartEngine::new(
+                &nl,
+                &StructureMapping::new(),
+                SartConfig { threads, incremental: true, ..config.clone() },
+            )
+            .run(&inputs);
+            prop_assert!(inc.outcome.converged);
+            prop_assert_eq!(&full.fwd, &inc.fwd, "fwd mismatch at {} threads", threads);
+            prop_assert_eq!(&full.bwd, &inc.bwd, "bwd mismatch at {} threads", threads);
+            prop_assert_eq!(full.arena.len(), inc.arena.len());
+            prop_assert_eq!(full.outcome.iterations, inc.outcome.iterations);
+            prop_assert!(
+                inc.outcome.total_walked_nodes() <= full.outcome.total_walked_nodes(),
+                "incremental walked more nodes ({}) than full sweeps ({})",
+                inc.outcome.total_walked_nodes(), full.outcome.total_walked_nodes()
+            );
+            for id in nl.nodes() {
+                prop_assert_eq!(
+                    full.avf(id).to_bits(), inc.avf(id).to_bits(),
+                    "{} at {} threads", nl.name(id), threads
+                );
+                prop_assert!(
+                    (inc.avf(id) - glob.avf(id)).abs() < 1e-12,
+                    "{} incremental {} vs global {}",
+                    nl.name(id), inc.avf(id), glob.avf(id)
+                );
+            }
+        }
+    }
+
+    #[test]
     fn exlif_roundtrip_preserves_graph((recipe, fubs) in recipe_strategy()) {
         let nl = build_circuit(&recipe, fubs);
         let text = seqavf::netlist::exlif::write(&nl);
