@@ -1,0 +1,44 @@
+//! Criterion benchmarks for the netlist frontend — the machine-measured
+//! counterpart of experiment E14: EXLIF parsing, parallel flattening,
+//! SCC detection, and binary snapshot save/load on the same design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use seqavf_netlist::exlif;
+use seqavf_netlist::flatten;
+use seqavf_netlist::scc::find_loops;
+use seqavf_netlist::snapshot;
+use seqavf_netlist::synth::{generate, SynthConfig};
+
+fn bench_parse_flatten(c: &mut Criterion) {
+    let design = generate(&SynthConfig::xeon_like(42));
+    let src = exlif::write(&design.netlist);
+    let ast = exlif::parse(&src).expect("round-trips");
+    let nl = flatten::build_netlist(&ast).expect("flattens");
+    let loops = find_loops(&nl);
+    let bytes = snapshot::save(&nl, &loops);
+
+    let mut group = c.benchmark_group("parse_flatten");
+    group.bench_function("parse", |b| {
+        b.iter(|| std::hint::black_box(exlif::parse(&src).unwrap()))
+    });
+    for threads in [1usize, 8] {
+        group.bench_function(&format!("flatten/{threads}"), |b| {
+            b.iter(|| std::hint::black_box(flatten::build_netlist_threaded(&ast, threads).unwrap()))
+        });
+    }
+    group.bench_function("cold_parse_netlist", |b| {
+        b.iter(|| std::hint::black_box(flatten::parse_netlist(&src).unwrap()))
+    });
+    group.bench_function("scc", |b| b.iter(|| std::hint::black_box(find_loops(&nl))));
+    group.bench_function("snapshot_save", |b| {
+        b.iter(|| std::hint::black_box(snapshot::save(&nl, &loops)))
+    });
+    group.bench_function("snapshot_load", |b| {
+        b.iter(|| std::hint::black_box(snapshot::load(&bytes).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse_flatten);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! E14 — zero-copy frontend vs binary graph snapshot load.
+//! Usage: `frontend_snapshot [--scale full]`.
+use seqavf_bench::common::{emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = seqavf_bench::frontend::run(scale, 42);
+    emit("BENCH_5", &report.render(), &report);
+}

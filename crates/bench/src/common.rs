@@ -44,12 +44,14 @@ pub fn flow_config(scale: Scale, seed: u64) -> seqavf::flow::FlowConfig {
             },
             perf: PerfConfig::default(),
             sart,
+            graph_cache: None,
         },
         Scale::Full => seqavf::flow::FlowConfig {
             design: SynthConfig::xeon_like(seed).scaled(3.0),
             suite: SuiteConfig::default(),
             perf: PerfConfig::default(),
             sart,
+            graph_cache: None,
         },
     }
 }

@@ -1,0 +1,177 @@
+//! **E14 — zero-copy frontend and binary graph snapshots**: cold parse +
+//! flatten + SCC against a warm `seqavf-graph/1` snapshot load on the
+//! same design.
+//!
+//! The frontend rebuild interns every identifier into a global symbol
+//! table (so the hot paths carry `u32` symbols, not owned strings),
+//! flattens FUBs in parallel with a deterministic merge, and persists the
+//! finished graph — loop analysis included — as a versioned binary
+//! snapshot. This study measures what that buys: the cold pipeline is
+//! timed stage by stage (parse, flatten at one and many threads, SCC),
+//! the warm path is one snapshot load, and the restored graph is checked
+//! equal to the cold one before any number is reported. The headline
+//! `warm_speedup` (cold total / warm load, both best-of) is the
+//! acceptance metric: ≥3× on the xeon-like design.
+
+use serde::{Deserialize, Serialize};
+
+use seqavf_netlist::exlif;
+use seqavf_netlist::flatten;
+use seqavf_netlist::scc::find_loops;
+use seqavf_netlist::snapshot;
+use seqavf_netlist::synth::{generate, SynthConfig};
+
+use crate::common::Scale;
+
+/// The cold-vs-warm frontend comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontendReport {
+    /// Nodes in the benchmarked design.
+    pub nodes: usize,
+    /// Sequential nodes.
+    pub seq_nodes: usize,
+    /// Fan-in edges.
+    pub edges: usize,
+    /// FUB partitions.
+    pub fubs: usize,
+    /// EXLIF source size in bytes.
+    pub exlif_bytes: usize,
+    /// Snapshot size in bytes.
+    pub snapshot_bytes: usize,
+    /// Cold stage: EXLIF text → AST, best-of milliseconds.
+    pub parse_ms: f64,
+    /// Cold stage: AST → graph, single-threaded, best-of milliseconds.
+    pub flatten_1t_ms: f64,
+    /// Cold stage: AST → graph at 8 worker threads, best-of milliseconds.
+    pub flatten_8t_ms: f64,
+    /// Cold stage: Tarjan loop detection, best-of milliseconds.
+    pub scc_ms: f64,
+    /// Cold total (parse + parallel flatten + SCC), milliseconds.
+    pub cold_total_ms: f64,
+    /// Warm path: snapshot load (graph + loops), best-of milliseconds.
+    pub warm_load_ms: f64,
+    /// Cold total / warm load — the acceptance metric.
+    pub warm_speedup: f64,
+    /// Single-threaded / 8-thread flatten time.
+    pub flatten_parallel_speedup: f64,
+    /// Whether the snapshot-restored graph and loop analysis compare
+    /// equal to the cold-built ones (checked before reporting anything).
+    pub identical: bool,
+}
+
+impl FrontendReport {
+    /// Renders the stage table and headline ratios.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "frontend snapshot study ({} nodes, {} seq, {} edges, {} FUBs)\n\
+             EXLIF source: {} bytes   snapshot: {} bytes\n",
+            self.nodes,
+            self.seq_nodes,
+            self.edges,
+            self.fubs,
+            self.exlif_bytes,
+            self.snapshot_bytes
+        );
+        let _ = writeln!(out, "{:<26} {:>12}", "stage", "best (ms)");
+        for (stage, ms) in [
+            ("parse (EXLIF → AST)", self.parse_ms),
+            ("flatten, 1 thread", self.flatten_1t_ms),
+            ("flatten, 8 threads", self.flatten_8t_ms),
+            ("SCC loop detection", self.scc_ms),
+            ("cold total", self.cold_total_ms),
+            ("warm snapshot load", self.warm_load_ms),
+        ] {
+            let _ = writeln!(out, "{stage:<26} {ms:>12.3}");
+        }
+        let _ = writeln!(
+            out,
+            "\nwarm snapshot speedup (cold total / warm load): {:.2}x\n\
+             parallel flatten speedup (1t / 8t): {:.2}x\n\
+             restored graph identical to cold build: {}",
+            self.warm_speedup,
+            self.flatten_parallel_speedup,
+            if self.identical { "yes" } else { "NO (BUG)" }
+        );
+        out
+    }
+}
+
+fn best_of_ms<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats {
+        let t0 = std::time::Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(v);
+    }
+    (best, last.expect("at least one repeat"))
+}
+
+/// Runs the study (best of `repeats` timings per stage).
+pub fn run(scale: Scale, seed: u64) -> FrontendReport {
+    let factor = match scale {
+        Scale::Quick => 1.0,
+        Scale::Full => 3.0,
+    };
+    let repeats = 5usize;
+    let design = generate(&SynthConfig::xeon_like(seed).scaled(factor));
+    let src = exlif::write(&design.netlist);
+
+    let (parse_ms, ast) = best_of_ms(repeats, || exlif::parse(&src).expect("round-trips"));
+    let (flatten_1t_ms, _) = best_of_ms(repeats, || {
+        flatten::build_netlist_threaded(&ast, 1).unwrap()
+    });
+    let (flatten_8t_ms, nl) = best_of_ms(repeats, || {
+        flatten::build_netlist_threaded(&ast, 8).unwrap()
+    });
+    let (scc_ms, loops) = best_of_ms(repeats, || find_loops(&nl));
+    let cold_total_ms = parse_ms + flatten_8t_ms.min(flatten_1t_ms) + scc_ms;
+
+    let bytes = snapshot::save(&nl, &loops);
+    let (warm_load_ms, restored) =
+        best_of_ms(repeats, || snapshot::load(&bytes).expect("snapshot loads"));
+    let identical = restored.0 == nl && restored.1 == loops;
+
+    let edges = nl.nodes().map(|id| nl.fanin(id).len()).sum();
+    FrontendReport {
+        nodes: nl.node_count(),
+        seq_nodes: nl.seq_count(),
+        edges,
+        fubs: nl.fub_count(),
+        exlif_bytes: src.len(),
+        snapshot_bytes: bytes.len(),
+        parse_ms,
+        flatten_1t_ms,
+        flatten_8t_ms,
+        scc_ms,
+        cold_total_ms,
+        warm_load_ms,
+        warm_speedup: cold_total_ms / warm_load_ms.max(1e-9),
+        flatten_parallel_speedup: flatten_1t_ms / flatten_8t_ms.max(1e-9),
+        identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_load_beats_cold_frontend() {
+        let report = run(Scale::Quick, 42);
+        assert!(
+            report.identical,
+            "snapshot restore diverged from cold build"
+        );
+        assert!(
+            report.warm_speedup > 1.0,
+            "snapshot load ({:.3} ms) not faster than cold frontend ({:.3} ms)",
+            report.warm_load_ms,
+            report.cold_total_ms
+        );
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`scaling`] | §1/§5.2 — SART cost vs design size |
 //! | [`threads`] | sharded relaxation wall time vs worker-thread count |
 //! | [`incremental`] | incremental dirty-FUB sweeps vs full sweeps |
+//! | [`frontend`] | zero-copy frontend vs binary graph-snapshot load |
 
 pub mod ablations;
 pub mod accuracy;
@@ -28,6 +29,7 @@ pub mod convergence;
 pub mod fig10;
 pub mod fig8;
 pub mod fig9;
+pub mod frontend;
 pub mod headline;
 pub mod incremental;
 pub mod scaling;

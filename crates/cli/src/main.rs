@@ -35,8 +35,11 @@ use seqavf_core::report::SartSummary;
 use seqavf_netlist::exlif;
 use seqavf_netlist::flatten;
 use seqavf_netlist::graph::Netlist;
+use seqavf_netlist::scc::{find_loops_traced, LoopAnalysis};
+use seqavf_netlist::snapshot;
 use seqavf_netlist::synth::{generate, SynthConfig};
 use seqavf_netlist::verilog;
+use seqavf_netlist::Fnv1a64;
 use seqavf_obs::Collector;
 use seqavf_perf::pipeline::PerfConfig;
 use seqavf_workloads::suite::{standard_suite, SuiteConfig};
@@ -82,26 +85,33 @@ commands:
   sart  --design <exlif|.v> --map <file> --pavf <json> [--out <json>]
         [--loop-pavf F] [--iterations N] [--global] [--threads N]
         [--no-incremental] [--protected a,b] [--equations node1,node2]
+        [--graph-cache <dir>]
         resolve sequential AVFs for every node (designs may be EXLIF or
         structural Verilog, chosen by file extension); --no-incremental
         re-walks every FUB every relaxation sweep instead of only the
         boundary-dirty ones (bit-identical results, more work)
   sfi   --design <exlif> [--sample N] [--injections N] [--seed N]
+        [--graph-cache <dir>]
         statistical fault-injection baseline
   sweep --design <exlif|.v> --map <file> --pavf <json> [--out <json>]
         [--workloads N] [--len N] [--seed N] [--threads N]
-        [--cache-dir <dir>] [--loop-pavf F] [--iterations N]
-        [--global] [--no-incremental] [--conservative]
+        [--cache-dir <dir>] [--graph-cache <dir>] [--loop-pavf F]
+        [--iterations N] [--global] [--no-incremental] [--conservative]
         compile the closed forms once and evaluate a whole workload suite;
         --cache-dir reuses the compiled artifact across runs (keyed by
         netlist content + configuration), skipping relaxation entirely
   flow  [--seed N] [--workloads N] [--len N] [--scale F] [--threads N]
-        [--no-incremental]
+        [--no-incremental] [--graph-cache <dir>]
         run the whole pipeline in memory and print the per-FUB report
 
 every command also accepts:
         [--trace-out <file.ndjson>]  write a seqavf-trace/1 phase trace
         [--metrics]                  print the per-phase metrics table
+
+--graph-cache stores the flattened node graph (plus its loop analysis) as
+a versioned binary seqavf-graph/1 snapshot keyed by the design source, so
+repeat runs skip parsing, flattening and SCC detection; corrupt or stale
+snapshots silently fall back to a fresh parse.
 ";
 
 fn write_file(path: &str, contents: &str) -> Result<(), String> {
@@ -158,14 +168,56 @@ impl Obs {
 
 /// Loads a design, selecting the frontend by file extension: `.v`/`.sv`
 /// use the structural-Verilog parser, everything else the EXLIF parser.
-fn load_design(path: &str, obs: &Collector) -> Result<Netlist, String> {
+///
+/// When `cache` names a `--graph-cache` directory, the flattened graph and
+/// its loop analysis are stored there as a `seqavf-graph/1` snapshot keyed
+/// by the source text (and frontend), so a repeat run of the same file
+/// skips parse, flatten and SCC entirely. A missing, truncated or
+/// corrupted snapshot silently degrades to a fresh parse; a successful
+/// load bumps the `frontend.snapshot.hit` counter, a rebuild bumps
+/// `frontend.snapshot.miss`.
+fn load_design(
+    path: &str,
+    obs: &Collector,
+    cache: Option<&str>,
+) -> Result<(Netlist, Option<LoopAnalysis>), String> {
     let text = read_file(path)?;
-    let result = if path.ends_with(".v") || path.ends_with(".sv") {
+    let is_verilog = path.ends_with(".v") || path.ends_with(".sv");
+    let snap_path = cache.map(|dir| {
+        let mut h = Fnv1a64::new();
+        h.update(if is_verilog { b"verilog" } else { b"exlif" });
+        h.update(&[0]);
+        h.update(text.as_bytes());
+        std::path::Path::new(dir).join(format!("graph-{:016x}.bin", h.finish()))
+    });
+    if let Some(p) = &snap_path {
+        if let Ok(bytes) = std::fs::read(p) {
+            if let Ok((nl, loops)) = snapshot::load(&bytes) {
+                obs.count("frontend.snapshot.hit", 1);
+                return Ok((nl, Some(loops)));
+            }
+        }
+    }
+    let result = if is_verilog {
         verilog::parse_netlist_traced(&text, obs)
     } else {
         flatten::parse_netlist_traced(&text, obs)
     };
-    result.map_err(|e| format!("parsing {path}: {e}"))
+    let nl = result.map_err(|e| format!("parsing {path}: {e}"))?;
+    match snap_path {
+        None => Ok((nl, None)),
+        Some(p) => {
+            obs.count("frontend.snapshot.miss", 1);
+            let loops = find_loops_traced(&nl, obs);
+            // Best-effort store: a failed write only costs the next run a
+            // recompute, never the current one its answer.
+            if let Some(dir) = p.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let _ = std::fs::write(&p, snapshot::save(&nl, &loops));
+            Ok((nl, Some(loops)))
+        }
+    }
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
@@ -235,12 +287,17 @@ fn cmd_sart(args: &Args) -> Result<(), String> {
             "threads",
             "protected",
             "equations",
+            "graph-cache",
             "trace-out",
         ],
         &["global", "no-incremental", "metrics"],
     )?;
     let obs = Obs::from_args(args);
-    let netlist = load_design(args.require("design")?, &obs.collector)?;
+    let (netlist, loops) = load_design(
+        args.require("design")?,
+        &obs.collector,
+        args.get("graph-cache"),
+    )?;
     let mapping = StructureMapping::from_text(&netlist, &read_file(args.require("map")?)?)?;
     let inputs: PavfInputs = serde_json::from_str(&read_file(args.require("pavf")?)?)
         .map_err(|e| format!("parsing pAVF table: {e}"))?;
@@ -252,7 +309,10 @@ fn cmd_sart(args: &Args) -> Result<(), String> {
         threads: args.num("threads", 1usize)?.max(1),
         ..SartConfig::default()
     };
-    let engine = SartEngine::new_traced(&netlist, &mapping, config, &obs.collector);
+    let engine = match &loops {
+        Some(l) => SartEngine::new_with_loops_traced(&netlist, &mapping, config, l, &obs.collector),
+        None => SartEngine::new_traced(&netlist, &mapping, config, &obs.collector),
+    };
     let result = engine.run_traced(&inputs, &obs.collector);
     let summary = SartSummary::new(&netlist, &result);
     print!("{}", summary.to_table());
@@ -330,12 +390,17 @@ fn cmd_sfi(args: &Args) -> Result<(), String> {
             "seed",
             "threads",
             "show",
+            "graph-cache",
             "trace-out",
         ],
         &["metrics"],
     )?;
     let obs = Obs::from_args(args);
-    let netlist = load_design(args.require("design")?, &obs.collector)?;
+    let (netlist, _loops) = load_design(
+        args.require("design")?,
+        &obs.collector,
+        args.get("graph-cache"),
+    )?;
     let sample_n = args.num("sample", 100usize)?;
     let seqs: Vec<_> = netlist.seq_nodes().collect();
     let stride = (seqs.len() / sample_n.max(1)).max(1);
@@ -369,7 +434,7 @@ fn cmd_sfi(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
-    use seqavf_core::sweep::{run_sweep_traced, CacheStatus, SweepOptions};
+    use seqavf_core::sweep::{run_sweep_with_loops_traced, CacheStatus, SweepOptions};
     args.validate(
         &[
             "design",
@@ -381,6 +446,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             "seed",
             "threads",
             "cache-dir",
+            "graph-cache",
             "loop-pavf",
             "iterations",
             "trace-out",
@@ -388,7 +454,11 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         &["global", "no-incremental", "conservative", "metrics"],
     )?;
     let obs = Obs::from_args(args);
-    let netlist = load_design(args.require("design")?, &obs.collector)?;
+    let (netlist, loops) = load_design(
+        args.require("design")?,
+        &obs.collector,
+        args.get("graph-cache"),
+    )?;
     let mapping = StructureMapping::from_text(&netlist, &read_file(args.require("map")?)?)?;
     let base_inputs: PavfInputs = serde_json::from_str(&read_file(args.require("pavf")?)?)
         .map_err(|e| format!("parsing pAVF table: {e}"))?;
@@ -424,13 +494,14 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         cache_dir: args.get("cache-dir").map(Into::into),
     };
     let t0 = std::time::Instant::now();
-    let outcome = run_sweep_traced(
+    let outcome = run_sweep_with_loops_traced(
         &netlist,
         &mapping,
         &config,
         &base_inputs,
         &workloads,
         &opts,
+        loops.as_ref(),
         &obs.collector,
     )?;
     let cache_word = match outcome.cache {
@@ -491,11 +562,20 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
 
 fn cmd_flow(args: &Args) -> Result<(), String> {
     args.validate(
-        &["seed", "workloads", "len", "scale", "threads", "trace-out"],
+        &[
+            "seed",
+            "workloads",
+            "len",
+            "scale",
+            "threads",
+            "graph-cache",
+            "trace-out",
+        ],
         &["no-incremental", "metrics"],
     )?;
     let obs = Obs::from_args(args);
     let mut cfg = seqavf::flow::FlowConfig::xeon_like(args.num("seed", 42u64)?);
+    cfg.graph_cache = args.get("graph-cache").map(Into::into);
     cfg.design = cfg.design.scaled(args.num("scale", 1.0f64)?);
     cfg.suite.workloads = args.num("workloads", 32usize)?;
     cfg.suite.len = args.num("len", 5_000usize)?;

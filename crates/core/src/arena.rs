@@ -63,10 +63,42 @@ impl fmt::Display for TermKind {
 }
 
 /// Interning table for terms.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Each [`TermKind`] (and therefore each structure-name `String`) is stored
+/// exactly once, in `terms`; the lookup index maps a 64-bit content hash to
+/// the bucket of term ids sharing it, so interning never clones the kind.
+#[derive(Debug, Clone, Default)]
 pub struct TermTable {
     terms: Vec<TermKind>,
-    index: HashMap<TermKind, TermId>,
+    index: HashMap<u64, Vec<TermId>>,
+}
+
+/// Equality is determined by the interned terms alone: the hash index is a
+/// deterministic function of them.
+impl PartialEq for TermTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.terms == other.terms
+    }
+}
+
+fn term_hash(kind: &TermKind) -> u64 {
+    let mut h = crate::sweep::Fnv1a64::new();
+    match kind {
+        TermKind::ReadPort(s) => {
+            h.update(&[0]);
+            h.update(s.as_bytes());
+        }
+        TermKind::WritePort(s) => {
+            h.update(&[1]);
+            h.update(s.as_bytes());
+        }
+        TermKind::Injected(s) => {
+            h.update(&[2]);
+            h.update(s.as_bytes());
+        }
+        TermKind::Top => h.update(&[3]),
+    }
+    h.finish()
 }
 
 impl TermTable {
@@ -84,20 +116,28 @@ impl TermTable {
         TermId(0)
     }
 
-    /// Interns a term, returning its id.
+    /// Interns a term, returning its id. The kind is moved into the table;
+    /// a hit compares against the single stored copy instead of cloning.
     pub fn intern(&mut self, kind: TermKind) -> TermId {
-        if let Some(&id) = self.index.get(&kind) {
-            return id;
+        let bucket = self.index.entry(term_hash(&kind)).or_default();
+        for &id in bucket.iter() {
+            if self.terms[id.index()] == kind {
+                return id;
+            }
         }
         let id = TermId(u32::try_from(self.terms.len()).expect("term count fits u32"));
-        self.terms.push(kind.clone());
-        self.index.insert(kind, id);
+        bucket.push(id);
+        self.terms.push(kind);
         id
     }
 
     /// Looks up a term without interning.
     pub fn get(&self, kind: &TermKind) -> Option<TermId> {
-        self.index.get(kind).copied()
+        let bucket = self.index.get(&term_hash(kind))?;
+        bucket
+            .iter()
+            .copied()
+            .find(|id| &self.terms[id.index()] == kind)
     }
 
     /// The kind of a term.
@@ -336,6 +376,31 @@ mod tests {
         assert_eq!(t.len(), 4); // TOP + 3
         assert_eq!(t.get(&TermKind::ReadPort("s1".into())), Some(a));
         assert_eq!(t.get(&TermKind::ReadPort("zz".into())), None);
+    }
+
+    #[test]
+    fn interning_stores_each_kind_exactly_once() {
+        // Regression guard for the old index layout, which kept a second
+        // owned copy of every TermKind (and its String) as a HashMap key.
+        // The hash-bucket index must preserve the interning semantics while
+        // `terms` remains the only owner.
+        let mut t = TermTable::new();
+        let a = t.intern(TermKind::ReadPort("rob".into()));
+        let b = t.intern(TermKind::WritePort("rob".into()));
+        let c = t.intern(TermKind::Injected("rob".into()));
+        assert!(a != b && b != c && a != c);
+        // Re-interning and lookups resolve against the stored copies.
+        assert_eq!(t.intern(TermKind::ReadPort("rob".into())), a);
+        assert_eq!(t.intern(TermKind::Top), t.top());
+        assert_eq!(t.get(&TermKind::Injected("rob".into())), Some(c));
+        assert_eq!(t.get(&TermKind::Injected("nope".into())), None);
+        assert_eq!(t.len(), 4); // TOP + 3 distinct kinds, no duplicates.
+        let distinct: std::collections::HashSet<&TermKind> = t.iter().map(|(_, k)| k).collect();
+        assert_eq!(distinct.len(), t.len());
+        // Equality (and thus snapshot comparisons) still sees through the
+        // index representation.
+        let clone = t.clone();
+        assert_eq!(clone, t);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! resolves final AVFs, and exposes the closed-form results.
 
 use seqavf_netlist::graph::{Netlist, NodeId, NodeKind};
-use seqavf_netlist::scc::find_loops_traced;
+use seqavf_netlist::scc::{find_loops_traced, LoopAnalysis};
 use seqavf_obs::Collector;
 use serde::{Deserialize, Serialize};
 
@@ -97,8 +97,41 @@ impl<'nl> SartEngine<'nl> {
         obs: &Collector,
     ) -> Self {
         let loops = find_loops_traced(nl, obs);
+        Self::with_loops(nl, mapping, config, &loops, obs)
+    }
+
+    /// [`SartEngine::new`] with a precomputed loop analysis (e.g. one
+    /// restored from a graph snapshot), skipping the SCC pass entirely.
+    pub fn new_with_loops(
+        nl: &'nl Netlist,
+        mapping: &StructureMapping,
+        config: SartConfig,
+        loops: &LoopAnalysis,
+    ) -> Self {
+        Self::with_loops(nl, mapping, config, loops, &Collector::disabled())
+    }
+
+    /// [`SartEngine::new_with_loops`] with observability (`sart.prepare`
+    /// span; no `netlist.scc` span is recorded since no SCC pass runs).
+    pub fn new_with_loops_traced(
+        nl: &'nl Netlist,
+        mapping: &StructureMapping,
+        config: SartConfig,
+        loops: &LoopAnalysis,
+        obs: &Collector,
+    ) -> Self {
+        Self::with_loops(nl, mapping, config, loops, obs)
+    }
+
+    fn with_loops(
+        nl: &'nl Netlist,
+        mapping: &StructureMapping,
+        config: SartConfig,
+        loops: &LoopAnalysis,
+        obs: &Collector,
+    ) -> Self {
         let mut span = obs.span("sart.prepare");
-        let roles = classify(nl, &loops, &config.ctrl_patterns);
+        let roles = classify(nl, loops, &config.ctrl_patterns);
         let mut arena = UnionArena::new();
         let prep = prepare(nl, roles, mapping, &mut arena);
         span.field_u64("nodes", nl.node_count() as u64);

@@ -24,43 +24,46 @@
 
 use std::path::{Path, PathBuf};
 
-use seqavf_netlist::exlif;
 use seqavf_netlist::graph::Netlist;
+use seqavf_netlist::scc::LoopAnalysis;
 use seqavf_obs::Collector;
 
 use crate::compile::{CompileStats, CompiledSweep};
 use crate::engine::{SartConfig, SartEngine};
 use crate::mapping::{PavfInputs, StructureMapping};
 
-/// The sweep-cache key: a 64-bit FNV-1a hash over the netlist's canonical
-/// EXLIF serialization and the configuration's debug rendering. The
-/// serialization depends only on netlist *content*, never on the file it
-/// was parsed from, so renaming a design file cannot invalidate the cache
-/// while any structural edit must.
+/// The sweep-cache key: a 64-bit FNV-1a hash over the netlist's semantic
+/// content digest ([`Netlist::content_digest`] — the same digest the
+/// binary graph snapshot embeds) and the configuration's debug rendering.
+/// The digest depends only on graph *content*, never on the file it was
+/// parsed from, so renaming a design file cannot invalidate the cache
+/// while any structural edit must. Keying on the digest instead of
+/// re-serializing canonical EXLIF makes the cache probe O(1) in the
+/// design size's text form.
 pub fn cache_key(nl: &Netlist, config: &SartConfig) -> u64 {
     let mut h = Fnv1a64::new();
-    h.update(exlif::write(nl).as_bytes());
+    h.update(&nl.content_digest().to_le_bytes());
     h.update(&[0]);
     h.update(format!("{config:?}").as_bytes());
     h.finish()
 }
 
 /// Incremental FNV-1a (64-bit).
-struct Fnv1a64(u64);
+pub(crate) struct Fnv1a64(u64);
 
 impl Fnv1a64 {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv1a64(0xcbf2_9ce4_8422_2325)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x100_0000_01b3);
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -195,8 +198,28 @@ pub fn run_sweep_traced(
     opts: &SweepOptions,
     obs: &Collector,
 ) -> Result<SweepOutcome, String> {
+    run_sweep_with_loops_traced(nl, mapping, config, base_inputs, workloads, opts, None, obs)
+}
+
+/// [`run_sweep_traced`] with an optional precomputed loop analysis (e.g.
+/// one restored from a graph snapshot): when present, a fresh relaxation
+/// reuses it instead of re-running the SCC pass.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_with_loops_traced(
+    nl: &Netlist,
+    mapping: &StructureMapping,
+    config: &SartConfig,
+    base_inputs: &PavfInputs,
+    workloads: &[(String, PavfInputs)],
+    opts: &SweepOptions,
+    loops: Option<&LoopAnalysis>,
+    obs: &Collector,
+) -> Result<SweepOutcome, String> {
     let fresh = || {
-        let engine = SartEngine::new_traced(nl, mapping, config.clone(), obs);
+        let engine = match loops {
+            Some(l) => SartEngine::new_with_loops_traced(nl, mapping, config.clone(), l, obs),
+            None => SartEngine::new_traced(nl, mapping, config.clone(), obs),
+        };
         let result = engine.run_traced(base_inputs, obs);
         CompiledSweep::compile_traced(&result, nl, obs)
     };

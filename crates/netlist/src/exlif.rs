@@ -7,6 +7,10 @@
 //! companion [`crate::flatten`] module expands `.subckt` hierarchy and
 //! builds a [`crate::Netlist`].
 //!
+//! The parser lexes lines as zero-copy `&str` slices over the input buffer
+//! and interns every identifier into the AST's [`SymbolTable`]; no owned
+//! `String` is allocated per token (only error payloads materialize names).
+//!
 //! # Grammar
 //!
 //! Line-oriented; `#` starts a comment; blank lines are ignored.
@@ -39,6 +43,7 @@
 
 use crate::error::{ExlifError, ExlifErrorKind};
 use crate::graph::{GateOp, Netlist, NodeKind, SeqKind};
+use crate::intern::{Sym, SymbolTable};
 
 /// A parsed EXLIF design, prior to hierarchy expansion.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,17 +54,21 @@ pub struct DesignAst {
     pub models: Vec<ModelAst>,
     /// Top-level functional blocks.
     pub fubs: Vec<FubAst>,
+    /// Interner holding every identifier referenced by the AST. The table
+    /// is handed to [`crate::flatten::build_netlist`], which extends it with
+    /// flattened hierarchical names.
+    pub symbols: SymbolTable,
 }
 
 /// A reusable sub-circuit template.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelAst {
     /// Model name.
-    pub name: String,
+    pub name: Sym,
     /// Formal input port names.
-    pub inputs: Vec<String>,
+    pub inputs: Vec<Sym>,
     /// Exported internal net names.
-    pub outputs: Vec<String>,
+    pub outputs: Vec<Sym>,
     /// Body statements (gates, sequentials, nested `.subckt`s).
     pub stmts: Vec<Stmt>,
 }
@@ -68,27 +77,28 @@ pub struct ModelAst {
 #[derive(Debug, Clone, PartialEq)]
 pub struct FubAst {
     /// FUB name.
-    pub name: String,
+    pub name: Sym,
     /// Body statements.
     pub stmts: Vec<Stmt>,
 }
 
-/// A single EXLIF statement.
+/// A single EXLIF statement. Identifiers are interned [`Sym`]s into the
+/// owning [`DesignAst::symbols`] table.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `.input <net>` — design-boundary input.
-    Input(String),
+    Input(Sym),
     /// `.output <net> <src>` — boundary output driven by `src`.
     Output {
         /// Output net name.
-        name: String,
+        name: Sym,
         /// Driving net.
-        src: String,
+        src: Sym,
     },
     /// `.struct <name> <width>` — ACE structure declaration.
     Struct {
         /// Structure name.
-        name: String,
+        name: Sym,
         /// Number of bit cells.
         width: u32,
     },
@@ -96,40 +106,40 @@ pub enum Stmt {
     /// write port.
     StructWrite {
         /// Structure name.
-        structure: String,
+        structure: Sym,
         /// Bit index.
         bit: u32,
         /// Driving net.
-        src: String,
+        src: Sym,
     },
     /// `.gate <op> <out> <ins>...`
     Gate {
         /// Gate operator.
         op: GateOp,
         /// Output net name.
-        out: String,
+        out: Sym,
         /// Input nets in order.
-        ins: Vec<String>,
+        ins: Vec<Sym>,
     },
     /// `.flop`/`.latch <out> <d> [<en>]`
     Seq {
         /// Flop or latch.
         kind: SeqKind,
         /// Output net name.
-        out: String,
+        out: Sym,
         /// Data net.
-        d: String,
+        d: Sym,
         /// Optional write-enable net.
-        en: Option<String>,
+        en: Option<Sym>,
     },
     /// `.subckt <model> <inst> <formal>=<actual>...`
     Subckt {
         /// Referenced model name.
-        model: String,
+        model: Sym,
         /// Instance name (prefixes internal nets after flattening).
-        inst: String,
+        inst: Sym,
         /// `(formal, actual)` port connections.
-        conns: Vec<(String, String)>,
+        conns: Vec<(Sym, Sym)>,
     },
 }
 
@@ -143,6 +153,16 @@ pub(crate) fn parse_bit_ref(s: &str) -> Option<(&str, u32)> {
     let close = s.strip_suffix(']')?;
     let bit: u32 = close[open + 1..].parse().ok()?;
     Some((&s[..open], bit))
+}
+
+/// Pops the next whitespace token as a zero-copy slice.
+fn operand<'a>(
+    tok: &mut std::str::SplitWhitespace<'a>,
+    line: usize,
+    what: &'static str,
+) -> Result<&'a str, ExlifError> {
+    tok.next()
+        .ok_or_else(|| err(line, ExlifErrorKind::MissingOperand(what)))
 }
 
 /// Parses EXLIF text into a [`DesignAst`].
@@ -160,6 +180,7 @@ pub fn parse(text: &str) -> Result<DesignAst, ExlifError> {
         Fub,
     }
     let mut scope = Scope::Top;
+    let mut symbols = SymbolTable::new();
     let mut design_name: Option<String> = None;
     let mut models: Vec<ModelAst> = Vec::new();
     let mut fubs: Vec<FubAst> = Vec::new();
@@ -178,24 +199,20 @@ pub fn parse(text: &str) -> Result<DesignAst, ExlifError> {
         if ended {
             return Err(err(line, ExlifErrorKind::OutOfScope("after .end")));
         }
-        let mut operand = |what: &'static str| -> Result<String, ExlifError> {
-            tok.next()
-                .map(str::to_owned)
-                .ok_or_else(|| err(line, ExlifErrorKind::MissingOperand(what)))
-        };
         match head {
             ".design" => {
                 if scope != Scope::Top || design_name.is_some() {
                     return Err(err(line, ExlifErrorKind::OutOfScope(".design")));
                 }
-                design_name = Some(operand("design name")?);
+                design_name = Some(operand(&mut tok, line, "design name")?.to_owned());
             }
             ".model" => {
                 if scope != Scope::Top {
                     return Err(err(line, ExlifErrorKind::OutOfScope(".model")));
                 }
+                let name = symbols.intern(operand(&mut tok, line, "model name")?);
                 cur_model = Some(ModelAst {
-                    name: operand("model name")?,
+                    name,
                     inputs: Vec::new(),
                     outputs: Vec::new(),
                     stmts: Vec::new(),
@@ -213,20 +230,21 @@ pub fn parse(text: &str) -> Result<DesignAst, ExlifError> {
                 let m = cur_model
                     .as_mut()
                     .ok_or_else(|| err(line, ExlifErrorKind::OutOfScope(".minput")))?;
-                m.inputs.extend(tok.map(str::to_owned));
+                m.inputs.extend(tok.map(|t| symbols.intern(t)));
             }
             ".moutput" => {
                 let m = cur_model
                     .as_mut()
                     .ok_or_else(|| err(line, ExlifErrorKind::OutOfScope(".moutput")))?;
-                m.outputs.extend(tok.map(str::to_owned));
+                m.outputs.extend(tok.map(|t| symbols.intern(t)));
             }
             ".fub" => {
                 if scope != Scope::Top {
                     return Err(err(line, ExlifErrorKind::OutOfScope(".fub")));
                 }
+                let name = symbols.intern(operand(&mut tok, line, "fub name")?);
                 cur_fub = Some(FubAst {
-                    name: operand("fub name")?,
+                    name,
                     stmts: Vec::new(),
                 });
                 scope = Scope::Fub;
@@ -248,42 +266,43 @@ pub fn parse(text: &str) -> Result<DesignAst, ExlifError> {
                 ended = true;
             }
             ".input" => {
-                let s = Stmt::Input(operand("input net")?);
+                let s = Stmt::Input(symbols.intern(operand(&mut tok, line, "input net")?));
                 push_stmt(&mut cur_model, &mut cur_fub, s, line, ".input", false)?;
             }
             ".output" => {
-                let name = operand("output net")?;
-                let src = operand("output source")?;
+                let name = symbols.intern(operand(&mut tok, line, "output net")?);
+                let src = symbols.intern(operand(&mut tok, line, "output source")?);
                 let s = Stmt::Output { name, src };
                 push_stmt(&mut cur_model, &mut cur_fub, s, line, ".output", false)?;
             }
             ".struct" => {
-                let name = operand("structure name")?;
-                let w = operand("structure width")?;
+                let name = symbols.intern(operand(&mut tok, line, "structure name")?);
+                let w = operand(&mut tok, line, "structure width")?;
                 let width: u32 = w
                     .parse()
-                    .map_err(|_| err(line, ExlifErrorKind::BadNumber(w.clone())))?;
+                    .map_err(|_| err(line, ExlifErrorKind::BadNumber(w.to_owned())))?;
                 let s = Stmt::Struct { name, width };
                 push_stmt(&mut cur_model, &mut cur_fub, s, line, ".struct", false)?;
             }
             ".sw" => {
-                let target = operand("structure bit")?;
-                let src = operand("write source")?;
-                let (structure, bit) = parse_bit_ref(&target)
-                    .ok_or_else(|| err(line, ExlifErrorKind::BadBitRef(target.clone())))?;
+                let target = operand(&mut tok, line, "structure bit")?;
+                let src = symbols.intern(operand(&mut tok, line, "write source")?);
+                let (structure, bit) = parse_bit_ref(target)
+                    .ok_or_else(|| err(line, ExlifErrorKind::BadBitRef(target.to_owned())))?;
                 let s = Stmt::StructWrite {
-                    structure: structure.to_owned(),
+                    structure: symbols.intern(structure),
                     bit,
                     src,
                 };
                 push_stmt(&mut cur_model, &mut cur_fub, s, line, ".sw", false)?;
             }
             ".gate" => {
-                let opname = operand("gate op")?;
-                let op = GateOp::from_mnemonic(&opname)
-                    .ok_or_else(|| err(line, ExlifErrorKind::UnknownDirective(opname.clone())))?;
-                let out = operand("gate output")?;
-                let ins: Vec<String> = tok.map(str::to_owned).collect();
+                let opname = operand(&mut tok, line, "gate op")?;
+                let op = GateOp::from_mnemonic(opname).ok_or_else(|| {
+                    err(line, ExlifErrorKind::UnknownDirective(opname.to_owned()))
+                })?;
+                let out = symbols.intern(operand(&mut tok, line, "gate output")?);
+                let ins: Vec<Sym> = tok.map(|t| symbols.intern(t)).collect();
                 let s = Stmt::Gate { op, out, ins };
                 push_stmt(&mut cur_model, &mut cur_fub, s, line, ".gate", true)?;
             }
@@ -293,22 +312,22 @@ pub fn parse(text: &str) -> Result<DesignAst, ExlifError> {
                 } else {
                     SeqKind::Latch
                 };
-                let out = operand("sequential output")?;
-                let d = operand("data net")?;
-                let en = tok.next().map(str::to_owned);
+                let out = symbols.intern(operand(&mut tok, line, "sequential output")?);
+                let d = symbols.intern(operand(&mut tok, line, "data net")?);
+                let en = tok.next().map(|t| symbols.intern(t));
                 let s = Stmt::Seq { kind, out, d, en };
                 let directive: &'static str = if head == ".flop" { ".flop" } else { ".latch" };
                 push_stmt(&mut cur_model, &mut cur_fub, s, line, directive, true)?;
             }
             ".subckt" => {
-                let model = operand("model name")?;
-                let inst = operand("instance name")?;
+                let model = symbols.intern(operand(&mut tok, line, "model name")?);
+                let inst = symbols.intern(operand(&mut tok, line, "instance name")?);
                 let mut conns = Vec::new();
                 for pair in tok {
                     let Some((f, a)) = pair.split_once('=') else {
                         return Err(err(line, ExlifErrorKind::BadBitRef(pair.to_owned())));
                     };
-                    conns.push((f.to_owned(), a.to_owned()));
+                    conns.push((symbols.intern(f), symbols.intern(a)));
                 }
                 let s = Stmt::Subckt { model, inst, conns };
                 push_stmt(&mut cur_model, &mut cur_fub, s, line, ".subckt", true)?;
@@ -337,6 +356,7 @@ pub fn parse(text: &str) -> Result<DesignAst, ExlifError> {
         name: design_name.unwrap_or_else(|| "unnamed".to_owned()),
         models,
         fubs,
+        symbols,
     })
 }
 
@@ -464,15 +484,38 @@ mod tests {
 .end
 ";
 
+    fn names(ast: &DesignAst, syms: &[Sym]) -> Vec<String> {
+        syms.iter()
+            .map(|&s| ast.symbols.resolve(s).to_owned())
+            .collect()
+    }
+
     #[test]
     fn parses_small_design() {
         let ast = parse(SMALL).unwrap();
         assert_eq!(ast.name, "demo");
         assert_eq!(ast.models.len(), 1);
-        assert_eq!(ast.models[0].inputs, vec!["d"]);
-        assert_eq!(ast.models[0].outputs, vec!["q"]);
+        assert_eq!(names(&ast, &ast.models[0].inputs), vec!["d"]);
+        assert_eq!(names(&ast, &ast.models[0].outputs), vec!["q"]);
         assert_eq!(ast.fubs.len(), 1);
         assert_eq!(ast.fubs[0].stmts.len(), 7);
+    }
+
+    #[test]
+    fn identifiers_are_interned_once() {
+        let ast = parse(SMALL).unwrap();
+        // "q1" appears three times in the source; one symbol serves all.
+        let q1 = ast.symbols.lookup("q1").unwrap();
+        let count = ast.fubs[0]
+            .stmts
+            .iter()
+            .filter(|s| match s {
+                Stmt::Seq { out, .. } => *out == q1,
+                _ => false,
+            })
+            .count();
+        assert_eq!(count, 1);
+        assert_eq!(ast.symbols.resolve(q1), "q1");
     }
 
     #[test]

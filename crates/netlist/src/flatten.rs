@@ -7,58 +7,136 @@
 //! expansion: every `.subckt` instance of a `.model` is inlined, with
 //! internal nets renamed `fub.inst.net`, and formal input ports substituted
 //! by the actual nets of the instantiating scope.
+//!
+//! # Parallel pipeline
+//!
+//! Flattening runs as four phases so that FUBs expand and references
+//! resolve on worker threads while every identifier is interned exactly
+//! once, and the output is bit-identical at any thread count:
+//!
+//! 1. **Expand (parallel, per FUB)** — walk each FUB's AST into a flat
+//!    event list. Workers only read the parse-time [`SymbolTable`]; they
+//!    never intern, so no synchronization is needed.
+//! 2. **Merge (sequential, FUB order)** — replay the event lists in
+//!    document order: intern hierarchical names, create nodes/structures,
+//!    and resolve structure-write targets. All table mutation happens here,
+//!    so symbol and node ids are independent of the thread count.
+//! 3. **Resolve (parallel, chunked)** — look up every fan-in reference
+//!    (substitution chain → scope-local → design-global). Pure reads.
+//! 4. **Connect (sequential)** — surface the first error in document
+//!    order, apply edges in order, and validate via
+//!    [`NetlistBuilder::finish`].
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::error::{ExlifError, ExlifErrorKind};
-use crate::exlif::{self, DesignAst, ModelAst, Stmt};
-use crate::graph::{FubId, Netlist, NetlistBuilder, NodeId, NodeKind, StructId};
+use crate::exlif::{self, DesignAst, FubAst, ModelAst, Stmt};
+use crate::graph::{FubId, GateOp, Netlist, NetlistBuilder, NodeId, NodeKind, SeqKind, StructId};
+use crate::intern::{Sym, SymbolTable};
 
-/// A net reference captured during expansion, resolved after all
-/// definitions are known (EXLIF allows forward references).
-#[derive(Debug, Clone)]
-struct Ref {
-    scope: usize,
-    raw: String,
-}
+/// Maximum worker count picked by [`build_netlist`] when the caller does
+/// not specify one.
+const MAX_DEFAULT_THREADS: usize = 8;
 
+/// A scope recorded during expansion, local to one FUB's expansion.
 #[derive(Debug)]
-struct Scope {
-    /// Absolute name prefix including trailing dot (e.g. `"f0."`,
-    /// `"f0.u0."`). Empty only for the virtual design root.
-    prefix: String,
-    parent: Option<usize>,
+struct ScopeRec {
+    /// Parent scope index within the same expansion (`None` for the FUB
+    /// root).
+    parent: Option<u32>,
+    /// Instance name introducing this scope (`None` for the FUB root,
+    /// whose prefix is the FUB name itself).
+    inst: Option<Sym>,
     /// Formal input name → raw actual reference (resolved in `parent`).
-    subst: HashMap<String, String>,
+    /// Later bindings of the same formal overwrite earlier ones.
+    subst: Vec<(Sym, Sym)>,
 }
 
+/// One flattened statement, recorded in document order. `scope` indexes
+/// the expansion-local scope list.
 #[derive(Debug)]
-enum FlatStmt {
+enum Event {
+    Input {
+        scope: u32,
+        name: Sym,
+    },
     Output {
-        node: NodeId,
-        src: Ref,
+        scope: u32,
+        name: Sym,
+        src: Sym,
     },
-    Gate {
-        node: NodeId,
-        ins: Vec<Ref>,
-    },
-    Seq {
-        node: NodeId,
-        d: Ref,
-        en: Option<Ref>,
+    Struct {
+        scope: u32,
+        name: Sym,
+        width: u32,
     },
     StructWrite {
-        structure: StructId,
+        scope: u32,
+        structure: Sym,
         bit: u32,
-        src: Ref,
+        src: Sym,
     },
+    Gate {
+        scope: u32,
+        op: GateOp,
+        out: Sym,
+        ins: Vec<Sym>,
+    },
+    Seq {
+        scope: u32,
+        kind: SeqKind,
+        out: Sym,
+        d: Sym,
+        en: Option<Sym>,
+    },
+}
+
+/// Result of expanding one FUB on a worker.
+#[derive(Debug)]
+struct FubExpansion {
+    scopes: Vec<ScopeRec>,
+    events: Vec<Event>,
+    /// First eager error (unknown model/port, recursive model). Expansion
+    /// stops at the error, so every recorded event precedes it in document
+    /// order — the merge phase replays events first and reports whichever
+    /// failure comes first.
+    err: Option<ExlifError>,
+}
+
+/// A scope after merging: prefix interned, parent index global.
+#[derive(Debug)]
+struct GlobalScope {
+    /// Absolute name prefix including trailing dot (e.g. `"f0."`,
+    /// `"f0.u0."`).
+    prefix: Sym,
+    parent: Option<usize>,
+    subst: Vec<(Sym, Sym)>,
+}
+
+/// A net reference awaiting resolution (EXLIF allows forward references).
+#[derive(Debug, Clone, Copy)]
+struct Ref {
+    /// Global scope index.
+    scope: usize,
+    raw: Sym,
+}
+
+/// A node plus its unresolved fan-in references, in connection order.
+#[derive(Debug)]
+struct FlatConn {
+    node: NodeId,
+    ins: Vec<Ref>,
 }
 
 fn err0(kind: ExlifErrorKind) -> ExlifError {
     ExlifError { line: 0, kind }
 }
 
-/// Expands hierarchy and builds the flattened [`Netlist`] for a design.
+/// Expands hierarchy and builds the flattened [`Netlist`] for a design,
+/// using up to [`available_parallelism`](std::thread::available_parallelism)
+/// (capped at 8) worker threads. The result is bit-identical to
+/// [`build_netlist_threaded`] at any other thread count.
 ///
 /// # Errors
 ///
@@ -67,235 +145,245 @@ fn err0(kind: ExlifErrorKind) -> ExlifError {
 /// [`NetlistBuilder::finish`]. Semantic errors carry line number 0 (the AST
 /// does not retain source positions) but name the offending entity.
 pub fn build_netlist(ast: &DesignAst) -> Result<Netlist, ExlifError> {
-    let models: HashMap<&str, &ModelAst> =
-        ast.models.iter().map(|m| (m.name.as_str(), m)).collect();
+    build_netlist_threaded(ast, default_threads())
+}
 
-    let mut builder = NetlistBuilder::new(ast.name.clone());
-    let mut scopes: Vec<Scope> = Vec::new();
-    let mut flat: Vec<FlatStmt> = Vec::new();
-    let mut structs_by_name: HashMap<String, StructId> = HashMap::new();
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(MAX_DEFAULT_THREADS))
+        .unwrap_or(1)
+}
 
-    for fub_ast in &ast.fubs {
-        let fub = builder.add_fub(fub_ast.name.clone());
-        let scope = scopes.len();
-        scopes.push(Scope {
-            prefix: format!("{}.", fub_ast.name),
-            parent: None,
-            subst: HashMap::new(),
+/// [`build_netlist`] with an explicit worker-thread count (`0` and `1`
+/// both mean sequential). Output is bit-identical for every `threads`
+/// value: node ids, symbol ids, edge order, and error selection are all
+/// decided in the sequential merge/connect phases.
+pub fn build_netlist_threaded(ast: &DesignAst, threads: usize) -> Result<Netlist, ExlifError> {
+    let models: HashMap<Sym, &ModelAst> = ast.models.iter().map(|m| (m.name, m)).collect();
+
+    // Phase 1: expand every FUB (parallel, read-only).
+    let n_fubs = ast.fubs.len();
+    let workers = threads.max(1).min(n_fubs.max(1));
+    let mut expansions: Vec<Option<FubExpansion>> = (0..n_fubs).map(|_| None).collect();
+    if workers <= 1 {
+        for (i, fub) in ast.fubs.iter().enumerate() {
+            expansions[i] = Some(expand_fub(fub, &models, &ast.symbols));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let models_ref = &models;
+        let ast_ref = ast;
+        let next_ref = &next;
+        let collected: Vec<Vec<(usize, FubExpansion)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_fubs {
+                                break;
+                            }
+                            local.push((
+                                i,
+                                expand_fub(&ast_ref.fubs[i], models_ref, &ast_ref.symbols),
+                            ));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("flatten worker panicked"))
+                .collect()
         });
-        let mut model_stack: Vec<&str> = Vec::new();
-        expand_stmts(
-            &fub_ast.stmts,
-            scope,
-            fub,
-            &models,
-            &mut builder,
-            &mut scopes,
-            &mut flat,
-            &mut structs_by_name,
-            &mut model_stack,
-        )?;
-    }
-
-    // Resolve references and connect.
-    for stmt in &flat {
-        match stmt {
-            FlatStmt::Output { node, src } => {
-                let s = resolve(&builder, &scopes, src)?;
-                builder.connect(s, *node);
-            }
-            FlatStmt::Gate { node, ins } => {
-                for r in ins {
-                    let s = resolve(&builder, &scopes, r)?;
-                    builder.connect(s, *node);
-                }
-            }
-            FlatStmt::Seq { node, d, en } => {
-                let s = resolve(&builder, &scopes, d)?;
-                builder.connect(s, *node);
-                if let Some(en) = en {
-                    let e = resolve(&builder, &scopes, en)?;
-                    builder.connect(e, *node);
-                }
-            }
-            FlatStmt::StructWrite {
-                structure,
-                bit,
-                src,
-            } => {
-                let cell = builder.structure_cell(*structure, *bit);
-                let s = resolve(&builder, &scopes, src)?;
-                builder.connect(s, cell);
-            }
+        for (i, exp) in collected.into_iter().flatten() {
+            expansions[i] = Some(exp);
         }
     }
 
+    // Phase 2: merge (sequential). All interning and id assignment lives
+    // here, which is what makes the pipeline thread-count-invariant.
+    let mut builder = NetlistBuilder::with_symbols(ast.name.clone(), ast.symbols.clone());
+    let mut scopes: Vec<GlobalScope> = Vec::new();
+    let mut flat: Vec<FlatConn> = Vec::new();
+    let mut structs_by_sym: HashMap<Sym, StructId> = HashMap::new();
+    for (fub_idx, slot) in expansions.iter_mut().enumerate() {
+        let exp = slot.take().expect("every FUB expanded");
+        let fub_ast = &ast.fubs[fub_idx];
+        let fub = builder.add_fub_sym(fub_ast.name);
+        let base = scopes.len();
+        for rec in exp.scopes {
+            let (prefix, parent) = match rec.inst {
+                None => (
+                    builder.symbols_mut().intern_prefix(None, fub_ast.name),
+                    None,
+                ),
+                Some(inst) => {
+                    let parent = base + rec.parent.expect("child scope has a parent") as usize;
+                    let parent_prefix = scopes[parent].prefix;
+                    (
+                        builder
+                            .symbols_mut()
+                            .intern_prefix(Some(parent_prefix), inst),
+                        Some(parent),
+                    )
+                }
+            };
+            scopes.push(GlobalScope {
+                prefix,
+                parent,
+                subst: rec.subst,
+            });
+        }
+        replay_events(
+            exp.events,
+            base,
+            fub,
+            &mut builder,
+            &scopes,
+            &mut flat,
+            &mut structs_by_sym,
+        )?;
+        // Worker errors come after every replayed event in document order.
+        if let Some(e) = exp.err {
+            return Err(e);
+        }
+    }
+
+    // Phase 3: resolve references (parallel, read-only).
+    let mut resolved: Vec<Option<Result<Vec<NodeId>, ExlifError>>> =
+        (0..flat.len()).map(|_| None).collect();
+    let workers = threads.max(1).min(flat.len().max(1));
+    if workers <= 1 {
+        for (conn, out) in flat.iter().zip(resolved.iter_mut()) {
+            *out = Some(resolve_conn(&builder, &scopes, conn));
+        }
+    } else {
+        let chunk = flat.len().div_ceil(workers);
+        let builder_ref = &builder;
+        let scopes_ref = &scopes;
+        std::thread::scope(|s| {
+            for (fslice, rslice) in flat.chunks(chunk).zip(resolved.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (conn, out) in fslice.iter().zip(rslice.iter_mut()) {
+                        *out = Some(resolve_conn(builder_ref, scopes_ref, conn));
+                    }
+                });
+            }
+        });
+    }
+
+    // Phase 4: first error in document order wins; connect in order.
+    for (conn, res) in flat.iter().zip(resolved) {
+        let ids = res.expect("every connection resolved")?;
+        for id in ids {
+            builder.connect(id, conn.node);
+        }
+    }
     builder.finish().map_err(|e| err0(e.into()))
 }
 
-/// Convenience: [`exlif::parse`] followed by [`build_netlist`].
-pub fn parse_netlist(text: &str) -> Result<Netlist, ExlifError> {
-    parse_netlist_traced(text, &seqavf_obs::Collector::disabled())
-}
-
-/// [`parse_netlist`] with observability: records a `netlist.parse` span
-/// over the EXLIF parse and a `netlist.flatten` span over hierarchy
-/// expansion, with design-size fields.
-pub fn parse_netlist_traced(
-    text: &str,
-    obs: &seqavf_obs::Collector,
-) -> Result<Netlist, ExlifError> {
-    let ast = {
-        let mut span = obs.span("netlist.parse");
-        let ast = exlif::parse(text)?;
-        span.field_str("frontend", "exlif");
-        span.field_u64("models", ast.models.len() as u64);
-        span.field_u64("fubs", ast.fubs.len() as u64);
-        ast
+/// Phase-1 worker: expands one FUB into scope records and events without
+/// touching the symbol table.
+fn expand_fub(
+    fub: &FubAst,
+    models: &HashMap<Sym, &ModelAst>,
+    symbols: &SymbolTable,
+) -> FubExpansion {
+    let mut exp = FubExpansion {
+        scopes: vec![ScopeRec {
+            parent: None,
+            inst: None,
+            subst: Vec::new(),
+        }],
+        events: Vec::new(),
+        err: None,
     };
-    let mut span = obs.span("netlist.flatten");
-    let nl = build_netlist(&ast)?;
-    span.field_u64("nodes", nl.node_count() as u64);
-    span.field_u64("seq_nodes", nl.seq_count() as u64);
-    span.field_u64("structures", nl.structure_count() as u64);
-    Ok(nl)
+    let mut model_stack: Vec<Sym> = Vec::new();
+    if let Err(e) = expand_stmts(&fub.stmts, 0, models, symbols, &mut exp, &mut model_stack) {
+        exp.err = Some(e);
+    }
+    exp
 }
 
-#[allow(clippy::too_many_arguments)]
-fn expand_stmts<'a>(
-    stmts: &'a [Stmt],
-    scope: usize,
-    fub: FubId,
-    models: &HashMap<&'a str, &'a ModelAst>,
-    builder: &mut NetlistBuilder,
-    scopes: &mut Vec<Scope>,
-    flat: &mut Vec<FlatStmt>,
-    structs_by_name: &mut HashMap<String, StructId>,
-    model_stack: &mut Vec<&'a str>,
+fn expand_stmts(
+    stmts: &[Stmt],
+    scope: u32,
+    models: &HashMap<Sym, &ModelAst>,
+    symbols: &SymbolTable,
+    exp: &mut FubExpansion,
+    model_stack: &mut Vec<Sym>,
 ) -> Result<(), ExlifError> {
     for stmt in stmts {
         match stmt {
-            Stmt::Input(name) => {
-                let abs = format!("{}{}", scopes[scope].prefix, name);
-                builder.add_node(abs, NodeKind::Input, fub);
-            }
-            Stmt::Output { name, src } => {
-                let abs = format!("{}{}", scopes[scope].prefix, name);
-                let node = builder.add_node(abs, NodeKind::Output, fub);
-                flat.push(FlatStmt::Output {
-                    node,
-                    src: Ref {
-                        scope,
-                        raw: src.clone(),
-                    },
-                });
-            }
-            Stmt::Struct { name, width } => {
-                let abs = format!("{}{}", scopes[scope].prefix, name);
-                let sid = builder.add_structure(abs.clone(), *width, fub);
-                structs_by_name.insert(abs, sid);
-            }
+            Stmt::Input(name) => exp.events.push(Event::Input { scope, name: *name }),
+            Stmt::Output { name, src } => exp.events.push(Event::Output {
+                scope,
+                name: *name,
+                src: *src,
+            }),
+            Stmt::Struct { name, width } => exp.events.push(Event::Struct {
+                scope,
+                name: *name,
+                width: *width,
+            }),
             Stmt::StructWrite {
                 structure,
                 bit,
                 src,
-            } => {
-                let abs = format!("{}{}", scopes[scope].prefix, structure);
-                let sid = structs_by_name
-                    .get(&abs)
-                    .or_else(|| structs_by_name.get(structure.as_str()))
-                    .copied()
-                    .ok_or_else(|| err0(ExlifErrorKind::UndefinedNet(structure.clone())))?;
-                let width = builder.structure_width(sid);
-                if *bit >= width {
-                    return Err(err0(ExlifErrorKind::Build(
-                        crate::error::BuildError::StructBitOutOfRange {
-                            structure: structure.clone(),
-                            bit: *bit,
-                            width,
-                        },
+            } => exp.events.push(Event::StructWrite {
+                scope,
+                structure: *structure,
+                bit: *bit,
+                src: *src,
+            }),
+            Stmt::Gate { op, out, ins } => exp.events.push(Event::Gate {
+                scope,
+                op: *op,
+                out: *out,
+                ins: ins.clone(),
+            }),
+            Stmt::Seq { kind, out, d, en } => exp.events.push(Event::Seq {
+                scope,
+                kind: *kind,
+                out: *out,
+                d: *d,
+                en: *en,
+            }),
+            Stmt::Subckt { model, inst, conns } => {
+                let m = models.get(model).ok_or_else(|| {
+                    err0(ExlifErrorKind::UnknownModel(
+                        symbols.resolve(*model).to_owned(),
+                    ))
+                })?;
+                if model_stack.contains(model) {
+                    return Err(err0(ExlifErrorKind::RecursiveModel(
+                        symbols.resolve(*model).to_owned(),
                     )));
                 }
-                flat.push(FlatStmt::StructWrite {
-                    structure: sid,
-                    bit: *bit,
-                    src: Ref {
-                        scope,
-                        raw: src.clone(),
-                    },
-                });
-            }
-            Stmt::Gate { op, out, ins } => {
-                let abs = format!("{}{}", scopes[scope].prefix, out);
-                let node = builder.add_node(abs, NodeKind::Comb(*op), fub);
-                flat.push(FlatStmt::Gate {
-                    node,
-                    ins: ins
-                        .iter()
-                        .map(|i| Ref {
-                            scope,
-                            raw: i.clone(),
-                        })
-                        .collect(),
-                });
-            }
-            Stmt::Seq { kind, out, d, en } => {
-                let abs = format!("{}{}", scopes[scope].prefix, out);
-                let node = builder.add_node(
-                    abs,
-                    NodeKind::Seq {
-                        kind: *kind,
-                        has_enable: en.is_some(),
-                    },
-                    fub,
-                );
-                flat.push(FlatStmt::Seq {
-                    node,
-                    d: Ref {
-                        scope,
-                        raw: d.clone(),
-                    },
-                    en: en.as_ref().map(|e| Ref {
-                        scope,
-                        raw: e.clone(),
-                    }),
-                });
-            }
-            Stmt::Subckt { model, inst, conns } => {
-                let m = models
-                    .get(model.as_str())
-                    .ok_or_else(|| err0(ExlifErrorKind::UnknownModel(model.clone())))?;
-                if model_stack.contains(&model.as_str()) {
-                    return Err(err0(ExlifErrorKind::RecursiveModel(model.clone())));
-                }
-                let mut subst = HashMap::new();
-                for (formal, actual) in conns {
-                    if !m.inputs.iter().any(|i| i == formal) {
+                let mut subst: Vec<(Sym, Sym)> = Vec::with_capacity(conns.len());
+                for &(formal, actual) in conns {
+                    if !m.inputs.contains(&formal) {
                         return Err(err0(ExlifErrorKind::UnknownPort {
-                            model: model.clone(),
-                            port: formal.clone(),
+                            model: symbols.resolve(*model).to_owned(),
+                            port: symbols.resolve(formal).to_owned(),
                         }));
                     }
-                    subst.insert(formal.clone(), actual.clone());
+                    match subst.iter_mut().find(|(f, _)| *f == formal) {
+                        Some(entry) => entry.1 = actual,
+                        None => subst.push((formal, actual)),
+                    }
                 }
-                let child = scopes.len();
-                scopes.push(Scope {
-                    prefix: format!("{}{}.", scopes[scope].prefix, inst),
+                let child = u32::try_from(exp.scopes.len()).expect("scope count fits u32");
+                exp.scopes.push(ScopeRec {
                     parent: Some(scope),
+                    inst: Some(*inst),
                     subst,
                 });
-                model_stack.push(m.name.as_str());
-                expand_stmts(
-                    &m.stmts,
-                    child,
-                    fub,
-                    models,
-                    builder,
-                    scopes,
-                    flat,
-                    structs_by_name,
-                    model_stack,
-                )?;
+                model_stack.push(*model);
+                expand_stmts(&m.stmts, child, models, symbols, exp, model_stack)?;
                 model_stack.pop();
             }
         }
@@ -303,31 +391,209 @@ fn expand_stmts<'a>(
     Ok(())
 }
 
-/// Resolves a reference: formal substitution first, then scope-local, then
-/// design-global.
-fn resolve(builder: &NetlistBuilder, scopes: &[Scope], r: &Ref) -> Result<NodeId, ExlifError> {
-    let scope = &scopes[r.scope];
-    if let Some(actual) = scope.subst.get(&r.raw) {
-        let parent = scope.parent.expect("substitution implies a parent scope");
-        return resolve(
-            builder,
-            scopes,
-            &Ref {
-                scope: parent,
-                raw: actual.clone(),
-            },
-        );
+/// Phase-2 replay: creates nodes and structures for one FUB's events in
+/// document order.
+fn replay_events(
+    events: Vec<Event>,
+    base: usize,
+    fub: FubId,
+    builder: &mut NetlistBuilder,
+    scopes: &[GlobalScope],
+    flat: &mut Vec<FlatConn>,
+    structs_by_sym: &mut HashMap<Sym, StructId>,
+) -> Result<(), ExlifError> {
+    for ev in events {
+        match ev {
+            Event::Input { scope, name } => {
+                let prefix = scopes[base + scope as usize].prefix;
+                let abs = builder.symbols_mut().intern_join(prefix, name);
+                builder.add_node_sym(abs, NodeKind::Input, fub);
+            }
+            Event::Output { scope, name, src } => {
+                let gscope = base + scope as usize;
+                let abs = builder
+                    .symbols_mut()
+                    .intern_join(scopes[gscope].prefix, name);
+                let node = builder.add_node_sym(abs, NodeKind::Output, fub);
+                flat.push(FlatConn {
+                    node,
+                    ins: vec![Ref {
+                        scope: gscope,
+                        raw: src,
+                    }],
+                });
+            }
+            Event::Struct { scope, name, width } => {
+                let prefix = scopes[base + scope as usize].prefix;
+                let abs = builder.symbols_mut().intern_join(prefix, name);
+                let sid = builder.add_structure_sym(abs, width, fub);
+                structs_by_sym.insert(abs, sid);
+            }
+            Event::StructWrite {
+                scope,
+                structure,
+                bit,
+                src,
+            } => {
+                let gscope = base + scope as usize;
+                let abs = builder
+                    .symbols()
+                    .lookup_join(scopes[gscope].prefix, structure);
+                let sid = abs
+                    .and_then(|a| structs_by_sym.get(&a))
+                    .or_else(|| structs_by_sym.get(&structure))
+                    .copied()
+                    .ok_or_else(|| {
+                        err0(ExlifErrorKind::UndefinedNet(
+                            builder.symbols().resolve(structure).to_owned(),
+                        ))
+                    })?;
+                let width = builder.structure_width(sid);
+                if bit >= width {
+                    return Err(err0(ExlifErrorKind::Build(
+                        crate::error::BuildError::StructBitOutOfRange {
+                            structure: builder.symbols().resolve(structure).to_owned(),
+                            bit,
+                            width,
+                        },
+                    )));
+                }
+                let cell = builder.structure_cell(sid, bit);
+                flat.push(FlatConn {
+                    node: cell,
+                    ins: vec![Ref {
+                        scope: gscope,
+                        raw: src,
+                    }],
+                });
+            }
+            Event::Gate {
+                scope,
+                op,
+                out,
+                ins,
+            } => {
+                let gscope = base + scope as usize;
+                let abs = builder
+                    .symbols_mut()
+                    .intern_join(scopes[gscope].prefix, out);
+                let node = builder.add_node_sym(abs, NodeKind::Comb(op), fub);
+                flat.push(FlatConn {
+                    node,
+                    ins: ins
+                        .into_iter()
+                        .map(|raw| Ref { scope: gscope, raw })
+                        .collect(),
+                });
+            }
+            Event::Seq {
+                scope,
+                kind,
+                out,
+                d,
+                en,
+            } => {
+                let gscope = base + scope as usize;
+                let abs = builder
+                    .symbols_mut()
+                    .intern_join(scopes[gscope].prefix, out);
+                let node = builder.add_node_sym(
+                    abs,
+                    NodeKind::Seq {
+                        kind,
+                        has_enable: en.is_some(),
+                    },
+                    fub,
+                );
+                let mut ins = vec![Ref {
+                    scope: gscope,
+                    raw: d,
+                }];
+                if let Some(en) = en {
+                    ins.push(Ref {
+                        scope: gscope,
+                        raw: en,
+                    });
+                }
+                flat.push(FlatConn { node, ins });
+            }
+        }
     }
-    let local = format!("{}{}", scope.prefix, r.raw);
-    if let Some(id) = builder.lookup(&local) {
-        return Ok(id);
+    Ok(())
+}
+
+/// Phase-3 worker: resolves one node's fan-in references (pure reads).
+fn resolve_conn(
+    builder: &NetlistBuilder,
+    scopes: &[GlobalScope],
+    conn: &FlatConn,
+) -> Result<Vec<NodeId>, ExlifError> {
+    conn.ins
+        .iter()
+        .map(|r| resolve_ref(builder, scopes, r.scope, r.raw))
+        .collect()
+}
+
+/// Resolves a reference: formal substitution first (walking up the scope
+/// chain), then scope-local, then design-global. Misses never intern.
+fn resolve_ref(
+    builder: &NetlistBuilder,
+    scopes: &[GlobalScope],
+    mut scope: usize,
+    mut raw: Sym,
+) -> Result<NodeId, ExlifError> {
+    loop {
+        let sc = &scopes[scope];
+        match sc.subst.iter().find(|(f, _)| *f == raw) {
+            Some(&(_, actual)) => {
+                scope = sc.parent.expect("substitution implies a parent scope");
+                raw = actual;
+            }
+            None => break,
+        }
     }
-    if r.raw.contains('.') {
-        if let Some(id) = builder.lookup(&r.raw) {
+    let sc = &scopes[scope];
+    if let Some(abs) = builder.symbols().lookup_join(sc.prefix, raw) {
+        if let Some(id) = builder.lookup_sym(abs) {
             return Ok(id);
         }
     }
-    Err(err0(ExlifErrorKind::UndefinedNet(r.raw.clone())))
+    let raw_str = builder.symbols().resolve(raw);
+    if raw_str.contains('.') {
+        if let Some(id) = builder.lookup_sym(raw) {
+            return Ok(id);
+        }
+    }
+    Err(err0(ExlifErrorKind::UndefinedNet(raw_str.to_owned())))
+}
+
+/// Convenience: [`exlif::parse`] followed by [`build_netlist`].
+pub fn parse_netlist(text: &str) -> Result<Netlist, ExlifError> {
+    parse_netlist_traced(text, &seqavf_obs::Collector::disabled())
+}
+
+/// [`parse_netlist`] with observability: records a `frontend.parse` span
+/// over the EXLIF parse and a `frontend.flatten` span over hierarchy
+/// expansion, with design-size fields.
+pub fn parse_netlist_traced(
+    text: &str,
+    obs: &seqavf_obs::Collector,
+) -> Result<Netlist, ExlifError> {
+    let ast = {
+        let mut span = obs.span("frontend.parse");
+        let ast = exlif::parse(text)?;
+        span.field_str("frontend", "exlif");
+        span.field_u64("models", ast.models.len() as u64);
+        span.field_u64("fubs", ast.fubs.len() as u64);
+        span.field_u64("symbols", ast.symbols.len() as u64);
+        ast
+    };
+    let mut span = obs.span("frontend.flatten");
+    let nl = build_netlist(&ast)?;
+    span.field_u64("nodes", nl.node_count() as u64);
+    span.field_u64("seq_nodes", nl.seq_count() as u64);
+    span.field_u64("structures", nl.structure_count() as u64);
+    Ok(nl)
 }
 
 #[cfg(test)]
@@ -370,6 +636,21 @@ mod tests {
         let dout = nl.lookup("f0.dout").unwrap();
         let buf = nl.lookup("f0.u.q").unwrap();
         assert_eq!(nl.fanin(dout), &[buf]);
+    }
+
+    #[test]
+    fn thread_counts_are_bit_identical() {
+        let ast = exlif::parse(HIER).unwrap();
+        let n1 = build_netlist_threaded(&ast, 1).unwrap();
+        let n2 = build_netlist_threaded(&ast, 2).unwrap();
+        let n8 = build_netlist_threaded(&ast, 8).unwrap();
+        assert_eq!(n1, n2);
+        assert_eq!(n1, n8);
+        assert_eq!(n1.content_digest(), n8.content_digest());
+        // Node ids, not just content, must match.
+        for id in n1.nodes() {
+            assert_eq!(n1.name(id), n8.name(id));
+        }
     }
 
     #[test]

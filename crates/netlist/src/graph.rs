@@ -11,13 +11,18 @@
 //! [`NetlistBuilder`], which validates arity, name uniqueness, and the
 //! absence of combinational cycles, then freezes adjacency into compact CSR
 //! arrays suitable for designs with millions of nodes.
+//!
+//! Node names are interned [`Sym`] handles into a per-design
+//! [`SymbolTable`]; the hot paths (adjacency, kinds, FUB labels) carry no
+//! owned strings, and [`Netlist::name`] materializes a `&str` view only at
+//! report and trace boundaries.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::BuildError;
+use crate::intern::{Fnv1a64, Sym, SymbolTable};
 
 /// Identifier of a node in a [`Netlist`]. Dense, 0-based.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -161,6 +166,41 @@ impl GateOp {
         })
     }
 
+    /// Dense code for binary serialization ([`GateOp::from_code`] inverts).
+    pub fn code(self) -> u8 {
+        match self {
+            GateOp::Buf => 0,
+            GateOp::Not => 1,
+            GateOp::And => 2,
+            GateOp::Or => 3,
+            GateOp::Nand => 4,
+            GateOp::Nor => 5,
+            GateOp::Xor => 6,
+            GateOp::Xnor => 7,
+            GateOp::Mux => 8,
+            GateOp::Const0 => 9,
+            GateOp::Const1 => 10,
+        }
+    }
+
+    /// Inverse of [`GateOp::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => GateOp::Buf,
+            1 => GateOp::Not,
+            2 => GateOp::And,
+            3 => GateOp::Or,
+            4 => GateOp::Nand,
+            5 => GateOp::Nor,
+            6 => GateOp::Xor,
+            7 => GateOp::Xnor,
+            8 => GateOp::Mux,
+            9 => GateOp::Const0,
+            10 => GateOp::Const1,
+            _ => return None,
+        })
+    }
+
     /// Checks whether `n` fan-ins is a legal arity for this operator.
     pub fn arity_ok(self, n: usize) -> bool {
         match self {
@@ -238,12 +278,39 @@ impl NodeKind {
     pub fn is_boundary(self) -> bool {
         matches!(self, NodeKind::Input | NodeKind::Output)
     }
+
+    /// Appends a stable binary encoding (shared by the snapshot format and
+    /// the content digest).
+    pub(crate) fn encode(self, out: &mut Vec<u8>) {
+        match self {
+            NodeKind::Input => out.push(0),
+            NodeKind::Output => out.push(1),
+            NodeKind::Seq { kind, has_enable } => {
+                out.push(2);
+                out.push(match kind {
+                    SeqKind::Flop => 0,
+                    SeqKind::Latch => 1,
+                });
+                out.push(u8::from(has_enable));
+            }
+            NodeKind::Comb(op) => {
+                out.push(3);
+                out.push(op.code());
+            }
+            NodeKind::StructCell { structure, bit } => {
+                out.push(4);
+                out.extend_from_slice(&(structure.0).to_le_bytes());
+                out.extend_from_slice(&bit.to_le_bytes());
+            }
+        }
+    }
 }
 
 /// Declaration of an ACE-modeled structure: a named bank of storage cells.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StructureDecl {
     name: String,
+    sym: Sym,
     width: u32,
     fub: FubId,
     cells: Vec<NodeId>,
@@ -253,6 +320,11 @@ impl StructureDecl {
     /// The structure's name (e.g. `"rob"`).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The interned symbol of the structure's name.
+    pub fn sym(&self) -> Sym {
+        self.sym
     }
 
     /// Number of bit cells.
@@ -271,6 +343,8 @@ impl StructureDecl {
     }
 }
 
+const NO_NODE: u32 = u32::MAX;
+
 /// Incremental builder for a [`Netlist`].
 ///
 /// All mutation happens here; [`NetlistBuilder::finish`] validates the graph
@@ -278,23 +352,33 @@ impl StructureDecl {
 #[derive(Debug, Clone)]
 pub struct NetlistBuilder {
     design: String,
-    names: Vec<String>,
-    name_index: HashMap<String, NodeId>,
+    symbols: SymbolTable,
+    syms: Vec<Sym>,
+    /// `Sym` index → node id (`NO_NODE` when the symbol names no node).
+    node_of_sym: Vec<u32>,
     kinds: Vec<NodeKind>,
     fub_of: Vec<FubId>,
     fanin: Vec<Vec<NodeId>>,
-    fubs: Vec<String>,
+    fubs: Vec<Sym>,
     structures: Vec<StructureDecl>,
-    duplicate: Option<String>,
+    duplicate: Option<Sym>,
 }
 
 impl NetlistBuilder {
     /// Starts a new empty design with the given name.
     pub fn new(design: impl Into<String>) -> Self {
+        Self::with_symbols(design, SymbolTable::new())
+    }
+
+    /// Starts a design seeded with an existing symbol table (the frontend
+    /// hands over the table it interned the source identifiers into, so
+    /// flattening never re-copies strings).
+    pub fn with_symbols(design: impl Into<String>, symbols: SymbolTable) -> Self {
         NetlistBuilder {
             design: design.into(),
-            names: Vec::new(),
-            name_index: HashMap::new(),
+            symbols,
+            syms: Vec::new(),
+            node_of_sym: Vec::new(),
             kinds: Vec::new(),
             fub_of: Vec::new(),
             fanin: Vec::new(),
@@ -304,22 +388,53 @@ impl NetlistBuilder {
         }
     }
 
+    /// The builder's symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Mutable access to the symbol table (for interning compound names
+    /// during flattening).
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.symbols
+    }
+
     /// Declares a functional block. Nodes reference FUBs by the returned id.
-    pub fn add_fub(&mut self, name: impl Into<String>) -> FubId {
+    pub fn add_fub(&mut self, name: impl AsRef<str>) -> FubId {
+        let sym = self.symbols.intern(name.as_ref());
+        self.add_fub_sym(sym)
+    }
+
+    /// [`NetlistBuilder::add_fub`] with a pre-interned name.
+    pub fn add_fub_sym(&mut self, sym: Sym) -> FubId {
         let id = FubId::from_index(self.fubs.len());
-        self.fubs.push(name.into());
+        self.fubs.push(sym);
         id
     }
 
     /// Adds a node of the given kind. Names must be unique design-wide;
     /// a duplicate is recorded and reported by [`NetlistBuilder::finish`].
-    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind, fub: FubId) -> NodeId {
-        let name = name.into();
+    pub fn add_node(&mut self, name: impl AsRef<str>, kind: NodeKind, fub: FubId) -> NodeId {
+        let sym = self.symbols.intern(name.as_ref());
+        self.add_node_sym(sym, kind, fub)
+    }
+
+    /// [`NetlistBuilder::add_node`] with a pre-interned name.
+    pub fn add_node_sym(&mut self, sym: Sym, kind: NodeKind, fub: FubId) -> NodeId {
         let id = NodeId::from_index(self.kinds.len());
-        if self.name_index.insert(name.clone(), id).is_some() && self.duplicate.is_none() {
-            self.duplicate = Some(name.clone());
+        if self.node_of_sym.len() <= sym.index() {
+            self.node_of_sym
+                .resize(self.symbols.len().max(sym.index() + 1), NO_NODE);
         }
-        self.names.push(name);
+        let slot = &mut self.node_of_sym[sym.index()];
+        if *slot != NO_NODE {
+            if self.duplicate.is_none() {
+                self.duplicate = Some(sym);
+            }
+        } else {
+            *slot = id.0;
+        }
+        self.syms.push(sym);
         self.kinds.push(kind);
         self.fub_of.push(fub);
         self.fanin.push(Vec::new());
@@ -328,13 +443,19 @@ impl NetlistBuilder {
 
     /// Declares an ACE structure of `width` bits; creates cell nodes named
     /// `name[0]` … `name[width-1]`.
-    pub fn add_structure(&mut self, name: impl Into<String>, width: u32, fub: FubId) -> StructId {
-        let name = name.into();
+    pub fn add_structure(&mut self, name: impl AsRef<str>, width: u32, fub: FubId) -> StructId {
+        let sym = self.symbols.intern(name.as_ref());
+        self.add_structure_sym(sym, width, fub)
+    }
+
+    /// [`NetlistBuilder::add_structure`] with a pre-interned name.
+    pub fn add_structure_sym(&mut self, sym: Sym, width: u32, fub: FubId) -> StructId {
         let sid = StructId::from_index(self.structures.len());
         let cells = (0..width)
             .map(|bit| {
-                self.add_node(
-                    format!("{name}[{bit}]"),
+                let cell = self.symbols.intern_bit(sym, bit);
+                self.add_node_sym(
+                    cell,
                     NodeKind::StructCell {
                         structure: sid,
                         bit,
@@ -344,7 +465,8 @@ impl NetlistBuilder {
             })
             .collect();
         self.structures.push(StructureDecl {
-            name,
+            name: self.symbols.resolve(sym).to_owned(),
+            sym,
             width,
             fub,
             cells,
@@ -375,12 +497,26 @@ impl NetlistBuilder {
 
     /// Looks up a node by name.
     pub fn lookup(&self, name: &str) -> Option<NodeId> {
-        self.name_index.get(name).copied()
+        self.symbols
+            .lookup(name)
+            .and_then(|sym| self.lookup_sym(sym))
+    }
+
+    /// Looks up a node by interned name.
+    pub fn lookup_sym(&self, sym: Sym) -> Option<NodeId> {
+        match self.node_of_sym.get(sym.index()) {
+            Some(&id) if id != NO_NODE => Some(NodeId(id)),
+            _ => None,
+        }
     }
 
     /// Number of nodes added so far.
     pub fn node_count(&self) -> usize {
         self.kinds.len()
+    }
+
+    fn node_name(&self, i: usize) -> String {
+        self.symbols.resolve(self.syms[i]).to_owned()
     }
 
     /// Validates and freezes the graph.
@@ -391,8 +527,10 @@ impl NetlistBuilder {
     /// edge endpoints, gate/sequential arity, inputs with fan-in, and
     /// combinational cycles.
     pub fn finish(self) -> Result<Netlist, BuildError> {
-        if let Some(name) = self.duplicate {
-            return Err(BuildError::DuplicateName(name));
+        if let Some(sym) = self.duplicate {
+            return Err(BuildError::DuplicateName(
+                self.symbols.resolve(sym).to_owned(),
+            ));
         }
         let n = self.kinds.len();
         // Arity and endpoint validation.
@@ -406,13 +544,13 @@ impl NetlistBuilder {
             match self.kinds[i] {
                 NodeKind::Input => {
                     if found != 0 {
-                        return Err(BuildError::InputHasFanin(self.names[i].clone()));
+                        return Err(BuildError::InputHasFanin(self.node_name(i)));
                     }
                 }
                 NodeKind::Output => {
                     if found != 1 {
                         return Err(BuildError::BadArity {
-                            node: self.names[i].clone(),
+                            node: self.node_name(i),
                             found,
                             expected: "exactly 1",
                         });
@@ -422,7 +560,7 @@ impl NetlistBuilder {
                     let want = if has_enable { 2 } else { 1 };
                     if found != want {
                         return Err(BuildError::BadArity {
-                            node: self.names[i].clone(),
+                            node: self.node_name(i),
                             found,
                             expected: if has_enable { "exactly 2" } else { "exactly 1" },
                         });
@@ -431,7 +569,7 @@ impl NetlistBuilder {
                 NodeKind::Comb(op) => {
                     if !op.arity_ok(found) {
                         return Err(BuildError::BadArity {
-                            node: self.names[i].clone(),
+                            node: self.node_name(i),
                             found,
                             expected: op.arity_description(),
                         });
@@ -452,33 +590,16 @@ impl NetlistBuilder {
             fanin_dat.extend_from_slice(ins);
             fanin_off.push(fanin_dat.len() as u32);
         }
-        let mut fanout_cnt = vec![0u32; n];
-        for ins in &self.fanin {
-            for from in ins {
-                fanout_cnt[from.index()] += 1;
-            }
-        }
-        let mut fanout_off = Vec::with_capacity(n + 1);
-        fanout_off.push(0u32);
-        for c in &fanout_cnt {
-            let last = *fanout_off.last().expect("non-empty offsets");
-            fanout_off.push(last + c);
-        }
-        let mut fanout_dat = vec![NodeId(0); fanin_dat.len()];
-        let mut cursor: Vec<u32> = fanout_off[..n].to_vec();
-        for (to, ins) in self.fanin.iter().enumerate() {
-            for from in ins {
-                let c = &mut cursor[from.index()];
-                fanout_dat[*c as usize] = NodeId::from_index(to);
-                *c += 1;
-            }
-        }
+        let (fanout_off, fanout_dat) = transpose_csr(n, &fanin_off, &fanin_dat);
 
         let seq_count = self.kinds.iter().filter(|k| k.is_sequential()).count();
+        let mut node_of_sym = self.node_of_sym;
+        node_of_sym.resize(self.symbols.len(), NO_NODE);
         Ok(Netlist {
             design: self.design,
-            names: self.names,
-            name_index: self.name_index,
+            symbols: self.symbols,
+            syms: self.syms,
+            node_of_sym,
             kinds: self.kinds,
             fub_of: self.fub_of,
             fubs: self.fubs,
@@ -522,7 +643,7 @@ impl NetlistBuilder {
                         }
                         GRAY => {
                             return Err(BuildError::CombinationalCycle {
-                                witness: self.names[u].clone(),
+                                witness: self.node_name(u),
                             });
                         }
                         _ => {}
@@ -537,17 +658,48 @@ impl NetlistBuilder {
     }
 }
 
+/// Transposes a CSR fan-in adjacency into fan-out form (shared by the
+/// builder and the snapshot loader).
+pub(crate) fn transpose_csr(
+    n: usize,
+    fanin_off: &[u32],
+    fanin_dat: &[NodeId],
+) -> (Vec<u32>, Vec<NodeId>) {
+    let mut fanout_cnt = vec![0u32; n];
+    for from in fanin_dat {
+        fanout_cnt[from.index()] += 1;
+    }
+    let mut fanout_off = Vec::with_capacity(n + 1);
+    fanout_off.push(0u32);
+    for c in &fanout_cnt {
+        let last = *fanout_off.last().expect("non-empty offsets");
+        fanout_off.push(last + c);
+    }
+    let mut fanout_dat = vec![NodeId(0); fanin_dat.len()];
+    let mut cursor: Vec<u32> = fanout_off[..n].to_vec();
+    for to in 0..n {
+        let ins = &fanin_dat[fanin_off[to] as usize..fanin_off[to + 1] as usize];
+        for from in ins {
+            let c = &mut cursor[from.index()];
+            fanout_dat[*c as usize] = NodeId::from_index(to);
+            *c += 1;
+        }
+    }
+    (fanout_off, fanout_dat)
+}
+
 /// An immutable, flattened RTL node graph.
 ///
 /// See the [module documentation](self) for the data model.
 #[derive(Debug, Clone)]
 pub struct Netlist {
     design: String,
-    names: Vec<String>,
-    name_index: HashMap<String, NodeId>,
+    symbols: SymbolTable,
+    syms: Vec<Sym>,
+    node_of_sym: Vec<u32>,
     kinds: Vec<NodeKind>,
     fub_of: Vec<FubId>,
-    fubs: Vec<String>,
+    fubs: Vec<Sym>,
     structures: Vec<StructureDecl>,
     fanin_off: Vec<u32>,
     fanin_dat: Vec<NodeId>,
@@ -560,6 +712,11 @@ impl Netlist {
     /// The design name.
     pub fn design_name(&self) -> &str {
         &self.design
+    }
+
+    /// The design's symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
     }
 
     /// Total number of nodes.
@@ -589,7 +746,12 @@ impl Netlist {
 
     /// The hierarchical name of a node.
     pub fn name(&self, id: NodeId) -> &str {
-        &self.names[id.index()]
+        self.symbols.resolve(self.syms[id.index()])
+    }
+
+    /// The interned name symbol of a node.
+    pub fn node_sym(&self, id: NodeId) -> Sym {
+        self.syms[id.index()]
     }
 
     /// The FUB a node belongs to.
@@ -604,7 +766,7 @@ impl Netlist {
 
     /// The name of a FUB.
     pub fn fub_name(&self, id: FubId) -> &str {
-        &self.fubs[id.index()]
+        self.symbols.resolve(self.fubs[id.index()])
     }
 
     /// Iterates over all FUB ids.
@@ -614,7 +776,17 @@ impl Netlist {
 
     /// Looks up a node by its hierarchical name.
     pub fn lookup(&self, name: &str) -> Option<NodeId> {
-        self.name_index.get(name).copied()
+        self.symbols
+            .lookup(name)
+            .and_then(|sym| self.lookup_sym(sym))
+    }
+
+    /// Looks up a node by interned name.
+    pub fn lookup_sym(&self, sym: Sym) -> Option<NodeId> {
+        match self.node_of_sym.get(sym.index()) {
+            Some(&id) if id != NO_NODE => Some(NodeId(id)),
+            _ => None,
+        }
     }
 
     /// The fan-in (driver) nodes of `id`, in connection order.
@@ -656,7 +828,155 @@ impl Netlist {
             .position(|s| s.name == name)
             .map(StructId::from_index)
     }
+
+    /// FNV-1a 64-bit digest of the graph's *semantic* content: design name,
+    /// per-node names/kinds/FUBs, FUB names, structure declarations, and
+    /// the fan-in adjacency. Two graphs compare [`PartialEq`]-equal exactly
+    /// when their digests agree (modulo hash collisions); interner state
+    /// that names no node (e.g. raw source tokens) does not contribute.
+    ///
+    /// The sweep-artifact cache keys on this digest, and the binary
+    /// snapshot embeds it for integrity checking.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = Fnv1a64::new();
+        let mut scratch = Vec::with_capacity(16);
+        h.update(self.design.as_bytes());
+        h.update(&[0xFF]);
+        h.update(&(self.kinds.len() as u64).to_le_bytes());
+        for i in 0..self.kinds.len() {
+            h.update(self.symbols.resolve(self.syms[i]).as_bytes());
+            h.update(&[0]);
+            scratch.clear();
+            self.kinds[i].encode(&mut scratch);
+            h.update(&scratch);
+            h.update(&(self.fub_of[i].0).to_le_bytes());
+        }
+        h.update(&(self.fubs.len() as u64).to_le_bytes());
+        for &f in &self.fubs {
+            h.update(self.symbols.resolve(f).as_bytes());
+            h.update(&[0]);
+        }
+        h.update(&(self.structures.len() as u64).to_le_bytes());
+        for s in &self.structures {
+            h.update(s.name.as_bytes());
+            h.update(&[0]);
+            h.update(&s.width.to_le_bytes());
+            h.update(&(s.fub.0).to_le_bytes());
+        }
+        for off in &self.fanin_off {
+            h.update(&off.to_le_bytes());
+        }
+        for from in &self.fanin_dat {
+            h.update(&(from.0).to_le_bytes());
+        }
+        h.finish()
+    }
+
+    // Raw accessors used by the snapshot serializer (crate-private).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn raw_parts(
+        &self,
+    ) -> (
+        &SymbolTable,
+        &[Sym],
+        &[NodeKind],
+        &[FubId],
+        &[Sym],
+        &[StructureDecl],
+        &[u32],
+        &[NodeId],
+    ) {
+        (
+            &self.symbols,
+            &self.syms,
+            &self.kinds,
+            &self.fub_of,
+            &self.fubs,
+            &self.structures,
+            &self.fanin_off,
+            &self.fanin_dat,
+        )
+    }
+
+    /// Reassembles a netlist from validated parts (snapshot load). The
+    /// caller guarantees index validity; derived state (fan-out transpose,
+    /// name index, sequential census, structure name strings) is rebuilt
+    /// here.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_parts(
+        design: String,
+        symbols: SymbolTable,
+        syms: Vec<Sym>,
+        kinds: Vec<NodeKind>,
+        fub_of: Vec<FubId>,
+        fubs: Vec<Sym>,
+        structures: Vec<(Sym, u32, FubId, Vec<NodeId>)>,
+        fanin_off: Vec<u32>,
+        fanin_dat: Vec<NodeId>,
+    ) -> Netlist {
+        let n = kinds.len();
+        let mut node_of_sym = vec![NO_NODE; symbols.len()];
+        for (i, sym) in syms.iter().enumerate() {
+            node_of_sym[sym.index()] = i as u32;
+        }
+        let (fanout_off, fanout_dat) = transpose_csr(n, &fanin_off, &fanin_dat);
+        let seq_count = kinds.iter().filter(|k| k.is_sequential()).count();
+        let structures = structures
+            .into_iter()
+            .map(|(sym, width, fub, cells)| StructureDecl {
+                name: symbols.resolve(sym).to_owned(),
+                sym,
+                width,
+                fub,
+                cells,
+            })
+            .collect();
+        Netlist {
+            design,
+            symbols,
+            syms,
+            node_of_sym,
+            kinds,
+            fub_of,
+            fubs,
+            structures,
+            fanin_off,
+            fanin_dat,
+            fanout_off,
+            fanout_dat,
+            seq_count,
+        }
+    }
 }
+
+impl PartialEq for Netlist {
+    /// Semantic graph equality: same design name, same nodes (name, kind,
+    /// FUB) in the same order, same FUB and structure declarations, same
+    /// fan-in adjacency. Interner bookkeeping (extra interned strings that
+    /// name no node) is ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.design == other.design
+            && self.kinds == other.kinds
+            && self.fub_of == other.fub_of
+            && self.fanin_off == other.fanin_off
+            && self.fanin_dat == other.fanin_dat
+            && self.structures == other.structures
+            && self.syms.len() == other.syms.len()
+            && self
+                .syms
+                .iter()
+                .zip(&other.syms)
+                .all(|(&a, &b)| self.symbols.resolve(a) == other.symbols.resolve(b))
+            && self.fubs.len() == other.fubs.len()
+            && self
+                .fubs
+                .iter()
+                .zip(&other.fubs)
+                .all(|(&a, &b)| self.symbols.resolve(a) == other.symbols.resolve(b))
+    }
+}
+
+impl Eq for Netlist {}
 
 #[cfg(test)]
 mod tests {
@@ -695,6 +1015,8 @@ mod tests {
         assert_eq!(nl.name(q), "q");
         assert!(nl.kind(q).is_sequential());
         assert_eq!(nl.fub_name(nl.fub(q)), "f0");
+        // Symbol round trip.
+        assert_eq!(nl.lookup_sym(nl.node_sym(q)), Some(q));
     }
 
     #[test]
@@ -824,8 +1146,10 @@ mod tests {
             GateOp::Const1,
         ] {
             assert_eq!(GateOp::from_mnemonic(op.mnemonic()), Some(op));
+            assert_eq!(GateOp::from_code(op.code()), Some(op));
         }
         assert_eq!(GateOp::from_mnemonic("zzz"), None);
+        assert_eq!(GateOp::from_code(200), None);
     }
 
     #[test]
@@ -846,5 +1170,42 @@ mod tests {
         assert_eq!(NodeId::from_index(7).to_string(), "n7");
         assert_eq!(FubId::from_index(2).to_string(), "fub2");
         assert_eq!(StructId::from_index(1).to_string(), "s1");
+    }
+
+    #[test]
+    fn content_digest_tracks_semantics_not_interner_state() {
+        let nl1 = simple().finish().unwrap();
+        // Same graph built with extra junk interned first.
+        let mut b = NetlistBuilder::new("t");
+        b.symbols_mut().intern("unused_token");
+        b.symbols_mut().intern("another_one");
+        let fub = b.add_fub("f0");
+        let i = b.add_node("in", NodeKind::Input, fub);
+        let g = b.add_node("g", NodeKind::Comb(GateOp::Not), fub);
+        let q = b.add_node(
+            "q",
+            NodeKind::Seq {
+                kind: SeqKind::Flop,
+                has_enable: false,
+            },
+            fub,
+        );
+        let o = b.add_node("out", NodeKind::Output, fub);
+        b.connect(i, g);
+        b.connect(g, q);
+        b.connect(q, o);
+        let nl2 = b.finish().unwrap();
+        assert_eq!(nl1, nl2);
+        assert_eq!(nl1.content_digest(), nl2.content_digest());
+
+        // A one-gate change moves the digest.
+        let mut b = simple();
+        let fub = FubId::from_index(0);
+        let extra = b.add_node("extra", NodeKind::Comb(GateOp::Not), fub);
+        let q = b.lookup("q").unwrap();
+        b.connect(q, extra);
+        let nl3 = b.finish().unwrap();
+        assert_ne!(nl1, nl3);
+        assert_ne!(nl1.content_digest(), nl3.content_digest());
     }
 }

@@ -12,8 +12,12 @@
 //! - [`flatten`] — hierarchy expansion: `.subckt` instances of `.model`
 //!   blocks are inlined so that each FUB becomes a single flat model,
 //!   mirroring the paper's post-compilation expansion step (§5.1).
+//! - [`intern`] — the global symbol interner ([`Sym`], [`SymbolTable`])
+//!   that keeps owned strings off the graph's hot paths.
 //! - [`scc`] — Tarjan strongly-connected-component detection used to find
 //!   state-machine feedback loops (§4.3).
+//! - [`snapshot`] — the `seqavf-graph/1` versioned binary format for
+//!   caching flattened graphs (plus their loop analysis) on disk.
 //! - [`synth`] — a seeded generator of processor-shaped synthetic designs
 //!   (pipelines, logical joins, distribution splits, FSM loops, control
 //!   registers) standing in for the proprietary Intel Xeon RTL.
@@ -40,10 +44,14 @@ pub mod error;
 pub mod exlif;
 pub mod flatten;
 pub mod graph;
+pub mod intern;
 pub mod scc;
+pub mod snapshot;
 pub mod stats;
 pub mod synth;
 pub mod verilog;
 
 pub use error::{BuildError, ExlifError};
 pub use graph::{FubId, GateOp, Netlist, NetlistBuilder, NodeId, NodeKind, SeqKind, StructId};
+pub use intern::{Fnv1a64, Sym, SymbolTable, WideFnv64};
+pub use snapshot::SnapshotError;

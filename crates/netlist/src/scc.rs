@@ -16,7 +16,7 @@
 use crate::graph::{Netlist, NodeId};
 
 /// Result of loop detection over a [`Netlist`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoopAnalysis {
     in_loop: Vec<bool>,
     components: Vec<Vec<NodeId>>,
@@ -51,6 +51,30 @@ impl LoopAnalysis {
     /// Iterates over all loop-member node ids.
     pub fn loop_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.components.iter().flatten().copied()
+    }
+
+    /// Rebuilds a `LoopAnalysis` from its component lists (the only part a
+    /// graph snapshot stores — membership flags and censuses are derived).
+    /// Returns `None` if any component member is out of range for `nl`.
+    pub fn from_parts(nl: &Netlist, components: Vec<Vec<NodeId>>) -> Option<Self> {
+        let n = nl.node_count();
+        let mut in_loop = vec![false; n];
+        for c in &components {
+            for m in c {
+                if m.index() >= n {
+                    return None;
+                }
+                in_loop[m.index()] = true;
+            }
+        }
+        let loop_node_count = in_loop.iter().filter(|&&b| b).count();
+        let loop_seq_count = nl.seq_nodes().filter(|&id| in_loop[id.index()]).count();
+        Some(LoopAnalysis {
+            in_loop,
+            components,
+            loop_node_count,
+            loop_seq_count,
+        })
     }
 }
 

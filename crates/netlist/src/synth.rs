@@ -510,7 +510,7 @@ fn sink_node(
         let cell = b.structure_cell(sid, rng.gen_range(0..w));
         b.connect(cur, cell);
     } else {
-        let o = b.add_node(out_name.to_owned(), NodeKind::Output, fub);
+        let o = b.add_node(out_name, NodeKind::Output, fub);
         b.connect(cur, o);
         exports.push(o);
     }

@@ -25,15 +25,19 @@
 //! hierarchy is the EXLIF format's job — module instantiation is not part
 //! of this subset. The parser lowers to the EXLIF AST, so
 //! [`crate::flatten::build_netlist`] performs all semantic checking.
+//!
+//! Tokens are zero-copy `&str` slices over the source buffer; identifiers
+//! are interned directly into the AST's [`SymbolTable`].
 
 use crate::error::{ExlifError, ExlifErrorKind};
 use crate::exlif::{DesignAst, FubAst, Stmt};
 use crate::graph::{GateOp, Netlist, SeqKind};
+use crate::intern::{Sym, SymbolTable};
 
-/// A token with its source line.
-#[derive(Debug, Clone, PartialEq)]
-struct Tok {
-    text: String,
+/// A token (a slice of the source text) with its source line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Tok<'a> {
+    text: &'a str,
     line: usize,
 }
 
@@ -41,71 +45,100 @@ fn err(line: usize, kind: ExlifErrorKind) -> ExlifError {
     ExlifError { line, kind }
 }
 
-/// Splits source text into tokens, stripping `//` and `/* */` comments.
-/// Punctuation characters are individual tokens; identifiers may contain
-/// `[`, `]` and `.` only through explicit tokens re-joined by the parser.
-fn tokenize(src: &str) -> Vec<Tok> {
+/// Splits source text into zero-copy tokens, stripping `//` and `/* */`
+/// comments. Punctuation characters are individual tokens; `[`, `]` and
+/// `.` stay inside identifiers.
+fn tokenize(src: &str) -> Vec<Tok<'_>> {
+    const NONE: usize = usize::MAX;
+    let b = src.as_bytes();
     let mut toks = Vec::new();
     let mut line = 1usize;
-    let mut chars = src.chars().peekable();
-    let mut cur = String::new();
-    let flush = |cur: &mut String, toks: &mut Vec<Tok>, line: usize| {
-        if !cur.is_empty() {
-            toks.push(Tok {
-                text: std::mem::take(cur),
-                line,
-            });
-        }
-    };
-    while let Some(c) = chars.next() {
-        match c {
-            '\n' => {
-                flush(&mut cur, &mut toks, line);
-                line += 1;
-            }
-            '/' if chars.peek() == Some(&'/') => {
-                flush(&mut cur, &mut toks, line);
-                for c2 in chars.by_ref() {
-                    if c2 == '\n' {
-                        line += 1;
-                        break;
-                    }
-                }
-            }
-            '/' if chars.peek() == Some(&'*') => {
-                flush(&mut cur, &mut toks, line);
-                chars.next();
-                let mut prev = ' ';
-                for c2 in chars.by_ref() {
-                    if c2 == '\n' {
-                        line += 1;
-                    }
-                    if prev == '*' && c2 == '/' {
-                        break;
-                    }
-                    prev = c2;
-                }
-            }
-            c if c.is_whitespace() => flush(&mut cur, &mut toks, line),
-            '(' | ')' | ',' | ';' | '=' => {
-                flush(&mut cur, &mut toks, line);
+    let mut i = 0usize;
+    let mut start = NONE;
+    macro_rules! flush {
+        () => {
+            if start != NONE {
                 toks.push(Tok {
-                    text: c.to_string(),
+                    text: &src[start..i],
                     line,
                 });
+                start = NONE;
+            }
+        };
+    }
+    while i < b.len() {
+        match b[i] {
+            b'\n' => {
+                flush!();
+                line += 1;
+                i += 1;
+            }
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                flush!();
+                i += 2;
+                while i < b.len() {
+                    let c = b[i];
+                    i += 1;
+                    if c == b'\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                flush!();
+                i += 2;
+                let mut prev = b' ';
+                while i < b.len() {
+                    let c = b[i];
+                    if c == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                    if prev == b'*' && c == b'/' {
+                        break;
+                    }
+                    prev = c;
+                }
+            }
+            c if c.is_ascii_whitespace() => {
+                flush!();
+                i += 1;
+            }
+            b'(' | b')' | b',' | b';' | b'=' => {
+                flush!();
+                toks.push(Tok {
+                    text: &src[i..i + 1],
+                    line,
+                });
+                i += 1;
             }
             // Bit selects and dotted references stay inside identifiers.
-            _ => cur.push(c),
+            _ => {
+                if start == NONE {
+                    start = i;
+                }
+                i += 1;
+            }
         }
     }
-    flush(&mut cur, &mut toks, line);
+    if start != NONE {
+        toks.push(Tok {
+            text: &src[start..],
+            line,
+        });
+    }
     toks
 }
 
 /// Parses the structural-Verilog subset into the EXLIF AST.
 pub fn parse_to_ast(src: &str) -> Result<DesignAst, ExlifError> {
     let toks = tokenize(src);
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        syms: SymbolTable::new(),
+    };
     let mut fubs = Vec::new();
     while !p.at_end() {
         fubs.push(p.module()?);
@@ -114,6 +147,7 @@ pub fn parse_to_ast(src: &str) -> Result<DesignAst, ExlifError> {
         name: "verilog".to_owned(),
         models: Vec::new(),
         fubs,
+        symbols: p.syms,
     })
 }
 
@@ -122,17 +156,18 @@ pub fn parse_netlist(src: &str) -> Result<Netlist, ExlifError> {
     parse_netlist_traced(src, &seqavf_obs::Collector::disabled())
 }
 
-/// [`parse_netlist`] with observability: `netlist.parse` covers the
-/// Verilog parse, `netlist.flatten` the hierarchy expansion.
+/// [`parse_netlist`] with observability: `frontend.parse` covers the
+/// Verilog parse, `frontend.flatten` the hierarchy expansion.
 pub fn parse_netlist_traced(src: &str, obs: &seqavf_obs::Collector) -> Result<Netlist, ExlifError> {
     let ast = {
-        let mut span = obs.span("netlist.parse");
+        let mut span = obs.span("frontend.parse");
         let ast = parse_to_ast(src)?;
         span.field_str("frontend", "verilog");
         span.field_u64("fubs", ast.fubs.len() as u64);
+        span.field_u64("symbols", ast.symbols.len() as u64);
         ast
     };
-    let mut span = obs.span("netlist.flatten");
+    let mut span = obs.span("frontend.flatten");
     let nl = crate::flatten::build_netlist(&ast)?;
     span.field_u64("nodes", nl.node_count() as u64);
     span.field_u64("seq_nodes", nl.seq_count() as u64);
@@ -140,12 +175,13 @@ pub fn parse_netlist_traced(src: &str, obs: &seqavf_obs::Collector) -> Result<Ne
     Ok(nl)
 }
 
-struct Parser {
-    toks: Vec<Tok>,
+struct Parser<'a> {
+    toks: Vec<Tok<'a>>,
     pos: usize,
+    syms: SymbolTable,
 }
 
-impl Parser {
+impl<'a> Parser<'a> {
     fn at_end(&self) -> bool {
         self.pos >= self.toks.len()
     }
@@ -156,17 +192,17 @@ impl Parser {
             .map_or(0, |t| t.line)
     }
 
-    fn peek(&self) -> Option<&str> {
-        self.toks.get(self.pos).map(|t| t.text.as_str())
+    fn peek(&self) -> Option<&'a str> {
+        self.toks.get(self.pos).map(|t| t.text)
     }
 
-    fn next(&mut self, what: &'static str) -> Result<String, ExlifError> {
+    fn next(&mut self, what: &'static str) -> Result<&'a str, ExlifError> {
         let t = self
             .toks
             .get(self.pos)
             .ok_or_else(|| err(self.line(), ExlifErrorKind::UnexpectedEof(what)))?;
         self.pos += 1;
-        Ok(t.text.clone())
+        Ok(t.text)
     }
 
     fn expect(&mut self, text: &'static str) -> Result<(), ExlifError> {
@@ -175,17 +211,18 @@ impl Parser {
         if t == text {
             Ok(())
         } else {
-            Err(err(line, ExlifErrorKind::UnknownDirective(t)))
+            Err(err(line, ExlifErrorKind::UnknownDirective(t.to_owned())))
         }
     }
 
     fn module(&mut self) -> Result<FubAst, ExlifError> {
         self.expect("module")?;
-        let name = self.next("module name")?;
+        let name_str = self.next("module name")?;
+        let name = self.syms.intern(name_str);
         let mut stmts = Vec::new();
         // Port list.
         self.expect("(")?;
-        let mut outputs: Vec<String> = Vec::new();
+        let mut outputs: Vec<Sym> = Vec::new();
         loop {
             match self.peek() {
                 Some(")") => {
@@ -198,27 +235,29 @@ impl Parser {
                 Some("input") => {
                     self.pos += 1;
                     let net = self.next("input port name")?;
+                    let net = self.syms.intern(net);
                     stmts.push(Stmt::Input(net));
                 }
                 Some("output") => {
                     self.pos += 1;
-                    outputs.push(self.next("output port name")?);
+                    let net = self.next("output port name")?;
+                    outputs.push(self.syms.intern(net));
                 }
                 _ => {
                     let line = self.line();
                     let t = self.next("port declaration")?;
-                    return Err(err(line, ExlifErrorKind::UnknownDirective(t)));
+                    return Err(err(line, ExlifErrorKind::UnknownDirective(t.to_owned())));
                 }
             }
         }
         self.expect(";")?;
 
         // Body.
-        let mut assigns: Vec<(usize, String, String)> = Vec::new();
+        let mut assigns: Vec<(usize, &'a str, &'a str)> = Vec::new();
         loop {
             let line = self.line();
             let head = self.next("statement or endmodule")?;
-            match head.as_str() {
+            match head {
                 "endmodule" => break,
                 "wire" => {
                     // Declarations carry no information for the graph.
@@ -231,14 +270,15 @@ impl Parser {
                     self.pos += 1;
                 }
                 "structure" => {
-                    let name = self.next("structure name")?;
+                    let sname = self.next("structure name")?;
+                    let sname = self.syms.intern(sname);
                     // [hi:lo]
                     let range = self.next("structure range")?;
-                    let (hi, lo) = parse_range(&range)
-                        .ok_or_else(|| err(line, ExlifErrorKind::BadBitRef(range.clone())))?;
+                    let (hi, lo) = parse_range(range)
+                        .ok_or_else(|| err(line, ExlifErrorKind::BadBitRef(range.to_owned())))?;
                     self.expect(";")?;
                     stmts.push(Stmt::Struct {
-                        name,
+                        name: sname,
                         width: hi - lo + 1,
                     });
                 }
@@ -258,12 +298,7 @@ impl Parser {
                     let _inst = self.next("instance name")?;
                     let conns = self.named_conns()?;
                     self.expect(";")?;
-                    let find = |port: &str| {
-                        conns
-                            .iter()
-                            .find(|(p, _)| p == port)
-                            .map(|(_, n)| n.clone())
-                    };
+                    let find = |port: &str| conns.iter().find(|(p, _)| *p == port).map(|&(_, n)| n);
                     let q = find("q").ok_or_else(|| {
                         err(line, ExlifErrorKind::MissingOperand("dff .q() connection"))
                     })?;
@@ -300,37 +335,41 @@ impl Parser {
         // Lower assigns: struct-bit targets become write ports, output
         // ports become .output statements, everything else a buffer.
         for (line, lhs, rhs) in assigns {
-            if let Some((structure, bit)) = split_bit_ref(&lhs) {
+            let src = self.syms.intern(rhs);
+            if let Some((structure, bit)) = split_bit_ref(lhs) {
                 stmts.push(Stmt::StructWrite {
-                    structure: structure.to_owned(),
+                    structure: self.syms.intern(structure),
                     bit,
-                    src: rhs,
-                });
-            } else if outputs.contains(&lhs) {
-                stmts.push(Stmt::Output {
-                    name: lhs,
-                    src: rhs,
+                    src,
                 });
             } else {
-                let _ = line;
-                stmts.push(Stmt::Gate {
-                    op: GateOp::Buf,
-                    out: lhs,
-                    ins: vec![rhs],
-                });
+                let lhs = self.syms.intern(lhs);
+                if outputs.contains(&lhs) {
+                    stmts.push(Stmt::Output { name: lhs, src });
+                } else {
+                    let _ = line;
+                    stmts.push(Stmt::Gate {
+                        op: GateOp::Buf,
+                        out: lhs,
+                        ins: vec![src],
+                    });
+                }
             }
         }
         // Outputs never assigned are an error surfaced by netlist
         // validation (an Output node without a fan-in cannot exist because
         // it is never created); report them here with a line number.
-        for o in &outputs {
+        for &o in &outputs {
             let driven = stmts
                 .iter()
-                .any(|s| matches!(s, Stmt::Output { name, .. } if name == o));
+                .any(|s| matches!(s, Stmt::Output { name, .. } if *name == o));
             if !driven {
                 return Err(err(
                     0,
-                    ExlifErrorKind::UndefinedNet(format!("{name}.{o} (undriven output)")),
+                    ExlifErrorKind::UndefinedNet(format!(
+                        "{name_str}.{} (undriven output)",
+                        self.syms.resolve(o)
+                    )),
                 ));
             }
         }
@@ -338,7 +377,7 @@ impl Parser {
     }
 
     /// `(.port(net), .port(net), …)`
-    fn named_conns(&mut self) -> Result<Vec<(String, String)>, ExlifError> {
+    fn named_conns(&mut self) -> Result<Vec<(&'a str, Sym)>, ExlifError> {
         self.expect("(")?;
         let mut conns = Vec::new();
         loop {
@@ -354,11 +393,11 @@ impl Parser {
                     let line = self.line();
                     let t = self.next("named connection")?;
                     let Some(port) = t.strip_prefix('.') else {
-                        return Err(err(line, ExlifErrorKind::UnknownDirective(t)));
+                        return Err(err(line, ExlifErrorKind::UnknownDirective(t.to_owned())));
                     };
-                    let port = port.to_owned();
                     self.expect("(")?;
                     let net = self.next("connection net")?;
+                    let net = self.syms.intern(net);
                     self.expect(")")?;
                     conns.push((port, net));
                 }
@@ -368,7 +407,7 @@ impl Parser {
     }
 
     /// `(net, net, …)`
-    fn positional_conns(&mut self) -> Result<Vec<String>, ExlifError> {
+    fn positional_conns(&mut self) -> Result<Vec<Sym>, ExlifError> {
         self.expect("(")?;
         let mut nets = Vec::new();
         loop {
@@ -380,7 +419,10 @@ impl Parser {
                 Some(",") => {
                     self.pos += 1;
                 }
-                _ => nets.push(self.next("connection net")?),
+                _ => {
+                    let net = self.next("connection net")?;
+                    nets.push(self.syms.intern(net));
+                }
             }
         }
         Ok(nets)
@@ -510,6 +552,15 @@ endmodule
         let nl2 = crate::flatten::parse_netlist(&text).unwrap();
         assert_eq!(nl.node_count(), nl2.node_count());
         assert_eq!(nl.edge_count(), nl2.edge_count());
+    }
+
+    #[test]
+    fn tokens_are_slices_of_the_source() {
+        let src = "module m (input a);";
+        for t in tokenize(src) {
+            let off = t.text.as_ptr() as usize - src.as_ptr() as usize;
+            assert_eq!(&src[off..off + t.text.len()], t.text);
+        }
     }
 
     #[test]

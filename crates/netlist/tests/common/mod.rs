@@ -1,0 +1,80 @@
+//! Shared generator of valid EXLIF designs for the snapshot and
+//! parallel-flatten property tests: every produced source must parse and
+//! flatten cleanly, while covering structures, struct writes, latches,
+//! FSM feedback loops and hierarchical `.subckt` instances across a
+//! variable number of FUBs.
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+
+/// Shape parameters of one generated FUB.
+#[derive(Debug, Clone)]
+pub struct FubShape {
+    /// Pipeline depth in sequential stages.
+    pub flops: usize,
+    /// ACE-structure width in bit cells.
+    pub width: u32,
+    /// Number of `stage` model instances to inline.
+    pub insts: usize,
+    /// Whether to add a two-flop FSM feedback loop.
+    pub fsm: bool,
+    /// Whether to alternate latches into the pipeline.
+    pub latches: bool,
+}
+
+fn arb_fub_shape() -> impl Strategy<Value = FubShape> {
+    (1usize..8, 1u32..5, 0usize..3, any::<bool>(), any::<bool>()).prop_map(
+        |(flops, width, insts, fsm, latches)| FubShape {
+            flops,
+            width,
+            insts,
+            fsm,
+            latches,
+        },
+    )
+}
+
+/// A random multi-FUB EXLIF design source.
+pub fn arb_design() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_fub_shape(), 1..5).prop_map(render_design)
+}
+
+/// Renders the FUB shapes as EXLIF text.
+pub fn render_design(fubs: Vec<FubShape>) -> String {
+    let mut s = String::from(".design gen\n");
+    s.push_str(
+        ".model stage\n  .minput d\n  .moutput q\n  .gate not gi d\n  .flop q gi\n.endmodel\n",
+    );
+    for (fi, f) in fubs.iter().enumerate() {
+        s.push_str(&format!(".fub f{fi}\n  .input in{fi}\n"));
+        s.push_str(&format!("  .struct st{fi} {}\n", f.width));
+        s.push_str(&format!("  .gate and g{fi}_0 in{fi} st{fi}[0]\n"));
+        let mut prev = format!("g{fi}_0");
+        for i in 0..f.flops {
+            let kind = if f.latches && i % 2 == 1 {
+                ".latch"
+            } else {
+                ".flop"
+            };
+            s.push_str(&format!("  {kind} q{fi}_{i} {prev}\n"));
+            prev = format!("q{fi}_{i}");
+        }
+        for b in 1..f.width {
+            s.push_str(&format!("  .sw st{fi}[{b}] {prev}\n"));
+        }
+        if f.fsm {
+            // Forward references are legal: the loop gate reads a flop
+            // declared below it.
+            s.push_str(&format!("  .gate or lg{fi} a{fi}_1 {prev}\n"));
+            s.push_str(&format!("  .flop a{fi}_0 lg{fi}\n"));
+            s.push_str(&format!("  .flop a{fi}_1 a{fi}_0\n"));
+        }
+        for k in 0..f.insts {
+            s.push_str(&format!("  .subckt stage u{fi}_{k} d={prev}\n"));
+            s.push_str(&format!("  .output sout{fi}_{k} u{fi}_{k}.q\n"));
+        }
+        s.push_str(&format!("  .output out{fi} {prev}\n.endfub\n"));
+    }
+    s.push_str(".end\n");
+    s
+}

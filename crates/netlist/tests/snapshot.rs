@@ -1,0 +1,91 @@
+//! End-to-end properties of the `seqavf-graph/1` binary snapshot over
+//! randomly generated designs: a save/load roundtrip restores an equal
+//! graph (node for node), and damaged snapshots of any kind error cleanly
+//! — they never panic and never load as a different graph, so callers can
+//! always degrade to a recompute.
+
+mod common;
+
+use proptest::prelude::*;
+
+use seqavf_netlist::flatten;
+use seqavf_netlist::scc::find_loops;
+use seqavf_netlist::snapshot;
+use seqavf_netlist::synth::{generate, SynthConfig};
+
+#[test]
+fn synthetic_design_roundtrips() {
+    let design = generate(&SynthConfig::xeon_like(7).scaled(0.2));
+    let loops = find_loops(&design.netlist);
+    let bytes = snapshot::save(&design.netlist, &loops);
+    let (nl2, loops2) = snapshot::load(&bytes).expect("snapshot loads");
+    assert_eq!(nl2, design.netlist);
+    assert_eq!(loops2, loops);
+    assert_eq!(nl2.content_digest(), design.netlist.content_digest());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_designs_roundtrip_node_for_node(src in common::arb_design()) {
+        let nl = flatten::parse_netlist(&src).expect("generated design is valid");
+        let loops = find_loops(&nl);
+        let bytes = snapshot::save(&nl, &loops);
+        let (nl2, loops2) = snapshot::load(&bytes).expect("snapshot loads");
+        prop_assert_eq!(&nl2, &nl);
+        prop_assert_eq!(&loops2, &loops);
+        prop_assert_eq!(nl2.content_digest(), nl.content_digest());
+        for id in nl.nodes() {
+            prop_assert_eq!(nl2.name(id), nl.name(id));
+            prop_assert_eq!(nl2.kind(id), nl.kind(id));
+            prop_assert_eq!(nl2.fanin(id), nl.fanin(id));
+            prop_assert_eq!(nl2.fanout(id), nl.fanout(id));
+        }
+        // Re-saving the restored graph is byte-identical: the format is
+        // canonical, so cache files never churn.
+        prop_assert_eq!(snapshot::save(&nl2, &loops2), bytes);
+    }
+
+    #[test]
+    fn truncated_snapshots_error_cleanly(
+        src in common::arb_design(),
+        frac in 0.0f64..1.0,
+    ) {
+        let nl = flatten::parse_netlist(&src).unwrap();
+        let loops = find_loops(&nl);
+        let bytes = snapshot::save(&nl, &loops);
+        let cut = ((bytes.len() as f64 * frac) as usize).min(bytes.len() - 1);
+        prop_assert!(snapshot::load(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn corrupted_snapshots_error_cleanly(
+        src in common::arb_design(),
+        pos_frac in 0.0f64..1.0,
+        mask in 1u32..256,
+    ) {
+        let nl = flatten::parse_netlist(&src).unwrap();
+        let loops = find_loops(&nl);
+        let mut bytes = snapshot::save(&nl, &loops);
+        let pos = ((bytes.len() as f64 * pos_frac) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= mask as u8;
+        // The whole-file checksum covers every byte (the trailer guards
+        // itself), so any single-byte change must be rejected.
+        prop_assert!(snapshot::load(&bytes).is_err());
+    }
+
+    #[test]
+    fn wrong_version_snapshots_error_cleanly(
+        src in common::arb_design(),
+        version in 2u32..10,
+    ) {
+        let nl = flatten::parse_netlist(&src).unwrap();
+        let loops = find_loops(&nl);
+        let mut bytes = snapshot::save(&nl, &loops);
+        // `seqavf-graph/1\n` — the version digit sits at offset 13.
+        assert_eq!(bytes[13], b'1');
+        bytes[13] = b'0' + version as u8;
+        prop_assert!(snapshot::load(&bytes).is_err());
+    }
+}

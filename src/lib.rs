@@ -45,10 +45,16 @@ pub mod flow {
     //! The end-to-end tool flow (§5.1): performance model → port AVFs →
     //! structure mapping → SART.
 
+    use std::path::PathBuf;
+
     use seqavf_core::engine::{SartConfig, SartEngine, SartResult};
     use seqavf_core::mapping::{PavfInputs, StructureMapping};
     use seqavf_core::report::SartSummary;
-    use seqavf_netlist::synth::{generate, SynthConfig, SynthDesign};
+    use seqavf_netlist::graph::{Netlist, StructId};
+    use seqavf_netlist::scc::{find_loops_traced, LoopAnalysis};
+    use seqavf_netlist::snapshot;
+    use seqavf_netlist::synth::{generate, SynthConfig, SynthDesign, SynthMeta};
+    use seqavf_netlist::Fnv1a64;
     use seqavf_obs::Collector;
     use seqavf_perf::pipeline::{run_ace_traced, PerfConfig};
     use seqavf_perf::report::{AceReport, SuiteReport};
@@ -66,6 +72,12 @@ pub mod flow {
         pub perf: PerfConfig,
         /// SART parameters.
         pub sart: SartConfig,
+        /// Graph-snapshot cache directory. When set, the generated design
+        /// (netlist + loop analysis + ground-truth metadata) is persisted
+        /// as a `seqavf-graph/1` snapshot keyed by the design
+        /// configuration, so repeat runs skip synthesis, flattening and
+        /// the SCC pass. `None` disables the cache.
+        pub graph_cache: Option<PathBuf>,
     }
 
     impl FlowConfig {
@@ -87,6 +99,7 @@ pub mod flow {
                     boundary_out_pavf: 0.35,
                     ..SartConfig::default()
                 },
+                graph_cache: None,
             }
         }
 
@@ -105,6 +118,7 @@ pub mod flow {
                     boundary_out_pavf: 0.35,
                     ..SartConfig::default()
                 },
+                graph_cache: None,
             }
         }
     }
@@ -175,24 +189,126 @@ pub mod flow {
         run_flow_traced(config, &Collector::disabled())
     }
 
-    /// [`run_flow`] with observability: every stage reports through the
-    /// collector — `flow.generate` (design synthesis), `ace.suite` /
-    /// `ace.workload` (performance model), `netlist.scc` / `sart.prepare`
-    /// (engine preparation), `relax.sweep` (each relaxation sweep) and
-    /// `sart.resolve` (closed-form resolution).
-    pub fn run_flow_traced(config: &FlowConfig, obs: &Collector) -> FlowOutput {
-        let design = {
+    /// Header line of the synthesis-metadata sidecar stored next to a flow
+    /// graph snapshot.
+    const SYNTHMETA_MAGIC: &str = "seqavf-synthmeta/1";
+
+    /// Renders the generator's ground-truth metadata as the text sidecar.
+    fn meta_to_text(meta: &SynthMeta) -> String {
+        let mut out = String::from(SYNTHMETA_MAGIC);
+        out.push('\n');
+        for (sid, perf) in &meta.structure_map {
+            out.push_str(&format!("struct {} {perf}\n", sid.index()));
+        }
+        for name in &meta.control_reg_names {
+            out.push_str(&format!("creg {name}\n"));
+        }
+        out
+    }
+
+    /// Parses the sidecar back, validating every structure id against the
+    /// restored netlist. Any malformed line means `None` (→ regenerate).
+    fn meta_from_text(text: &str, nl: &Netlist) -> Option<SynthMeta> {
+        let mut lines = text.lines();
+        if lines.next()? != SYNTHMETA_MAGIC {
+            return None;
+        }
+        let mut structure_map = Vec::new();
+        let mut control_reg_names = Vec::new();
+        for line in lines {
+            let mut it = line.split_whitespace();
+            match it.next() {
+                None => continue,
+                Some("struct") => {
+                    let sid: usize = it.next()?.parse().ok()?;
+                    let perf = it.next()?.to_owned();
+                    if it.next().is_some() || sid >= nl.structure_count() {
+                        return None;
+                    }
+                    structure_map.push((StructId::from_index(sid), perf));
+                }
+                Some("creg") => {
+                    let name = it.next()?.to_owned();
+                    if it.next().is_some() {
+                        return None;
+                    }
+                    control_reg_names.push(name);
+                }
+                Some(_) => return None,
+            }
+        }
+        Some(SynthMeta {
+            structure_map,
+            control_reg_names,
+        })
+    }
+
+    /// Obtains the flow's design: from the graph-snapshot cache when
+    /// configured and intact (returning the restored loop analysis too),
+    /// otherwise by running the generator (and, with a cache directory,
+    /// storing the snapshot plus metadata sidecar for next time). Any
+    /// cache damage — missing files, corrupt snapshot, malformed sidecar —
+    /// degrades to a regenerate-and-rewrite, never an error.
+    fn obtain_design(config: &FlowConfig, obs: &Collector) -> (SynthDesign, Option<LoopAnalysis>) {
+        let generate_traced = || {
             let mut span = obs.span("flow.generate");
             let design = generate(&config.design);
             span.field_u64("nodes", design.netlist.node_count() as u64);
             span.field_u64("fubs", design.netlist.fub_count() as u64);
             design
         };
+        let Some(dir) = &config.graph_cache else {
+            return (generate_traced(), None);
+        };
+        let key = {
+            let mut h = Fnv1a64::new();
+            h.update(format!("{:?}", config.design).as_bytes());
+            h.finish()
+        };
+        let snap_path = dir.join(format!("graph-{key:016x}.bin"));
+        let meta_path = dir.join(format!("graph-{key:016x}.meta"));
+        let cached = std::fs::read(&snap_path).ok().and_then(|bytes| {
+            let (netlist, loops) = snapshot::load(&bytes).ok()?;
+            let meta_text = std::fs::read_to_string(&meta_path).ok()?;
+            let meta = meta_from_text(&meta_text, &netlist)?;
+            Some((SynthDesign { netlist, meta }, loops))
+        });
+        if let Some((design, loops)) = cached {
+            obs.count("frontend.snapshot.hit", 1);
+            return (design, Some(loops));
+        }
+        obs.count("frontend.snapshot.miss", 1);
+        let design = generate_traced();
+        let loops = find_loops_traced(&design.netlist, obs);
+        let _ = std::fs::create_dir_all(dir);
+        let _ = std::fs::write(&snap_path, snapshot::save(&design.netlist, &loops));
+        let _ = std::fs::write(&meta_path, meta_to_text(&design.meta));
+        (design, Some(loops))
+    }
+
+    /// [`run_flow`] with observability: every stage reports through the
+    /// collector — `flow.generate` (design synthesis), `ace.suite` /
+    /// `ace.workload` (performance model), `netlist.scc` / `sart.prepare`
+    /// (engine preparation), `relax.sweep` (each relaxation sweep) and
+    /// `sart.resolve` (closed-form resolution). With a `graph_cache`
+    /// directory configured, snapshot consultations additionally bump
+    /// `frontend.snapshot.hit` / `frontend.snapshot.miss`.
+    pub fn run_flow_traced(config: &FlowConfig, obs: &Collector) -> FlowOutput {
+        let (design, loops) = obtain_design(config, obs);
         let traces = standard_suite(&config.suite);
         let suite_report = run_suite_traced(&traces, &config.perf, obs);
         let inputs = inputs_from_suite(&suite_report);
         let mapping = StructureMapping::from_pairs(design.meta.structure_map.clone());
-        let engine = SartEngine::new_traced(&design.netlist, &mapping, config.sart.clone(), obs);
+        let engine = match &loops {
+            Some(l) => SartEngine::new_with_loops_traced(
+                &design.netlist,
+                &mapping,
+                config.sart.clone(),
+                l,
+                obs,
+            ),
+            None => SartEngine::new_traced(&design.netlist, &mapping, config.sart.clone(), obs),
+        };
         let result = engine.run_traced(&inputs, obs);
         let summary = SartSummary::new(&design.netlist, &result);
         FlowOutput {
