@@ -1,0 +1,9 @@
+//! E15 — production-scale thread curves and peak RSS.
+//! Usage: `production_scale [--scale full]`.
+use seqavf_bench::common::{emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = seqavf_bench::production::run(scale, 42);
+    emit("BENCH_6", &report.render(), &report);
+}

@@ -1,5 +1,5 @@
 //! **E14 — zero-copy frontend and binary graph snapshots**: cold parse +
-//! flatten + SCC against a warm `seqavf-graph/1` snapshot load on the
+//! flatten + SCC against a warm `seqavf-graph/2` snapshot load on the
 //! same design.
 //!
 //! The frontend rebuild interns every identifier into a global symbol

@@ -21,6 +21,7 @@
 //! | [`threads`] | sharded relaxation wall time vs worker-thread count |
 //! | [`incremental`] | incremental dirty-FUB sweeps vs full sweeps |
 //! | [`frontend`] | zero-copy frontend vs binary graph-snapshot load |
+//! | [`production`] | thread-scaling curves and peak RSS at 100k+-node scale |
 
 pub mod ablations;
 pub mod accuracy;
@@ -32,6 +33,7 @@ pub mod fig9;
 pub mod frontend;
 pub mod headline;
 pub mod incremental;
+pub mod production;
 pub mod scaling;
 pub mod speed;
 pub mod symbolic;

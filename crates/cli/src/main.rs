@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! seqavf gen   --out design.exlif [--map design.map] [--seed 42] [--scale 1.0]
+//!              [--cores N]
 //! seqavf ace   --out pavf.json [--workloads 32] [--len 5000] [--conservative]
 //! seqavf sart  --design design.exlif --map design.map --pavf pavf.json
 //!              [--out avf.json] [--loop-pavf 0.3] [--iterations 20] [--global]
@@ -11,7 +12,7 @@
 //!              [--workloads 8] [--len 5000] [--seed N] [--threads 4]
 //!              [--cache-dir .seqavf-cache] [--out sweep.json]
 //! seqavf flow  [--seed 42] [--workloads 32] [--len 5000] [--scale 1.0]
-//!              [--threads 4]
+//!              [--cores N] [--threads 4]
 //! ```
 //!
 //! `gen` emits the synthetic design in EXLIF plus the structure-mapping
@@ -78,8 +79,10 @@ const USAGE: &str = "\
 seqavf — sequential AVF via port-AVF propagation (MICRO-48 2015)
 
 commands:
-  gen   --out <design.exlif> [--map <file>] [--seed N] [--scale F]
-        generate a processor-shaped synthetic design
+  gen   --out <design.exlif> [--map <file>] [--seed N] [--scale F] [--cores N]
+        generate a processor-shaped synthetic design; --scale widens and
+        deepens every FUB, --cores replicates the core N times behind a
+        shared uncore (production-size designs need both)
   ace   --out <pavf.json> [--workloads N] [--len N] [--seed N] [--conservative]
         run the ACE performance model over a workload suite
   sart  --design <exlif|.v> --map <file> --pavf <json> [--out <json>]
@@ -100,8 +103,8 @@ commands:
         compile the closed forms once and evaluate a whole workload suite;
         --cache-dir reuses the compiled artifact across runs (keyed by
         netlist content + configuration), skipping relaxation entirely
-  flow  [--seed N] [--workloads N] [--len N] [--scale F] [--threads N]
-        [--no-incremental] [--graph-cache <dir>]
+  flow  [--seed N] [--workloads N] [--len N] [--scale F] [--cores N]
+        [--threads N] [--no-incremental] [--graph-cache <dir>]
         run the whole pipeline in memory and print the per-FUB report
 
 every command also accepts:
@@ -109,7 +112,7 @@ every command also accepts:
         [--metrics]                  print the per-phase metrics table
 
 --graph-cache stores the flattened node graph (plus its loop analysis) as
-a versioned binary seqavf-graph/1 snapshot keyed by the design source, so
+a versioned binary seqavf-graph/2 snapshot keyed by the design source, so
 repeat runs skip parsing, flattening and SCC detection; corrupt or stale
 snapshots silently fall back to a fresh parse.
 ";
@@ -170,7 +173,7 @@ impl Obs {
 /// use the structural-Verilog parser, everything else the EXLIF parser.
 ///
 /// When `cache` names a `--graph-cache` directory, the flattened graph and
-/// its loop analysis are stored there as a `seqavf-graph/1` snapshot keyed
+/// its loop analysis are stored there as a `seqavf-graph/2` snapshot keyed
 /// by the source text (and frontend), so a repeat run of the same file
 /// skips parse, flatten and SCC entirely. A missing, truncated or
 /// corrupted snapshot silently degrades to a fresh parse; a successful
@@ -221,14 +224,18 @@ fn load_design(
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
-    args.validate(&["out", "map", "seed", "scale", "trace-out"], &["metrics"])?;
+    args.validate(
+        &["out", "map", "seed", "scale", "cores", "trace-out"],
+        &["metrics"],
+    )?;
     let obs = Obs::from_args(args);
     let out = args.require("out")?;
     let seed = args.num("seed", 42u64)?;
     let scale = args.num("scale", 1.0f64)?;
+    let cores = args.num("cores", 1usize)?;
     let design = {
         let mut span = obs.collector.span("flow.generate");
-        let design = generate(&SynthConfig::xeon_like(seed).scaled(scale));
+        let design = generate(&SynthConfig::xeon_like(seed).scaled(scale).with_cores(cores));
         span.field_u64("nodes", design.netlist.node_count() as u64);
         span.field_u64("fubs", design.netlist.fub_count() as u64);
         design
@@ -567,6 +574,7 @@ fn cmd_flow(args: &Args) -> Result<(), String> {
             "workloads",
             "len",
             "scale",
+            "cores",
             "threads",
             "graph-cache",
             "trace-out",
@@ -576,7 +584,10 @@ fn cmd_flow(args: &Args) -> Result<(), String> {
     let obs = Obs::from_args(args);
     let mut cfg = seqavf::flow::FlowConfig::xeon_like(args.num("seed", 42u64)?);
     cfg.graph_cache = args.get("graph-cache").map(Into::into);
-    cfg.design = cfg.design.scaled(args.num("scale", 1.0f64)?);
+    cfg.design = cfg
+        .design
+        .scaled(args.num("scale", 1.0f64)?)
+        .with_cores(args.num("cores", 1usize)?);
     cfg.suite.workloads = args.num("workloads", 32usize)?;
     cfg.suite.len = args.num("len", 5_000usize)?;
     cfg.sart.threads = args.num("threads", 1usize)?.max(1);

@@ -111,6 +111,19 @@ impl TermTable {
         t
     }
 
+    /// [`TermTable::new`] with storage reserved for `terms` entries, so a
+    /// caller that knows the design's structure count (2 port terms per
+    /// structure plus a few injected ones) interns without rehashing.
+    pub fn with_capacity(terms: usize) -> Self {
+        let mut t = TermTable {
+            terms: Vec::with_capacity(terms.max(1)),
+            index: HashMap::with_capacity(terms.max(1)),
+        };
+        let top = t.intern(TermKind::Top);
+        debug_assert_eq!(top.index(), 0);
+        t
+    }
+
     /// The saturated term.
     pub fn top(&self) -> TermId {
         TermId(0)
@@ -213,10 +226,19 @@ pub struct UnionArena {
 impl UnionArena {
     /// Creates an arena with the empty set at id 0 and `{TOP}` at id 1.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// [`UnionArena::new`] with storage reserved for roughly `sets`
+    /// distinct interned sets. Relaxation interns a set per direction per
+    /// visited node in the worst case, so sizing from the node count up
+    /// front avoids the doubling-rehash churn that dominates arena cost
+    /// on 100k+-node designs.
+    pub fn with_capacity(sets: usize) -> Self {
         let mut a = UnionArena {
-            sets: Vec::new(),
-            index: HashMap::new(),
-            union_memo: HashMap::new(),
+            sets: Vec::with_capacity(sets + 2),
+            index: HashMap::with_capacity(sets + 2),
+            union_memo: HashMap::with_capacity(sets / 2),
         };
         let empty = a.intern(Vec::new());
         debug_assert_eq!(empty.index(), 0);

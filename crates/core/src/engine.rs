@@ -132,7 +132,9 @@ impl<'nl> SartEngine<'nl> {
     ) -> Self {
         let mut span = obs.span("sart.prepare");
         let roles = classify(nl, loops, &config.ctrl_patterns);
-        let mut arena = UnionArena::new();
+        // Size the arena for the worst case relaxation interns — one set
+        // per direction per node — so production-scale runs never rehash.
+        let mut arena = UnionArena::with_capacity(nl.node_count());
         let prep = prepare(nl, roles, mapping, &mut arena);
         span.field_u64("nodes", nl.node_count() as u64);
         span.field_u64("terms", prep.terms.len() as u64);

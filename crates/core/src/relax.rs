@@ -246,7 +246,13 @@ fn walk_fubs_sharded(
     let nl = prop.nl;
     let shared = &prop.arena;
     let (snap_f, snap_b) = (&prop.fwd, &prop.bwd);
-    let mut shard = UnionArena::new();
+    // Worst case this shard interns a set per direction per node it
+    // walks; sizing from the shard's FUB topologies skips the rehashes.
+    let shard_nodes: usize = fubs
+        .iter()
+        .map(|f| prop.prep.fub_topo[f.index()].len())
+        .sum();
+    let mut shard = UnionArena::with_capacity(shard_nodes);
     scratch.memo.clear();
     let Scratch {
         local_f,

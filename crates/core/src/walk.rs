@@ -153,7 +153,7 @@ pub fn prepare(
     mapping: &StructureMapping,
     arena: &mut UnionArena,
 ) -> Prepared {
-    let mut terms = TermTable::new();
+    let mut terms = TermTable::with_capacity(8 + 2 * nl.structure_count());
     let loop_t = terms.intern(TermKind::Injected(INJ_LOOP.to_owned()));
     let ctrl_t = terms.intern(TermKind::Injected(INJ_CTRL.to_owned()));
     let bin_t = terms.intern(TermKind::Injected(INJ_BOUNDARY_IN.to_owned()));

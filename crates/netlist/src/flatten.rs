@@ -39,6 +39,13 @@ use crate::intern::{Sym, SymbolTable};
 /// not specify one.
 const MAX_DEFAULT_THREADS: usize = 8;
 
+/// Minimum estimated flat-statement count before
+/// [`build_netlist_threaded`] engages worker threads. Below this the
+/// spawn/join overhead of the expand and resolve phases exceeds the work
+/// they split — BENCH_5 measured a 0.67× *slowdown* on the ~3k-node
+/// reference design — so small ASTs take the sequential path.
+const PARALLEL_WORK_THRESHOLD: usize = 20_000;
+
 /// A scope recorded during expansion, local to one FUB's expansion.
 #[derive(Debug)]
 struct ScopeRec {
@@ -158,7 +165,86 @@ fn default_threads() -> usize {
 /// both mean sequential). Output is bit-identical for every `threads`
 /// value: node ids, symbol ids, edge order, and error selection are all
 /// decided in the sequential merge/connect phases.
+///
+/// `threads` is a *ceiling*, not a demand: designs whose estimated flat
+/// size falls below the parallel crossover run sequentially regardless
+/// (see [`estimated_flat_stmts`]). Benchmarks and equivalence tests that
+/// must exercise the parallel phases on small inputs use
+/// [`build_netlist_threaded_exact`].
 pub fn build_netlist_threaded(ast: &DesignAst, threads: usize) -> Result<Netlist, ExlifError> {
+    let threads = if threads > 1 && estimated_flat_stmts(ast) < PARALLEL_WORK_THRESHOLD {
+        1
+    } else {
+        threads
+    };
+    build_netlist_threaded_exact(ast, threads)
+}
+
+/// Estimates the design's flattened statement count without expanding it:
+/// each model's expanded size is computed once (memoized) and then each
+/// FUB sums its statements plus the expanded size of every `.subckt` it
+/// instantiates. Recursive models are counted shallowly — flattening will
+/// reject them anyway.
+///
+/// This drives the sequential-fallback decision in
+/// [`build_netlist_threaded`], and is exported so benchmarks can report
+/// which side of the crossover a design landed on.
+pub fn estimated_flat_stmts(ast: &DesignAst) -> usize {
+    let models: HashMap<Sym, &ModelAst> = ast.models.iter().map(|m| (m.name, m)).collect();
+    let mut memo: HashMap<Sym, usize> = HashMap::new();
+    let mut visiting: Vec<Sym> = Vec::new();
+    ast.fubs
+        .iter()
+        .map(|f| stmts_work(&f.stmts, &models, &mut memo, &mut visiting))
+        .sum()
+}
+
+fn stmts_work(
+    stmts: &[Stmt],
+    models: &HashMap<Sym, &ModelAst>,
+    memo: &mut HashMap<Sym, usize>,
+    visiting: &mut Vec<Sym>,
+) -> usize {
+    let mut total = stmts.len();
+    for stmt in stmts {
+        if let Stmt::Subckt { model, .. } = stmt {
+            total += model_work(*model, models, memo, visiting);
+        }
+    }
+    total
+}
+
+fn model_work(
+    model: Sym,
+    models: &HashMap<Sym, &ModelAst>,
+    memo: &mut HashMap<Sym, usize>,
+    visiting: &mut Vec<Sym>,
+) -> usize {
+    if let Some(&w) = memo.get(&model) {
+        return w;
+    }
+    let Some(m) = models.get(&model).copied() else {
+        return 0;
+    };
+    if visiting.contains(&model) {
+        return 0;
+    }
+    visiting.push(model);
+    let w = stmts_work(&m.stmts, models, memo, visiting);
+    visiting.pop();
+    memo.insert(model, w);
+    w
+}
+
+/// [`build_netlist_threaded`] without the small-design sequential
+/// fallback: the requested thread count is honoured exactly (clamped only
+/// to the available work items). This is the hook for thread-equivalence
+/// proptests and crossover benchmarks, which need the parallel phases to
+/// actually run on arbitrarily small inputs.
+pub fn build_netlist_threaded_exact(
+    ast: &DesignAst,
+    threads: usize,
+) -> Result<Netlist, ExlifError> {
     let models: HashMap<Sym, &ModelAst> = ast.models.iter().map(|m| (m.name, m)).collect();
 
     // Phase 1: expand every FUB (parallel, read-only).
@@ -641,9 +727,9 @@ mod tests {
     #[test]
     fn thread_counts_are_bit_identical() {
         let ast = exlif::parse(HIER).unwrap();
-        let n1 = build_netlist_threaded(&ast, 1).unwrap();
-        let n2 = build_netlist_threaded(&ast, 2).unwrap();
-        let n8 = build_netlist_threaded(&ast, 8).unwrap();
+        let n1 = build_netlist_threaded_exact(&ast, 1).unwrap();
+        let n2 = build_netlist_threaded_exact(&ast, 2).unwrap();
+        let n8 = build_netlist_threaded_exact(&ast, 8).unwrap();
         assert_eq!(n1, n2);
         assert_eq!(n1, n8);
         assert_eq!(n1.content_digest(), n8.content_digest());
@@ -651,6 +737,39 @@ mod tests {
         for id in n1.nodes() {
             assert_eq!(n1.name(id), n8.name(id));
         }
+    }
+
+    #[test]
+    fn work_estimate_counts_model_expansion() {
+        let ast = exlif::parse(HIER).unwrap();
+        // f0: 3 own statements; twostage expands to 3 + 2×(stage = 1).
+        let est = estimated_flat_stmts(&ast);
+        assert_eq!(est, 3 + 3 + 2);
+        // Well under the crossover, so the threaded entry point must
+        // clamp to the sequential path — and still match exactly.
+        assert!(est < PARALLEL_WORK_THRESHOLD);
+        let clamped = build_netlist_threaded(&ast, 8).unwrap();
+        let seq = build_netlist_threaded_exact(&ast, 1).unwrap();
+        assert_eq!(clamped, seq);
+    }
+
+    #[test]
+    fn work_estimate_survives_recursive_models() {
+        let text = r"
+.design x
+.model m
+  .minput a
+  .subckt m u a=a
+.endmodel
+.fub f
+  .input i
+  .subckt m u a=i
+.endfub
+.end
+";
+        let ast = exlif::parse(text).unwrap();
+        // Recursive models count shallowly instead of diverging.
+        assert!(estimated_flat_stmts(&ast) < 10);
     }
 
     #[test]

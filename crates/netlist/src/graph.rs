@@ -47,13 +47,18 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of a functional block (FUB) in a [`Netlist`].
+///
+/// Internally `u32`: production-scale designs (many replicated cores, each
+/// with hundreds of FUBs) overflow the 65,535-FUB ceiling a `u16` would
+/// impose, and the snapshot format (`seqavf-graph/2`) serializes FUB
+/// indices as full 32-bit values for the same reason.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct FubId(u16);
+pub struct FubId(u32);
 
 impl FubId {
     /// Creates a FUB id from a raw index.
     pub fn from_index(i: usize) -> Self {
-        FubId(u16::try_from(i).expect("FUB index exceeds u16 range"))
+        FubId(u32::try_from(i).expect("FUB index exceeds u32 range"))
     }
 
     /// Returns the raw dense index of this FUB.

