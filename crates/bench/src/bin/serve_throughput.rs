@@ -1,0 +1,9 @@
+//! E16 — AVF-as-a-service cold/warm latency and warm throughput.
+//! Usage: `serve_throughput [--scale full]`.
+use seqavf_bench::common::{emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = seqavf_bench::service::run(scale, 42);
+    emit("BENCH_7", &report.render(), &report);
+}

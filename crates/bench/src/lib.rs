@@ -22,6 +22,7 @@
 //! | [`incremental`] | incremental dirty-FUB sweeps vs full sweeps |
 //! | [`frontend`] | zero-copy frontend vs binary graph-snapshot load |
 //! | [`production`] | thread-scaling curves and peak RSS at 100k+-node scale |
+//! | [`service`] | AVF-as-a-service cold/warm latency and warm throughput |
 
 pub mod ablations;
 pub mod accuracy;
@@ -35,6 +36,7 @@ pub mod headline;
 pub mod incremental;
 pub mod production;
 pub mod scaling;
+pub mod service;
 pub mod speed;
 pub mod symbolic;
 pub mod threads;

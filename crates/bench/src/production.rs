@@ -97,8 +97,18 @@ pub struct ScalePoint {
     /// Public 8-thread / public 1-thread flatten time, interleaved —
     /// the parity check; ≈1.0 when the fallback engages.
     pub small_scale_parity: f64,
-    /// Relaxation thread curve (engine wall time, full solve).
+    /// Relaxation thread curve via [`SartEngine::run_exact`] (the raw
+    /// sharded machinery, no sequential fallback).
     pub relax: Vec<PhasePoint>,
+    /// Relaxation via the *public* entry at 8 threads — equals the
+    /// 1-thread time when the small-design clamp engages.
+    pub relax_public_8t_ms: f64,
+    /// Whether the design fell below the relaxation parallel crossover
+    /// (public entry relaxed sequentially regardless of `threads`).
+    pub relax_sequential_fallback_engaged: bool,
+    /// Public 8-thread / public 1-thread relaxation time, interleaved —
+    /// the parity check; ≈1.0 when the fallback engages.
+    pub relax_small_scale_parity: f64,
     /// Compiled-sweep re-evaluation thread curve (batch of workload
     /// tables against the stored closed forms).
     pub sweep: Vec<PhasePoint>,
@@ -167,6 +177,16 @@ impl ProductionReport {
                 p.flatten_parallel_speedup,
                 p.small_scale_parity,
                 if p.sequential_fallback_engaged { "sequential" } else { "parallel" },
+            );
+            let _ = writeln!(
+                out,
+                "relax public 8t parity: {:.2}   fallback: {}",
+                p.relax_small_scale_parity,
+                if p.relax_sequential_fallback_engaged {
+                    "sequential"
+                } else {
+                    "parallel"
+                },
             );
             let _ = writeln!(
                 out,
@@ -313,8 +333,8 @@ pub fn measure_point(label: &str, config: &SynthConfig, repeats: usize) -> Scale
     let mapping = StructureMapping::from_pairs(design.meta.structure_map.clone());
     let inputs = PavfInputs::new();
 
-    // Relaxation curve: full engine solve per thread count, with the AVF
-    // identity check folded in.
+    // Relaxation curve on the raw sharded machinery (`run_exact`), with
+    // the AVF identity check folded in.
     let mut relax_points = Vec::new();
     let mut relax_1t = f64::INFINITY;
     let mut baseline_avf: Option<Vec<f64>> = None;
@@ -330,7 +350,7 @@ pub fn measure_point(label: &str, config: &SynthConfig, repeats: usize) -> Scale
             },
             &loops,
         );
-        let (ms, result) = best_of_ms(repeats, || engine.run(&inputs));
+        let (ms, result) = best_of_ms(repeats, || engine.run_exact(&inputs));
         if threads == 1 {
             relax_1t = ms;
         }
@@ -351,6 +371,45 @@ pub fn measure_point(label: &str, config: &SynthConfig, repeats: usize) -> Scale
     }
     let result = result_for_sweep.expect("at least one relax point");
     sample("relax", &mut rss);
+
+    // The public entry applies the relaxation work threshold. Interleaved
+    // 1t/8t measurement, same rationale as the flatten parity above.
+    let engine_1t = SartEngine::new_with_loops(
+        &nl,
+        &mapping,
+        SartConfig {
+            threads: 1,
+            ..SartConfig::default()
+        },
+        &loops,
+    );
+    let engine_8t = SartEngine::new_with_loops(
+        &nl,
+        &mapping,
+        SartConfig {
+            threads: 8,
+            ..SartConfig::default()
+        },
+        &loops,
+    );
+    let mut relax_public_1t_ms = f64::INFINITY;
+    let mut relax_public_8t_ms = f64::INFINITY;
+    let mut relax_effective_8t = 8;
+    for _ in 0..repeats {
+        let t0 = std::time::Instant::now();
+        let _ = engine_1t.run(&inputs);
+        relax_public_1t_ms = relax_public_1t_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = std::time::Instant::now();
+        let public_8t = engine_8t.run(&inputs);
+        relax_public_8t_ms = relax_public_8t_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        relax_effective_8t = public_8t
+            .outcome
+            .trace
+            .iter()
+            .map(|s| s.effective_threads)
+            .max()
+            .unwrap_or(1);
+    }
 
     // Compiled-sweep curve: batch re-evaluation of workload tables
     // against the stored closed forms.
@@ -396,6 +455,9 @@ pub fn measure_point(label: &str, config: &SynthConfig, repeats: usize) -> Scale
         flatten_parallel_speedup: flat_1t / best_parallel.max(1e-9),
         small_scale_parity: flatten_public_8t_ms / public_1t_ms.max(1e-9),
         relax: relax_points,
+        relax_public_8t_ms,
+        relax_sequential_fallback_engaged: relax_effective_8t == 1,
+        relax_small_scale_parity: relax_public_8t_ms / relax_public_1t_ms.max(1e-9),
         sweep: sweep_points,
         avf_identical_across_threads,
         avf_identical_warm_cold,
@@ -446,6 +508,15 @@ mod tests {
             (p.small_scale_parity - 1.0).abs() < 0.25,
             "public 8t should track 1t at small scale, got {:.2}",
             p.small_scale_parity
+        );
+        assert!(
+            p.relax_sequential_fallback_engaged,
+            "3k design must relax sequentially through the public entry"
+        );
+        assert!(
+            (p.relax_small_scale_parity - 1.0).abs() < 0.35,
+            "public 8t relax should track 1t at small scale, got {:.2}",
+            p.relax_small_scale_parity
         );
         assert!(p.avf_identical_across_threads);
         assert!(p.avf_identical_warm_cold);

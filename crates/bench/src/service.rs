@@ -1,0 +1,329 @@
+//! E16 — AVF-as-a-service throughput: cold vs warm query latency against
+//! a live `serve` instance, at production scale.
+//!
+//! The service's pitch is that residency turns the paper's §5.2
+//! amortization into an online capability: after one cold load
+//! (parse → SCC → relax → compile), every query is a single compiled-DAG
+//! batch evaluation — no file IO on the warm path at all (the client
+//! addresses the design by `design_ref`). This experiment measures that
+//! claim over real sockets and real JSON:
+//!
+//! * **cold** — first request for a design: full pipeline, one number.
+//! * **warm** — repeated batch requests against resident state:
+//!   p50/p90/p99 latency and throughput in *queries* (workload-table
+//!   evaluations) per second.
+//! * **bit identity** — the cold response's rows are compared bitwise
+//!   against the library's `run_sweep` on identical inputs; a service
+//!   that drifts numerically fails the experiment, not just a test.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use seqavf_core::engine::SartConfig;
+use seqavf_core::mapping::{PavfInputs, StructureMapping};
+use seqavf_core::sweep::{run_sweep, SweepOptions};
+use seqavf_netlist::exlif;
+use seqavf_netlist::flatten;
+use seqavf_netlist::synth::{generate, SynthConfig};
+use seqavf_obs::Collector;
+use seqavf_serve::api::{AvfRequest, AvfResponse, NamedTable};
+use seqavf_serve::client;
+use seqavf_serve::resident::ResidentConfig;
+use seqavf_serve::server::{spawn, ServeConfig};
+
+use crate::common::Scale;
+
+/// One design's service measurements.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ServePoint {
+    /// Design label.
+    pub label: String,
+    /// Flattened node count.
+    pub nodes: usize,
+    /// Sequential bits.
+    pub seq_nodes: usize,
+    /// Workload tables per request (a "query" is one table).
+    pub tables_per_request: usize,
+    /// Warm requests measured.
+    pub warm_requests: usize,
+    /// Cold-path latency (file read, parse, SCC, relax, compile, eval).
+    pub cold_ms: f64,
+    /// Warm latency percentiles over the socket, per request.
+    pub warm_p50_ms: f64,
+    /// 90th percentile.
+    pub warm_p90_ms: f64,
+    /// 99th percentile.
+    pub warm_p99_ms: f64,
+    /// Workload-table evaluations per second on the warm path.
+    pub warm_queries_per_sec: f64,
+    /// Whole requests per second on the warm path.
+    pub warm_requests_per_sec: f64,
+    /// Cold/warm speedup (cold_ms over warm p50).
+    pub cold_over_warm: f64,
+    /// Service rows match the library's `run_sweep` bitwise.
+    pub bit_identical_to_library: bool,
+}
+
+/// The whole report.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ServeReport {
+    /// `available_parallelism` of the host.
+    pub host_parallelism: usize,
+    /// One entry per design scale.
+    pub points: Vec<ServePoint>,
+}
+
+impl ServeReport {
+    /// Plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "E16 service throughput (host parallelism {})\n",
+            self.host_parallelism
+        ));
+        out.push_str(&format!(
+            "{:<22} {:>9} {:>10} {:>10} {:>10} {:>10} {:>12} {:>9}\n",
+            "design", "nodes", "cold ms", "p50 ms", "p90 ms", "p99 ms", "queries/s", "bit-id"
+        ));
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<22} {:>9} {:>10.2} {:>10.3} {:>10.3} {:>10.3} {:>12.0} {:>9}\n",
+                p.label,
+                p.nodes,
+                p.cold_ms,
+                p.warm_p50_ms,
+                p.warm_p90_ms,
+                p.warm_p99_ms,
+                p.warm_queries_per_sec,
+                if p.bit_identical_to_library {
+                    "yes"
+                } else {
+                    "NO"
+                },
+            ));
+        }
+        out
+    }
+}
+
+/// Synthetic per-workload tables: distinct values per workload so a
+/// row-mixup would be caught by the bit-identity check.
+fn tables(n: usize) -> Vec<NamedTable> {
+    (0..n)
+        .map(|i| {
+            let mut inputs = PavfInputs::new();
+            inputs.set_port("uops_executed", 0.10 + 0.04 * i as f64, 0.35);
+            inputs.set_port("rob_occupancy", 0.55 - 0.02 * i as f64, 0.25);
+            NamedTable {
+                workload: format!("w{i:02}"),
+                inputs,
+            }
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Measures one design through a live server.
+fn measure_point(
+    label: &str,
+    cfg: &SynthConfig,
+    tables_per_request: usize,
+    warm_requests: usize,
+    scratch: &std::path::Path,
+) -> ServePoint {
+    let design = generate(cfg);
+    let nl_text = exlif::write(&design.netlist);
+    let design_path = scratch.join(format!("{}.exlif", label.replace([' ', '@', '/'], "_")));
+    std::fs::write(&design_path, &nl_text).unwrap();
+    let mapping = StructureMapping::from_pairs(design.meta.structure_map.clone());
+    let map_path = design_path.with_extension("map");
+    std::fs::write(&map_path, mapping.to_text(&design.netlist)).unwrap();
+
+    let server = spawn(
+        ServeConfig {
+            workers: 2,
+            queue_cap: 64,
+            resident: ResidentConfig::default(),
+            ..ServeConfig::default()
+        },
+        Collector::disabled(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let batch = tables(tables_per_request);
+    let cold_req = AvfRequest {
+        design_path: Some(design_path.display().to_string()),
+        design_ref: None,
+        map_path: Some(map_path.display().to_string()),
+        config: None,
+        base_inputs: None,
+        tables: batch.clone(),
+        include_nodes: None,
+        include_fubs: None,
+    };
+    let body = serde_json::to_string(&cold_req).unwrap();
+    let t0 = Instant::now();
+    let (status, cold_text) = client::post_json(addr, "/v1/avf", &body).unwrap();
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(status, 200, "cold request failed: {cold_text}");
+    let cold: AvfResponse = serde_json::from_str(&cold_text).unwrap();
+
+    // Warm path: address the resident graph by ref — zero file IO.
+    let warm_req = AvfRequest {
+        design_path: None,
+        map_path: None,
+        design_ref: Some(cold.design_ref.clone()),
+        ..cold_req
+    };
+    let warm_body = serde_json::to_string(&warm_req).unwrap();
+    let mut latencies_ms = Vec::with_capacity(warm_requests);
+    let mut warm_first: Option<AvfResponse> = None;
+    let wall = Instant::now();
+    for _ in 0..warm_requests {
+        let t = Instant::now();
+        let (status, text) = client::post_json(addr, "/v1/avf", &warm_body).unwrap();
+        latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(status, 200, "warm request failed: {text}");
+        if warm_first.is_none() {
+            warm_first = Some(serde_json::from_str(&text).unwrap());
+        }
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    server.shutdown();
+    server.join();
+
+    // Bit-identity: service rows vs the library sweep on identical
+    // inputs, and cold vs warm.
+    let nl = flatten::parse_netlist_traced(&nl_text, &Collector::disabled()).unwrap();
+    let workloads: Vec<(String, PavfInputs)> = batch
+        .iter()
+        .map(|t| (t.workload.clone(), t.inputs.clone()))
+        .collect();
+    let outcome = run_sweep(
+        &nl,
+        &mapping,
+        &SartConfig::default(),
+        &batch[0].inputs,
+        &workloads,
+        &SweepOptions::default(),
+    )
+    .unwrap();
+    let warm_first = warm_first.unwrap();
+    let bit_identical = cold.rows.len() == outcome.rows.len()
+        && cold.rows.iter().zip(&outcome.rows).all(|(s, c)| {
+            s.workload == c.workload
+                && s.mean_seq_avf.to_bits() == c.mean_seq_avf.to_bits()
+                && s.min_seq_avf.to_bits() == c.min_seq_avf.to_bits()
+                && s.max_seq_avf.to_bits() == c.max_seq_avf.to_bits()
+        })
+        && cold
+            .rows
+            .iter()
+            .zip(&warm_first.rows)
+            .all(|(a, b)| a.mean_seq_avf.to_bits() == b.mean_seq_avf.to_bits());
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = percentile(&latencies_ms, 0.50);
+    ServePoint {
+        label: label.to_owned(),
+        nodes: nl.node_count(),
+        seq_nodes: nl.seq_count(),
+        tables_per_request,
+        warm_requests,
+        cold_ms,
+        warm_p50_ms: p50,
+        warm_p90_ms: percentile(&latencies_ms, 0.90),
+        warm_p99_ms: percentile(&latencies_ms, 0.99),
+        warm_queries_per_sec: (warm_requests * tables_per_request) as f64 / wall_s,
+        warm_requests_per_sec: warm_requests as f64 / wall_s,
+        cold_over_warm: cold_ms / p50.max(1e-9),
+        bit_identical_to_library: bit_identical,
+    }
+}
+
+/// Runs the study. `Quick` measures the reference design plus the ~100k
+/// 8-core production point; `Full` lengthens the warm phase for tighter
+/// percentiles.
+pub fn run(scale: Scale, seed: u64) -> ServeReport {
+    let scratch: PathBuf = std::env::temp_dir().join("seqavf-bench-service");
+    let _ = std::fs::create_dir_all(&scratch);
+    let warm = match scale {
+        Scale::Quick => 200,
+        Scale::Full => 500,
+    };
+    let points = vec![
+        measure_point(
+            "xeon_like",
+            &SynthConfig::xeon_like(seed),
+            16,
+            warm,
+            &scratch,
+        ),
+        measure_point(
+            "xeon_like_x8 @ 2.0",
+            &SynthConfig::xeon_like(seed).scaled(2.0).with_cores(8),
+            16,
+            warm.min(250),
+            &scratch,
+        ),
+    ];
+    ServeReport {
+        host_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exploratory scan for picking the headline batch size; run with
+    /// `cargo test --release -p seqavf-bench service -- --ignored --nocapture`.
+    #[test]
+    #[ignore]
+    fn batch_size_scan_at_production_scale() {
+        let scratch = std::env::temp_dir().join("seqavf-bench-service-scan");
+        let _ = std::fs::create_dir_all(&scratch);
+        for batch in [1usize, 16, 64, 128] {
+            let p = measure_point(
+                "xeon_like_x8 @ 2.0",
+                &SynthConfig::xeon_like(42).scaled(2.0).with_cores(8),
+                batch,
+                30,
+                &scratch,
+            );
+            println!(
+                "batch {batch:>4}: p50 {:.3} ms   {:.0} queries/s",
+                p.warm_p50_ms, p.warm_queries_per_sec
+            );
+        }
+    }
+
+    #[test]
+    fn small_point_is_fast_warm_and_bit_identical() {
+        let scratch = std::env::temp_dir().join("seqavf-bench-service-test");
+        let _ = std::fs::create_dir_all(&scratch);
+        let p = measure_point("xeon_like", &SynthConfig::xeon_like(5), 4, 20, &scratch);
+        assert!(p.bit_identical_to_library, "service drifted from library");
+        assert!(p.warm_p50_ms > 0.0);
+        assert!(
+            p.cold_ms > p.warm_p50_ms,
+            "cold ({} ms) should dominate warm ({} ms)",
+            p.cold_ms,
+            p.warm_p50_ms
+        );
+        assert_eq!(p.tables_per_request, 4);
+        assert_eq!(p.warm_requests, 20);
+        assert!(p.warm_queries_per_sec > 0.0);
+    }
+}

@@ -101,6 +101,42 @@ impl Args {
         }
     }
 
+    /// Parsed f64 flag that must be finite and strictly positive.
+    /// `f64::from_str` happily accepts `nan` and `inf`, which would
+    /// poison any geometry math downstream (e.g. `--scale nan` sizing a
+    /// synthetic design) — reject them here with a usage error naming the
+    /// flag instead.
+    pub fn pos_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        let v = self.num(key, default)?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!(
+                "flag --{key}: must be a positive finite number, got `{v}`"
+            ));
+        }
+        Ok(v)
+    }
+
+    /// Parsed f64 flag that must be a probability in `[0, 1]` (pAVF
+    /// values). Rejects `nan`, infinities, and out-of-range values.
+    pub fn unit_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        let v = self.num(key, default)?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!(
+                "flag --{key}: must be a probability in [0, 1], got `{v}`"
+            ));
+        }
+        Ok(v)
+    }
+
+    /// Parsed usize flag that must be at least 1.
+    pub fn pos_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        let v = self.num(key, default)?;
+        if v == 0 {
+            return Err(format!("flag --{key}: must be at least 1"));
+        }
+        Ok(v)
+    }
+
     /// Boolean switch presence.
     pub fn has(&self, key: &str) -> bool {
         self.switches.iter().any(|s| s == key)
@@ -205,5 +241,40 @@ mod tests {
         let a = Args::parse(["sart", "--threads", "4", "--global", "--metrics"]).unwrap();
         a.validate(&["threads", "design"], &["global", "metrics"])
             .unwrap();
+    }
+
+    #[test]
+    fn pos_f64_rejects_nan_inf_zero_and_negatives() {
+        for bad in ["nan", "inf", "-inf", "0", "-1.5"] {
+            let a = Args::parse(["gen", "--scale", bad]).unwrap();
+            let e = a.pos_f64("scale", 1.0).unwrap_err();
+            assert!(e.contains("--scale"), "{bad}: {e}");
+        }
+        let a = Args::parse(["gen", "--scale", "2.5"]).unwrap();
+        assert_eq!(a.pos_f64("scale", 1.0).unwrap(), 2.5);
+        let a = Args::parse(["gen"]).unwrap();
+        assert_eq!(a.pos_f64("scale", 1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn unit_f64_rejects_out_of_range_and_nan() {
+        for bad in ["nan", "1.5", "-0.1", "inf"] {
+            let a = Args::parse(["sart", "--loop-pavf", bad]).unwrap();
+            let e = a.unit_f64("loop-pavf", 0.3).unwrap_err();
+            assert!(e.contains("--loop-pavf"), "{bad}: {e}");
+        }
+        for good in ["0", "1", "0.3"] {
+            let a = Args::parse(["sart", "--loop-pavf", good]).unwrap();
+            assert!(a.unit_f64("loop-pavf", 0.3).is_ok(), "{good}");
+        }
+    }
+
+    #[test]
+    fn pos_usize_rejects_zero() {
+        let a = Args::parse(["gen", "--cores", "0"]).unwrap();
+        let e = a.pos_usize("cores", 1).unwrap_err();
+        assert!(e.contains("--cores"));
+        let a = Args::parse(["gen", "--cores", "4"]).unwrap();
+        assert_eq!(a.pos_usize("cores", 1).unwrap(), 4);
     }
 }

@@ -13,6 +13,10 @@
 //!              [--cache-dir .seqavf-cache] [--out sweep.json]
 //! seqavf flow  [--seed 42] [--workloads 32] [--len 5000] [--scale 1.0]
 //!              [--cores N] [--threads 4]
+//! seqavf serve [--port 7171] [--workers 2] [--max-resident 4]
+//!              [--graph-cache dir] [--cache-dir dir]
+//! seqavf query --design design.exlif --map design.map [--addr host:port]
+//!              [--out rows.json]
 //! ```
 //!
 //! `gen` emits the synthetic design in EXLIF plus the structure-mapping
@@ -60,6 +64,8 @@ fn main() -> ExitCode {
         "sfi" => cmd_sfi(&args),
         "sweep" => cmd_sweep(&args),
         "flow" => cmd_flow(&args),
+        "serve" => cmd_serve(&args),
+        "query" => cmd_query(&args),
         "" | "help" => {
             print!("{USAGE}");
             Ok(())
@@ -106,6 +112,21 @@ commands:
   flow  [--seed N] [--workloads N] [--len N] [--scale F] [--cores N]
         [--threads N] [--no-incremental] [--graph-cache <dir>]
         run the whole pipeline in memory and print the per-FUB report
+  serve [--port N] [--host ADDR] [--workers N] [--queue N] [--threads N]
+        [--max-resident N] [--graph-cache <dir>] [--cache-dir <dir>]
+        [--idle-secs N]
+        run the resident AVF service: loaded graphs and compiled sweep
+        DAGs stay in memory behind an LRU, so repeat queries skip the
+        whole frontend+relaxation pipeline; POST /v1/avf evaluates a
+        batch of workload pAVF tables, GET /metrics exposes counters,
+        POST /v1/shutdown (or SIGTERM, or --idle-secs) exits cleanly
+  query --design <exlif|.v> --map <file> [--addr host:port] [--out <json>]
+        [--workloads N] [--len N] [--seed N] [--conservative]
+        [--loop-pavf F] [--iterations N] [--global] [--design-ref HEX]
+        run the workload suite through the ACE model locally, send the
+        pAVF tables to a `serve` instance, and print/write the same
+        rows `sweep` would (bit-identical); --design-ref skips the
+        design file entirely when the server already has it resident
 
 every command also accepts:
         [--trace-out <file.ndjson>]  write a seqavf-trace/1 phase trace
@@ -231,8 +252,8 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     let obs = Obs::from_args(args);
     let out = args.require("out")?;
     let seed = args.num("seed", 42u64)?;
-    let scale = args.num("scale", 1.0f64)?;
-    let cores = args.num("cores", 1usize)?;
+    let scale = args.pos_f64("scale", 1.0)?;
+    let cores = args.pos_usize("cores", 1)?;
     let design = {
         let mut span = obs.collector.span("flow.generate");
         let design = generate(&SynthConfig::xeon_like(seed).scaled(scale).with_cores(cores));
@@ -309,7 +330,7 @@ fn cmd_sart(args: &Args) -> Result<(), String> {
     let inputs: PavfInputs = serde_json::from_str(&read_file(args.require("pavf")?)?)
         .map_err(|e| format!("parsing pAVF table: {e}"))?;
     let config = SartConfig {
-        loop_pavf: args.num("loop-pavf", 0.3f64)?,
+        loop_pavf: args.unit_f64("loop-pavf", 0.3)?,
         max_iterations: args.num("iterations", 20usize)?,
         partitioned: !args.has("global"),
         incremental: !args.has("no-incremental"),
@@ -470,7 +491,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let base_inputs: PavfInputs = serde_json::from_str(&read_file(args.require("pavf")?)?)
         .map_err(|e| format!("parsing pAVF table: {e}"))?;
     let config = SartConfig {
-        loop_pavf: args.num("loop-pavf", 0.3f64)?,
+        loop_pavf: args.unit_f64("loop-pavf", 0.3)?,
         max_iterations: args.num("iterations", 20usize)?,
         partitioned: !args.has("global"),
         incremental: !args.has("no-incremental"),
@@ -567,6 +588,183 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     obs.finish("sweep")
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use seqavf_serve::resident::ResidentConfig;
+    use seqavf_serve::server::{spawn, ServeConfig};
+    args.validate(
+        &[
+            "port",
+            "host",
+            "workers",
+            "queue",
+            "threads",
+            "max-resident",
+            "graph-cache",
+            "cache-dir",
+            "idle-secs",
+            "trace-out",
+        ],
+        &["metrics"],
+    )?;
+    let obs = Obs::from_args(args);
+    let host = args.get("host").unwrap_or("127.0.0.1");
+    let port: u16 = args.num("port", 7171u16)?;
+    let cfg = ServeConfig {
+        addr: format!("{host}:{port}"),
+        workers: args.pos_usize("workers", 2)?,
+        queue_cap: args.pos_usize("queue", 32)?,
+        resident: ResidentConfig {
+            max_resident: args.pos_usize("max-resident", 4)?,
+            threads: args.pos_usize("threads", 1)?,
+            graph_cache: args.get("graph-cache").map(Into::into),
+            sweep_cache: args.get("cache-dir").map(Into::into),
+        },
+        idle_timeout: match args.get("idle-secs") {
+            None => None,
+            Some(_) => Some(std::time::Duration::from_secs_f64(
+                args.pos_f64("idle-secs", 60.0)?,
+            )),
+        },
+        signal_handlers: true,
+        ..ServeConfig::default()
+    };
+    let handle = spawn(cfg, obs.collector.clone())?;
+    println!(
+        "seqavf serve: listening on http://{} (POST /v1/avf, GET /metrics, GET /healthz)",
+        handle.addr()
+    );
+    handle.join();
+    println!("seqavf serve: shut down cleanly");
+    obs.finish("serve")
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    use seqavf_serve::api::{AvfRequest, AvfResponse, NamedTable, RequestConfig};
+    use seqavf_serve::client;
+    use std::net::ToSocketAddrs;
+    args.validate(
+        &[
+            "addr",
+            "design",
+            "design-ref",
+            "map",
+            "pavf",
+            "out",
+            "workloads",
+            "len",
+            "seed",
+            "loop-pavf",
+            "iterations",
+            "trace-out",
+        ],
+        &["global", "conservative", "metrics"],
+    )?;
+    let obs = Obs::from_args(args);
+    let addr_text = args.get("addr").unwrap_or("127.0.0.1:7171");
+    let addr = addr_text
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving --addr {addr_text}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("--addr {addr_text} resolved to no addresses"))?;
+    // The workload tables come from the same client-side ACE run the
+    // `sweep` command does, so a server answer can be compared to a
+    // `sweep` answer byte for byte.
+    let suite_cfg = SuiteConfig {
+        workloads: args.num("workloads", 8usize)?,
+        len: args.num("len", 5_000usize)?,
+        seed: args.num("seed", 0xace_5eedu64)?,
+        include_kernels: true,
+    };
+    let perf = PerfConfig {
+        conservative_residency: args.has("conservative"),
+        ..PerfConfig::default()
+    };
+    let traces = standard_suite(&suite_cfg);
+    println!("running {} workloads through the ACE model…", traces.len());
+    let suite = seqavf::flow::run_suite_traced(&traces, &perf, &obs.collector);
+    let tables: Vec<NamedTable> = suite
+        .runs
+        .iter()
+        .map(|r| NamedTable {
+            workload: r.workload.clone(),
+            inputs: seqavf::flow::inputs_from_report(r),
+        })
+        .collect();
+    let base_inputs = match args.get("pavf") {
+        Some(path) => Some(
+            serde_json::from_str(&read_file(path)?)
+                .map_err(|e| format!("parsing pAVF table: {e}"))?,
+        ),
+        None => None,
+    };
+    let request = AvfRequest {
+        design_path: args.get("design").map(str::to_owned),
+        design_ref: args.get("design-ref").map(str::to_owned),
+        map_path: args.get("map").map(str::to_owned),
+        config: Some(RequestConfig {
+            loop_pavf: Some(args.unit_f64("loop-pavf", 0.3)?),
+            iterations: Some(args.num("iterations", 20u64)?),
+            global: Some(args.has("global")),
+        }),
+        base_inputs,
+        tables,
+        include_nodes: None,
+        include_fubs: None,
+    };
+    let body = serde_json::to_string(&request).map_err(|e| e.to_string())?;
+    let t0 = std::time::Instant::now();
+    let (status, text) = client::post_json(addr, "/v1/avf", &body)?;
+    if status != 200 {
+        return Err(format!("server answered {status}: {text}"));
+    }
+    let response: AvfResponse =
+        serde_json::from_str(&text).map_err(|e| format!("parsing server response: {e}"))?;
+    println!(
+        "design_ref {} — graph {}, compiled DAG {} ({:?} round trip)",
+        response.design_ref,
+        response.graph_cache,
+        response.sweep_cache,
+        t0.elapsed()
+    );
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "workload", "mean", "min", "max"
+    );
+    for row in &response.rows {
+        println!(
+            "{:<28} {:>10.4} {:>10.4} {:>10.4}",
+            row.workload, row.mean_seq_avf, row.min_seq_avf, row.max_seq_avf
+        );
+    }
+    if let Some(out) = args.get("out") {
+        // Exactly the `sweep --out` shape, so the two files can be
+        // compared byte for byte.
+        #[derive(serde::Serialize)]
+        struct Row<'a> {
+            workload: &'a str,
+            mean_seq_avf: f64,
+            min_seq_avf: f64,
+            max_seq_avf: f64,
+        }
+        let dump: Vec<Row<'_>> = response
+            .rows
+            .iter()
+            .map(|r| Row {
+                workload: &r.workload,
+                mean_seq_avf: r.mean_seq_avf,
+                min_seq_avf: r.min_seq_avf,
+                max_seq_avf: r.max_seq_avf,
+            })
+            .collect();
+        write_file(
+            out,
+            &serde_json::to_string_pretty(&dump).map_err(|e| e.to_string())?,
+        )?;
+        println!("wrote {out}: {} workload rows", dump.len());
+    }
+    obs.finish("query")
+}
+
 fn cmd_flow(args: &Args) -> Result<(), String> {
     args.validate(
         &[
@@ -586,8 +784,8 @@ fn cmd_flow(args: &Args) -> Result<(), String> {
     cfg.graph_cache = args.get("graph-cache").map(Into::into);
     cfg.design = cfg
         .design
-        .scaled(args.num("scale", 1.0f64)?)
-        .with_cores(args.num("cores", 1usize)?);
+        .scaled(args.pos_f64("scale", 1.0)?)
+        .with_cores(args.pos_usize("cores", 1)?);
     cfg.suite.workloads = args.num("workloads", 32usize)?;
     cfg.suite.len = args.num("len", 5_000usize)?;
     cfg.sart.threads = args.num("threads", 1usize)?.max(1);

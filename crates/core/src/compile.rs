@@ -43,6 +43,11 @@ use crate::classify::NodeRole;
 use crate::engine::{term_values, SartConfig, SartResult};
 use crate::mapping::PavfInputs;
 
+/// Lane width of the batched evaluator: how many workload tables one op
+/// walk evaluates together. Sized so the per-op lane arrays fit in stack
+/// registers/L1 while still amortizing slot decode over a useful batch.
+const MAX_LANES: usize = 16;
+
 /// How one netlist node obtains its AVF from the evaluated DAG.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Slot {
@@ -214,9 +219,10 @@ impl CompiledSweep {
         avf
     }
 
-    /// One topological pass with caller-provided scratch buffers (reused
-    /// across workloads by [`CompiledSweep::evaluate_many`]).
-    fn evaluate_with(&self, inputs: &PavfInputs, scratch: &mut EvalScratch) -> Vec<f64> {
+    /// Evaluates the op arrays (sums, MINs, struct overrides) for one
+    /// table into `scratch`; [`CompiledSweep::slot_value`] then reads any
+    /// node's AVF out of the filled scratch.
+    fn eval_ops(&self, inputs: &PavfInputs, scratch: &mut EvalScratch) {
         let values = term_values(&self.terms, inputs, &self.config);
         let n_sums = self.sum_bounds.len() - 1;
         scratch.sums.clear();
@@ -245,28 +251,141 @@ impl CompiledSweep {
         scratch
             .struct_avfs
             .extend(self.perf_names.iter().map(|p| inputs.structure_avf(p)));
+    }
+
+    /// One node's AVF from op results computed by
+    /// [`CompiledSweep::eval_ops`].
+    #[inline]
+    fn slot_value(&self, slot: Slot, scratch: &EvalScratch) -> f64 {
+        match slot {
+            Slot::Min(m) => scratch.mins[m as usize],
+            Slot::Ctrl => self.config.ctrl_read_pavf,
+            Slot::Loop => self.config.loop_pavf,
+            Slot::Struct { perf, min } => {
+                scratch.struct_avfs[perf as usize].unwrap_or(scratch.mins[min as usize])
+            }
+        }
+    }
+
+    /// One topological pass with caller-provided scratch buffers (reused
+    /// across workloads by [`CompiledSweep::evaluate_many`]).
+    fn evaluate_with(&self, inputs: &PavfInputs, scratch: &mut EvalScratch) -> Vec<f64> {
+        self.eval_ops(inputs, scratch);
         self.slots
             .iter()
-            .map(|slot| match *slot {
-                Slot::Min(m) => scratch.mins[m as usize],
-                Slot::Ctrl => self.config.ctrl_read_pavf,
-                Slot::Loop => self.config.loop_pavf,
-                Slot::Struct { perf, min } => {
-                    scratch.struct_avfs[perf as usize].unwrap_or(scratch.mins[min as usize])
-                }
-            })
+            .map(|&slot| self.slot_value(slot, scratch))
             .collect()
+    }
+
+    /// Evaluates up to [`MAX_LANES`] tables in ONE pass over the op
+    /// arrays: every sum, MIN, and slot op is decoded once and applied to
+    /// all lanes, so the per-op overhead (index decode, bounds checks,
+    /// slot dispatch) is amortized across the batch. Per lane the
+    /// arithmetic is exactly [`CompiledSweep::evaluate`]'s — same term
+    /// order, same left-fold accumulation, same cap and MIN operand
+    /// order — so each appended row is bit-identical to a scalar
+    /// evaluation of that table (pinned by the equivalence proptest).
+    ///
+    /// This is the sweep server's warm-path workhorse: at ~100k nodes it
+    /// roughly halves the per-table evaluation cost versus scalar.
+    fn evaluate_lanes(&self, tables: &[PavfInputs], out: &mut Vec<Vec<f64>>) {
+        let k = tables.len();
+        let ops = self.lane_ops(tables);
+        let base = out.len();
+        out.extend((0..k).map(|_| vec![0.0f64; self.slots.len()]));
+        let rows = &mut out[base..];
+        let mut lane_vals = [0.0f64; MAX_LANES];
+        for (i, &slot) in self.slots.iter().enumerate() {
+            self.lane_slot_values(slot, &ops, &mut lane_vals);
+            for (l, row) in rows.iter_mut().enumerate() {
+                row[i] = lane_vals[l];
+            }
+        }
+    }
+
+    /// The op phase of the lane evaluator: term values, sums, MINs, and
+    /// struct overrides for every lane, all lane-interleaved.
+    fn lane_ops(&self, tables: &[PavfInputs]) -> LaneOps {
+        let k = tables.len();
+        debug_assert!((2..=MAX_LANES).contains(&k));
+        let n_terms = self.terms.len();
+        // Term values, term-major so each op reads its lanes contiguously.
+        let mut vt = vec![0.0f64; n_terms * k];
+        for (lane, t) in tables.iter().enumerate() {
+            let values = term_values(&self.terms, t, &self.config);
+            for (ti, &v) in values.iter().enumerate() {
+                vt[ti * k + lane] = v;
+            }
+        }
+        let n_sums = self.sum_bounds.len() - 1;
+        // `-0.0` seed: `Iterator::sum::<f64>()` folds from -0.0, and the
+        // scalar path's empty/only-negative-zero sums therefore produce
+        // -0.0. Bit identity requires the same identity element here.
+        let mut sums = vec![-0.0f64; n_sums * k];
+        for s in 0..n_sums {
+            let lo = self.sum_bounds[s] as usize;
+            let hi = self.sum_bounds[s + 1] as usize;
+            let acc = &mut sums[s * k..(s + 1) * k];
+            for &t in &self.sum_terms[lo..hi] {
+                let tv = &vt[t as usize * k..t as usize * k + k];
+                for l in 0..k {
+                    acc[l] += tv[l];
+                }
+            }
+            for v in acc {
+                *v = v.min(1.0);
+            }
+        }
+        let mut mins = vec![0.0f64; self.mins.len() * k];
+        for (m, &(a, b)) in self.mins.iter().enumerate() {
+            for l in 0..k {
+                mins[m * k + l] = sums[a as usize * k + l].min(sums[b as usize * k + l]);
+            }
+        }
+        // Struct-cell overrides: perf-major, lane-minor.
+        let struct_avfs: Vec<Option<f64>> = self
+            .perf_names
+            .iter()
+            .flat_map(|p| tables.iter().map(|t| t.structure_avf(p)))
+            .collect();
+        LaneOps {
+            k,
+            mins,
+            struct_avfs,
+        }
+    }
+
+    /// Fills `lane_vals[..ops.k]` with one slot's AVF in every lane.
+    #[inline]
+    fn lane_slot_values(&self, slot: Slot, ops: &LaneOps, lane_vals: &mut [f64; MAX_LANES]) {
+        let k = ops.k;
+        match slot {
+            Slot::Min(m) => {
+                lane_vals[..k].copy_from_slice(&ops.mins[m as usize * k..m as usize * k + k]);
+            }
+            Slot::Ctrl => lane_vals[..k].fill(self.config.ctrl_read_pavf),
+            Slot::Loop => lane_vals[..k].fill(self.config.loop_pavf),
+            Slot::Struct { perf, min } => {
+                for (l, v) in lane_vals[..k].iter_mut().enumerate() {
+                    *v = ops.struct_avfs[perf as usize * k + l]
+                        .unwrap_or(ops.mins[min as usize * k + l]);
+                }
+            }
+        }
     }
 
     /// Evaluates a batch of workload tables, fanned out over `threads`
     /// scoped workers. Output order matches the input order; each entry is
-    /// exactly `self.evaluate(&tables[k])`.
+    /// exactly `self.evaluate(&tables[k])` bit for bit (multi-table chunks
+    /// run through the lane evaluator, whose per-lane arithmetic is
+    /// identical).
     pub fn evaluate_many(&self, tables: &[PavfInputs], threads: usize) -> Vec<Vec<f64>> {
         self.evaluate_many_traced(tables, threads, &Collector::disabled())
     }
 
-    /// [`CompiledSweep::evaluate_many`] with observability: every workload
-    /// records its own `sweep.eval` span (workers share the collector).
+    /// [`CompiledSweep::evaluate_many`] with observability: scalar
+    /// evaluations record a `sweep.eval` span each, lane batches one
+    /// `sweep.eval_batch` span per group (workers share the collector).
     pub fn evaluate_many_traced(
         &self,
         tables: &[PavfInputs],
@@ -275,16 +394,24 @@ impl CompiledSweep {
     ) -> Vec<Vec<f64>> {
         let threads = threads.max(1).min(tables.len().max(1));
         let eval_chunk = |part: &[PavfInputs]| {
+            let mut out: Vec<Vec<f64>> = Vec::with_capacity(part.len());
             let mut scratch = EvalScratch::default();
-            part.iter()
-                .map(|t| {
+            for group in part.chunks(MAX_LANES) {
+                if group.len() == 1 {
                     let mut span = obs.span("sweep.eval");
-                    let avf = self.evaluate_with(t, &mut scratch);
+                    let avf = self.evaluate_with(&group[0], &mut scratch);
                     span.field_u64("nodes", avf.len() as u64);
                     span.finish();
-                    avf
-                })
-                .collect::<Vec<_>>()
+                    out.push(avf);
+                } else {
+                    let mut span = obs.span("sweep.eval_batch");
+                    self.evaluate_lanes(group, &mut out);
+                    span.field_u64("tables", group.len() as u64);
+                    span.field_u64("nodes", self.slots.len() as u64);
+                    span.finish();
+                }
+            }
+            out
         };
         if threads == 1 {
             return eval_chunk(tables);
@@ -303,17 +430,89 @@ impl CompiledSweep {
         out
     }
 
+    /// Per-table `(sum, min, max)` folded over the slot indices in `seq`,
+    /// in the given order — bit-identical to running the same left fold
+    /// over [`CompiledSweep::evaluate`]'s vector, but without
+    /// materializing any node-length row. This is the serve warm path's
+    /// summary evaluation: at ~100k nodes it avoids writing and re-reading
+    /// ~1.6 MB of per-node AVFs per table, which otherwise dominates the
+    /// resident request cost.
+    pub fn evaluate_seq_stats_traced(
+        &self,
+        tables: &[PavfInputs],
+        seq: &[usize],
+        threads: usize,
+        obs: &Collector,
+    ) -> Vec<SeqStats> {
+        let threads = threads.max(1).min(tables.len().max(1));
+        let eval_chunk = |part: &[PavfInputs]| {
+            let mut out: Vec<SeqStats> = Vec::with_capacity(part.len());
+            let mut scratch = EvalScratch::default();
+            for group in part.chunks(MAX_LANES) {
+                if group.len() == 1 {
+                    let mut span = obs.span("sweep.eval");
+                    self.eval_ops(&group[0], &mut scratch);
+                    let mut st = SeqStats::IDENTITY;
+                    for &i in seq {
+                        st.fold(self.slot_value(self.slots[i], &scratch));
+                    }
+                    span.field_u64("nodes", seq.len() as u64);
+                    span.finish();
+                    out.push(st);
+                } else {
+                    let mut span = obs.span("sweep.eval_batch");
+                    let k = group.len();
+                    let ops = self.lane_ops(group);
+                    let mut stats = [SeqStats::IDENTITY; MAX_LANES];
+                    let mut lane_vals = [0.0f64; MAX_LANES];
+                    for &i in seq {
+                        self.lane_slot_values(self.slots[i], &ops, &mut lane_vals);
+                        for (st, &v) in stats[..k].iter_mut().zip(&lane_vals[..k]) {
+                            st.fold(v);
+                        }
+                    }
+                    span.field_u64("tables", k as u64);
+                    span.field_u64("nodes", seq.len() as u64);
+                    span.finish();
+                    out.extend_from_slice(&stats[..k]);
+                }
+            }
+            out
+        };
+        if threads == 1 {
+            return eval_chunk(tables);
+        }
+        let chunk = tables.len().div_ceil(threads);
+        let mut out: Vec<SeqStats> = Vec::with_capacity(tables.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = tables
+                .chunks(chunk)
+                .map(|part| s.spawn(|| eval_chunk(part)))
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("sweep evaluation worker panicked"));
+            }
+        });
+        out
+    }
+
     // -----------------------------------------------------------------
     // Artifact serialization (the sweep cache's on-disk format)
     // -----------------------------------------------------------------
 
-    /// Serializes the compiled DAG to the versioned `seqavf-sweep/1` text
+    /// Serializes the compiled DAG to the versioned `seqavf-sweep/2` text
     /// artifact. Term and performance-structure names are stored verbatim
     /// on their own lines, so any name is safe except ones containing a
     /// newline (impossible for parsed netlists).
+    ///
+    /// v2 embeds [`SartConfig::result_key`] instead of the full `Debug`
+    /// rendering, so artifacts written at one thread count (or with
+    /// incremental relaxation toggled) load under any other — those fields
+    /// never change the result. v1 artifacts are rejected as unknown and
+    /// degrade to a recompute.
     pub fn to_text(&self) -> String {
-        let mut out = String::from("seqavf-sweep/1\n");
-        out.push_str(&format!("config {:?}\n", self.config));
+        let mut out = String::from("seqavf-sweep/2\n");
+        out.push_str(&format!("config {}\n", self.config.result_key()));
         out.push_str(&format!("terms {}\n", self.terms.len()));
         for (_, kind) in self.terms.iter() {
             match kind {
@@ -354,11 +553,12 @@ impl CompiledSweep {
         out
     }
 
-    /// Parses a `seqavf-sweep/1` artifact back into a compiled DAG. The
+    /// Parses a `seqavf-sweep/2` artifact back into a compiled DAG. The
     /// caller supplies the configuration it expects (the cache key binds
-    /// it); a stored artifact whose embedded configuration differs is
-    /// rejected. Every index is bounds-checked — a corrupt artifact yields
-    /// `Err`, never a panic or an out-of-range evaluator.
+    /// it); a stored artifact whose embedded *result key* differs is
+    /// rejected — execution-only fields (`threads`, `incremental`) may
+    /// differ freely. Every index is bounds-checked — a corrupt artifact
+    /// yields `Err`, never a panic or an out-of-range evaluator.
     pub fn from_text(text: &str, config: &SartConfig) -> Result<CompiledSweep, String> {
         let mut lines = text.lines().enumerate();
         let mut next = |what: &str| -> Result<(usize, &str), String> {
@@ -368,14 +568,14 @@ impl CompiledSweep {
                 .ok_or_else(|| format!("truncated artifact: missing {what}"))
         };
         let (_, header) = next("header")?;
-        if header != "seqavf-sweep/1" {
+        if header != "seqavf-sweep/2" {
             return Err(format!("unknown artifact header `{header}`"));
         }
         let (_, cfg_line) = next("config")?;
         let embedded = cfg_line
             .strip_prefix("config ")
             .ok_or("expected `config` line")?;
-        if embedded != format!("{:?}", config) {
+        if embedded != config.result_key() {
             return Err("artifact configuration does not match the request".to_owned());
         }
         let section_count = |line: &str, tag: &str| -> Result<usize, String> {
@@ -518,6 +718,47 @@ struct EvalScratch {
     struct_avfs: Vec<Option<f64>>,
 }
 
+/// Lane-interleaved op results shared by the batched gather paths: entry
+/// `op * k + lane` is `op`'s value for table `lane`.
+struct LaneOps {
+    k: usize,
+    mins: Vec<f64>,
+    struct_avfs: Vec<Option<f64>>,
+}
+
+/// One workload's summary fold over the sequential slots, as produced by
+/// [`CompiledSweep::evaluate_seq_stats_traced`]. The fold is the sweep
+/// driver's: left fold in the caller's index order, `sum` seeded with
+/// `+0.0`, `min`/`max` with the infinities (so an empty index set yields
+/// the identities — callers map that to their own empty-row convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeqStats {
+    /// Running sum of sequential-node AVFs.
+    pub sum: f64,
+    /// Lowest sequential-node AVF (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Highest sequential-node AVF (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+}
+
+impl SeqStats {
+    /// The fold identity.
+    pub const IDENTITY: SeqStats = SeqStats {
+        sum: 0.0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+    };
+
+    /// Folds one node's AVF in — the exact `+=`/`min`/`max` sequence the
+    /// sweep driver applies to materialized rows.
+    #[inline]
+    pub fn fold(&mut self, v: f64) {
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,6 +838,72 @@ mod tests {
         }
     }
 
+    /// The lane evaluator must be bit-identical to scalar evaluation at
+    /// every chunk shape: full 16-lane groups, a multi-table remainder,
+    /// and a single-table remainder (which takes the scalar path), with
+    /// tables that do and don't carry struct-AVF overrides.
+    #[test]
+    fn lane_batches_match_scalar_bitwise_across_chunk_boundaries() {
+        let (_, _, compiled) = compiled_fig7();
+        for count in [2usize, MAX_LANES, MAX_LANES + 1, 2 * MAX_LANES + 3] {
+            let tables: Vec<PavfInputs> = (0..count)
+                .map(|k| {
+                    let mut p = fig7_inputs();
+                    p.set_port("f.s1", 0.01 * (k + 1) as f64, 0.4);
+                    if k % 3 == 0 {
+                        p.set_structure_avf("f.s3", 0.2 + 0.01 * k as f64);
+                    }
+                    p
+                })
+                .collect();
+            for threads in [1usize, 2] {
+                let batch = compiled.evaluate_many(&tables, threads);
+                assert_eq!(batch.len(), tables.len());
+                for (k, t) in tables.iter().enumerate() {
+                    let scalar = compiled.evaluate(t);
+                    assert_eq!(batch[k].len(), scalar.len());
+                    for (i, (a, b)) in batch[k].iter().zip(&scalar).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "count {count}, threads {threads}, table {k}, node {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The summary fold must be bit-identical to materializing the row
+    /// and folding it, at scalar and lane-batch chunk shapes alike.
+    #[test]
+    fn seq_stats_match_materialized_fold_bitwise() {
+        let (nl, _, compiled) = compiled_fig7();
+        let seq: Vec<usize> = nl.seq_nodes().map(|id| id.index()).collect();
+        for count in [1usize, 2, MAX_LANES + 1] {
+            let tables: Vec<PavfInputs> = (0..count)
+                .map(|k| {
+                    let mut p = fig7_inputs();
+                    p.set_port("f.s1", 0.02 * (k + 1) as f64, 0.4);
+                    p
+                })
+                .collect();
+            let obs = Collector::disabled();
+            let stats = compiled.evaluate_seq_stats_traced(&tables, &seq, 2, &obs);
+            assert_eq!(stats.len(), tables.len());
+            for (k, t) in tables.iter().enumerate() {
+                let row = compiled.evaluate(t);
+                let mut want = SeqStats::IDENTITY;
+                for &i in &seq {
+                    want.fold(row[i]);
+                }
+                assert_eq!(stats[k].sum.to_bits(), want.sum.to_bits(), "table {k}");
+                assert_eq!(stats[k].min.to_bits(), want.min.to_bits(), "table {k}");
+                assert_eq!(stats[k].max.to_bits(), want.max.to_bits(), "table {k}");
+            }
+        }
+    }
+
     #[test]
     fn dag_is_deduplicated() {
         let (nl, result, compiled) = compiled_fig7();
@@ -620,6 +927,30 @@ mod tests {
         let a = compiled.evaluate(&inputs);
         let b = back.evaluate(&inputs);
         for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn artifact_loads_across_execution_strategy_changes() {
+        // threads/incremental are not part of the result key: an artifact
+        // written under one setting parses under any other and evaluates
+        // bit-identically.
+        let (_, _, compiled) = compiled_fig7();
+        let text = compiled.to_text();
+        let exec_only = SartConfig {
+            threads: 8,
+            incremental: !compiled.config().incremental,
+            ..compiled.config().clone()
+        };
+        let back = CompiledSweep::from_text(&text, &exec_only)
+            .expect("execution-only config changes must not reject the artifact");
+        let inputs = fig7_inputs();
+        for (x, y) in compiled
+            .evaluate(&inputs)
+            .iter()
+            .zip(&back.evaluate(&inputs))
+        {
             assert_eq!(x.to_bits(), y.to_bits());
         }
     }

@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 use crate::arena::{SetId, TermTable, UnionArena};
 use crate::classify::{classify, NodeRole, RoleMap};
 use crate::mapping::{PavfInputs, StructureMapping};
-use crate::relax::{relax_partitioned, solve_global, RelaxOutcome};
+use crate::relax::{relax_partitioned, relax_partitioned_exact, solve_global, RelaxOutcome};
 use crate::walk::{prepare, Propagator, INJ_BOUNDARY_IN, INJ_BOUNDARY_OUT, INJ_CTRL, INJ_LOOP};
 
 /// Configuration of a SART run.
@@ -47,6 +47,36 @@ pub struct SartConfig {
     /// annotations and `SetId` numbering (see [`crate::relax`]); `1`
     /// runs the sharded engine inline.
     pub threads: usize,
+}
+
+impl SartConfig {
+    /// Canonical rendering of exactly the fields that can change a
+    /// computed AVF — the cache identity of a relaxation/compilation.
+    ///
+    /// `threads` and `incremental` are deliberately excluded: both are
+    /// execution strategies with a bit-identity contract (see
+    /// [`crate::relax`]), so `--threads 8` must reuse an artifact written
+    /// by `--threads 1` and vice versa. Every other field either injects a
+    /// term value (`loop_pavf`, `ctrl_read_pavf`, boundary/default pAVFs),
+    /// selects node roles (`ctrl_patterns`), or changes which fixpoint is
+    /// reached (`max_iterations` caps convergence, `partitioned` picks the
+    /// solver) — all result-affecting, all keyed.
+    ///
+    /// Floats render via `{:?}` (shortest round-trip), so distinct values
+    /// never collide.
+    pub fn result_key(&self) -> String {
+        format!(
+            "loop={:?} ctrl={:?} bin={:?} bout={:?} dflt={:?} pat={:?} iters={} part={}",
+            self.loop_pavf,
+            self.ctrl_read_pavf,
+            self.boundary_in_pavf,
+            self.boundary_out_pavf,
+            self.default_port_pavf,
+            self.ctrl_patterns,
+            self.max_iterations,
+            self.partitioned,
+        )
+    }
 }
 
 impl Default for SartConfig {
@@ -176,10 +206,29 @@ impl<'nl> SartEngine<'nl> {
     /// a `sart.resolve` span. Collection never changes the result — the
     /// bit-identity contract across thread counts holds with it on.
     pub fn run_traced(&self, inputs: &PavfInputs, obs: &Collector) -> SartResult {
+        self.run_inner(inputs, false, obs)
+    }
+
+    /// [`SartEngine::run`] without the small-design thread clamp: the
+    /// partitioned relaxation engages exactly `config.threads` workers
+    /// whatever the node count (see
+    /// [`crate::relax::relax_partitioned_exact`]). Results are
+    /// bit-identical either way — this exists for thread-scaling
+    /// benchmarks and equivalence tests on sub-crossover designs.
+    pub fn run_exact(&self, inputs: &PavfInputs) -> SartResult {
+        self.run_inner(inputs, true, &Collector::disabled())
+    }
+
+    fn run_inner(&self, inputs: &PavfInputs, exact_threads: bool, obs: &Collector) -> SartResult {
         let mut prop = self.prop_template.clone();
         let values = term_values(&prop.prep.terms, inputs, &self.config);
         let outcome = if self.config.partitioned {
-            relax_partitioned(
+            let relax = if exact_threads {
+                relax_partitioned_exact
+            } else {
+                relax_partitioned
+            };
+            relax(
                 &mut prop,
                 &values,
                 self.config.max_iterations,

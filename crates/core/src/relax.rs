@@ -79,6 +79,15 @@ use seqavf_obs::{Collector, FieldValue};
 use crate::arena::{SetId, UnionArena};
 use crate::walk::{BoundaryDeps, Propagator};
 
+/// Minimum node count before [`relax_partitioned`] engages worker
+/// threads. Below this the per-iteration spawn/join and shard
+/// canonicalization overhead exceeds the work the walks split — BENCH_6
+/// measured 8 threads at 0.46× and 32 threads at 0.40× of the sequential
+/// wall time on the ~3k-node reference design — so small designs take the
+/// sequential path regardless of the requested thread count. Same rule as
+/// the flatten crossover in `seqavf-netlist`.
+pub const RELAX_PARALLEL_WORK_THRESHOLD: usize = 20_000;
+
 /// Per-iteration convergence telemetry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IterationStats {
@@ -100,6 +109,11 @@ pub struct IterationStats {
     /// Mean sequential-node `MIN(F, B)` value per FUB after this iteration
     /// (the paper's convergence plot, §6.1).
     pub fub_seq_mean: Vec<f64>,
+    /// Worker threads this sweep actually engaged after the small-design
+    /// clamp ([`RELAX_PARALLEL_WORK_THRESHOLD`]) — 1 when the design was
+    /// too small to profit from the requested parallelism, the requested
+    /// count otherwise. Results never depend on it; wall time does.
+    pub effective_threads: usize,
     /// Wall-clock time this iteration took (walks, barrier, telemetry),
     /// in seconds.
     pub wall_seconds: f64,
@@ -530,10 +544,67 @@ fn mark_dirty(
 /// single per-sweep clock measurement with [`IterationStats`], plus the
 /// `relax.changed_sets` monotonic counter; collection never affects the
 /// computed annotations.
+///
+/// `threads` is a *ceiling*, not a demand: designs below
+/// [`RELAX_PARALLEL_WORK_THRESHOLD`] nodes run sequentially regardless,
+/// because the spawn/canonicalize overhead inverts the speedup there.
+/// The decision is visible as [`IterationStats::effective_threads`] and
+/// the `relax.sweep` span's `threads`/`requested_threads` fields.
+/// Equivalence tests and benchmarks that must exercise the parallel
+/// machinery on small designs use [`relax_partitioned_exact`].
 pub fn relax_partitioned(
     prop: &mut Propagator<'_>,
     values: &[f64],
     max_iterations: usize,
+    threads: usize,
+    incremental: bool,
+    obs: &Collector,
+) -> RelaxOutcome {
+    let effective = if threads > 1 && prop.nl.node_count() < RELAX_PARALLEL_WORK_THRESHOLD {
+        1
+    } else {
+        threads
+    };
+    relax_partitioned_inner(
+        prop,
+        values,
+        max_iterations,
+        threads,
+        effective,
+        incremental,
+        obs,
+    )
+}
+
+/// [`relax_partitioned`] without the small-design clamp: engages exactly
+/// `threads` workers whatever the node count. Bit-identical results either
+/// way — this exists so thread-equivalence tests and benchmark curves can
+/// drive the sharded path on designs below the crossover.
+pub fn relax_partitioned_exact(
+    prop: &mut Propagator<'_>,
+    values: &[f64],
+    max_iterations: usize,
+    threads: usize,
+    incremental: bool,
+    obs: &Collector,
+) -> RelaxOutcome {
+    relax_partitioned_inner(
+        prop,
+        values,
+        max_iterations,
+        threads,
+        threads,
+        incremental,
+        obs,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn relax_partitioned_inner(
+    prop: &mut Propagator<'_>,
+    values: &[f64],
+    max_iterations: usize,
+    requested_threads: usize,
     threads: usize,
     incremental: bool,
     obs: &Collector,
@@ -616,6 +687,10 @@ pub fn relax_partitioned(
                 ("changed_sets", FieldValue::U64(changed as u64)),
                 ("max_delta", FieldValue::F64(max_delta)),
                 ("threads", FieldValue::U64(threads as u64)),
+                (
+                    "requested_threads",
+                    FieldValue::U64(requested_threads as u64),
+                ),
                 ("dirty_fubs", FieldValue::U64(dirty_fubs as u64)),
                 ("skipped_fubs", FieldValue::U64(skipped_fubs as u64)),
             ],
@@ -628,6 +703,7 @@ pub fn relax_partitioned(
             skipped_fubs,
             walked_nodes,
             fub_seq_mean: fub_seq_means(prop, values),
+            effective_threads: threads.max(1),
             wall_seconds: wall.as_secs_f64(),
         });
         if changed == 0 {
@@ -674,6 +750,7 @@ pub fn solve_global(prop: &mut Propagator<'_>, values: &[f64], obs: &Collector) 
                 ("changed_sets", FieldValue::U64(changed as u64)),
                 ("max_delta", FieldValue::F64(max_delta)),
                 ("threads", FieldValue::U64(1)),
+                ("requested_threads", FieldValue::U64(1)),
                 ("dirty_fubs", FieldValue::U64(fub_count as u64)),
                 ("skipped_fubs", FieldValue::U64(0)),
             ],
@@ -686,6 +763,7 @@ pub fn solve_global(prop: &mut Propagator<'_>, values: &[f64], obs: &Collector) 
             skipped_fubs: 0,
             walked_nodes: prop.nl.node_count(),
             fub_seq_mean: fub_seq_means(prop, values),
+            effective_threads: 1,
             wall_seconds: wall.as_secs_f64(),
         });
     }
@@ -852,7 +930,9 @@ mod tests {
                 let values = default_values(&p0);
                 let mut p_full = p0.clone();
                 let mut p_inc = p0.clone();
-                let full = relax_partitioned(
+                // `_exact` so the sharded parallel path actually runs on
+                // these tiny designs despite the small-design clamp.
+                let full = relax_partitioned_exact(
                     &mut p_full,
                     &values,
                     20,
@@ -860,7 +940,7 @@ mod tests {
                     false,
                     &Collector::disabled(),
                 );
-                let inc = relax_partitioned(
+                let inc = relax_partitioned_exact(
                     &mut p_inc,
                     &values,
                     20,
@@ -1042,7 +1122,9 @@ mod tests {
             let mut runs = Vec::new();
             for threads in [1usize, 2, 3, 8] {
                 let mut p = p0.clone();
-                let out = relax_partitioned(
+                // `_exact` so the multi-thread variants genuinely shard:
+                // the clamped entry point would run CHAIN sequentially.
+                let out = relax_partitioned_exact(
                     &mut p,
                     &values,
                     20,
@@ -1088,10 +1170,58 @@ mod tests {
     }
 
     #[test]
+    fn small_designs_clamp_to_sequential_and_record_the_decision() {
+        let (nl, p0) = propagator(CHAIN);
+        assert!(nl.node_count() < RELAX_PARALLEL_WORK_THRESHOLD);
+        let values = default_values(&p0);
+        // The clamped entry point drops to 1 worker below the crossover…
+        let mut p = p0.clone();
+        let clamped = relax_partitioned(&mut p, &values, 20, 8, true, &Collector::disabled());
+        assert!(clamped.trace.iter().all(|s| s.effective_threads == 1));
+        // …the exact variant honors the request…
+        let mut p_exact = p0.clone();
+        let exact =
+            relax_partitioned_exact(&mut p_exact, &values, 20, 8, true, &Collector::disabled());
+        assert!(exact.trace.iter().all(|s| s.effective_threads == 8));
+        // …and both produce bit-identical annotations and telemetry.
+        assert_eq!(p.fwd, p_exact.fwd);
+        assert_eq!(p.bwd, p_exact.bwd);
+        assert_eq!(p.arena.len(), p_exact.arena.len());
+        assert_eq!(clamped.iterations, exact.iterations);
+        // Sequential requests pass through the clamp untouched.
+        let mut p1 = p0.clone();
+        let seq = relax_partitioned(&mut p1, &values, 20, 1, true, &Collector::disabled());
+        assert!(seq.trace.iter().all(|s| s.effective_threads == 1));
+    }
+
+    #[test]
+    fn clamp_decision_lands_in_the_sweep_trace() {
+        let (_, mut p) = propagator(CHAIN);
+        let values = default_values(&p);
+        let obs = Collector::new();
+        relax_partitioned(&mut p, &values, 20, 8, true, &obs);
+        let spans = obs.spans();
+        let sweeps: Vec<_> = spans.iter().filter(|s| s.name == "relax.sweep").collect();
+        assert!(!sweeps.is_empty());
+        for s in sweeps {
+            let field = |key: &str| {
+                s.fields
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .unwrap_or_else(|| panic!("missing field {key}"))
+                    .1
+                    .clone()
+            };
+            assert_eq!(field("threads"), FieldValue::U64(1));
+            assert_eq!(field("requested_threads"), FieldValue::U64(8));
+        }
+    }
+
+    #[test]
     fn wall_time_is_recorded_per_iteration() {
         let (_, mut p) = propagator(CHAIN);
         let values = default_values(&p);
-        let out = relax_partitioned(&mut p, &values, 20, 2, true, &Collector::disabled());
+        let out = relax_partitioned_exact(&mut p, &values, 20, 2, true, &Collector::disabled());
         assert!(!out.trace.is_empty());
         for s in &out.trace {
             assert!(s.wall_seconds >= 0.0);

@@ -10,13 +10,16 @@
 //!    DAG), lowers the closed forms with [`CompiledSweep::compile`], and
 //!    evaluates every workload's input table in parallel.
 //! 2. [`SweepCache`] persists the compiled DAG keyed by
-//!    **(netlist content hash, `SartConfig`)** — see [`cache_key`]. The
-//!    relaxation fixpoint is symbolic and independent of input values
-//!    (see [`crate::relax`]), so those two inputs fully determine the
-//!    compiled artifact; a byte-identical netlist under the same
-//!    configuration may reuse it regardless of file name, while any
-//!    netlist edit or configuration change produces a different key and a
-//!    fresh relaxation.
+//!    **(netlist content hash, structure mapping, result-affecting
+//!    `SartConfig` fields)** — see [`cache_key`]. The relaxation fixpoint
+//!    is symbolic and independent of input values (see [`crate::relax`]),
+//!    so those inputs fully determine the compiled artifact; a
+//!    byte-identical netlist under the same configuration may reuse it
+//!    regardless of file name — and regardless of `threads` or
+//!    `incremental`, which change execution strategy but never the result
+//!    — while any netlist edit, mapping edit, or result-affecting
+//!    configuration change produces a different key and a fresh
+//!    relaxation.
 //!
 //! Observability: compilation records a `sweep.compile` span, every
 //! workload evaluation a `sweep.eval` span, and cache consultations bump
@@ -34,17 +37,25 @@ use crate::mapping::{PavfInputs, StructureMapping};
 
 /// The sweep-cache key: a 64-bit FNV-1a hash over the netlist's semantic
 /// content digest ([`Netlist::content_digest`] — the same digest the
-/// binary graph snapshot embeds) and the configuration's debug rendering.
-/// The digest depends only on graph *content*, never on the file it was
-/// parsed from, so renaming a design file cannot invalidate the cache
-/// while any structural edit must. Keying on the digest instead of
-/// re-serializing canonical EXLIF makes the cache probe O(1) in the
-/// design size's text form.
-pub fn cache_key(nl: &Netlist, config: &SartConfig) -> u64 {
+/// binary graph snapshot embeds), the structure→performance-counter
+/// mapping, and the configuration's *result key*
+/// ([`SartConfig::result_key`]). The digest depends only on graph
+/// *content*, never on the file it was parsed from, so renaming a design
+/// file cannot invalidate the cache while any structural edit must.
+///
+/// The result key deliberately excludes `threads` and `incremental`:
+/// both are execution strategies with a bit-identity guarantee, so a
+/// `--threads 8` sweep reuses the artifact a `--threads 1` sweep wrote.
+/// The mapping is keyed because it decides which structures carry
+/// performance-counter names — it changes the compiled DAG's `Struct`
+/// slots and therefore the evaluated AVFs.
+pub fn cache_key(nl: &Netlist, mapping: &StructureMapping, config: &SartConfig) -> u64 {
     let mut h = Fnv1a64::new();
     h.update(&nl.content_digest().to_le_bytes());
     h.update(&[0]);
-    h.update(format!("{config:?}").as_bytes());
+    h.update(mapping.to_text(nl).as_bytes());
+    h.update(&[0]);
+    h.update(config.result_key().as_bytes());
     h.finish()
 }
 
@@ -227,7 +238,7 @@ pub fn run_sweep_with_loops_traced(
         None => (fresh(), CacheStatus::Disabled),
         Some(dir) => {
             let store = SweepCache::open(dir)?;
-            let key = cache_key(nl, config);
+            let key = cache_key(nl, mapping, config);
             match store.load(key, config, nl.node_count()) {
                 Some(c) => {
                     obs.count("sweep.cache.hit", 1);

@@ -1,7 +1,9 @@
 //! Artifact-cache correctness: the sweep cache must be keyed by netlist
-//! *content* and configuration — a single-gate mutation invalidates it, a
-//! byte-identical netlist parsed from a differently named file reuses it —
-//! and cache hits must reproduce bit-identical node AVFs.
+//! *content*, structure mapping, and the result-affecting configuration
+//! fields — a single-gate mutation invalidates it, a byte-identical
+//! netlist parsed from a differently named file reuses it, and execution
+//! strategy knobs (`threads`, `incremental`) never invalidate it — and
+//! cache hits must reproduce bit-identical node AVFs.
 
 use std::path::{Path, PathBuf};
 
@@ -110,8 +112,8 @@ fn one_gate_mutation_is_a_cache_miss() {
     let nl = parse_netlist(DESIGN).unwrap();
     let mutated = parse_netlist(DESIGN_MUTATED).unwrap();
     assert_ne!(
-        cache_key(&nl, &SartConfig::default()),
-        cache_key(&mutated, &SartConfig::default()),
+        cache_key(&nl, &StructureMapping::new(), &SartConfig::default()),
+        cache_key(&mutated, &StructureMapping::new(), &SartConfig::default()),
         "a single-gate edit must change the cache key"
     );
     let config = SartConfig::default();
@@ -193,9 +195,128 @@ fn corrupt_artifact_degrades_to_a_miss() {
         .find(|e| e.file_name().to_string_lossy().starts_with("sweep-"))
         .expect("artifact stored")
         .path();
+    std::fs::write(&artifact, "seqavf-sweep/2\ngarbage\n").unwrap();
+    assert_eq!(sweep(&nl, &config, &dir, &obs).cache, CacheStatus::Miss);
+    // A stale pre-result-key artifact (v1 header) is likewise just a miss.
     std::fs::write(&artifact, "seqavf-sweep/1\ngarbage\n").unwrap();
     assert_eq!(sweep(&nl, &config, &dir, &obs).cache, CacheStatus::Miss);
     assert_eq!(sweep(&nl, &config, &dir, &obs).cache, CacheStatus::Hit);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn execution_strategy_fields_do_not_poison_the_key() {
+    // `threads` and `incremental` pick how the fixpoint is computed, not
+    // which fixpoint — results are bit-identical by design, so every
+    // combination must map to the same cache key.
+    let nl = parse_netlist(DESIGN).unwrap();
+    let map = StructureMapping::new();
+    let base_key = cache_key(&nl, &map, &SartConfig::default());
+    for threads in [0, 1, 2, 8, 32] {
+        for incremental in [false, true] {
+            let cfg = SartConfig {
+                threads,
+                incremental,
+                ..SartConfig::default()
+            };
+            assert_eq!(
+                cache_key(&nl, &map, &cfg),
+                base_key,
+                "threads={threads} incremental={incremental} must not change the key"
+            );
+        }
+    }
+    // Result-affecting fields still must.
+    let other = SartConfig {
+        max_iterations: 3,
+        ..SartConfig::default()
+    };
+    assert_ne!(cache_key(&nl, &map, &other), base_key);
+}
+
+#[test]
+fn thread_count_and_incremental_changes_hit_the_same_artifact() {
+    // Regression for the key poisoning bug: a `--threads 8` sweep must
+    // reuse (and bitwise reproduce) the artifact a `--threads 1` sweep
+    // wrote, with `--no-incremental` thrown in for good measure.
+    let dir = temp_cache("exec-fields");
+    let nl = parse_netlist(DESIGN).unwrap();
+    let obs = Collector::new();
+    let one_thread = SartConfig {
+        threads: 1,
+        incremental: true,
+        ..SartConfig::default()
+    };
+    let first = sweep(&nl, &one_thread, &dir, &obs);
+    assert_eq!(first.cache, CacheStatus::Miss);
+    let eight_threads = SartConfig {
+        threads: 8,
+        incremental: false,
+        ..SartConfig::default()
+    };
+    let second = sweep(&nl, &eight_threads, &dir, &obs);
+    assert_eq!(
+        second.cache,
+        CacheStatus::Hit,
+        "execution-strategy fields must not invalidate the cache"
+    );
+    for (a, b) in first.rows.iter().zip(&second.rows) {
+        assert_eq!(a.workload, b.workload);
+        for (x, y) in a.node_avfs.iter().zip(&b.node_avfs) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+    let counters = obs.counters();
+    assert!(counters.contains(&("sweep.cache.miss", 1)), "{counters:?}");
+    assert!(counters.contains(&("sweep.cache.hit", 1)), "{counters:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mapping_change_is_a_cache_miss() {
+    // The structure mapping decides which structures carry perf-counter
+    // names, which changes the compiled DAG's Struct slots — two sweeps
+    // differing only in mapping must not share an artifact.
+    let dir = temp_cache("mapping");
+    let nl = parse_netlist(DESIGN).unwrap();
+    let config = SartConfig::default();
+    let obs = Collector::disabled();
+    let empty = StructureMapping::new();
+    let mut mapped = StructureMapping::new();
+    let sid = nl
+        .structure_ids()
+        .next()
+        .expect("test design has structures");
+    mapped.insert(sid, "uops_executed");
+    assert_ne!(
+        cache_key(&nl, &empty, &config),
+        cache_key(&nl, &mapped, &config),
+        "mapping must be part of the cache key"
+    );
+    let opts = SweepOptions {
+        threads: 2,
+        cache_dir: Some(dir.clone()),
+    };
+    let run = |mapping: &StructureMapping| {
+        run_sweep_traced(
+            &nl,
+            mapping,
+            &config,
+            &PavfInputs::new(),
+            &workloads(),
+            &opts,
+            &obs,
+        )
+        .expect("sweep succeeds")
+    };
+    assert_eq!(run(&empty).cache, CacheStatus::Miss);
+    assert_eq!(
+        run(&mapped).cache,
+        CacheStatus::Miss,
+        "a different mapping must not reuse the empty mapping's artifact"
+    );
+    assert_eq!(run(&empty).cache, CacheStatus::Hit);
+    assert_eq!(run(&mapped).cache, CacheStatus::Hit);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -456,11 +456,14 @@ pub fn load(bytes: &[u8]) -> Result<(Netlist, LoopAnalysis), SnapshotError> {
     let body = &bytes[..bytes.len() - 8];
     let mut h = WideFnv64::new();
     h.update(body);
-    let trailer = u64::from_le_bytes(
-        bytes[bytes.len() - 8..]
-            .try_into()
-            .expect("8-byte trailer slice"),
-    );
+    // The length guard above makes this slice exactly 8 bytes, but a
+    // resident server cannot afford a panic path on untrusted input —
+    // degrade to a checksum error instead.
+    let trailer_bytes: [u8; 8] = match bytes[bytes.len() - 8..].try_into() {
+        Ok(b) => b,
+        Err(_) => return Err(SnapshotError::Truncated),
+    };
+    let trailer = u64::from_le_bytes(trailer_bytes);
     if h.finish() != trailer {
         return Err(SnapshotError::ChecksumMismatch);
     }

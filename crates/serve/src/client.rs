@@ -1,0 +1,79 @@
+//! A minimal blocking HTTP client for the service's own endpoints.
+//!
+//! Used by the `seqavf query` subcommand, the integration tests, and the
+//! CI smoke script — one request per connection, mirroring the server's
+//! `Connection: close` discipline.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Issues one request and returns `(status, body)`.
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(600)));
+    let payload = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len(),
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(payload.as_bytes()))
+        .map_err(|e| format!("sending request to {addr}: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("reading response from {addr}: {e}"))?;
+    parse_response(&raw)
+}
+
+/// Splits a raw HTTP/1.1 response into `(status, body)`.
+fn parse_response(raw: &[u8]) -> Result<(u16, String), String> {
+    let text = std::str::from_utf8(raw).map_err(|e| format!("non-UTF-8 response: {e}"))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("incomplete response ({} bytes)", raw.len()))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line `{status_line}`"))?;
+    Ok((status, body.to_owned()))
+}
+
+/// `GET path` → `(status, body)`.
+pub fn get(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a JSON body → `(status, body)`.
+pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> Result<(u16, String), String> {
+    request(addr, "POST", path, Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_plain_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "hi");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! AVF-as-a-service: a resident sweep server.
+//!
+//! The batch CLI pays the full pipeline — parse, flatten, SCC, relax,
+//! compile — on every invocation, even though the compiled sweep DAG is
+//! reusable across any number of workload tables (the paper's §5.2
+//! amortization argument). This crate keeps that state *resident*: a
+//! long-running daemon holds loaded graphs and compiled DAGs behind
+//! digest-keyed LRUs, so a warm AVF query is one JSON parse plus one
+//! DAG evaluation — milliseconds on a 100k-node design instead of the
+//! multi-second cold pipeline.
+//!
+//! Layering (bottom up):
+//!
+//! * [`lru`] — fixed-capacity digest-keyed LRU with eviction accounting.
+//! * [`http`] — bounded hand-rolled HTTP/1.1 over `std::net` (the
+//!   vendored-deps policy rules out a real HTTP stack).
+//! * [`api`] — the JSON wire types (`POST /v1/avf` request/response).
+//! * [`resident`] — the shared state and request evaluation; keyed by
+//!   the same digests the on-disk caches use, so the server and the
+//!   batch CLI interoperate through `--graph-cache` / `--cache-dir`.
+//! * [`server`] — accept loop, bounded admission queue (full ⇒ 503),
+//!   worker pool, `/metrics`, graceful shutdown.
+//! * [`client`] — a small blocking client for `seqavf query`, tests,
+//!   and smoke scripts.
+//!
+//! The service's defining invariant: responses are **bit-identical** to
+//! the `sweep` CLI's output for the same design, mapping, configuration
+//! and tables. Residency is a latency optimization, never a numeric
+//! approximation.
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod lru;
+pub mod resident;
+pub mod server;

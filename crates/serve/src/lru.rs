@@ -1,0 +1,152 @@
+//! A small digest-keyed LRU map for resident artifacts.
+//!
+//! The server keeps at most `--max-resident` loaded graphs and compiled
+//! sweep DAGs in memory; residency is keyed by the same 64-bit digests
+//! the on-disk caches use (netlist content digest, sweep cache key).
+//! Capacities are tiny — single digits to low tens of designs — so the
+//! store is a plain vector ordered by a monotonically increasing access
+//! stamp: O(n) probes beat hash-map overhead at this size and keep the
+//! eviction choice trivially auditable.
+
+/// A fixed-capacity least-recently-used map keyed by `u64` digests.
+#[derive(Debug)]
+pub struct Lru<V> {
+    /// `(key, last-access stamp, value)` triples, unordered.
+    entries: Vec<(u64, u64, V)>,
+    /// Capacity; inserting into a full map evicts the stalest entry.
+    capacity: usize,
+    /// Monotonic access clock.
+    clock: u64,
+    /// Lifetime eviction count (served to `/metrics`).
+    evictions: u64,
+}
+
+impl<V> Lru<V> {
+    /// Creates an empty map. A zero capacity is clamped to one — a server
+    /// that could hold nothing resident would thrash every request.
+    pub fn new(capacity: usize) -> Self {
+        Lru {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Current number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime eviction count.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries
+            .iter_mut()
+            .find(|(k, _, _)| *k == key)
+            .map(|(_, stamp, v)| {
+                *stamp = clock;
+                &*v
+            })
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least recently used
+    /// entry if the map is full. Returns the evicted `(key, value)`, if
+    /// any, so callers can account for the freed artifact.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<(u64, V)> {
+        self.clock += 1;
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _, _)| *k == key) {
+            let old = std::mem::replace(&mut slot.2, value);
+            slot.1 = self.clock;
+            return Some((key, old));
+        }
+        let mut evicted = None;
+        if self.entries.len() >= self.capacity {
+            let stalest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, stamp, _))| *stamp)
+                .map(|(i, _)| i)
+                .expect("full LRU has at least one entry");
+            let (k, _, v) = self.entries.swap_remove(stalest);
+            self.evictions += 1;
+            evicted = Some((k, v));
+        }
+        self.entries.push((key, self.clock, value));
+        evicted
+    }
+
+    /// Resident keys, unordered.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().map(|(k, _, _)| *k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used_not_least_recently_inserted() {
+        let mut lru = Lru::new(2);
+        assert!(lru.insert(1, "a").is_none());
+        assert!(lru.insert(2, "b").is_none());
+        // Touch 1 so 2 becomes the stalest.
+        assert_eq!(lru.get(1), Some(&"a"));
+        let evicted = lru.insert(3, "c");
+        assert_eq!(evicted, Some((2, "b")));
+        assert_eq!(lru.len(), 2);
+        assert!(lru.get(1).is_some());
+        assert!(lru.get(3).is_some());
+        assert!(lru.get(2).is_none());
+        assert_eq!(lru.evictions(), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut lru = Lru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        let old = lru.insert(1, 11);
+        assert_eq!(old, Some((1, 10)));
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(1), Some(&11));
+        assert_eq!(lru.evictions(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut lru = Lru::new(0);
+        assert!(lru.insert(1, "a").is_none());
+        assert_eq!(lru.insert(2, "b"), Some((1, "a")));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn get_refreshes_recency_under_churn() {
+        let mut lru = Lru::new(3);
+        for k in 0..3 {
+            lru.insert(k, k);
+        }
+        // Keep key 0 hot while inserting a stream of new keys: 0 must
+        // survive every round.
+        for k in 3..20 {
+            assert!(lru.get(0).is_some(), "hot key evicted at {k}");
+            lru.insert(k, k);
+        }
+        assert!(lru.get(0).is_some());
+        assert_eq!(lru.evictions(), 17);
+    }
+}

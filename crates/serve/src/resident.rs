@@ -1,0 +1,705 @@
+//! Resident state: loaded design graphs and compiled sweep DAGs, each
+//! behind a digest-keyed LRU, shared by every worker thread.
+//!
+//! Two tiers of residency, keyed by the digests the on-disk caches
+//! already use so warm state and disk artifacts agree about identity:
+//!
+//! * **Graphs** — keyed by an FNV-1a hash of `(frontend tag, source
+//!   text)`, the exact key the CLI's `--graph-cache` snapshot files use.
+//!   A resident entry holds the flattened [`Netlist`], its
+//!   [`LoopAnalysis`], and the structure mapping it was loaded with. The
+//!   key doubles as the `design_ref` token clients echo back to skip
+//!   file IO entirely.
+//! * **Compiled sweeps** — keyed by [`seqavf_core::sweep::cache_key`]
+//!   (netlist content digest × mapping × result-affecting config), each
+//!   an [`Arc<CompiledSweep>`] so evaluation proceeds after the LRU lock
+//!   is dropped and eviction never invalidates an in-flight request.
+//!
+//! Misses deliberately release the LRU lock while parsing/relaxing:
+//! two clients racing the same cold design may both do the work (last
+//! insert wins), but a cold load never stalls warm traffic. Disk caches
+//! (`--graph-cache`, `--cache-dir`) are consulted between the LRU and a
+//! full recompute, so a server restart warms from the same artifacts the
+//! batch CLI writes.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use seqavf_core::compile::{CompiledSweep, SeqStats};
+use seqavf_core::engine::{SartConfig, SartEngine};
+use seqavf_core::mapping::{PavfInputs, StructureMapping};
+use seqavf_core::sweep::{cache_key, SweepCache};
+use seqavf_netlist::graph::Netlist;
+use seqavf_netlist::scc::{find_loops_traced, LoopAnalysis};
+use seqavf_netlist::{flatten, snapshot, verilog, Fnv1a64};
+use seqavf_obs::Collector;
+
+use crate::api::{AvfRequest, AvfResponse, FubRow, Health, RowOut};
+use crate::lru::Lru;
+
+/// A request-level failure with its HTTP status.
+#[derive(Debug)]
+pub struct ApiError {
+    /// Status code to answer with.
+    pub status: u16,
+    /// Human-readable message for the error body.
+    pub message: String,
+}
+
+impl ApiError {
+    /// 400: the request itself is wrong.
+    pub fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// 404: a `design_ref` that is no longer (or never was) resident.
+    pub fn not_found(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 404,
+            message: message.into(),
+        }
+    }
+
+    /// 500: the server failed to do valid work.
+    pub fn internal(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 500,
+            message: message.into(),
+        }
+    }
+}
+
+/// Residency and evaluation settings.
+#[derive(Debug, Clone)]
+pub struct ResidentConfig {
+    /// LRU capacity for each tier (graphs and compiled sweeps).
+    pub max_resident: usize,
+    /// Threads for relaxation and batch evaluation.
+    pub threads: usize,
+    /// `--graph-cache` directory shared with the CLI: binary
+    /// `seqavf-graph/2` snapshots consulted (and written) on graph
+    /// misses.
+    pub graph_cache: Option<PathBuf>,
+    /// `--cache-dir` directory shared with the CLI: `seqavf-sweep/2`
+    /// artifacts consulted (and written) on sweep misses.
+    pub sweep_cache: Option<PathBuf>,
+}
+
+impl Default for ResidentConfig {
+    fn default() -> Self {
+        ResidentConfig {
+            max_resident: 4,
+            threads: 1,
+            graph_cache: None,
+            sweep_cache: None,
+        }
+    }
+}
+
+/// A design held resident: the parsed graph, its loop analysis, and the
+/// mapping it was loaded with.
+#[derive(Debug)]
+pub struct LoadedDesign {
+    /// The flattened node graph.
+    pub netlist: Netlist,
+    /// Loop analysis (always present for resident designs).
+    pub loops: LoopAnalysis,
+    /// Structure mapping from the load-time `map_path` (empty if none
+    /// was given).
+    pub mapping: StructureMapping,
+}
+
+/// The shared resident state.
+pub struct Resident {
+    cfg: ResidentConfig,
+    graphs: Mutex<Lru<Arc<LoadedDesign>>>,
+    sweeps: Mutex<Lru<Arc<CompiledSweep>>>,
+    obs: Collector,
+}
+
+/// The `design_ref` key: FNV-1a over the frontend tag and source text —
+/// byte-compatible with the CLI's `--graph-cache` snapshot file naming,
+/// so both tools address the same snapshot for the same source.
+pub fn design_key(text: &str, is_verilog: bool) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.update(if is_verilog { b"verilog" } else { b"exlif" });
+    h.update(&[0]);
+    h.update(text.as_bytes());
+    h.finish()
+}
+
+impl Resident {
+    /// Creates empty resident state. `obs` receives the service counters
+    /// (`serve.graph.{hit,miss}`, `serve.cache.{hit,miss}`,
+    /// `serve.evict.{graph,sweep}`) and all engine telemetry.
+    pub fn new(cfg: ResidentConfig, obs: Collector) -> Resident {
+        let cap = cfg.max_resident;
+        Resident {
+            cfg,
+            graphs: Mutex::new(Lru::new(cap)),
+            sweeps: Mutex::new(Lru::new(cap)),
+            obs: obs.clone(),
+        }
+    }
+
+    /// The collector shared with the server.
+    pub fn obs(&self) -> &Collector {
+        &self.obs
+    }
+
+    /// Health snapshot for `/healthz`.
+    pub fn health(&self) -> Health {
+        Health {
+            status: "ok".to_owned(),
+            resident_graphs: lock(&self.graphs).len() as u64,
+            resident_sweeps: lock(&self.sweeps).len() as u64,
+        }
+    }
+
+    /// Lifetime evictions `(graphs, sweeps)` for `/metrics`.
+    pub fn evictions(&self) -> (u64, u64) {
+        (
+            lock(&self.graphs).evictions(),
+            lock(&self.sweeps).evictions(),
+        )
+    }
+
+    /// Handles one `POST /v1/avf` request end to end.
+    pub fn handle(&self, req: &AvfRequest) -> Result<AvfResponse, ApiError> {
+        if req.tables.is_empty() {
+            return Err(ApiError::bad_request(
+                "empty batch: `tables` must contain at least one workload",
+            ));
+        }
+        let (key, design, graph_cache) = self.resolve_design(req)?;
+        // An explicit map_path always wins; warm requests without one
+        // reuse the mapping the design was loaded with.
+        let mapping = match &req.map_path {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| ApiError::bad_request(format!("reading map {path}: {e}")))?;
+                StructureMapping::from_text(&design.netlist, &text)
+                    .map_err(|e| ApiError::bad_request(format!("parsing map {path}: {e}")))?
+            }
+            None => design.mapping.clone(),
+        };
+        let config = self.resolve_config(req)?;
+        let base = req
+            .base_inputs
+            .clone()
+            .unwrap_or_else(|| req.tables[0].inputs.clone());
+
+        let (compiled, sweep_cache) = self.resolve_sweep(&design, &mapping, &config, &base)?;
+
+        // Evaluate the whole batch, then summarize each workload exactly
+        // the way `run_sweep` does so the service's rows are bit-identical
+        // to the `sweep` CLI's. When only summaries are wanted (the warm
+        // hot path), use the compiled DAG's summary fold — same arithmetic
+        // in the same order, but it never materializes node-length rows.
+        let tables: Vec<PavfInputs> = req.tables.iter().map(|t| t.inputs.clone()).collect();
+        let nl = &design.netlist;
+        let seq: Vec<usize> = nl.seq_nodes().map(|id| id.index()).collect();
+        let include_nodes = req.include_nodes.unwrap_or(false);
+        let include_fubs = req.include_fubs.unwrap_or(false);
+        let mut fubs: Vec<FubRow> = Vec::new();
+        let summarize = |(sum, min, max): (f64, f64, f64)| {
+            if seq.is_empty() {
+                (0.0, 0.0, 0.0)
+            } else {
+                (sum / seq.len() as f64, min, max)
+            }
+        };
+        let rows: Vec<RowOut> = if include_nodes || include_fubs {
+            let avfs = compiled.evaluate_many_traced(&tables, self.cfg.threads, &self.obs);
+            req.tables
+                .iter()
+                .zip(&avfs)
+                .map(|(t, node_avfs)| {
+                    let mut st = SeqStats::IDENTITY;
+                    for &i in &seq {
+                        st.fold(node_avfs[i]);
+                    }
+                    let (mean, min, max) = summarize((st.sum, st.min, st.max));
+                    if include_fubs {
+                        fubs.extend(fub_rows(nl, &t.workload, node_avfs));
+                    }
+                    RowOut {
+                        workload: t.workload.clone(),
+                        mean_seq_avf: mean,
+                        min_seq_avf: min,
+                        max_seq_avf: max,
+                        node_avfs: include_nodes
+                            .then(|| seq.iter().map(|&i| node_avfs[i]).collect()),
+                    }
+                })
+                .collect()
+        } else {
+            let stats =
+                compiled.evaluate_seq_stats_traced(&tables, &seq, self.cfg.threads, &self.obs);
+            req.tables
+                .iter()
+                .zip(&stats)
+                .map(|(t, st)| {
+                    let (mean, min, max) = summarize((st.sum, st.min, st.max));
+                    RowOut {
+                        workload: t.workload.clone(),
+                        mean_seq_avf: mean,
+                        min_seq_avf: min,
+                        max_seq_avf: max,
+                        node_avfs: None,
+                    }
+                })
+                .collect()
+        };
+        Ok(AvfResponse {
+            design_ref: format!("{key:016x}"),
+            graph_cache: graph_cache.to_owned(),
+            sweep_cache: sweep_cache.to_owned(),
+            rows,
+            nodes: include_nodes.then(|| nl.seq_nodes().map(|id| nl.name(id).to_owned()).collect()),
+            fubs: include_fubs.then_some(fubs),
+        })
+    }
+
+    /// Resolves the request's design to a resident graph, loading it on a
+    /// miss. Returns `(key, design, "hit"|"miss")`.
+    fn resolve_design(
+        &self,
+        req: &AvfRequest,
+    ) -> Result<(u64, Arc<LoadedDesign>, &'static str), ApiError> {
+        // Warm path: a ref names resident state directly — no file IO.
+        if let Some(r) = &req.design_ref {
+            let key = u64::from_str_radix(r, 16)
+                .map_err(|_| ApiError::bad_request(format!("bad design_ref `{r}`")))?;
+            if let Some(d) = lock(&self.graphs).get(key) {
+                self.obs.count("serve.graph.hit", 1);
+                return Ok((key, Arc::clone(d), "hit"));
+            }
+            if req.design_path.is_none() {
+                return Err(ApiError::not_found(format!(
+                    "design_ref {r} is not resident (evicted or unknown); \
+                     resend with design_path to reload"
+                )));
+            }
+        }
+        let path = req.design_path.as_deref().ok_or_else(|| {
+            ApiError::bad_request("missing design: give design_path or a resident design_ref")
+        })?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ApiError::bad_request(format!("reading design {path}: {e}")))?;
+        let is_verilog = path.ends_with(".v") || path.ends_with(".sv");
+        let key = design_key(&text, is_verilog);
+        if let Some(d) = lock(&self.graphs).get(key) {
+            self.obs.count("serve.graph.hit", 1);
+            return Ok((key, Arc::clone(d), "hit"));
+        }
+        // Cold: parse (or restore a snapshot) without holding the lock.
+        self.obs.count("serve.graph.miss", 1);
+        let snap_path = self
+            .cfg
+            .graph_cache
+            .as_ref()
+            .map(|dir| dir.join(format!("graph-{key:016x}.bin")));
+        let (netlist, loops) = match snap_path.as_ref().and_then(|p| {
+            let bytes = std::fs::read(p).ok()?;
+            snapshot::load(&bytes).ok()
+        }) {
+            Some((nl, loops)) => {
+                self.obs.count("frontend.snapshot.hit", 1);
+                (nl, loops)
+            }
+            None => {
+                let nl = if is_verilog {
+                    verilog::parse_netlist_traced(&text, &self.obs)
+                } else {
+                    flatten::parse_netlist_traced(&text, &self.obs)
+                }
+                .map_err(|e| ApiError::bad_request(format!("parsing {path}: {e}")))?;
+                let loops = find_loops_traced(&nl, &self.obs);
+                if let Some(p) = &snap_path {
+                    self.obs.count("frontend.snapshot.miss", 1);
+                    if let Some(dir) = p.parent() {
+                        let _ = std::fs::create_dir_all(dir);
+                    }
+                    let _ = std::fs::write(p, snapshot::save(&nl, &loops));
+                }
+                (nl, loops)
+            }
+        };
+        let mapping = match &req.map_path {
+            Some(mp) => {
+                let mtext = std::fs::read_to_string(mp)
+                    .map_err(|e| ApiError::bad_request(format!("reading map {mp}: {e}")))?;
+                StructureMapping::from_text(&netlist, &mtext)
+                    .map_err(|e| ApiError::bad_request(format!("parsing map {mp}: {e}")))?
+            }
+            None => StructureMapping::new(),
+        };
+        let design = Arc::new(LoadedDesign {
+            netlist,
+            loops,
+            mapping,
+        });
+        if lock(&self.graphs)
+            .insert(key, Arc::clone(&design))
+            .is_some()
+        {
+            self.obs.count("serve.evict.graph", 1);
+        }
+        Ok((key, design, "miss"))
+    }
+
+    /// Resolves the compiled sweep DAG for `(design, mapping, config)`,
+    /// relaxing fresh on a full miss. Returns `(dag, "hit"|"miss")`.
+    fn resolve_sweep(
+        &self,
+        design: &LoadedDesign,
+        mapping: &StructureMapping,
+        config: &SartConfig,
+        base: &PavfInputs,
+    ) -> Result<(Arc<CompiledSweep>, &'static str), ApiError> {
+        let nl = &design.netlist;
+        let key = cache_key(nl, mapping, config);
+        if let Some(c) = lock(&self.sweeps).get(key) {
+            self.obs.count("serve.cache.hit", 1);
+            return Ok((Arc::clone(c), "hit"));
+        }
+        self.obs.count("serve.cache.miss", 1);
+        // Disk tier, shared with the batch CLI's --cache-dir.
+        let disk = self
+            .cfg
+            .sweep_cache
+            .as_ref()
+            .and_then(|dir| SweepCache::open(dir).ok());
+        if let Some(c) = disk
+            .as_ref()
+            .and_then(|s| s.load(key, config, nl.node_count()))
+        {
+            self.obs.count("sweep.cache.hit", 1);
+            let c = Arc::new(c);
+            if lock(&self.sweeps).insert(key, Arc::clone(&c)).is_some() {
+                self.obs.count("serve.evict.sweep", 1);
+            }
+            return Ok((c, "miss"));
+        }
+        // Full miss: relax and compile — the cached-frontend cold path.
+        let engine = SartEngine::new_with_loops_traced(
+            nl,
+            mapping,
+            config.clone(),
+            &design.loops,
+            &self.obs,
+        );
+        let result = engine.run_traced(base, &self.obs);
+        let compiled = Arc::new(CompiledSweep::compile_traced(&result, nl, &self.obs));
+        if let Some(s) = &disk {
+            self.obs.count("sweep.cache.miss", 1);
+            let _ = s.store(key, &compiled);
+        }
+        if lock(&self.sweeps)
+            .insert(key, Arc::clone(&compiled))
+            .is_some()
+        {
+            self.obs.count("serve.evict.sweep", 1);
+        }
+        Ok((compiled, "miss"))
+    }
+
+    /// Builds the effective [`SartConfig`], validating every override.
+    fn resolve_config(&self, req: &AvfRequest) -> Result<SartConfig, ApiError> {
+        let rc = req.config.clone().unwrap_or_default();
+        let mut config = SartConfig {
+            threads: self.cfg.threads,
+            ..SartConfig::default()
+        };
+        if let Some(v) = rc.loop_pavf {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ApiError::bad_request(format!(
+                    "config.loop_pavf must be a probability in [0, 1], got {v:?}"
+                )));
+            }
+            config.loop_pavf = v;
+        }
+        if let Some(n) = rc.iterations {
+            if n == 0 || n > 10_000 {
+                return Err(ApiError::bad_request(format!(
+                    "config.iterations must be in [1, 10000], got {n}"
+                )));
+            }
+            config.max_iterations = n as usize;
+        }
+        if let Some(g) = rc.global {
+            config.partitioned = !g;
+        }
+        Ok(config)
+    }
+}
+
+/// Per-FUB mean AVFs for one workload's node table.
+fn fub_rows(nl: &Netlist, workload: &str, node_avfs: &[f64]) -> Vec<FubRow> {
+    let mut sums = vec![0.0f64; nl.fub_count()];
+    let mut counts = vec![0u64; nl.fub_count()];
+    for id in nl.seq_nodes() {
+        let f = nl.fub(id).index();
+        sums[f] += node_avfs[id.index()];
+        counts[f] += 1;
+    }
+    nl.fub_ids()
+        .filter(|f| counts[f.index()] > 0)
+        .map(|f| FubRow {
+            workload: workload.to_owned(),
+            fub: nl.fub_name(f).to_owned(),
+            seq_bits: counts[f.index()],
+            mean_seq_avf: sums[f.index()] / counts[f.index()] as f64,
+        })
+        .collect()
+}
+
+/// Locks a mutex, recovering from poison: resident state is only ever
+/// mutated through the LRU's own methods, which cannot leave it torn.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::NamedTable;
+    use seqavf_netlist::exlif;
+    use seqavf_netlist::synth::{generate, SynthConfig};
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("seqavf-serve-test-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_design(dir: &std::path::Path, seed: u64) -> (PathBuf, PathBuf) {
+        let design = generate(&SynthConfig::xeon_like(seed));
+        let exlif_path = dir.join(format!("d{seed}.exlif"));
+        std::fs::write(&exlif_path, exlif::write(&design.netlist)).unwrap();
+        let mapping = StructureMapping::from_pairs(design.meta.structure_map.clone());
+        let map_path = dir.join(format!("d{seed}.map"));
+        std::fs::write(&map_path, mapping.to_text(&design.netlist)).unwrap();
+        (exlif_path, map_path)
+    }
+
+    fn request(design: &std::path::Path, map: &std::path::Path, n_tables: usize) -> AvfRequest {
+        let tables = (0..n_tables)
+            .map(|i| {
+                let mut inputs = PavfInputs::new();
+                inputs.set_port("uops_executed", 0.2 + 0.1 * i as f64, 0.3);
+                NamedTable {
+                    workload: format!("w{i}"),
+                    inputs,
+                }
+            })
+            .collect();
+        AvfRequest {
+            design_path: Some(design.display().to_string()),
+            design_ref: None,
+            map_path: Some(map.display().to_string()),
+            config: None,
+            base_inputs: None,
+            tables,
+            include_nodes: None,
+            include_fubs: None,
+        }
+    }
+
+    #[test]
+    fn cold_then_warm_requests_agree_bitwise() {
+        let dir = scratch("cold-warm");
+        let (design, map) = write_design(&dir, 7);
+        let r = Resident::new(ResidentConfig::default(), Collector::new());
+        let req = request(&design, &map, 3);
+        let cold = r.handle(&req).unwrap();
+        assert_eq!(cold.graph_cache, "miss");
+        assert_eq!(cold.sweep_cache, "miss");
+        assert_eq!(cold.rows.len(), 3);
+
+        // Warm via design_ref: no paths needed at all.
+        let warm_req = AvfRequest {
+            design_path: None,
+            map_path: None,
+            design_ref: Some(cold.design_ref.clone()),
+            ..req.clone()
+        };
+        let warm = r.handle(&warm_req).unwrap();
+        assert_eq!(warm.graph_cache, "hit");
+        assert_eq!(warm.sweep_cache, "hit");
+        for (a, b) in cold.rows.iter().zip(&warm.rows) {
+            assert_eq!(a.mean_seq_avf.to_bits(), b.mean_seq_avf.to_bits());
+            assert_eq!(a.min_seq_avf.to_bits(), b.min_seq_avf.to_bits());
+            assert_eq!(a.max_seq_avf.to_bits(), b.max_seq_avf.to_bits());
+        }
+        let report = r.obs().report();
+        assert_eq!(report.counter("serve.graph.miss"), Some(1));
+        assert_eq!(report.counter("serve.graph.hit"), Some(1));
+        assert_eq!(report.counter("serve.cache.miss"), Some(1));
+        assert_eq!(report.counter("serve.cache.hit"), Some(1));
+    }
+
+    #[test]
+    fn rows_are_bit_identical_to_the_sweep_driver() {
+        use seqavf_core::sweep::{run_sweep_with_loops_traced, SweepOptions};
+        let dir = scratch("bit-identity");
+        let (design, map) = write_design(&dir, 11);
+        let r = Resident::new(ResidentConfig::default(), Collector::new());
+        let req = request(&design, &map, 4);
+        let served = r.handle(&req).unwrap();
+
+        // The same computation through the library path the CLI uses.
+        let text = std::fs::read_to_string(&design).unwrap();
+        let nl = flatten::parse_netlist_traced(&text, &Collector::disabled()).unwrap();
+        let mapping =
+            StructureMapping::from_text(&nl, &std::fs::read_to_string(&map).unwrap()).unwrap();
+        let workloads: Vec<(String, PavfInputs)> = req
+            .tables
+            .iter()
+            .map(|t| (t.workload.clone(), t.inputs.clone()))
+            .collect();
+        let outcome = run_sweep_with_loops_traced(
+            &nl,
+            &mapping,
+            &SartConfig::default(),
+            &req.tables[0].inputs,
+            &workloads,
+            &SweepOptions::default(),
+            None,
+            &Collector::disabled(),
+        )
+        .unwrap();
+        assert_eq!(served.rows.len(), outcome.rows.len());
+        for (s, c) in served.rows.iter().zip(&outcome.rows) {
+            assert_eq!(s.workload, c.workload);
+            assert_eq!(s.mean_seq_avf.to_bits(), c.mean_seq_avf.to_bits());
+            assert_eq!(s.min_seq_avf.to_bits(), c.min_seq_avf.to_bits());
+            assert_eq!(s.max_seq_avf.to_bits(), c.max_seq_avf.to_bits());
+        }
+    }
+
+    #[test]
+    fn eviction_then_ref_reuse_is_a_named_404() {
+        let dir = scratch("evict");
+        let (d1, m1) = write_design(&dir, 1);
+        let (d2, m2) = write_design(&dir, 2);
+        let r = Resident::new(
+            ResidentConfig {
+                max_resident: 1,
+                ..ResidentConfig::default()
+            },
+            Collector::new(),
+        );
+        let first = r.handle(&request(&d1, &m1, 1)).unwrap();
+        r.handle(&request(&d2, &m2, 1)).unwrap();
+        // d1 was evicted by d2 (capacity 1): the stale ref must 404 with
+        // recovery instructions, not crash or silently recompute.
+        let stale = AvfRequest {
+            design_path: None,
+            map_path: None,
+            design_ref: Some(first.design_ref.clone()),
+            ..request(&d1, &m1, 1)
+        };
+        let err = r.handle(&stale).unwrap_err();
+        assert_eq!(err.status, 404);
+        assert!(err.message.contains("design_path"), "{}", err.message);
+        let (graph_evictions, _) = r.evictions();
+        assert_eq!(graph_evictions, 1);
+        // Supplying the path alongside the stale ref reloads cleanly.
+        let recover = AvfRequest {
+            design_ref: Some(first.design_ref.clone()),
+            ..request(&d1, &m1, 1)
+        };
+        let back = r.handle(&recover).unwrap();
+        assert_eq!(back.graph_cache, "miss");
+        assert_eq!(back.design_ref, first.design_ref);
+    }
+
+    #[test]
+    fn disk_caches_warm_a_fresh_server() {
+        let dir = scratch("disk-warm");
+        let (design, map) = write_design(&dir, 3);
+        let cfg = ResidentConfig {
+            graph_cache: Some(dir.join("graphs")),
+            sweep_cache: Some(dir.join("sweeps")),
+            ..ResidentConfig::default()
+        };
+        let r1 = Resident::new(cfg.clone(), Collector::new());
+        let first = r1.handle(&request(&design, &map, 2)).unwrap();
+
+        // A brand-new Resident (server restart) misses the LRU but finds
+        // both disk artifacts: no parse, no relaxation.
+        let obs = Collector::new();
+        let r2 = Resident::new(cfg, obs.clone());
+        let second = r2.handle(&request(&design, &map, 2)).unwrap();
+        assert_eq!(second.graph_cache, "miss");
+        assert_eq!(second.sweep_cache, "miss");
+        let report = obs.report();
+        assert_eq!(report.counter("frontend.snapshot.hit"), Some(1));
+        assert_eq!(report.counter("sweep.cache.hit"), Some(1));
+        assert!(report.span("relax.sweep").is_none(), "relaxation ran");
+        for (a, b) in first.rows.iter().zip(&second.rows) {
+            assert_eq!(a.mean_seq_avf.to_bits(), b.mean_seq_avf.to_bits());
+        }
+    }
+
+    #[test]
+    fn bad_requests_get_named_400s() {
+        let dir = scratch("bad-req");
+        let (design, map) = write_design(&dir, 5);
+        let r = Resident::new(ResidentConfig::default(), Collector::new());
+        let empty = AvfRequest {
+            tables: Vec::new(),
+            ..request(&design, &map, 1)
+        };
+        let err = r.handle(&empty).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("tables"));
+
+        let mut bad_cfg = request(&design, &map, 1);
+        bad_cfg.config = Some(crate::api::RequestConfig {
+            loop_pavf: Some(f64::NAN),
+            ..Default::default()
+        });
+        let err = r.handle(&bad_cfg).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("loop_pavf"));
+
+        let mut gone = request(&design, &map, 1);
+        gone.design_path = Some(dir.join("nonexistent.exlif").display().to_string());
+        let err = r.handle(&gone).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("nonexistent.exlif"));
+    }
+
+    #[test]
+    fn per_fub_and_per_node_tables_are_consistent() {
+        let dir = scratch("fub-rows");
+        let (design, map) = write_design(&dir, 9);
+        let r = Resident::new(ResidentConfig::default(), Collector::new());
+        let mut req = request(&design, &map, 1);
+        req.include_nodes = Some(true);
+        req.include_fubs = Some(true);
+        let resp = r.handle(&req).unwrap();
+        let nodes = resp.nodes.as_ref().unwrap();
+        let avfs = resp.rows[0].node_avfs.as_ref().unwrap();
+        assert_eq!(nodes.len(), avfs.len());
+        let fubs = resp.fubs.as_ref().unwrap();
+        assert!(!fubs.is_empty());
+        // FUB bit counts sum to the sequential population, and the
+        // bit-weighted FUB means reproduce the overall mean.
+        let total_bits: u64 = fubs.iter().map(|f| f.seq_bits).sum();
+        assert_eq!(total_bits as usize, nodes.len());
+        let weighted: f64 = fubs
+            .iter()
+            .map(|f| f.mean_seq_avf * f.seq_bits as f64)
+            .sum::<f64>()
+            / total_bits as f64;
+        assert!((weighted - resp.rows[0].mean_seq_avf).abs() < 1e-9);
+    }
+}
