@@ -13,11 +13,20 @@
 //! - [`correlate`] — model-to-measurement miscorrelation and improvement
 //!   metrics (the paper reports ~100% initial miscorrelation shrinking by
 //!   ~66% once sequential AVFs replace the structure-AVF proxy).
+//! - [`validate`] — model-to-injection validation (§6.1): statistical
+//!   comparison of SART's analytical per-bit AVFs against trial-indexed
+//!   fault-injection campaigns, with importance sampling and per-FUB
+//!   Wilson-interval overlap.
 
 pub mod campaign;
 pub mod correlate;
 pub mod fit;
+pub mod validate;
 
 pub use campaign::{run_beam, BeamConfig, BeamMeasurement};
 pub use correlate::{improvement, miscorrelation, within_interval, CorrelationRow};
 pub use fit::{BitPopulation, FitBreakdown, Protection};
+pub use validate::{
+    importance_weights, pearson, run_validate, run_validate_traced, spearman, FubRow, Sampling,
+    ValidateConfig, ValidationReport,
+};

@@ -1,0 +1,746 @@
+//! Statistical validation of SART's analytical AVFs against fault
+//! injection (§6.1, Figure 9).
+//!
+//! The paper validates the analytical model by comparing per-structure
+//! AVFs against RTL fault-injection campaigns ("the analytical AVFs are
+//! within the statistical error of the fault injection results"). This
+//! module is that comparison at design scale: a trial-indexed injection
+//! campaign ([`seqavf_sfi::campaign::run_trials`]) produces per-bit
+//! binomial estimates, which are pooled per FUB and compared against the
+//! SART per-bit AVFs three ways:
+//!
+//! - **Rank agreement** — Pearson and Spearman correlation of per-FUB
+//!   injection AVFs vs per-FUB analytical AVFs.
+//! - **Interval overlap** — the fraction of FUBs whose analytical AVF
+//!   falls inside the Wilson ~95% interval of the injection estimate
+//!   (the paper's "within the statistical error" criterion).
+//! - **Population mean** — a Horvitz–Thompson estimate of the design's
+//!   mean AVF that stays unbiased under importance sampling.
+//!
+//! ## Importance sampling
+//!
+//! A uniform campaign wastes most of its budget on bits whose AVF is
+//! ~0. [`importance_weights`] biases target selection toward bits the
+//! analytical model predicts matter (`max(avf, floor)`); the `floor`
+//! keeps every bit reachable so the model cannot hide its own mistakes.
+//! Two properties keep the comparison honest under any weighting:
+//!
+//! 1. Each per-bit estimate conditions on its own selections, so it is
+//!    unbiased regardless of how often the bit was selected.
+//! 2. The population mean uses the Horvitz–Thompson estimator
+//!    `(1/T) Σ_t x_t / (N·p_i(t))`, whose expectation is the true mean
+//!    for any selection distribution with full support.
+//!
+//! Per-FUB rows compare the pooled injection proportion against the
+//! **trial-weighted** mean of the analytical AVFs (weighted by how often
+//! each bit was actually selected) — under non-uniform sampling the
+//! pooled proportion estimates exactly that weighted mean, so the two
+//! columns estimate the same quantity by construction.
+
+use serde::{Deserialize, Serialize};
+
+use seqavf_netlist::graph::{Netlist, NodeId};
+use seqavf_sfi::campaign::{wilson_interval, Kernel, TrialConfig, TrialTally};
+
+/// Target-selection strategy for the validation campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sampling {
+    /// Every bit equally likely.
+    Uniform,
+    /// Selection probability ∝ `max(analytical AVF, floor)`.
+    Importance {
+        /// Minimum relative weight; keeps zero-AVF bits reachable.
+        floor: f64,
+    },
+}
+
+/// Configuration of a validation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidateConfig {
+    /// The underlying trial campaign (budget, seed, threads, burst,
+    /// kernel).
+    pub trial: TrialConfig,
+    /// Target-selection strategy.
+    pub sampling: Sampling,
+}
+
+impl Default for ValidateConfig {
+    fn default() -> Self {
+        ValidateConfig {
+            trial: TrialConfig::default(),
+            sampling: Sampling::Uniform,
+        }
+    }
+}
+
+/// Selection weights proportional to `max(avf, floor)`.
+///
+/// AVFs are clamped into `[0, 1]` first (SART emits `-0.0` for dead
+/// bits). `floor` must be positive so every bit keeps nonzero selection
+/// probability — the Horvitz–Thompson estimator requires full support.
+pub fn importance_weights(avfs: &[f64], floor: f64) -> Vec<f64> {
+    assert!(
+        floor.is_finite() && floor > 0.0,
+        "importance floor must be positive (full support)"
+    );
+    avfs.iter().map(|&a| a.clamp(0.0, 1.0).max(floor)).collect()
+}
+
+/// Pearson product-moment correlation. Returns 0 when either side has
+/// zero variance (no linear relationship is expressible).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation inputs must be parallel");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Spearman rank correlation: Pearson on tie-averaged ranks.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&average_ranks(xs), &average_ranks(ys))
+}
+
+/// Fractional ranks (1-based); tied values share the average of the
+/// positions they span.
+fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .expect("ranks need non-NaN values")
+    });
+    let mut ranks = vec![0.0f64; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average 1-based rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// One per-FUB comparison row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FubRow {
+    /// FUB name.
+    pub fub: String,
+    /// Sequential bits targeted in this FUB.
+    pub bits: usize,
+    /// Trials whose primary target landed in this FUB.
+    pub trials: usize,
+    /// Error + unknown outcomes among those trials.
+    pub hits: usize,
+    /// Pooled injection AVF: `hits / trials`.
+    pub injected_avf: f64,
+    /// Wilson ~95% interval of the pooled proportion.
+    pub ci: (f64, f64),
+    /// Trial-weighted mean of the analytical per-bit AVFs (the quantity
+    /// the pooled proportion estimates — see the module docs).
+    pub sart_avf: f64,
+    /// Whether `sart_avf` falls inside `ci`.
+    pub overlap: bool,
+}
+
+/// A validation report: the `seqavf-validate/1` artifact.
+///
+/// Serialized field order is declaration order, so the JSON is
+/// byte-identical across runs with identical inputs — the CI smoke test
+/// `cmp`s artifacts produced at different thread counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Artifact schema identifier, always `"seqavf-validate/1"`.
+    pub schema: String,
+    /// Design name.
+    pub design: String,
+    /// Sequential bits targeted.
+    pub bits: usize,
+    /// Trials run.
+    pub trials: usize,
+    /// Error outcomes.
+    pub errors: usize,
+    /// Unknown outcomes.
+    pub unknowns: usize,
+    /// Bits upset per trial.
+    pub burst: usize,
+    /// `"exact"` or `"propagation"`.
+    pub kernel: String,
+    /// `"uniform"` or `"importance"`.
+    pub sampling: String,
+    /// Pearson correlation of per-FUB injection vs analytical AVFs.
+    pub pearson: f64,
+    /// Spearman rank correlation of the same.
+    pub spearman: f64,
+    /// Fraction of (sampled) FUBs whose analytical AVF falls inside the
+    /// injection Wilson interval.
+    pub overlap_fraction: f64,
+    /// Unweighted mean of the analytical per-bit AVFs.
+    pub mean_sart_avf: f64,
+    /// Horvitz–Thompson estimate of the same population mean from the
+    /// injection outcomes.
+    pub mean_injected_avf: f64,
+    /// Mean Wilson-interval width across sampled FUBs (the precision
+    /// knob importance sampling turns).
+    pub mean_ci_width: f64,
+    /// Per-FUB rows, in FUB-name order.
+    pub fubs: Vec<FubRow>,
+}
+
+impl ValidationReport {
+    /// Serializes the artifact (deterministic field and row order).
+    pub fn to_json(&self) -> String {
+        let mut s =
+            serde_json::to_string_pretty(self).expect("validation report always serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Renders the human-readable comparison table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "validate {}: {} bits, {} trials ({} sampling, {} kernel, burst {})\n",
+            self.design, self.bits, self.trials, self.sampling, self.kernel, self.burst
+        ));
+        out.push_str(&format!(
+            "pearson {:.4}  spearman {:.4}  overlap {:.1}%  mean AVF sart {:.4} / injected {:.4}\n",
+            self.pearson,
+            self.spearman,
+            100.0 * self.overlap_fraction,
+            self.mean_sart_avf,
+            self.mean_injected_avf,
+        ));
+        out.push_str(&format!(
+            "{:<24} {:>6} {:>8} {:>9} {:>19} {:>9}  {}\n",
+            "fub", "bits", "trials", "inj avf", "wilson 95%", "sart", "ok"
+        ));
+        for row in &self.fubs {
+            out.push_str(&format!(
+                "{:<24} {:>6} {:>8} {:>9.4} [{:>7.4}, {:>7.4}] {:>9.4}  {}\n",
+                row.fub,
+                row.bits,
+                row.trials,
+                row.injected_avf,
+                row.ci.0,
+                row.ci.1,
+                row.sart_avf,
+                if row.trials == 0 {
+                    "-"
+                } else if row.overlap {
+                    "y"
+                } else {
+                    "n"
+                },
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the validation comparison given a finished campaign.
+///
+/// `targets`, `sart_avfs` and `tallies` are parallel; `weights` is the
+/// selection weighting the campaign actually used (`None` = uniform).
+/// Split from [`run_validate`] so oracle tests can feed exhaustive
+/// campaign results through the same comparison code.
+pub fn compare(
+    nl: &Netlist,
+    design: &str,
+    targets: &[NodeId],
+    sart_avfs: &[f64],
+    tallies: &[TrialTally],
+    weights: Option<&[f64]>,
+    cfg: &ValidateConfig,
+) -> ValidationReport {
+    assert_eq!(targets.len(), sart_avfs.len());
+    assert_eq!(targets.len(), tallies.len());
+    let trials: usize = tallies.iter().map(|t| t.trials).sum();
+    let errors: usize = tallies.iter().map(|t| t.errors).sum();
+    let unknowns: usize = tallies.iter().map(|t| t.unknowns).sum();
+    let n = targets.len();
+
+    // Horvitz–Thompson population mean: group the per-trial terms by
+    // target, x_t/(N·p_i) is constant within a group.
+    let total_weight: f64 = weights.map(|w| w.iter().sum()).unwrap_or(n as f64);
+    let mean_injected_avf = if trials == 0 || n == 0 {
+        0.0
+    } else {
+        let mut acc = 0.0;
+        for (i, t) in tallies.iter().enumerate() {
+            let p = match weights {
+                None => 1.0 / n as f64,
+                Some(w) => w[i] / total_weight,
+            };
+            if t.errors + t.unknowns > 0 {
+                acc += (t.errors + t.unknowns) as f64 / (n as f64 * p);
+            }
+        }
+        acc / trials as f64
+    };
+    let mean_sart_avf = if n == 0 {
+        0.0
+    } else {
+        sart_avfs.iter().map(|&a| a.clamp(0.0, 1.0)).sum::<f64>() / n as f64
+    };
+
+    // Pool per FUB, keyed by name so row order is deterministic.
+    let mut fub_names: Vec<String> = Vec::new();
+    let mut fub_of_target: Vec<usize> = Vec::with_capacity(n);
+    {
+        let mut by_id: std::collections::BTreeMap<String, usize> = Default::default();
+        for &t in targets {
+            let name = nl.fub_name(nl.fub(t)).to_owned();
+            let next = by_id.len();
+            let slot = *by_id.entry(name.clone()).or_insert(next);
+            if slot == fub_names.len() {
+                fub_names.push(name);
+            }
+            fub_of_target.push(slot);
+        }
+    }
+    let mut rows: Vec<FubRow> = fub_names
+        .iter()
+        .map(|name| FubRow {
+            fub: name.clone(),
+            bits: 0,
+            trials: 0,
+            hits: 0,
+            injected_avf: 0.0,
+            ci: (0.0, 1.0),
+            sart_avf: 0.0,
+            overlap: false,
+        })
+        .collect();
+    for (i, t) in tallies.iter().enumerate() {
+        let row = &mut rows[fub_of_target[i]];
+        row.bits += 1;
+        row.trials += t.trials;
+        row.hits += t.errors + t.unknowns;
+        // Accumulate the trial-weighted SART sum; normalized below.
+        row.sart_avf += t.trials as f64 * sart_avfs[i].clamp(0.0, 1.0);
+    }
+    for row in &mut rows {
+        if row.trials > 0 {
+            row.injected_avf = row.hits as f64 / row.trials as f64;
+            row.ci = wilson_interval(row.hits, row.trials);
+            row.sart_avf /= row.trials as f64;
+            // Tolerance absorbs float rounding at the interval's pinned
+            // endpoints (the Wilson upper bound at p̂ = 1 is analytically
+            // exactly 1 but can round a ulp below it).
+            const EPS: f64 = 1e-9;
+            row.overlap = row.sart_avf >= row.ci.0 - EPS && row.sart_avf <= row.ci.1 + EPS;
+        }
+    }
+    rows.sort_by(|a, b| a.fub.cmp(&b.fub));
+
+    let sampled: Vec<&FubRow> = rows.iter().filter(|r| r.trials > 0).collect();
+    let xs: Vec<f64> = sampled.iter().map(|r| r.injected_avf).collect();
+    let ys: Vec<f64> = sampled.iter().map(|r| r.sart_avf).collect();
+    let overlap_fraction = if sampled.is_empty() {
+        0.0
+    } else {
+        sampled.iter().filter(|r| r.overlap).count() as f64 / sampled.len() as f64
+    };
+    let mean_ci_width = if sampled.is_empty() {
+        0.0
+    } else {
+        sampled.iter().map(|r| r.ci.1 - r.ci.0).sum::<f64>() / sampled.len() as f64
+    };
+
+    ValidationReport {
+        schema: "seqavf-validate/1".to_owned(),
+        design: design.to_owned(),
+        bits: n,
+        trials,
+        errors,
+        unknowns,
+        burst: cfg.trial.burst.max(1),
+        kernel: match cfg.trial.kernel {
+            Kernel::Exact => "exact",
+            Kernel::Propagation => "propagation",
+        }
+        .to_owned(),
+        sampling: match cfg.sampling {
+            Sampling::Uniform => "uniform",
+            Sampling::Importance { .. } => "importance",
+        }
+        .to_owned(),
+        pearson: pearson(&xs, &ys),
+        spearman: spearman(&xs, &ys),
+        overlap_fraction,
+        mean_sart_avf,
+        mean_injected_avf,
+        mean_ci_width,
+        fubs: rows,
+    }
+}
+
+/// Runs the full validation: campaign + comparison.
+///
+/// `sart_avfs` is parallel to `targets` and holds the analytical per-bit
+/// AVFs being validated.
+pub fn run_validate(
+    nl: &Netlist,
+    design: &str,
+    targets: &[NodeId],
+    sart_avfs: &[f64],
+    cfg: &ValidateConfig,
+) -> ValidationReport {
+    run_validate_traced(
+        nl,
+        design,
+        targets,
+        sart_avfs,
+        cfg,
+        &seqavf_obs::Collector::disabled(),
+    )
+}
+
+/// [`run_validate`] with observability: a `validate.campaign` span around
+/// the injection campaign (which records its own `sfi.trials` span) and a
+/// `validate.compare` span around the statistical comparison, plus
+/// `validate.fubs` / `validate.overlapping` counters.
+pub fn run_validate_traced(
+    nl: &Netlist,
+    design: &str,
+    targets: &[NodeId],
+    sart_avfs: &[f64],
+    cfg: &ValidateConfig,
+    obs: &seqavf_obs::Collector,
+) -> ValidationReport {
+    assert_eq!(
+        targets.len(),
+        sart_avfs.len(),
+        "per-bit AVFs must be parallel to targets"
+    );
+    let weights: Option<Vec<f64>> = match cfg.sampling {
+        Sampling::Uniform => None,
+        Sampling::Importance { floor } => Some(importance_weights(sart_avfs, floor)),
+    };
+
+    let result = {
+        let mut span = obs.span("validate.campaign");
+        span.field_u64("bits", targets.len() as u64);
+        span.field_bool("importance", weights.is_some());
+        seqavf_sfi::campaign::run_trials_traced(nl, targets, weights.as_deref(), &cfg.trial, obs)
+    };
+
+    let mut span = obs.span("validate.compare");
+    let report = compare(
+        nl,
+        design,
+        targets,
+        sart_avfs,
+        &result.tallies,
+        weights.as_deref(),
+        cfg,
+    );
+    span.field_u64("fubs", report.fubs.len() as u64);
+    span.field_f64("pearson", report.pearson);
+    span.field_f64("overlap_fraction", report.overlap_fraction);
+    span.field_bool("exact_kernel", matches!(cfg.trial.kernel, Kernel::Exact));
+    obs.count("validate.fubs", report.fubs.len() as u64);
+    obs.count(
+        "validate.overlapping",
+        report.fubs.iter().filter(|r| r.overlap).count() as u64,
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqavf_netlist::flatten::parse_netlist;
+    use seqavf_sfi::campaign::run_trials;
+
+    const TWO_FUBS: &str = r"
+.design twofub
+.fub live
+  .input i
+  .flop a i
+  .flop b a
+  .output o b
+.endfub
+.fub dead
+  .input i
+  .flop x i
+  .flop y x
+.endfub
+.end
+";
+
+    fn setup() -> (Netlist, Vec<NodeId>, Vec<f64>) {
+        let nl = parse_netlist(TWO_FUBS).unwrap();
+        let targets: Vec<NodeId> = nl.seq_nodes().collect();
+        // The analytical truth on this design: live-FUB bits are 1.0,
+        // dead-FUB bits are 0.0.
+        let avfs: Vec<f64> = targets
+            .iter()
+            .map(|&t| {
+                if nl.fub_name(nl.fub(t)) == "live" {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        (nl, targets, avfs)
+    }
+
+    #[test]
+    fn pearson_and_spearman_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &down) + 1.0).abs() < 1e-12);
+        // Monotone but nonlinear: spearman is exactly 1, pearson is not.
+        let curved = [1.0, 10.0, 100.0, 1000.0];
+        assert!((spearman(&xs, &curved) - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &curved) < 1.0);
+        // Degenerate inputs yield 0, never NaN.
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn average_ranks_handle_ties() {
+        assert_eq!(
+            average_ranks(&[10.0, 20.0, 20.0, 30.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
+        assert_eq!(average_ranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn importance_weights_clamp_and_floor() {
+        let w = importance_weights(&[-0.0, 0.5, 1.0, 2.0], 0.01);
+        assert_eq!(w, vec![0.01, 0.5, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn importance_weights_reject_zero_floor() {
+        importance_weights(&[0.5], 0.0);
+    }
+
+    #[test]
+    fn validation_confirms_a_correct_model() {
+        let (nl, targets, avfs) = setup();
+        let cfg = ValidateConfig {
+            trial: TrialConfig {
+                trials: 800,
+                threads: 2,
+                ..TrialConfig::default()
+            },
+            sampling: Sampling::Uniform,
+        };
+        let report = run_validate(&nl, "twofub", &targets, &avfs, &cfg);
+        assert_eq!(report.schema, "seqavf-validate/1");
+        assert_eq!(report.bits, 4);
+        assert_eq!(report.trials, 800);
+        assert_eq!(report.fubs.len(), 2);
+        assert_eq!(report.fubs[0].fub, "dead");
+        assert_eq!(report.fubs[1].fub, "live");
+        // Injection agrees with the exact analytical truth.
+        assert_eq!(report.fubs[0].injected_avf, 0.0);
+        assert_eq!(report.fubs[1].injected_avf, 1.0);
+        assert!((report.pearson - 1.0).abs() < 1e-12);
+        assert!((report.spearman - 1.0).abs() < 1e-12);
+        assert_eq!(report.overlap_fraction, 1.0);
+        // HT mean matches the analytical mean (0.5) within sampling noise.
+        assert!((report.mean_sart_avf - 0.5).abs() < 1e-12);
+        assert!((report.mean_injected_avf - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn validation_flags_a_wrong_model() {
+        let (nl, targets, avfs) = setup();
+        // Invert the model: claim dead bits are live and vice versa.
+        let wrong: Vec<f64> = avfs.iter().map(|&a| 1.0 - a).collect();
+        let cfg = ValidateConfig {
+            trial: TrialConfig {
+                trials: 800,
+                threads: 2,
+                ..TrialConfig::default()
+            },
+            sampling: Sampling::Uniform,
+        };
+        let report = run_validate(&nl, "twofub", &targets, &wrong, &cfg);
+        assert!(report.pearson < 0.0, "inverted model anti-correlates");
+        assert_eq!(report.overlap_fraction, 0.0);
+    }
+
+    #[test]
+    fn importance_sampling_is_unbiased_for_the_population_mean() {
+        let (nl, targets, avfs) = setup();
+        // True mean AVF is 0.5. Run uniform and heavily-skewed importance
+        // campaigns at the same budget; both HT estimates must agree with
+        // the truth within a few interval widths.
+        for sampling in [Sampling::Uniform, Sampling::Importance { floor: 0.05 }] {
+            let cfg = ValidateConfig {
+                trial: TrialConfig {
+                    trials: 2000,
+                    threads: 2,
+                    ..TrialConfig::default()
+                },
+                sampling,
+            };
+            let report = run_validate(&nl, "twofub", &targets, &avfs, &cfg);
+            assert!(
+                (report.mean_injected_avf - 0.5).abs() < 0.05,
+                "{sampling:?}: HT mean {} should estimate 0.5",
+                report.mean_injected_avf
+            );
+        }
+    }
+
+    #[test]
+    fn importance_sampling_tightens_live_fub_intervals() {
+        let (nl, targets, avfs) = setup();
+        let budget = 600;
+        let uniform = ValidateConfig {
+            trial: TrialConfig {
+                trials: budget,
+                threads: 1,
+                ..TrialConfig::default()
+            },
+            sampling: Sampling::Uniform,
+        };
+        let importance = ValidateConfig {
+            sampling: Sampling::Importance { floor: 0.02 },
+            ..uniform
+        };
+        let ru = run_validate(&nl, "twofub", &targets, &avfs, &uniform);
+        let ri = run_validate(&nl, "twofub", &targets, &avfs, &importance);
+        let live_u = ru.fubs.iter().find(|r| r.fub == "live").unwrap();
+        let live_i = ri.fubs.iter().find(|r| r.fub == "live").unwrap();
+        assert!(
+            live_i.trials > live_u.trials,
+            "importance concentrates budget on the live FUB"
+        );
+        assert!(
+            (live_i.ci.1 - live_i.ci.0) < (live_u.ci.1 - live_u.ci.0),
+            "more trials → tighter interval at the same budget"
+        );
+    }
+
+    #[test]
+    fn artifact_is_deterministic_and_parses_back() {
+        let (nl, targets, avfs) = setup();
+        let cfg = ValidateConfig {
+            trial: TrialConfig {
+                trials: 200,
+                threads: 1,
+                ..TrialConfig::default()
+            },
+            sampling: Sampling::Importance { floor: 0.1 },
+        };
+        let a = run_validate(&nl, "twofub", &targets, &avfs, &cfg);
+        let cfg8 = ValidateConfig {
+            trial: TrialConfig {
+                threads: 8,
+                ..cfg.trial
+            },
+            ..cfg
+        };
+        let b = run_validate(&nl, "twofub", &targets, &avfs, &cfg8);
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "artifact bit-identical across threads"
+        );
+        let parsed: ValidationReport = serde_json::from_str(&a.to_json()).unwrap();
+        assert_eq!(parsed, a);
+        assert!(a.to_table().contains("live"));
+    }
+
+    #[test]
+    fn wilson_coverage_is_near_nominal() {
+        // Satellite (d): simulate many binomial draws at known p and
+        // check the Wilson ~95% interval covers p at roughly its nominal
+        // rate. Uses the campaign's own TrialRng as the noise source.
+        use seqavf_sfi::campaign::TrialRng;
+        let n = 60usize;
+        let reps = 2000usize;
+        for &p in &[0.1f64, 0.5, 0.9] {
+            let mut covered = 0usize;
+            for rep in 0..reps {
+                let mut rng = TrialRng::new(0xc0ffee ^ (p * 1000.0) as u64, rep as u64);
+                let successes = (0..n).filter(|_| rng.next_f64() < p).count();
+                let (lo, hi) = wilson_interval(successes, n);
+                if lo <= p && p <= hi {
+                    covered += 1;
+                }
+            }
+            let rate = covered as f64 / reps as f64;
+            assert!(
+                (0.92..=0.99).contains(&rate),
+                "p={p}: coverage {rate} should be near the nominal 95%"
+            );
+        }
+    }
+
+    #[test]
+    fn compare_consumes_external_campaigns() {
+        // The comparison half is usable standalone (the oracle tests feed
+        // it exhaustive results).
+        let (nl, targets, avfs) = setup();
+        let cfg = ValidateConfig::default();
+        let trial_cfg = TrialConfig {
+            trials: 100,
+            threads: 1,
+            ..TrialConfig::default()
+        };
+        let result = run_trials(&nl, &targets, None, &trial_cfg);
+        let report = compare(&nl, "twofub", &targets, &avfs, &result.tallies, None, &cfg);
+        assert_eq!(report.trials, 100);
+        assert_eq!(report.fubs.len(), 2);
+    }
+
+    #[test]
+    fn traced_validation_records_spans() {
+        let (nl, targets, avfs) = setup();
+        let cfg = ValidateConfig {
+            trial: TrialConfig {
+                trials: 100,
+                threads: 1,
+                ..TrialConfig::default()
+            },
+            sampling: Sampling::Importance { floor: 0.1 },
+        };
+        let obs = seqavf_obs::Collector::new();
+        let traced = run_validate_traced(&nl, "twofub", &targets, &avfs, &cfg, &obs);
+        assert_eq!(traced, run_validate(&nl, "twofub", &targets, &avfs, &cfg));
+        let report = obs.report();
+        assert_eq!(report.span("validate.campaign").unwrap().count, 1);
+        assert_eq!(report.span("validate.compare").unwrap().count, 1);
+        assert_eq!(report.span("sfi.trials").unwrap().count, 1);
+        assert_eq!(report.counter("validate.fubs"), Some(2));
+    }
+}

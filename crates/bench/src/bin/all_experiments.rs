@@ -35,4 +35,7 @@ fn main() {
     println!("\n=== E11: scaling ===");
     let r = seqavf_bench::scaling::run(scale, 42);
     emit("scaling", &r.render(), &r);
+    println!("\n=== E17: validation campaign ===");
+    let r = seqavf_bench::validate::run(scale, 42, &[1, 8, 32]);
+    emit("BENCH_8", &r.render(), &r);
 }

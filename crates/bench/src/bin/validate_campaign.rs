@@ -1,0 +1,10 @@
+//! E17 — validation campaign trials/sec vs thread count, exact vs
+//! propagation kernel, uniform vs importance sampling at equal budgets.
+//! Usage: `validate_campaign [--scale full]`.
+use seqavf_bench::common::{emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = seqavf_bench::validate::run(scale, 42, &[1, 8, 32]);
+    emit("BENCH_8", &report.render(), &report);
+}

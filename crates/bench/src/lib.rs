@@ -23,6 +23,7 @@
 //! | [`frontend`] | zero-copy frontend vs binary graph-snapshot load |
 //! | [`production`] | thread-scaling curves and peak RSS at 100k+-node scale |
 //! | [`service`] | AVF-as-a-service cold/warm latency and warm throughput |
+//! | [`validate`] | fault-injection campaign trials/sec, kernel fast path, importance sampling |
 
 pub mod ablations;
 pub mod accuracy;
@@ -40,3 +41,4 @@ pub mod service;
 pub mod speed;
 pub mod symbolic;
 pub mod threads;
+pub mod validate;

@@ -11,6 +11,10 @@
 //! seqavf sweep --design design.exlif --map design.map --pavf pavf.json
 //!              [--workloads 8] [--len 5000] [--seed N] [--threads 4]
 //!              [--cache-dir .seqavf-cache] [--out sweep.json]
+//! seqavf validate --design design.exlif --map design.map [--pavf pavf.json]
+//!              [--trials 1000000] [--sampling importance] [--kernel exact]
+//!              [--burst 1] [--no-derate] [--assert-corr 0.9]
+//!              [--out validate.json]
 //! seqavf flow  [--seed 42] [--workloads 32] [--len 5000] [--scale 1.0]
 //!              [--cores N] [--threads 4]
 //! seqavf serve [--port 7171] [--workers 2] [--max-resident 4]
@@ -63,6 +67,7 @@ fn main() -> ExitCode {
         "sart" => cmd_sart(&args),
         "sfi" => cmd_sfi(&args),
         "sweep" => cmd_sweep(&args),
+        "validate" => cmd_validate(&args),
         "flow" => cmd_flow(&args),
         "serve" => cmd_serve(&args),
         "query" => cmd_query(&args),
@@ -109,6 +114,31 @@ commands:
         compile the closed forms once and evaluate a whole workload suite;
         --cache-dir reuses the compiled artifact across runs (keyed by
         netlist content + configuration), skipping relaxation entirely
+  validate --design <exlif|.v> --map <file> [--pavf <json>] [--out <json>]
+        [--trials N] [--seed N] [--threads N] [--sampling uniform|importance]
+        [--floor F] [--kernel exact|propagation] [--burst N] [--warmup N]
+        [--horizon N] [--no-derate] [--assert-corr F] [--cache-dir <dir>]
+        [--graph-cache <dir>] [--loop-pavf F] [--iterations N] [--global]
+        [--no-incremental]
+        close the validation triangle: run a trial-indexed fault-injection
+        campaign against the design and statistically compare the per-FUB
+        injection AVFs with the analytical prediction (Pearson and
+        Spearman correlation, Wilson-interval overlap, Horvitz–Thompson
+        population mean). The prediction is SART's per-bit AVF derated by
+        the propagation-probability model, because a random-stimulus
+        campaign measures structural reachability times logical masking;
+        --no-derate compares against the raw SART values instead, and
+        omitting --pavf (the default for validation) runs SART under
+        conservative all-1.0 inputs — supplying a measured table instead
+        validates workload-derated AVFs, which random stimulus cannot
+        observe, so expect low correlation there. --sampling importance
+        weights target selection by the predicted AVF (floored at --floor
+        so every bit stays reachable), --kernel propagation swaps the
+        exact paired simulation for the propagation-probability fast
+        path, --burst flips N bits per trial, --assert-corr fails the run
+        when the Pearson correlation lands below the threshold, and
+        --cache-dir shares the sweep's compiled-DAG artifacts for the
+        analytical side
   flow  [--seed N] [--workloads N] [--len N] [--scale F] [--cores N]
         [--threads N] [--no-incremental] [--graph-cache <dir>]
         run the whole pipeline in memory and print the per-FUB report
@@ -586,6 +616,190 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         println!("wrote {out}: {} workload rows", dump.len());
     }
     obs.finish("sweep")
+}
+
+fn cmd_validate(args: &Args) -> Result<(), String> {
+    use seqavf_beam::validate::{run_validate_traced, Sampling, ValidateConfig};
+    use seqavf_core::sweep::{obtain_compiled_traced, CacheStatus};
+    use seqavf_sfi::campaign::{Kernel, TrialConfig};
+    args.validate(
+        &[
+            "design",
+            "map",
+            "pavf",
+            "out",
+            "trials",
+            "seed",
+            "threads",
+            "sampling",
+            "floor",
+            "kernel",
+            "burst",
+            "warmup",
+            "horizon",
+            "assert-corr",
+            "cache-dir",
+            "graph-cache",
+            "loop-pavf",
+            "iterations",
+            "trace-out",
+        ],
+        &["global", "no-incremental", "no-derate", "metrics"],
+    )?;
+    let obs = Obs::from_args(args);
+    let (netlist, loops) = load_design(
+        args.require("design")?,
+        &obs.collector,
+        args.get("graph-cache"),
+    )?;
+    let mapping = StructureMapping::from_text(&netlist, &read_file(args.require("map")?)?)?;
+    // Without --pavf the analytical side runs under conservative inputs
+    // (every boundary and port pAVF 1.0): structural vulnerability, which
+    // is the quantity a random-stimulus injection campaign measures. A
+    // measured table validates the workload-derated AVFs instead — expect
+    // weak correlation there, since ACE derating is invisible to random
+    // stimulus by construction.
+    let inputs: PavfInputs = match args.get("pavf") {
+        Some(path) => serde_json::from_str(&read_file(path)?)
+            .map_err(|e| format!("parsing pAVF table: {e}"))?,
+        None => PavfInputs::new(),
+    };
+    let threads = args.num("threads", 8usize)?.max(1);
+    let config = SartConfig {
+        loop_pavf: args.unit_f64("loop-pavf", 0.3)?,
+        max_iterations: args.num("iterations", 20usize)?,
+        partitioned: !args.has("global"),
+        incremental: !args.has("no-incremental"),
+        threads,
+        ..SartConfig::default()
+    };
+
+    // Analytical side: the per-bit SART AVFs, via the same compiled-DAG
+    // artifact cache the sweep uses (a prior `sweep --cache-dir` run makes
+    // this a pure cache hit).
+    let (compiled, cache) = obtain_compiled_traced(
+        &netlist,
+        &mapping,
+        &config,
+        &inputs,
+        args.get("cache-dir").map(std::path::Path::new),
+        loops.as_ref(),
+        &obs.collector,
+    )?;
+    let node_avfs = compiled.evaluate_traced(&inputs, &obs.collector);
+    let targets: Vec<_> = netlist.seq_nodes().collect();
+    // The prediction of what injection measures: the SART AVF derated by
+    // the propagation-probability model (logical masking under random
+    // stimulus), unless --no-derate asks for the raw SART values.
+    let derate = !args.has("no-derate");
+    let sart_avfs: Vec<f64> = if derate {
+        let model = {
+            let mut span = obs.collector.span("validate.prop_model");
+            span.field_u64("nodes", netlist.node_count() as u64);
+            seqavf_sfi::logic::PropModel::build(
+                &netlist,
+                &seqavf_sfi::inject::observation_points(&netlist),
+            )
+        };
+        targets
+            .iter()
+            .map(|&id| node_avfs[id.index()].clamp(0.0, 1.0) * model.propagation(id))
+            .collect()
+    } else {
+        targets.iter().map(|&id| node_avfs[id.index()]).collect()
+    };
+    let cache_word = match cache {
+        CacheStatus::Disabled => "compiled fresh",
+        CacheStatus::Miss => "cache miss (artifact stored)",
+        CacheStatus::Hit => "cache hit (relaxation skipped)",
+    };
+    println!(
+        "analytical side: {} sequential bits, SART under {} inputs{} ({cache_word})",
+        targets.len(),
+        if args.get("pavf").is_some() {
+            "measured"
+        } else {
+            "conservative"
+        },
+        if derate {
+            " × propagation derating"
+        } else {
+            ""
+        },
+    );
+
+    // Injection side + comparison.
+    let sampling = match args.get("sampling").unwrap_or("uniform") {
+        "uniform" => Sampling::Uniform,
+        "importance" => Sampling::Importance {
+            floor: args.unit_f64("floor", 0.01)?,
+        },
+        other => {
+            return Err(format!(
+                "--sampling must be uniform|importance, got `{other}`"
+            ))
+        }
+    };
+    let kernel = match args.get("kernel").unwrap_or("exact") {
+        "exact" => Kernel::Exact,
+        "propagation" => Kernel::Propagation,
+        other => return Err(format!("--kernel must be exact|propagation, got `{other}`")),
+    };
+    let vcfg = ValidateConfig {
+        trial: TrialConfig {
+            trials: args.num("trials", 1_000_000usize)?,
+            seed: args.num("seed", 0xace_5eedu64)?,
+            max_warmup: args.num("warmup", 32u64)?,
+            horizon: args.num("horizon", 150u64)?,
+            threads,
+            burst: args.pos_usize("burst", 1)?,
+            kernel,
+        },
+        sampling,
+    };
+    println!(
+        "injecting {} trials across {} bits…",
+        vcfg.trial.trials,
+        targets.len()
+    );
+    let t0 = std::time::Instant::now();
+    let report = run_validate_traced(
+        &netlist,
+        netlist.design_name(),
+        &targets,
+        &sart_avfs,
+        &vcfg,
+        &obs.collector,
+    );
+    print!("{}", report.to_table());
+    println!(
+        "validated {} trials in {:?} ({} threads)",
+        report.trials,
+        t0.elapsed(),
+        threads
+    );
+    if let Some(out) = args.get("out") {
+        write_file(out, &report.to_json())?;
+        println!(
+            "wrote {out}: seqavf-validate/1 artifact, {} FUBs",
+            report.fubs.len()
+        );
+    }
+    obs.finish("validate")?;
+    if args.get("assert-corr").is_some() {
+        let threshold = args.unit_f64("assert-corr", 0.0)?;
+        if report.pearson < threshold {
+            return Err(format!(
+                "model/injection Pearson correlation {:.4} below required {:.4}",
+                report.pearson, threshold
+            ));
+        }
+        println!(
+            "correlation check passed: pearson {:.4} >= {:.4}",
+            report.pearson, threshold
+        );
+    }
+    Ok(())
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {

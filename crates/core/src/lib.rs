@@ -57,4 +57,7 @@ pub use mapping::{PavfInputs, PortPavf, StructureMapping};
 pub use numeric::{solve_parallel, NumericOutcome};
 pub use pavf::Pavf;
 pub use report::{FubAvfRow, SartSummary};
-pub use sweep::{run_sweep, run_sweep_traced, CacheStatus, SweepCache, SweepOptions, SweepOutcome};
+pub use sweep::{
+    obtain_compiled_traced, run_sweep, run_sweep_traced, CacheStatus, SweepCache, SweepOptions,
+    SweepOutcome,
+};

@@ -212,6 +212,54 @@ pub fn run_sweep_traced(
     run_sweep_with_loops_traced(nl, mapping, config, base_inputs, workloads, opts, None, obs)
 }
 
+/// Obtains the compiled DAG for a design: from the artifact cache when
+/// `cache_dir` holds a valid artifact for the (netlist, mapping, config)
+/// key, otherwise via a fresh relaxation (seeded by `base_inputs`) that
+/// is stored back when the cache is enabled.
+///
+/// This is the compile-or-cache half of [`run_sweep_with_loops_traced`],
+/// split out so other consumers of the analytical result — the `validate`
+/// flow's SART side in particular — share the sweep's artifacts instead
+/// of re-relaxing designs the sweep already compiled.
+#[allow(clippy::too_many_arguments)]
+pub fn obtain_compiled_traced(
+    nl: &Netlist,
+    mapping: &StructureMapping,
+    config: &SartConfig,
+    base_inputs: &PavfInputs,
+    cache_dir: Option<&Path>,
+    loops: Option<&LoopAnalysis>,
+    obs: &Collector,
+) -> Result<(CompiledSweep, CacheStatus), String> {
+    let fresh = || {
+        let engine = match loops {
+            Some(l) => SartEngine::new_with_loops_traced(nl, mapping, config.clone(), l, obs),
+            None => SartEngine::new_traced(nl, mapping, config.clone(), obs),
+        };
+        let result = engine.run_traced(base_inputs, obs);
+        CompiledSweep::compile_traced(&result, nl, obs)
+    };
+    match cache_dir {
+        None => Ok((fresh(), CacheStatus::Disabled)),
+        Some(dir) => {
+            let store = SweepCache::open(dir)?;
+            let key = cache_key(nl, mapping, config);
+            match store.load(key, config, nl.node_count()) {
+                Some(c) => {
+                    obs.count("sweep.cache.hit", 1);
+                    Ok((c, CacheStatus::Hit))
+                }
+                None => {
+                    obs.count("sweep.cache.miss", 1);
+                    let c = fresh();
+                    store.store(key, &c)?;
+                    Ok((c, CacheStatus::Miss))
+                }
+            }
+        }
+    }
+}
+
 /// [`run_sweep_traced`] with an optional precomputed loop analysis (e.g.
 /// one restored from a graph snapshot): when present, a fresh relaxation
 /// reuses it instead of re-running the SCC pass.
@@ -226,33 +274,15 @@ pub fn run_sweep_with_loops_traced(
     loops: Option<&LoopAnalysis>,
     obs: &Collector,
 ) -> Result<SweepOutcome, String> {
-    let fresh = || {
-        let engine = match loops {
-            Some(l) => SartEngine::new_with_loops_traced(nl, mapping, config.clone(), l, obs),
-            None => SartEngine::new_traced(nl, mapping, config.clone(), obs),
-        };
-        let result = engine.run_traced(base_inputs, obs);
-        CompiledSweep::compile_traced(&result, nl, obs)
-    };
-    let (compiled, cache) = match &opts.cache_dir {
-        None => (fresh(), CacheStatus::Disabled),
-        Some(dir) => {
-            let store = SweepCache::open(dir)?;
-            let key = cache_key(nl, mapping, config);
-            match store.load(key, config, nl.node_count()) {
-                Some(c) => {
-                    obs.count("sweep.cache.hit", 1);
-                    (c, CacheStatus::Hit)
-                }
-                None => {
-                    obs.count("sweep.cache.miss", 1);
-                    let c = fresh();
-                    store.store(key, &c)?;
-                    (c, CacheStatus::Miss)
-                }
-            }
-        }
-    };
+    let (compiled, cache) = obtain_compiled_traced(
+        nl,
+        mapping,
+        config,
+        base_inputs,
+        opts.cache_dir.as_deref(),
+        loops,
+        obs,
+    )?;
 
     let tables: Vec<PavfInputs> = workloads.iter().map(|(_, t)| t.clone()).collect();
     let avfs = compiled.evaluate_many_traced(&tables, opts.threads, obs);

@@ -13,6 +13,8 @@ pub enum FieldValue {
     F64(f64),
     /// A short label.
     Str(String),
+    /// A flag (mode toggles, pass/fail outcomes).
+    Bool(bool),
 }
 
 /// One recorded span: a named wall-time interval with typed fields.
@@ -203,6 +205,13 @@ impl Span {
     pub fn field_str(&mut self, key: &'static str, value: &str) {
         if let Some(body) = &mut self.inner {
             body.fields.push((key, FieldValue::Str(value.to_owned())));
+        }
+    }
+
+    /// Attaches a boolean field.
+    pub fn field_bool(&mut self, key: &'static str, value: bool) {
+        if let Some(body) = &mut self.inner {
+            body.fields.push((key, FieldValue::Bool(value)));
         }
     }
 

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! {"type":"meta","schema":"seqavf-trace/1",<key>:<string>...}
-//! {"type":"span","name":<string>,"start_us":<u64>,"dur_us":<u64>,"fields":{<key>:<num|string>...}}
+//! {"type":"span","name":<string>,"start_us":<u64>,"dur_us":<u64>,"fields":{<key>:<num|string|bool>...}}
 //! {"type":"counter","name":<string>,"value":<u64>}
 //! {"type":"hist","name":<string>,"unit":"us","count":<u64>,"buckets":[[<lo_us>,<count>],...]}
 //! ```
@@ -19,8 +19,8 @@
 //!   free-form strings.
 //! - `span` lines appear in recording order; `start_us` is the offset from
 //!   the collector's epoch and `dur_us` the wall time, both in
-//!   microseconds. `fields` is omitted when empty; its values are numbers
-//!   or strings.
+//!   microseconds. `fields` is omitted when empty; its values are
+//!   numbers, strings or booleans.
 //! - `counter` lines report the **final** value of each monotonic counter.
 //! - `hist` lines report the per-span-name wall-time histogram with
 //!   power-of-two bucket lower bounds: a span of duration `d` µs falls in
@@ -80,6 +80,7 @@ fn field_value_into(out: &mut String, v: &FieldValue) {
             escape_into(out, s);
             out.push('"');
         }
+        FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
     }
 }
 
@@ -470,8 +471,10 @@ fn classify_line(line: &str) -> Result<LineInfo, String> {
                     return Err("span `fields` is not an object".to_owned());
                 };
                 for (k, v) in kv {
-                    if !matches!(v, Json::Num(_) | Json::Str(_)) {
-                        return Err(format!("span field `{k}` is neither number nor string"));
+                    if !matches!(v, Json::Num(_) | Json::Str(_) | Json::Bool(_)) {
+                        return Err(format!(
+                            "span field `{k}` is neither number, string nor bool"
+                        ));
                     }
                 }
             }
@@ -672,6 +675,34 @@ mod tests {
         assert_eq!(stats.spans, 3);
         assert_eq!(stats.counters, 1);
         assert_eq!(stats.hists, 2, "one hist per distinct span name");
+    }
+
+    #[test]
+    fn bool_fields_round_trip() {
+        let c = Collector::new();
+        {
+            let mut s = c.span("validate.campaign");
+            s.field_bool("importance", true);
+            s.field_bool("exact_kernel", false);
+            s.field_u64("trials", 50_000);
+        }
+        let mut buf = Vec::new();
+        c.write_ndjson(&mut buf, &[("cmd", "validate")]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("\"importance\":true") && text.contains("\"exact_kernel\":false"),
+            "{text}"
+        );
+        validate_trace(&text).unwrap();
+    }
+
+    #[test]
+    fn rejects_non_scalar_span_field() {
+        let bad =
+            "{\"type\":\"span\",\"name\":\"x\",\"start_us\":0,\"dur_us\":1,\"fields\":{\"k\":[1]}}";
+        assert!(validate_line(bad)
+            .unwrap_err()
+            .contains("neither number, string nor bool"));
     }
 
     #[test]

@@ -15,7 +15,10 @@
 
 use seqavf_netlist::graph::{Netlist, NodeId};
 
-use crate::inject::{observation_points, run_injection, InjectConfig, Outcome};
+use crate::inject::{
+    observation_points, run_injection, run_injection_burst, InjectConfig, Outcome,
+};
+use crate::logic::{splitmix64, PropModel};
 
 /// Configuration of an injection campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +107,15 @@ impl CampaignResult {
     /// The estimate for a specific node, if targeted. `O(log n)` via the
     /// sorted index — callers iterating every target no longer pay a
     /// quadratic scan.
+    ///
+    /// **Duplicate-target semantics:** when the same node appears more
+    /// than once in a campaign's target list, `nodes` keeps one
+    /// independent estimate per occurrence (in target order), and this
+    /// lookup returns the **first occurrence's** estimate — the same
+    /// answer the original front-to-back linear scan gave. Later
+    /// occurrences remain reachable through `nodes` by position. This
+    /// holds at every thread count (the index is built after the workers
+    /// join, from the canonical target-ordered `nodes`).
     pub fn estimate(&self, node: NodeId) -> Option<&NodeAvfEstimate> {
         self.index
             .binary_search_by_key(&node, |&(n, _)| n)
@@ -214,6 +226,394 @@ fn run_campaign_impl(nl: &Netlist, targets: &[NodeId], config: &CampaignConfig) 
         results.into_iter().flatten().collect()
     };
 
+    CampaignResult::new(nodes)
+}
+
+/// A counter-mode per-trial random stream.
+///
+/// Every draw is a pure function of `(seed, trial index, draw index)` via
+/// splitmix64, so a trial's entire outcome depends only on its index —
+/// never on which worker thread ran it or what ran before it. That is
+/// what makes [`run_trials`] bit-identical at any thread count: workers
+/// split the trial index space, not a shared generator.
+#[derive(Debug, Clone)]
+pub struct TrialRng {
+    base: u64,
+    counter: u64,
+}
+
+impl TrialRng {
+    /// The stream for one trial of a campaign keyed by `seed`.
+    pub fn new(seed: u64, trial: u64) -> TrialRng {
+        TrialRng {
+            base: splitmix64(splitmix64(seed) ^ trial.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            counter: 0,
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.counter = self.counter.wrapping_add(1);
+        splitmix64(self.base.wrapping_add(self.counter))
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Per-trial evaluation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Full golden/faulty logic simulation per trial ([`run_injection_burst`]).
+    /// Distinguishes `Error` from `Unknown` outcomes.
+    Exact,
+    /// Propagation-probability fast path: one [`PropModel`] build amortized
+    /// across the campaign, then a single Bernoulli draw per trial against
+    /// the burst's reach probability. Orders of magnitude cheaper, but it
+    /// models only observable errors — residual-state `Unknown`s are not
+    /// represented and tally as zero.
+    Propagation,
+}
+
+/// Configuration of a trial-indexed campaign ([`run_trials`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialConfig {
+    /// Total trials across all targets (the budget, not per-node).
+    pub trials: usize,
+    /// Campaign seed; every trial derives its own [`TrialRng`] from it.
+    pub seed: u64,
+    /// Each trial picks a warmup in `[1, max_warmup]`.
+    pub max_warmup: u64,
+    /// Propagation horizon after the flip.
+    pub horizon: u64,
+    /// Worker threads (1 = sequential). Never affects results.
+    pub threads: usize,
+    /// Bits upset per trial (≥ 1). A burst flips the selected target plus
+    /// `burst - 1` further draws from the same distribution in the same
+    /// cycle; the outcome is attributed to the first (primary) target.
+    pub burst: usize,
+    /// Per-trial evaluation strategy.
+    pub kernel: Kernel,
+}
+
+impl Default for TrialConfig {
+    fn default() -> Self {
+        TrialConfig {
+            trials: 10_000,
+            seed: 0xace_5eed,
+            max_warmup: 32,
+            horizon: 150,
+            threads: 4,
+            burst: 1,
+            kernel: Kernel::Exact,
+        }
+    }
+}
+
+/// Per-target tally of a trial-indexed campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialTally {
+    /// The target node.
+    pub node: NodeId,
+    /// Trials whose primary selection was this target.
+    pub trials: usize,
+    /// Of those, observation-point errors.
+    pub errors: usize,
+    /// Of those, faults still resident at the horizon (always 0 under
+    /// [`Kernel::Propagation`]).
+    pub unknowns: usize,
+}
+
+impl TrialTally {
+    /// Equation 2 on this target's own trials; 0 when never selected.
+    pub fn avf(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            (self.errors + self.unknowns) as f64 / self.trials as f64
+        }
+    }
+
+    /// Wilson ~95% interval for this target's AVF.
+    pub fn ci(&self) -> (f64, f64) {
+        wilson_interval(self.errors + self.unknowns, self.trials)
+    }
+}
+
+/// Result of a trial-indexed campaign. All-integer contents, so
+/// bit-identity across thread counts is plain `==`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialCampaignResult {
+    /// Per-target tallies, in target order (duplicates keep their own
+    /// rows, mirroring [`CampaignResult::nodes`]).
+    pub tallies: Vec<TrialTally>,
+    /// Total trials run.
+    pub trials: usize,
+    /// Total error outcomes.
+    pub errors: usize,
+    /// Total unknown outcomes.
+    pub unknowns: usize,
+}
+
+/// Runs a trial-indexed campaign: `config.trials` independent trials, each
+/// picking a target (uniformly, or ∝ `weights` when given), a warmup
+/// cycle, and a stimulus seed from its own [`TrialRng`] stream.
+///
+/// Unlike [`run_campaign`] (a fixed per-node budget), this is the
+/// estimator for production-scale designs: the budget is global, sampling
+/// can be importance-weighted toward bits an analytical model predicts
+/// matter, and the per-target binomial estimates stay unbiased because
+/// each trial's outcome is conditioned on its selected target.
+///
+/// `weights`, when present, must be parallel to `targets`, finite,
+/// non-negative, and not all zero.
+pub fn run_trials(
+    nl: &Netlist,
+    targets: &[NodeId],
+    weights: Option<&[f64]>,
+    config: &TrialConfig,
+) -> TrialCampaignResult {
+    run_trials_traced(
+        nl,
+        targets,
+        weights,
+        config,
+        &seqavf_obs::Collector::disabled(),
+    )
+}
+
+/// [`run_trials`] with observability: one `sfi.trials` span (trial,
+/// target, thread, burst, kernel and sampling-mode fields) plus
+/// `sfi.trials`, `sfi.errors` and `sfi.unknowns` counters. Telemetry is
+/// folded in after the workers join; the per-trial hot path never touches
+/// the collector.
+pub fn run_trials_traced(
+    nl: &Netlist,
+    targets: &[NodeId],
+    weights: Option<&[f64]>,
+    config: &TrialConfig,
+    obs: &seqavf_obs::Collector,
+) -> TrialCampaignResult {
+    let mut span = obs.span("sfi.trials");
+    let result = run_trials_impl(nl, targets, weights, config);
+    span.field_u64("trials", result.trials as u64);
+    span.field_u64("targets", targets.len() as u64);
+    span.field_u64("threads", config.threads.max(1) as u64);
+    span.field_u64("burst", config.burst.max(1) as u64);
+    span.field_str(
+        "kernel",
+        match config.kernel {
+            Kernel::Exact => "exact",
+            Kernel::Propagation => "propagation",
+        },
+    );
+    span.field_bool("importance", weights.is_some());
+    obs.count("sfi.trials", result.trials as u64);
+    obs.count("sfi.errors", result.errors as u64);
+    obs.count("sfi.unknowns", result.unknowns as u64);
+    result
+}
+
+fn run_trials_impl(
+    nl: &Netlist,
+    targets: &[NodeId],
+    weights: Option<&[f64]>,
+    config: &TrialConfig,
+) -> TrialCampaignResult {
+    if targets.is_empty() || config.trials == 0 {
+        return TrialCampaignResult {
+            tallies: targets
+                .iter()
+                .map(|&node| TrialTally {
+                    node,
+                    trials: 0,
+                    errors: 0,
+                    unknowns: 0,
+                })
+                .collect(),
+            trials: 0,
+            errors: 0,
+            unknowns: 0,
+        };
+    }
+
+    // Cumulative selection weights (None = uniform via modulo draw).
+    let cumulative: Option<Vec<f64>> = weights.map(|w| {
+        assert_eq!(
+            w.len(),
+            targets.len(),
+            "weights must be parallel to targets"
+        );
+        let mut acc = 0.0f64;
+        let cum: Vec<f64> = w
+            .iter()
+            .map(|&x| {
+                assert!(
+                    x.is_finite() && x >= 0.0,
+                    "selection weights must be finite and non-negative"
+                );
+                acc += x;
+                acc
+            })
+            .collect();
+        assert!(acc > 0.0, "selection weights must not all be zero");
+        cum
+    });
+
+    let observed = observation_points(nl);
+    let model = match config.kernel {
+        Kernel::Exact => None,
+        Kernel::Propagation => Some(PropModel::build(nl, &observed)),
+    };
+    let burst = config.burst.max(1);
+    let max_warmup = config.max_warmup.max(1);
+
+    let pick = |rng: &mut TrialRng| -> usize {
+        match &cumulative {
+            None => (rng.next_u64() % targets.len() as u64) as usize,
+            Some(cum) => {
+                let total = *cum.last().expect("non-empty");
+                let u = rng.next_f64() * total;
+                cum.partition_point(|&c| c <= u).min(targets.len() - 1)
+            }
+        }
+    };
+
+    // Integer tallies per target position; one vector per worker, summed
+    // after the join (addition is order-independent, so the merge order
+    // cannot affect the result).
+    let run_range = |lo: usize, hi: usize| -> Vec<(u64, u64, u64)> {
+        let mut tally = vec![(0u64, 0u64, 0u64); targets.len()];
+        let mut buf: Vec<NodeId> = Vec::with_capacity(burst);
+        for t in lo..hi {
+            let mut rng = TrialRng::new(config.seed, t as u64);
+            let primary = pick(&mut rng);
+            buf.clear();
+            buf.push(targets[primary]);
+            for _ in 1..burst {
+                buf.push(targets[pick(&mut rng)]);
+            }
+            let slot = &mut tally[primary];
+            slot.0 += 1;
+            match &model {
+                None => {
+                    let warmup = 1 + rng.next_u64() % max_warmup;
+                    let icfg = InjectConfig {
+                        warmup,
+                        horizon: config.horizon,
+                        seed: rng.next_u64(),
+                    };
+                    match run_injection_burst(nl, &buf, &icfg, &observed) {
+                        Outcome::Error => slot.1 += 1,
+                        Outcome::Unknown => slot.2 += 1,
+                        Outcome::Masked => {}
+                    }
+                }
+                Some(m) => {
+                    // Keep the draw sequence aligned with the exact
+                    // kernel's (warmup + seed) so the selection stream is
+                    // identical under either kernel.
+                    let _ = rng.next_u64();
+                    let p = m.burst_propagation(&buf);
+                    if rng.next_f64() < p {
+                        slot.1 += 1;
+                    }
+                }
+            }
+        }
+        tally
+    };
+
+    let threads = config.threads.max(1).min(config.trials);
+    let mut merged = vec![(0u64, 0u64, 0u64); targets.len()];
+    if threads == 1 {
+        merged = run_range(0, config.trials);
+    } else {
+        let chunk = config.trials.div_ceil(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(config.trials);
+                    let run_range = &run_range;
+                    s.spawn(move || run_range(lo, hi))
+                })
+                .collect();
+            for h in handles {
+                for (acc, part) in merged
+                    .iter_mut()
+                    .zip(h.join().expect("trial worker panicked"))
+                {
+                    acc.0 += part.0;
+                    acc.1 += part.1;
+                    acc.2 += part.2;
+                }
+            }
+        });
+    }
+
+    let tallies: Vec<TrialTally> = targets
+        .iter()
+        .zip(&merged)
+        .map(|(&node, &(trials, errors, unknowns))| TrialTally {
+            node,
+            trials: trials as usize,
+            errors: errors as usize,
+            unknowns: unknowns as usize,
+        })
+        .collect();
+    TrialCampaignResult {
+        trials: tallies.iter().map(|t| t.trials).sum(),
+        errors: tallies.iter().map(|t| t.errors).sum(),
+        unknowns: tallies.iter().map(|t| t.unknowns).sum(),
+        tallies,
+    }
+}
+
+/// Exhaustively injects into every target at every flip cycle in
+/// `[1, cycles]` under one stimulus seed — the ground-truth estimator for
+/// netlists small enough to enumerate (the oracle tests' reference, per
+/// the paper's observation that complete coverage needs
+/// `#nodes × #cycles` simulations).
+pub fn run_exhaustive(
+    nl: &Netlist,
+    targets: &[NodeId],
+    cycles: u64,
+    horizon: u64,
+    seed: u64,
+) -> CampaignResult {
+    let observed = observation_points(nl);
+    let cycles = cycles.max(1);
+    let nodes = targets
+        .iter()
+        .map(|&node| {
+            let mut errors = 0usize;
+            let mut unknowns = 0usize;
+            for warmup in 1..=cycles {
+                let icfg = InjectConfig {
+                    warmup,
+                    horizon,
+                    seed,
+                };
+                match run_injection(nl, node, &icfg, &observed) {
+                    Outcome::Error => errors += 1,
+                    Outcome::Unknown => unknowns += 1,
+                    Outcome::Masked => {}
+                }
+            }
+            let n = cycles as usize;
+            NodeAvfEstimate {
+                node,
+                injections: n,
+                errors,
+                unknowns,
+                avf: (errors + unknowns) as f64 / n as f64,
+                ci: wilson_interval(errors + unknowns, n),
+            }
+        })
+        .collect();
     CampaignResult::new(nodes)
 }
 
@@ -390,6 +790,192 @@ mod tests {
         assert_eq!(r.nodes.len(), 2);
         let est = r.estimate(q1).unwrap();
         assert!(std::ptr::eq(est, &r.nodes[0]), "first occurrence wins");
+    }
+
+    #[test]
+    fn trial_rng_is_a_pure_function_of_seed_and_trial() {
+        let mut a = TrialRng::new(7, 42);
+        let mut b = TrialRng::new(7, 42);
+        let draws_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let draws_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(draws_a, draws_b);
+        // Adjacent trials diverge immediately.
+        let mut c = TrialRng::new(7, 43);
+        assert_ne!(draws_a[0], c.next_u64());
+        // Floats stay in [0, 1).
+        let mut d = TrialRng::new(99, 0);
+        for _ in 0..100 {
+            let u = d.next_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn trial_campaign_is_bit_identical_across_thread_counts() {
+        let nl = parse_netlist(PIPE).unwrap();
+        let targets: Vec<NodeId> = nl.seq_nodes().collect();
+        let base = TrialConfig {
+            trials: 400,
+            threads: 1,
+            ..TrialConfig::default()
+        };
+        let reference = run_trials(&nl, &targets, None, &base);
+        assert_eq!(reference.trials, 400);
+        for threads in [2usize, 8] {
+            let cfg = TrialConfig { threads, ..base };
+            assert_eq!(
+                run_trials(&nl, &targets, None, &cfg),
+                reference,
+                "threads={threads} must be bit-identical to sequential"
+            );
+        }
+        // Same property under importance weights.
+        let weights = vec![3.0, 1.0, 0.25];
+        let weighted = run_trials(&nl, &targets, Some(&weights), &base);
+        for threads in [2usize, 8] {
+            let cfg = TrialConfig { threads, ..base };
+            assert_eq!(
+                run_trials(&nl, &targets, Some(&weights), &cfg),
+                weighted,
+                "weighted, threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn trial_campaign_separates_live_and_dead_paths() {
+        let nl = parse_netlist(PIPE).unwrap();
+        let q1 = nl.lookup("f.q1").unwrap();
+        let dangling = nl.lookup("f.dangling").unwrap();
+        let cfg = TrialConfig {
+            trials: 600,
+            threads: 2,
+            ..TrialConfig::default()
+        };
+        let r = run_trials(&nl, &[q1, dangling], None, &cfg);
+        assert_eq!(r.trials, 600);
+        assert_eq!(r.trials, r.tallies.iter().map(|t| t.trials).sum());
+        let t_q1 = &r.tallies[0];
+        let t_dang = &r.tallies[1];
+        assert!(t_q1.trials > 200 && t_dang.trials > 200, "roughly uniform");
+        assert!(t_q1.avf() > 0.9, "live flop should almost always error");
+        assert_eq!(t_dang.avf(), 0.0, "dangling flop can never error");
+        let (lo, hi) = t_q1.ci();
+        assert!(lo <= t_q1.avf() && t_q1.avf() <= hi);
+    }
+
+    #[test]
+    fn importance_weights_steer_selection() {
+        let nl = parse_netlist(PIPE).unwrap();
+        let q1 = nl.lookup("f.q1").unwrap();
+        let dangling = nl.lookup("f.dangling").unwrap();
+        let cfg = TrialConfig {
+            trials: 1000,
+            threads: 2,
+            ..TrialConfig::default()
+        };
+        // 9:1 weighting toward the live flop.
+        let r = run_trials(&nl, &[q1, dangling], Some(&[9.0, 1.0]), &cfg);
+        let share = r.tallies[0].trials as f64 / r.trials as f64;
+        assert!(
+            (0.85..0.95).contains(&share),
+            "q1 share {share} should track its 0.9 selection probability"
+        );
+        // A zero weight excludes a target entirely.
+        let r0 = run_trials(&nl, &[q1, dangling], Some(&[1.0, 0.0]), &cfg);
+        assert_eq!(r0.tallies[1].trials, 0);
+        assert_eq!(r0.tallies[0].trials, r0.trials);
+    }
+
+    #[test]
+    fn propagation_kernel_agrees_on_extreme_avfs() {
+        // On the pipe the exact answers are 1.0 (live) and 0.0 (dead);
+        // the propagation fast path must reproduce both extremes.
+        let nl = parse_netlist(PIPE).unwrap();
+        let q1 = nl.lookup("f.q1").unwrap();
+        let dangling = nl.lookup("f.dangling").unwrap();
+        let cfg = TrialConfig {
+            trials: 400,
+            threads: 2,
+            kernel: Kernel::Propagation,
+            ..TrialConfig::default()
+        };
+        let r = run_trials(&nl, &[q1, dangling], None, &cfg);
+        assert_eq!(r.unknowns, 0, "fast path never reports unknowns");
+        assert!(r.tallies[0].avf() > 0.95);
+        assert_eq!(r.tallies[1].avf(), 0.0);
+        // Same thread-count invariance as the exact kernel.
+        let seq = TrialConfig { threads: 1, ..cfg };
+        assert_eq!(r, run_trials(&nl, &[q1, dangling], None, &seq));
+    }
+
+    #[test]
+    fn burst_trials_attribute_to_the_primary_target() {
+        let nl = parse_netlist(PIPE).unwrap();
+        let targets: Vec<NodeId> = nl.seq_nodes().collect();
+        let cfg = TrialConfig {
+            trials: 300,
+            threads: 2,
+            burst: 3,
+            ..TrialConfig::default()
+        };
+        let r = run_trials(&nl, &targets, None, &cfg);
+        assert_eq!(r.trials, 300);
+        assert_eq!(r.trials, r.tallies.iter().map(|t| t.trials).sum());
+        let seq = TrialConfig { threads: 1, ..cfg };
+        assert_eq!(r, run_trials(&nl, &targets, None, &seq));
+    }
+
+    #[test]
+    fn empty_trial_campaign() {
+        let nl = parse_netlist(PIPE).unwrap();
+        let r = run_trials(&nl, &[], None, &TrialConfig::default());
+        assert_eq!(r.trials, 0);
+        assert!(r.tallies.is_empty());
+        let q1 = nl.lookup("f.q1").unwrap();
+        let zero = TrialConfig {
+            trials: 0,
+            ..TrialConfig::default()
+        };
+        let r = run_trials(&nl, &[q1], None, &zero);
+        assert_eq!(r.trials, 0);
+        assert_eq!(r.tallies.len(), 1);
+        assert_eq!(r.tallies[0].trials, 0);
+        assert_eq!(r.tallies[0].avf(), 0.0);
+    }
+
+    #[test]
+    fn exhaustive_campaign_covers_every_cycle() {
+        let nl = parse_netlist(PIPE).unwrap();
+        let q1 = nl.lookup("f.q1").unwrap();
+        let dangling = nl.lookup("f.dangling").unwrap();
+        let r = run_exhaustive(&nl, &[q1, dangling], 16, 50, 0xfeed);
+        assert_eq!(r.total_injections, 32);
+        assert_eq!(r.estimate(q1).unwrap().injections, 16);
+        assert_eq!(r.estimate(q1).unwrap().avf, 1.0);
+        assert_eq!(r.estimate(dangling).unwrap().avf, 0.0);
+    }
+
+    #[test]
+    fn traced_trial_campaign_records_span_and_counters() {
+        let nl = parse_netlist(PIPE).unwrap();
+        let targets: Vec<NodeId> = nl.seq_nodes().collect();
+        let cfg = TrialConfig {
+            trials: 200,
+            threads: 2,
+            ..TrialConfig::default()
+        };
+        let obs = seqavf_obs::Collector::new();
+        let traced = run_trials_traced(&nl, &targets, None, &cfg, &obs);
+        assert_eq!(
+            traced,
+            run_trials(&nl, &targets, None, &cfg),
+            "collection must not perturb the campaign"
+        );
+        let report = obs.report();
+        assert_eq!(report.span("sfi.trials").unwrap().count, 1);
+        assert_eq!(report.counter("sfi.trials"), Some(200));
+        assert_eq!(report.counter("sfi.errors"), Some(traced.errors as u64));
     }
 
     #[test]

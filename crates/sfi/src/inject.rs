@@ -128,10 +128,23 @@ pub fn run_injection(
     config: &InjectConfig,
     observed: &[NodeId],
 ) -> Outcome {
+    run_injection_burst(nl, &[target], config, observed)
+}
+
+/// Runs one golden/faulty pair with a **multi-bit SEU burst**: all of
+/// `targets` flip in the same cycle, modeling a single energetic particle
+/// upsetting several adjacent state bits (the gate-level SET → multi-SEU
+/// representation). A one-element burst is exactly [`run_injection`].
+pub fn run_injection_burst(
+    nl: &Netlist,
+    targets: &[NodeId],
+    config: &InjectConfig,
+    observed: &[NodeId],
+) -> Outcome {
     let mut golden = LogicSim::new(nl, config.seed);
     golden.run(config.warmup);
     let mut faulty = golden.clone();
-    faulty.flip(target);
+    faulty.flip_many(targets);
 
     for _ in 0..config.horizon {
         // Check observation points (including combinationally-reached
@@ -336,6 +349,74 @@ mod tests {
             run_injection_protected(&nl, dead, &cfg, &[out_node], &[]),
             DetailedOutcome::Masked
         );
+    }
+
+    #[test]
+    fn burst_upsets_propagate_when_any_bit_is_live() {
+        let text = r"
+.design t
+.fub f
+  .input i
+  .flop q1 i
+  .flop q2 q1
+  .flop dangling q1
+  .output o q2
+.endfub
+.end
+";
+        let nl = parse_netlist(text).unwrap();
+        let obs = observation_points(&nl);
+        let q1 = nl.lookup("f.q1").unwrap();
+        let dang = nl.lookup("f.dangling").unwrap();
+        let cfg = InjectConfig::default();
+        // A burst containing only the dangling bit is masked; adding a
+        // live bit makes the burst an error.
+        assert_eq!(
+            run_injection_burst(&nl, &[dang], &cfg, &obs),
+            Outcome::Masked
+        );
+        assert_eq!(
+            run_injection_burst(&nl, &[dang, q1], &cfg, &obs),
+            Outcome::Error
+        );
+        // Single-element burst is exactly run_injection.
+        assert_eq!(
+            run_injection_burst(&nl, &[q1], &cfg, &obs),
+            run_injection(&nl, q1, &cfg, &obs)
+        );
+    }
+
+    #[test]
+    fn even_burst_on_xor_reconvergence_can_cancel() {
+        // Two flipped bits feeding the same XOR cancel: the burst is
+        // masked even though each bit alone would error.
+        let text = r"
+.design t
+.fub f
+  .input i
+  .flop q1 i
+  .flop q2 q1
+  .gate xor g q1 q2
+  .output o g
+.endfub
+.end
+";
+        let nl = parse_netlist(text).unwrap();
+        let obs = observation_points(&nl);
+        let q1 = nl.lookup("f.q1").unwrap();
+        let q2 = nl.lookup("f.q2").unwrap();
+        let cfg = InjectConfig {
+            horizon: 0,
+            ..InjectConfig::default()
+        };
+        // Within the injection cycle the XOR sees both flips and cancels.
+        // (Horizon 0 checks only the injection cycle; afterwards q1
+        // reloads from the input and the fault pair decays.)
+        assert_eq!(
+            run_injection_burst(&nl, &[q1, q2], &cfg, &obs),
+            Outcome::Unknown
+        );
+        assert_eq!(run_injection_burst(&nl, &[q1], &cfg, &obs), Outcome::Error);
     }
 
     #[test]

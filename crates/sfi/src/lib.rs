@@ -14,19 +14,26 @@
 //!
 //! - [`logic`] — a two-valued, levelized gate-level simulator over
 //!   `seqavf-netlist` graphs (the "RTL simulation").
-//! - [`inject`] — golden/faulty paired simulation with single-bit flips and
-//!   observation-point mismatch detection.
+//! - [`inject`] — golden/faulty paired simulation with single-bit (or
+//!   multi-bit burst) flips and observation-point mismatch detection.
 //! - [`campaign`] — injection campaigns with per-node AVF estimates and
 //!   Wilson confidence intervals; this is both the speed baseline (§3.1:
 //!   months-to-years vs days) and the accuracy ground truth used to
-//!   validate SART's conservatism.
+//!   validate SART's conservatism. The trial-indexed variant
+//!   ([`campaign::run_trials`]) scales the same estimator to
+//!   production-size designs: a global trial budget, counter-mode
+//!   per-trial RNG streams (bit-identical results at any thread count),
+//!   optional importance weighting, and a propagation-probability
+//!   fast-path kernel ([`logic::PropModel`]).
 
 pub mod campaign;
 pub mod inject;
 pub mod logic;
 
 pub use campaign::{
-    run_campaign, run_campaign_traced, CampaignConfig, CampaignResult, NodeAvfEstimate,
+    run_campaign, run_campaign_traced, run_exhaustive, run_trials, run_trials_traced,
+    CampaignConfig, CampaignResult, Kernel, NodeAvfEstimate, TrialCampaignResult, TrialConfig,
+    TrialRng, TrialTally,
 };
-pub use inject::{run_injection, InjectConfig, Outcome};
-pub use logic::LogicSim;
+pub use inject::{run_injection, run_injection_burst, InjectConfig, Outcome};
+pub use logic::{LogicSim, PropModel};

@@ -11,7 +11,7 @@ use seqavf_netlist::graph::{GateOp, Netlist, NodeId, NodeKind};
 
 /// SplitMix64 — a high-quality pure hash used for stimulus and initial
 /// state.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -86,6 +86,17 @@ impl<'nl> LogicSim<'nl> {
         self.state[id.index()] = !self.state[id.index()];
         // Re-propagate so downstream combinational logic sees the flip
         // within the injection cycle.
+        self.eval_comb();
+    }
+
+    /// Flips several state bits at once (a multi-bit SEU burst from one
+    /// particle strike) and re-propagates combinational logic once. The
+    /// per-bit semantics match [`LogicSim::flip`]; batching only avoids
+    /// re-evaluating the combinational cone per bit.
+    pub fn flip_many(&mut self, ids: &[NodeId]) {
+        for &id in ids {
+            self.state[id.index()] = !self.state[id.index()];
+        }
         self.eval_comb();
     }
 
@@ -232,6 +243,235 @@ fn comb_topo(nl: &Netlist) -> Vec<NodeId> {
         "combinational subgraph must be acyclic"
     );
     order
+}
+
+/// An analytical error-propagation model: instead of re-simulating a
+/// golden/faulty trace pair per injection, masking **probabilities** are
+/// propagated through the netlist once, and each trial reduces to a
+/// Bernoulli draw against the target's precomputed propagation
+/// probability.
+///
+/// This is the propagation-probability SER technique (Asadi & Tahoori)
+/// adapted to the sequential-AVF setting:
+///
+/// 1. **Signal probabilities.** Every node's probability of being `1` is
+///    computed by evaluating gate functions over probabilities (inputs are
+///    0.5 by the stimulus construction, gates assume independent fan-ins)
+///    and iterating the sequential feedback to a quasi-fixpoint.
+/// 2. **Propagation probabilities.** The probability that a flipped bit
+///    reaches an observation point is relaxed backward from the
+///    observation points: an edge `u → c` is *sensitized* with the
+///    probability that `c`'s other inputs let the flip through (AND needs
+///    the side inputs at 1, OR at 0, XOR always propagates, a MUX select
+///    flip propagates only when the data inputs differ, an enabled flop
+///    loads with its enable probability), and fan-out paths combine as
+///    independent alternatives. The relaxation is monotone from 0 and
+///    bounded by 1, so it converges; loops simply saturate.
+///
+/// The model is built **once per netlist** (two relaxations over the
+/// graph); a million-trial campaign then costs one RNG draw per trial.
+/// The price is approximation error wherever reconvergent fan-out
+/// correlates signals — on fan-out-tree netlists the model is exact (see
+/// the oracle property tests).
+#[derive(Debug, Clone)]
+pub struct PropModel {
+    /// P(node = 1), indexed by [`NodeId::index`].
+    signal: Vec<f64>,
+    /// P(flip at node reaches an observation point), same indexing.
+    prop: Vec<f64>,
+}
+
+/// Relaxation rounds for the signal-probability fixpoint.
+const SIGNAL_ROUNDS: usize = 8;
+/// Cap on backward propagation-probability relaxation rounds.
+const PROP_ROUNDS: usize = 64;
+/// Convergence threshold for the backward relaxation.
+const PROP_EPSILON: f64 = 1e-12;
+
+impl PropModel {
+    /// Builds the model for `nl` with observation points `observed`
+    /// (typically [`crate::inject::observation_points`]).
+    pub fn build(nl: &Netlist, observed: &[NodeId]) -> PropModel {
+        let n = nl.node_count();
+        let comb_order = comb_topo(nl);
+
+        // Phase 1: signal probabilities.
+        let mut signal = vec![0.5f64; n];
+        for _ in 0..SIGNAL_ROUNDS {
+            for &id in &comb_order {
+                signal[id.index()] = match nl.kind(id) {
+                    NodeKind::Comb(op) => eval_gate_prob(op, nl.fanin(id), &signal),
+                    NodeKind::Output => signal[nl.fanin(id)[0].index()],
+                    _ => continue,
+                };
+            }
+            // Sequential next-state, mirroring `LogicSim::step`.
+            let mut next: Vec<(usize, f64)> = Vec::new();
+            for id in nl.nodes() {
+                match nl.kind(id) {
+                    NodeKind::Seq { has_enable, .. } => {
+                        let ins = nl.fanin(id);
+                        let d = signal[ins[0].index()];
+                        let p = if has_enable {
+                            let e = signal[ins[1].index()];
+                            e * d + (1.0 - e) * signal[id.index()]
+                        } else {
+                            d
+                        };
+                        next.push((id.index(), p));
+                    }
+                    NodeKind::StructCell { .. } => {
+                        let ins = nl.fanin(id);
+                        if !ins.is_empty() {
+                            // Ports are serviced round-robin: the stored
+                            // probability averages the writers.
+                            let sum: f64 = ins.iter().map(|w| signal[w.index()]).sum();
+                            next.push((id.index(), sum / ins.len() as f64));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for (i, p) in next {
+                signal[i] = p;
+            }
+        }
+
+        // Phase 2: backward propagation probabilities.
+        let mut prop = vec![0.0f64; n];
+        let mut is_observed = vec![false; n];
+        for &o in observed {
+            is_observed[o.index()] = true;
+            prop[o.index()] = 1.0;
+        }
+        for _ in 0..PROP_ROUNDS {
+            let mut max_delta = 0.0f64;
+            // Sweep in reverse node order — convergence does not depend on
+            // ordering, it only shortens the relaxation.
+            for id in nl.nodes().collect::<Vec<_>>().into_iter().rev() {
+                if is_observed[id.index()] {
+                    continue;
+                }
+                let mut masked_all = 1.0f64;
+                for &c in nl.fanout(id) {
+                    let s = edge_sensitization(nl, id, c, &signal);
+                    masked_all *= 1.0 - s * prop[c.index()];
+                }
+                let p = 1.0 - masked_all;
+                max_delta = max_delta.max((p - prop[id.index()]).abs());
+                prop[id.index()] = p;
+            }
+            if max_delta < PROP_EPSILON {
+                break;
+            }
+        }
+        PropModel { signal, prop }
+    }
+
+    /// P(node = 1) under random stimulus.
+    pub fn signal_probability(&self, id: NodeId) -> f64 {
+        self.signal[id.index()]
+    }
+
+    /// P(a flip at `id` reaches an observation point).
+    pub fn propagation(&self, id: NodeId) -> f64 {
+        self.prop[id.index()]
+    }
+
+    /// P(at least one bit of a multi-bit burst reaches an observation
+    /// point), treating the per-bit propagation paths as independent.
+    pub fn burst_propagation(&self, bits: &[NodeId]) -> f64 {
+        let masked: f64 = bits.iter().map(|&b| 1.0 - self.prop[b.index()]).product();
+        1.0 - masked
+    }
+}
+
+/// Gate output probability assuming independent inputs.
+fn eval_gate_prob(op: GateOp, ins: &[NodeId], signal: &[f64]) -> f64 {
+    let v = |i: usize| signal[ins[i].index()];
+    let all_one = || ins.iter().map(|i| signal[i.index()]).product::<f64>();
+    let all_zero = || ins.iter().map(|i| 1.0 - signal[i.index()]).product::<f64>();
+    match op {
+        GateOp::Buf => v(0),
+        GateOp::Not => 1.0 - v(0),
+        GateOp::And => all_one(),
+        GateOp::Nand => 1.0 - all_one(),
+        GateOp::Or => 1.0 - all_zero(),
+        GateOp::Nor => all_zero(),
+        GateOp::Xor | GateOp::Xnor => {
+            // P(odd number of ones) folds pairwise.
+            let odd = ins
+                .iter()
+                .map(|i| signal[i.index()])
+                .fold(0.0f64, |acc, p| acc * (1.0 - p) + (1.0 - acc) * p);
+            if op == GateOp::Xor {
+                odd
+            } else {
+                1.0 - odd
+            }
+        }
+        GateOp::Mux => v(0) * v(2) + (1.0 - v(0)) * v(1),
+        GateOp::Const0 => 0.0,
+        GateOp::Const1 => 1.0,
+    }
+}
+
+/// Probability that a flip on `from` is visible at `to`'s output given
+/// `to`'s other inputs (the edge's sensitization probability).
+fn edge_sensitization(nl: &Netlist, from: NodeId, to: NodeId, signal: &[f64]) -> f64 {
+    let ins = nl.fanin(to);
+    match nl.kind(to) {
+        NodeKind::Output => 1.0,
+        NodeKind::Seq { has_enable, .. } => {
+            if has_enable && ins.len() > 1 && ins[1] == from && ins[0] != from {
+                // A flipped enable matters only when the data input and
+                // the stored bit differ.
+                let d = signal[ins[0].index()];
+                let q = signal[to.index()];
+                d * (1.0 - q) + (1.0 - d) * q
+            } else if has_enable {
+                // Data path: the flip is latched when the enable is high.
+                signal[ins[1].index()]
+            } else {
+                1.0
+            }
+        }
+        NodeKind::StructCell { .. } => {
+            // Round-robin write ports: `from` is serviced 1/k of the time.
+            if ins.is_empty() {
+                0.0
+            } else {
+                1.0 / ins.len() as f64
+            }
+        }
+        NodeKind::Comb(op) => {
+            let others = || {
+                ins.iter()
+                    .filter(|&&i| i != from)
+                    .map(|i| signal[i.index()])
+            };
+            match op {
+                GateOp::Buf | GateOp::Not => 1.0,
+                GateOp::And | GateOp::Nand => others().product(),
+                GateOp::Or | GateOp::Nor => others().map(|p| 1.0 - p).product(),
+                GateOp::Xor | GateOp::Xnor => 1.0,
+                GateOp::Mux => {
+                    if ins[0] == from {
+                        // Select flip: propagates when the data legs differ.
+                        let d0 = signal[ins[1].index()];
+                        let d1 = signal[ins[2].index()];
+                        d0 * (1.0 - d1) + (1.0 - d0) * d1
+                    } else if ins[1] == from {
+                        1.0 - signal[ins[0].index()]
+                    } else {
+                        signal[ins[0].index()]
+                    }
+                }
+                GateOp::Const0 | GateOp::Const1 => 0.0,
+            }
+        }
+        _ => 0.0,
+    }
 }
 
 #[cfg(test)]
@@ -435,5 +675,110 @@ mod tests {
         s.flip(q);
         assert!(s.value(q));
         assert!(!s.value(o), "flip must propagate through comb logic");
+    }
+
+    #[test]
+    fn flip_many_equals_repeated_flips() {
+        let text = r"
+.design t
+.fub f
+  .input i
+  .flop q1 i
+  .flop q2 q1
+  .gate xor g q1 q2
+  .flop q3 g
+  .output o q3
+.endfub
+.end
+";
+        let (nl, mut a) = sim(text, 13);
+        let mut b = a.clone();
+        let q1 = nl.lookup("f.q1").unwrap();
+        let q2 = nl.lookup("f.q2").unwrap();
+        a.flip(q1);
+        a.flip(q2);
+        b.flip_many(&[q1, q2]);
+        assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    fn prop_model_exact_on_fanout_trees() {
+        // Live chain, dangling flop, dead subtree: propagation is exactly
+        // 1 or 0 on a single-fanin tree.
+        let text = r"
+.design t
+.fub f
+  .input i
+  .flop q1 i
+  .gate not g1 q1
+  .flop q2 g1
+  .flop dangling q1
+  .flop dead2 dangling
+  .output o q2
+.endfub
+.end
+";
+        let nl = parse_netlist(text).unwrap();
+        let observed = crate::inject::observation_points(&nl);
+        let m = PropModel::build(&nl, &observed);
+        assert_eq!(m.propagation(nl.lookup("f.q1").unwrap()), 1.0);
+        assert_eq!(m.propagation(nl.lookup("f.q2").unwrap()), 1.0);
+        assert_eq!(m.propagation(nl.lookup("f.dangling").unwrap()), 0.0);
+        assert_eq!(m.propagation(nl.lookup("f.dead2").unwrap()), 0.0);
+    }
+
+    #[test]
+    fn prop_model_sees_and_gate_masking() {
+        // q1 AND const-0 can never propagate; q1 AND a random input
+        // propagates with the side input's signal probability (0.5).
+        let text = r"
+.design t
+.fub f
+  .input i
+  .input side
+  .gate const0 zero
+  .flop q1 i
+  .gate and dead q1 zero
+  .flop qd dead
+  .flop q2 i
+  .gate and live q2 side
+  .flop ql live
+  .output o1 qd
+  .output o2 ql
+.endfub
+.end
+";
+        let nl = parse_netlist(text).unwrap();
+        let observed = crate::inject::observation_points(&nl);
+        let m = PropModel::build(&nl, &observed);
+        assert_eq!(
+            m.propagation(nl.lookup("f.q1").unwrap()),
+            0.0,
+            "AND-0 fully masks"
+        );
+        let p = m.propagation(nl.lookup("f.q2").unwrap());
+        assert!((p - 0.5).abs() < 1e-9, "AND with a coin-flip side: {p}");
+    }
+
+    #[test]
+    fn prop_model_burst_combines_paths() {
+        let text = r"
+.design t
+.fub f
+  .input i
+  .flop q1 i
+  .flop dangling q1
+  .output o q1
+.endfub
+.end
+";
+        let nl = parse_netlist(text).unwrap();
+        let observed = crate::inject::observation_points(&nl);
+        let m = PropModel::build(&nl, &observed);
+        let q1 = nl.lookup("f.q1").unwrap();
+        let dang = nl.lookup("f.dangling").unwrap();
+        assert_eq!(m.burst_propagation(&[dang]), 0.0);
+        assert_eq!(m.burst_propagation(&[dang, q1]), 1.0);
+        assert_eq!(m.burst_propagation(&[]), 0.0);
     }
 }
