@@ -38,4 +38,7 @@ fn main() {
     println!("\n=== E17: validation campaign ===");
     let r = seqavf_bench::validate::run(scale, 42, &[1, 8, 32]);
     emit("BENCH_8", &r.render(), &r);
+    println!("\n=== E18: cross-run warm-start ===");
+    let r = seqavf_bench::warmstart::run(scale, 42);
+    emit("BENCH_9", &r.render(), &r);
 }

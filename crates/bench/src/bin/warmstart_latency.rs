@@ -1,0 +1,11 @@
+//! E18 — cross-run warm-start: walked-node and wall-time ratios for
+//! one-FUB / 5%-of-FUBs / full-rewrite edits re-solved from a stored
+//! fixpoint. Usage: `warmstart_latency [--scale full]` (full adds the
+//! production-size ~102k-node design the acceptance bar is set on).
+use seqavf_bench::common::{emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = seqavf_bench::warmstart::run(scale, 42);
+    emit("BENCH_9", &report.render(), &report);
+}

@@ -1,5 +1,7 @@
-//! Shared experiment scaffolding: standard design/suite scales and a tiny
-//! output helper.
+//! Shared experiment scaffolding: standard design/suite scales, a
+//! provenance stamp for every report, and a tiny output helper.
+
+use serde::{Deserialize, Serialize};
 
 use seqavf_core::engine::SartConfig;
 use seqavf_netlist::synth::SynthConfig;
@@ -23,6 +25,34 @@ impl Scale {
         match args.iter().position(|a| a == "--scale") {
             Some(i) if args.get(i + 1).map(String::as_str) == Some("full") => Scale::Full,
             _ => Scale::Quick,
+        }
+    }
+}
+
+/// Measurement provenance stamped into every `BENCH_*.json`, so any
+/// recorded ratio can be traced to the exact design revision and host
+/// concurrency that produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Hex content digest of the (base) benchmarked netlist.
+    pub design_digest: String,
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// wall-clock speedups above 1.0 require this to exceed 1.
+    pub host_parallelism: usize,
+    /// Thread counts exercised by the experiment.
+    pub threads: Vec<usize>,
+}
+
+impl Provenance {
+    /// Captures the stamp for a run over `threads` of a design whose
+    /// content digest is `design_digest`.
+    pub fn capture(design_digest: u64, threads: &[usize]) -> Provenance {
+        Provenance {
+            design_digest: format!("{design_digest:016x}"),
+            host_parallelism: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            threads: threads.to_vec(),
         }
     }
 }
@@ -56,11 +86,12 @@ pub fn flow_config(scale: Scale, seed: u64) -> seqavf::flow::FlowConfig {
     }
 }
 
-/// Writes a report JSON next to the binary's working directory and prints
-/// the text rendering.
+/// Writes a report JSON under `results/` (created if absent, next to the
+/// binary's working directory) and prints the text rendering.
 pub fn emit(name: &str, text: &str, json: &impl serde::Serialize) {
     println!("{text}");
-    let path = format!("{name}.json");
+    let _ = std::fs::create_dir_all("results");
+    let path = format!("results/{name}.json");
     match serde_json::to_string_pretty(json) {
         Ok(s) => {
             if std::fs::write(&path, s).is_ok() {

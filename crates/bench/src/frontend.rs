@@ -21,11 +21,13 @@ use seqavf_netlist::scc::find_loops;
 use seqavf_netlist::snapshot;
 use seqavf_netlist::synth::{generate, SynthConfig};
 
-use crate::common::Scale;
+use crate::common::{Provenance, Scale};
 
 /// The cold-vs-warm frontend comparison.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FrontendReport {
+    /// Measurement provenance (design digest, host, thread counts).
+    pub provenance: Provenance,
     /// Nodes in the benchmarked design.
     pub nodes: usize,
     /// Sequential nodes.
@@ -138,6 +140,7 @@ pub fn run(scale: Scale, seed: u64) -> FrontendReport {
 
     let edges = nl.nodes().map(|id| nl.fanin(id).len()).sum();
     FrontendReport {
+        provenance: Provenance::capture(nl.content_digest(), &[1, 8]),
         nodes: nl.node_count(),
         seq_nodes: nl.seq_count(),
         edges,

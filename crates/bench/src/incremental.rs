@@ -20,7 +20,7 @@ use seqavf_core::engine::{SartConfig, SartEngine};
 use seqavf_core::mapping::{PavfInputs, StructureMapping};
 use seqavf_netlist::synth::{generate, SynthConfig};
 
-use crate::common::Scale;
+use crate::common::{Provenance, Scale};
 
 /// One sweep of one mode's convergence trajectory.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -60,6 +60,8 @@ pub struct ModePoint {
 /// The full-vs-incremental comparison report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IncrementalReport {
+    /// Measurement provenance (design digest, host, thread counts).
+    pub provenance: Provenance,
     /// Nodes in the benchmarked design.
     pub nodes: usize,
     /// FUB partitions.
@@ -219,6 +221,7 @@ pub fn run(scale: Scale, seed: u64, thread_counts: &[usize]) -> IncrementalRepor
     }
 
     IncrementalReport {
+        provenance: Provenance::capture(nl.content_digest(), thread_counts),
         nodes: nl.node_count(),
         fubs: nl.fub_count(),
         points,

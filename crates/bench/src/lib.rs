@@ -42,3 +42,4 @@ pub mod speed;
 pub mod symbolic;
 pub mod threads;
 pub mod validate;
+pub mod warmstart;

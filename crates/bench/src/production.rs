@@ -38,7 +38,7 @@ use seqavf_netlist::scc::find_loops;
 use seqavf_netlist::snapshot;
 use seqavf_netlist::synth::{generate, SynthConfig};
 
-use crate::common::Scale;
+use crate::common::{Provenance, Scale};
 
 /// Thread counts every phase is swept over.
 pub const THREAD_COUNTS: [usize; 3] = [1, 8, 32];
@@ -123,6 +123,8 @@ pub struct ScalePoint {
 /// The production-scale study.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProductionReport {
+    /// Measurement provenance (base design digest, host, thread counts).
+    pub provenance: Provenance,
     /// `std::thread::available_parallelism()` on the measuring host —
     /// wall-clock speedups above 1.0 require this to exceed 1.
     pub host_parallelism: usize,
@@ -486,6 +488,10 @@ pub fn run(scale: Scale, seed: u64) -> ProductionReport {
         ));
     }
     ProductionReport {
+        provenance: Provenance::capture(
+            generate(&SynthConfig::xeon_like(seed)).netlist.content_digest(),
+            &[1, 8, 32],
+        ),
         host_parallelism: std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),

@@ -31,7 +31,7 @@ use seqavf_serve::client;
 use seqavf_serve::resident::ResidentConfig;
 use seqavf_serve::server::{spawn, ServeConfig};
 
-use crate::common::Scale;
+use crate::common::{Provenance, Scale};
 
 /// One design's service measurements.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -67,6 +67,8 @@ pub struct ServePoint {
 /// The whole report.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct ServeReport {
+    /// Measurement provenance (base design digest, host, thread counts).
+    pub provenance: Provenance,
     /// `available_parallelism` of the host.
     pub host_parallelism: usize,
     /// One entry per design scale.
@@ -276,6 +278,10 @@ pub fn run(scale: Scale, seed: u64) -> ServeReport {
         ),
     ];
     ServeReport {
+        provenance: Provenance::capture(
+            generate(&SynthConfig::xeon_like(seed)).netlist.content_digest(),
+            &[2],
+        ),
         host_parallelism: std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),

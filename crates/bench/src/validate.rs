@@ -44,7 +44,7 @@ use seqavf_sfi::campaign::{run_trials, Kernel, TrialConfig};
 use seqavf_sfi::inject::observation_points;
 use seqavf_sfi::logic::PropModel;
 
-use crate::common::Scale;
+use crate::common::{Provenance, Scale};
 
 /// One thread-sweep point (exact kernel).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -79,6 +79,8 @@ pub struct SamplingArm {
 /// The E17 report, emitted as `BENCH_8.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ValidateBenchReport {
+    /// Measurement provenance (design digest, host, thread counts).
+    pub provenance: Provenance,
     /// Nodes in the benchmarked design.
     pub nodes: usize,
     /// Sequential bits targeted.
@@ -290,6 +292,7 @@ pub fn run(scale: Scale, seed: u64, thread_counts: &[usize]) -> ValidateBenchRep
     let importance = arm(&importance_report, "importance");
     let importance_tightens = importance.weighted_ci_width < uniform.weighted_ci_width;
     ValidateBenchReport {
+        provenance: Provenance::capture(nl.content_digest(), thread_counts),
         nodes: nl.node_count(),
         bits: targets.len(),
         trials,

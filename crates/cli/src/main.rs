@@ -38,7 +38,8 @@ mod args;
 use std::process::ExitCode;
 
 use args::Args;
-use seqavf_core::engine::{SartConfig, SartEngine};
+use seqavf_core::engine::{SartConfig, SartEngine, WarmStatus};
+use seqavf_core::fixpoint;
 use seqavf_core::mapping::{PavfInputs, StructureMapping};
 use seqavf_core::report::SartSummary;
 use seqavf_netlist::exlif;
@@ -99,21 +100,27 @@ commands:
   sart  --design <exlif|.v> --map <file> --pavf <json> [--out <json>]
         [--loop-pavf F] [--iterations N] [--global] [--threads N]
         [--no-incremental] [--protected a,b] [--equations node1,node2]
-        [--graph-cache <dir>]
+        [--graph-cache <dir>] [--warm-start <dir>]
         resolve sequential AVFs for every node (designs may be EXLIF or
         structural Verilog, chosen by file extension); --no-incremental
         re-walks every FUB every relaxation sweep instead of only the
-        boundary-dirty ones (bit-identical results, more work)
+        boundary-dirty ones (bit-identical results, more work);
+        --warm-start persists the converged fixpoint in <dir> and seeds
+        the next run of the same design from it, relaxing only the FUBs
+        whose content changed (bit-identical to a cold solve)
   sfi   --design <exlif> [--sample N] [--injections N] [--seed N]
         [--graph-cache <dir>]
         statistical fault-injection baseline
   sweep --design <exlif|.v> --map <file> --pavf <json> [--out <json>]
         [--workloads N] [--len N] [--seed N] [--threads N]
-        [--cache-dir <dir>] [--graph-cache <dir>] [--loop-pavf F]
-        [--iterations N] [--global] [--no-incremental] [--conservative]
+        [--cache-dir <dir>] [--graph-cache <dir>] [--warm-start <dir>]
+        [--loop-pavf F] [--iterations N] [--global] [--no-incremental]
+        [--conservative]
         compile the closed forms once and evaluate a whole workload suite;
         --cache-dir reuses the compiled artifact across runs (keyed by
-        netlist content + configuration), skipping relaxation entirely
+        netlist content + configuration), skipping relaxation entirely;
+        --warm-start seeds a fresh relaxation from the stored fixpoint
+        of the previous run of this design (see sart)
   validate --design <exlif|.v> --map <file> [--pavf <json>] [--out <json>]
         [--trials N] [--seed N] [--threads N] [--sampling uniform|importance]
         [--floor F] [--kernel exact|propagation] [--burst N] [--warmup N]
@@ -346,6 +353,7 @@ fn cmd_sart(args: &Args) -> Result<(), String> {
             "protected",
             "equations",
             "graph-cache",
+            "warm-start",
             "trace-out",
         ],
         &["global", "no-incremental", "metrics"],
@@ -371,7 +379,51 @@ fn cmd_sart(args: &Args) -> Result<(), String> {
         Some(l) => SartEngine::new_with_loops_traced(&netlist, &mapping, config, l, &obs.collector),
         None => SartEngine::new_traced(&netlist, &mapping, config, &obs.collector),
     };
-    let result = engine.run_traced(&inputs, &obs.collector);
+    let result = match args.get("warm-start") {
+        None => engine.run_traced(&inputs, &obs.collector),
+        Some(dir) => {
+            let path = fixpoint::artifact_path(
+                std::path::Path::new(dir),
+                fixpoint::artifact_key(
+                    netlist.design_name(),
+                    &mapping.to_text(&netlist),
+                    &engine.config().result_key(),
+                ),
+            );
+            let stored = fixpoint::load(&path).unwrap_or_default();
+            let (result, warm) = match &stored {
+                Some(s) => engine.run_warm_traced(&inputs, s, &obs.collector),
+                None => (
+                    engine.run_traced(&inputs, &obs.collector),
+                    WarmStatus::Cold("no usable fixpoint artifact"),
+                ),
+            };
+            match warm {
+                WarmStatus::Warm {
+                    seeded_fubs,
+                    dirty_fubs,
+                } => {
+                    obs.collector.count("relax.warmstart.hit", 1);
+                    println!(
+                        "warm start: seeded {seeded_fubs} FUBs from stored fixpoint, {dirty_fubs} dirty"
+                    );
+                }
+                WarmStatus::Cold(reason) => {
+                    obs.collector.count("relax.warmstart.miss", 1);
+                    println!("warm start: cold solve ({reason})");
+                }
+            }
+            // Refresh the artifact so the next edit of this design
+            // re-solves warm against today's fixpoint.
+            if let Some(captured) = engine.capture_fixpoint(&result) {
+                match fixpoint::store(&path, &captured) {
+                    Ok(()) => println!("stored fixpoint artifact {}", path.display()),
+                    Err(e) => eprintln!("seqavf: cannot store fixpoint artifact: {e}"),
+                }
+            }
+            result
+        }
+    };
     let summary = SartSummary::new(&netlist, &result);
     print!("{}", summary.to_table());
     println!(
@@ -505,6 +557,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             "threads",
             "cache-dir",
             "graph-cache",
+            "warm-start",
             "loop-pavf",
             "iterations",
             "trace-out",
@@ -550,6 +603,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let opts = SweepOptions {
         threads: config.threads,
         cache_dir: args.get("cache-dir").map(Into::into),
+        warm_start: args.get("warm-start").map(Into::into),
     };
     let t0 = std::time::Instant::now();
     let outcome = run_sweep_with_loops_traced(
@@ -567,6 +621,16 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         CacheStatus::Miss => "cache miss (relaxed fresh, artifact stored)",
         CacheStatus::Hit => "cache hit (relaxation skipped)",
     };
+    match outcome.warm {
+        Some(WarmStatus::Warm {
+            seeded_fubs,
+            dirty_fubs,
+        }) => println!(
+            "warm start: seeded {seeded_fubs} FUBs from stored fixpoint, {dirty_fubs} dirty"
+        ),
+        Some(WarmStatus::Cold(reason)) => println!("warm start: cold solve ({reason})"),
+        None => {}
+    }
     println!(
         "compiled DAG: {} nodes, {} sum ops, {} min ops ({} arena sets, {} terms) — {cache_word}",
         outcome.stats.nodes,

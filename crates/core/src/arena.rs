@@ -209,6 +209,12 @@ impl SetId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Inverse of [`SetId::index`], for code that walks an arena's sets
+    /// positionally (e.g. the fixpoint snapshot encoder).
+    pub fn from_index(i: usize) -> SetId {
+        SetId(u32::try_from(i).expect("set index fits u32"))
+    }
 }
 
 /// Hash-consing arena for term sets (symbolic unions).

@@ -8,8 +8,12 @@ use serde::{Deserialize, Serialize};
 
 use crate::arena::{SetId, TermTable, UnionArena};
 use crate::classify::{classify, NodeRole, RoleMap};
+use crate::fixpoint::{self, StoredFixpoint};
 use crate::mapping::{PavfInputs, StructureMapping};
-use crate::relax::{relax_partitioned, relax_partitioned_exact, solve_global, RelaxOutcome};
+use crate::relax::{
+    relax_partitioned, relax_partitioned_exact, relax_partitioned_warm,
+    relax_partitioned_warm_exact, solve_global, RelaxOutcome,
+};
 use crate::walk::{prepare, Propagator, INJ_BOUNDARY_IN, INJ_BOUNDARY_OUT, INJ_CTRL, INJ_LOOP};
 
 /// Configuration of a SART run.
@@ -108,6 +112,8 @@ pub struct SartEngine<'nl> {
     config: SartConfig,
     prop_template: Propagator<'nl>,
     struct_perf_names: Vec<String>,
+    fub_digests: Vec<u64>,
+    mapping_digest: u64,
 }
 
 impl<'nl> SartEngine<'nl> {
@@ -166,6 +172,11 @@ impl<'nl> SartEngine<'nl> {
         // per direction per node — so production-scale runs never rehash.
         let mut arena = UnionArena::with_capacity(nl.node_count());
         let prep = prepare(nl, roles, mapping, &mut arena);
+        // Per-FUB content digests and the mapping digest anchor cross-run
+        // warm starts (see `crate::fixpoint`); both are cheap relative to
+        // `prepare` and loops are only available here.
+        let fub_digests = nl.fub_digests(loops);
+        let mapping_digest = fixpoint::mapping_digest(nl, mapping);
         span.field_u64("nodes", nl.node_count() as u64);
         span.field_u64("terms", prep.terms.len() as u64);
         span.finish();
@@ -183,6 +194,8 @@ impl<'nl> SartEngine<'nl> {
             config,
             prop_template: Propagator::new(nl, prep, arena),
             struct_perf_names,
+            fub_digests,
+            mapping_digest,
         }
     }
 
@@ -239,6 +252,16 @@ impl<'nl> SartEngine<'nl> {
         } else {
             solve_global(&mut prop, &values, obs)
         };
+        self.assemble(prop, outcome, inputs, obs)
+    }
+
+    fn assemble(
+        &self,
+        prop: Propagator<'nl>,
+        outcome: RelaxOutcome,
+        inputs: &PavfInputs,
+        obs: &Collector,
+    ) -> SartResult {
         obs.count("relax.iterations", outcome.iterations as u64);
         let mut result = SartResult {
             config: self.config.clone(),
@@ -257,6 +280,123 @@ impl<'nl> SartEngine<'nl> {
         span.finish();
         result
     }
+
+    /// Per-FUB content digests of the engine's netlist — the identities a
+    /// fixpoint artifact diffs against on a later run.
+    pub fn fub_digests(&self) -> &[u64] {
+        &self.fub_digests
+    }
+
+    /// Digest of the structure mapping this engine was prepared with.
+    pub fn mapping_digest(&self) -> u64 {
+        self.mapping_digest
+    }
+
+    /// Packages a converged result as a `seqavf-fixpoint/1` artifact for
+    /// a later warm start. `None` when the relaxation did not converge.
+    pub fn capture_fixpoint(&self, result: &SartResult) -> Option<StoredFixpoint> {
+        fixpoint::capture(
+            self.nl,
+            &self.fub_digests,
+            &self.prop_template.prep.boundary,
+            self.mapping_digest,
+            result,
+        )
+    }
+
+    /// [`SartEngine::run_traced`] seeded from a previously stored
+    /// fixpoint: FUBs whose content digests still match adopt their
+    /// converged annotations and the relaxation force-walks only the
+    /// rest. Any global mismatch (config, mapping, non-converged store)
+    /// degrades to a full cold solve — the returned [`WarmStatus`] says
+    /// which path ran and why. Results are bit-identical to a cold run
+    /// either way.
+    pub fn run_warm_traced(
+        &self,
+        inputs: &PavfInputs,
+        stored: &StoredFixpoint,
+        obs: &Collector,
+    ) -> (SartResult, WarmStatus) {
+        self.run_warm_inner(inputs, stored, false, obs)
+    }
+
+    /// [`SartEngine::run_warm_traced`] without the small-design thread
+    /// clamp, mirroring [`SartEngine::run_exact`] for equivalence tests.
+    pub fn run_warm_exact(
+        &self,
+        inputs: &PavfInputs,
+        stored: &StoredFixpoint,
+    ) -> (SartResult, WarmStatus) {
+        self.run_warm_inner(inputs, stored, true, &Collector::disabled())
+    }
+
+    fn run_warm_inner(
+        &self,
+        inputs: &PavfInputs,
+        stored: &StoredFixpoint,
+        exact_threads: bool,
+        obs: &Collector,
+    ) -> (SartResult, WarmStatus) {
+        if !self.config.partitioned || !self.config.incremental {
+            return (
+                self.run_inner(inputs, exact_threads, obs),
+                WarmStatus::Cold("config disables partitioned incremental relaxation"),
+            );
+        }
+        let mut prop = self.prop_template.clone();
+        let (dirty, plan) = match fixpoint::seed(
+            stored,
+            self.nl,
+            &self.fub_digests,
+            self.mapping_digest,
+            &self.config.result_key(),
+            &mut prop,
+        ) {
+            Ok(seeded) => seeded,
+            Err(reason) => {
+                return (
+                    self.run_inner(inputs, exact_threads, obs),
+                    WarmStatus::Cold(reason),
+                );
+            }
+        };
+        let values = term_values(&prop.prep.terms, inputs, &self.config);
+        let relax = if exact_threads {
+            relax_partitioned_warm_exact
+        } else {
+            relax_partitioned_warm
+        };
+        let outcome = relax(
+            &mut prop,
+            &values,
+            self.config.max_iterations,
+            self.config.threads,
+            &dirty,
+            obs,
+        );
+        (
+            self.assemble(prop, outcome, inputs, obs),
+            WarmStatus::Warm {
+                seeded_fubs: plan.seeded_fubs,
+                dirty_fubs: plan.dirty_fubs,
+            },
+        )
+    }
+}
+
+/// Which solve path a warm-start request actually took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmStatus {
+    /// The stored fixpoint seeded the solve; the counts describe the
+    /// per-FUB digest diff.
+    Warm {
+        /// FUBs whose stored annotations were adopted.
+        seeded_fubs: usize,
+        /// FUBs force-walked from the conservative default.
+        dirty_fubs: usize,
+    },
+    /// The artifact could not seed this run; a full cold solve ran.
+    Cold(&'static str),
 }
 
 /// Builds the term-value vector for an input table under a configuration.

@@ -40,6 +40,7 @@ pub mod classify;
 pub mod compile;
 pub mod due;
 pub mod engine;
+pub mod fixpoint;
 pub mod mapping;
 pub mod numeric;
 pub mod pavf;
@@ -52,12 +53,13 @@ pub use arena::{SetId, TermId, TermKind, TermTable, UnionArena};
 pub use classify::{NodeRole, RoleMap};
 pub use compile::{CompileStats, CompiledSweep};
 pub use due::{AvfSplit, DueAnalysis};
-pub use engine::{SartConfig, SartEngine, SartResult};
+pub use engine::{SartConfig, SartEngine, SartResult, WarmStatus};
+pub use fixpoint::{SeedPlan, StoredFixpoint};
 pub use mapping::{PavfInputs, PortPavf, StructureMapping};
 pub use numeric::{solve_parallel, NumericOutcome};
 pub use pavf::Pavf;
 pub use report::{FubAvfRow, SartSummary};
 pub use sweep::{
-    obtain_compiled_traced, run_sweep, run_sweep_traced, CacheStatus, SweepCache, SweepOptions,
-    SweepOutcome,
+    obtain_compiled_traced, obtain_compiled_warm_traced, run_sweep, run_sweep_traced, CacheStatus,
+    SweepCache, SweepOptions, SweepOutcome,
 };

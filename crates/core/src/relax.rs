@@ -572,6 +572,77 @@ pub fn relax_partitioned(
         threads,
         effective,
         incremental,
+        None,
+        obs,
+    )
+}
+
+/// Warm-started partitioned relaxation: the caller has already seeded
+/// `prop.fwd`/`prop.bwd` with a previously converged fixpoint (see
+/// `crate::fixpoint`), and `seed_dirty` flags exactly the FUBs whose
+/// content changed since that fixpoint was captured. The first sweep
+/// force-walks only those FUBs instead of flooding the whole design;
+/// from there the ordinary cross-FUB dirty propagation takes over, so
+/// work stays proportional to the edit's change cone.
+///
+/// Correctness leans on the same invariant as within-run incremental
+/// sweeps: a skipped node's annotation is reproduced exactly by
+/// recomputing it as long as none of its reads moved. Seeded annotations
+/// are the converged values of the *previous* run, so they satisfy that
+/// invariant for every FUB whose content — including its cross-FUB
+/// wiring, captured by `Netlist::fub_digests` — is unchanged; any value
+/// that does move is diffed at the iteration barrier and its consumers
+/// re-walked. The converged annotations (and therefore the resolved
+/// AVFs) are bit-identical to a cold solve; only `SetId` numbering and
+/// the work telemetry differ.
+///
+/// Always incremental (a warm start without change-cone tracking would
+/// silently recompute everything); subject to the same small-design
+/// thread clamp as [`relax_partitioned`].
+pub fn relax_partitioned_warm(
+    prop: &mut Propagator<'_>,
+    values: &[f64],
+    max_iterations: usize,
+    threads: usize,
+    seed_dirty: &[bool],
+    obs: &Collector,
+) -> RelaxOutcome {
+    let effective = if threads > 1 && prop.nl.node_count() < RELAX_PARALLEL_WORK_THRESHOLD {
+        1
+    } else {
+        threads
+    };
+    relax_partitioned_inner(
+        prop,
+        values,
+        max_iterations,
+        threads,
+        effective,
+        true,
+        Some(seed_dirty),
+        obs,
+    )
+}
+
+/// [`relax_partitioned_warm`] without the small-design thread clamp, for
+/// equivalence tests that must drive the sharded warm path on designs
+/// below the crossover.
+pub fn relax_partitioned_warm_exact(
+    prop: &mut Propagator<'_>,
+    values: &[f64],
+    max_iterations: usize,
+    threads: usize,
+    seed_dirty: &[bool],
+    obs: &Collector,
+) -> RelaxOutcome {
+    relax_partitioned_inner(
+        prop,
+        values,
+        max_iterations,
+        threads,
+        threads,
+        true,
+        Some(seed_dirty),
         obs,
     )
 }
@@ -595,6 +666,7 @@ pub fn relax_partitioned_exact(
         threads,
         threads,
         incremental,
+        None,
         obs,
     )
 }
@@ -607,6 +679,7 @@ fn relax_partitioned_inner(
     requested_threads: usize,
     threads: usize,
     incremental: bool,
+    warm_dirty: Option<&[bool]>,
     obs: &Collector,
 ) -> RelaxOutcome {
     let fub_count = prop.nl.fub_count();
@@ -632,7 +705,16 @@ fn relax_partitioned_inner(
         .iter()
         .map(|n| prop.bwd[n.index()])
         .collect();
-    let mut dirty = vec![true; fub_count];
+    // Cold solves flood every FUB on the first sweep; a warm start seeds
+    // the dirty vector with just the FUBs whose digests moved, so iter 0
+    // force-walks only the edit's footprint.
+    let mut dirty = match warm_dirty {
+        Some(seed) => {
+            debug_assert_eq!(seed.len(), fub_count);
+            seed.to_vec()
+        }
+        None => vec![true; fub_count],
+    };
     let mut changed_maps = ChangedMaps {
         fwd: vec![false; prop.nl.node_count()],
         bwd: vec![false; prop.nl.node_count()],
@@ -696,6 +778,7 @@ fn relax_partitioned_inner(
             ],
         );
         obs.count("relax.changed_sets", changed as u64);
+        obs.count("relax.walked_nodes", walked_nodes as u64);
         trace.push(IterationStats {
             changed_sets: changed,
             max_delta,
@@ -756,6 +839,7 @@ pub fn solve_global(prop: &mut Propagator<'_>, values: &[f64], obs: &Collector) 
             ],
         );
         obs.count("relax.changed_sets", changed as u64);
+        obs.count("relax.walked_nodes", prop.nl.node_count() as u64);
         trace.push(IterationStats {
             changed_sets: changed,
             max_delta,

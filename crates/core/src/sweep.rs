@@ -32,7 +32,8 @@ use seqavf_netlist::scc::LoopAnalysis;
 use seqavf_obs::Collector;
 
 use crate::compile::{CompileStats, CompiledSweep};
-use crate::engine::{SartConfig, SartEngine};
+use crate::engine::{SartConfig, SartEngine, WarmStatus};
+use crate::fixpoint;
 use crate::mapping::{PavfInputs, StructureMapping};
 
 /// The sweep-cache key: a 64-bit FNV-1a hash over the netlist's semantic
@@ -162,6 +163,11 @@ pub struct SweepOptions {
     pub threads: usize,
     /// Artifact-cache directory; `None` disables the cache.
     pub cache_dir: Option<PathBuf>,
+    /// Warm-start directory holding `seqavf-fixpoint/1` artifacts
+    /// (see [`crate::fixpoint`]); `None` always relaxes cold. Only
+    /// consulted when a fresh relaxation actually runs — a compiled-DAG
+    /// cache hit skips relaxation entirely and needs no seed.
+    pub warm_start: Option<PathBuf>,
 }
 
 /// Everything a sweep produces.
@@ -169,6 +175,9 @@ pub struct SweepOptions {
 pub struct SweepOutcome {
     /// Whether the compiled DAG came from the cache.
     pub cache: CacheStatus,
+    /// Which solve path a warm-start request took, when a fresh
+    /// relaxation ran with [`SweepOptions::warm_start`] set.
+    pub warm: Option<WarmStatus>,
     /// Sharing statistics of the compiled DAG.
     pub stats: CompileStats,
     /// One row per requested workload, in request order.
@@ -231,29 +240,85 @@ pub fn obtain_compiled_traced(
     loops: Option<&LoopAnalysis>,
     obs: &Collector,
 ) -> Result<(CompiledSweep, CacheStatus), String> {
-    let fresh = || {
+    let (compiled, cache, _) = obtain_compiled_warm_traced(
+        nl, mapping, config, base_inputs, cache_dir, None, loops, obs,
+    )?;
+    Ok((compiled, cache))
+}
+
+/// [`obtain_compiled_traced`] with an optional warm-start directory: when
+/// a fresh relaxation is needed and `warm_dir` holds a fixpoint artifact
+/// for this design (by name), mapping, and config, the relaxation is
+/// seeded from it (`relax.warmstart.hit`); any artifact problem falls
+/// back to a cold solve (`relax.warmstart.miss`). Either way, a converged
+/// fresh solve refreshes the artifact so the *next* edit starts warm.
+#[allow(clippy::too_many_arguments)]
+pub fn obtain_compiled_warm_traced(
+    nl: &Netlist,
+    mapping: &StructureMapping,
+    config: &SartConfig,
+    base_inputs: &PavfInputs,
+    cache_dir: Option<&Path>,
+    warm_dir: Option<&Path>,
+    loops: Option<&LoopAnalysis>,
+    obs: &Collector,
+) -> Result<(CompiledSweep, CacheStatus, Option<WarmStatus>), String> {
+    let fresh = || -> (CompiledSweep, Option<WarmStatus>) {
         let engine = match loops {
             Some(l) => SartEngine::new_with_loops_traced(nl, mapping, config.clone(), l, obs),
             None => SartEngine::new_traced(nl, mapping, config.clone(), obs),
         };
-        let result = engine.run_traced(base_inputs, obs);
-        CompiledSweep::compile_traced(&result, nl, obs)
+        let (result, warm) = match warm_dir {
+            None => (engine.run_traced(base_inputs, obs), None),
+            Some(dir) => {
+                let path = fixpoint::artifact_path(
+                    dir,
+                    fixpoint::artifact_key(
+                        nl.design_name(),
+                        &mapping.to_text(nl),
+                        &config.result_key(),
+                    ),
+                );
+                let stored = fixpoint::load(&path).unwrap_or_default();
+                let (result, warm) = match &stored {
+                    Some(s) => engine.run_warm_traced(base_inputs, s, obs),
+                    None => (
+                        engine.run_traced(base_inputs, obs),
+                        WarmStatus::Cold("no usable fixpoint artifact"),
+                    ),
+                };
+                match warm {
+                    WarmStatus::Warm { .. } => obs.count("relax.warmstart.hit", 1),
+                    WarmStatus::Cold(_) => obs.count("relax.warmstart.miss", 1),
+                }
+                // Best-effort refresh: the next run should warm-start from
+                // *this* design's fixpoint.
+                if let Some(captured) = engine.capture_fixpoint(&result) {
+                    let _ = fixpoint::store(&path, &captured);
+                }
+                (result, Some(warm))
+            }
+        };
+        (CompiledSweep::compile_traced(&result, nl, obs), warm)
     };
     match cache_dir {
-        None => Ok((fresh(), CacheStatus::Disabled)),
+        None => {
+            let (c, warm) = fresh();
+            Ok((c, CacheStatus::Disabled, warm))
+        }
         Some(dir) => {
             let store = SweepCache::open(dir)?;
             let key = cache_key(nl, mapping, config);
             match store.load(key, config, nl.node_count()) {
                 Some(c) => {
                     obs.count("sweep.cache.hit", 1);
-                    Ok((c, CacheStatus::Hit))
+                    Ok((c, CacheStatus::Hit, None))
                 }
                 None => {
                     obs.count("sweep.cache.miss", 1);
-                    let c = fresh();
+                    let (c, warm) = fresh();
                     store.store(key, &c)?;
-                    Ok((c, CacheStatus::Miss))
+                    Ok((c, CacheStatus::Miss, warm))
                 }
             }
         }
@@ -274,12 +339,13 @@ pub fn run_sweep_with_loops_traced(
     loops: Option<&LoopAnalysis>,
     obs: &Collector,
 ) -> Result<SweepOutcome, String> {
-    let (compiled, cache) = obtain_compiled_traced(
+    let (compiled, cache, warm) = obtain_compiled_warm_traced(
         nl,
         mapping,
         config,
         base_inputs,
         opts.cache_dir.as_deref(),
+        opts.warm_start.as_deref(),
         loops,
         obs,
     )?;
@@ -316,6 +382,7 @@ pub fn run_sweep_with_loops_traced(
         .collect();
     Ok(SweepOutcome {
         cache,
+        warm,
         stats: compiled.stats(),
         rows,
     })

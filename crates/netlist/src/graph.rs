@@ -23,6 +23,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::BuildError;
 use crate::intern::{Fnv1a64, Sym, SymbolTable};
+use crate::scc::LoopAnalysis;
 
 /// Identifier of a node in a [`Netlist`]. Dense, 0-based.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -875,6 +876,78 @@ impl Netlist {
             h.update(&(from.0).to_le_bytes());
         }
         h.finish()
+    }
+
+    /// Per-FUB content digests for cross-run change detection (the
+    /// `seqavf-fixpoint/1` warm-start artifact). Each FUB's digest covers
+    /// everything that can change the walk behavior of *its* nodes:
+    ///
+    /// - the FUB name and, per node in dense-id order: the node name, its
+    ///   kind (structure cells by structure *name*, width and bit — never
+    ///   by index, which shifts under unrelated edits),
+    /// - the node's loop membership (an edit elsewhere can thread a new
+    ///   sequential feedback loop through an untouched FUB, changing its
+    ///   nodes' roles — the flag makes that visible as a digest change),
+    /// - the full fan-in *and* fan-out lists by node name. Fan-out names
+    ///   matter because the backward walk reads fan-out annotations: a
+    ///   removed cross-FUB consumer edge changes this FUB's backward
+    ///   values while leaving its fan-ins untouched.
+    ///
+    /// Names, not ids, identify neighbours: node ids shift when unrelated
+    /// FUBs grow or shrink, but an untouched FUB keeps its names, local
+    /// order, and wiring — and therefore its digest.
+    pub fn fub_digests(&self, loops: &LoopAnalysis) -> Vec<u64> {
+        let mut hs: Vec<Fnv1a64> = self
+            .fubs
+            .iter()
+            .map(|&f| {
+                let mut h = Fnv1a64::new();
+                h.update(self.symbols.resolve(f).as_bytes());
+                h.update(&[0xFE]);
+                h
+            })
+            .collect();
+        for i in 0..self.kinds.len() {
+            let id = NodeId::from_index(i);
+            let h = &mut hs[self.fub_of[i].index()];
+            h.update(self.symbols.resolve(self.syms[i]).as_bytes());
+            h.update(&[0]);
+            match self.kinds[i] {
+                NodeKind::Input => h.update(&[1]),
+                NodeKind::Output => h.update(&[2]),
+                NodeKind::Seq { kind, has_enable } => {
+                    h.update(&[
+                        3,
+                        match kind {
+                            SeqKind::Flop => 0,
+                            SeqKind::Latch => 1,
+                        },
+                        u8::from(has_enable),
+                    ]);
+                }
+                NodeKind::Comb(op) => h.update(&[4, op.code()]),
+                NodeKind::StructCell { structure, bit } => {
+                    let decl = &self.structures[structure.index()];
+                    h.update(&[5]);
+                    h.update(decl.name.as_bytes());
+                    h.update(&[0]);
+                    h.update(&bit.to_le_bytes());
+                    h.update(&decl.width.to_le_bytes());
+                }
+            }
+            h.update(&[0x10 | u8::from(loops.is_loop_node(id))]);
+            for &from in self.fanin(id) {
+                h.update(self.symbols.resolve(self.syms[from.index()]).as_bytes());
+                h.update(&[1]);
+            }
+            h.update(&[0xFD]);
+            for &to in self.fanout(id) {
+                h.update(self.symbols.resolve(self.syms[to.index()]).as_bytes());
+                h.update(&[2]);
+            }
+            h.update(&[0xFC]);
+        }
+        hs.into_iter().map(|h| h.finish()).collect()
     }
 
     // Raw accessors used by the snapshot serializer (crate-private).

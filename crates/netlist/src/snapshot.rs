@@ -56,6 +56,18 @@ pub const MAGIC: &[u8] = b"seqavf-graph/2\n";
 /// but not [`MAGIC`] is a snapshot from another format version.
 const MAGIC_FAMILY: &[u8] = b"seqavf-graph/";
 
+/// Magic of the companion warm-start artifact: the converged relaxation
+/// fixpoint stored alongside a graph snapshot (`seqavf-fixpoint/1`). The
+/// payload is encoded by `seqavf-core` (it stores arena sets and walk
+/// annotations the netlist crate has no types for), but the envelope —
+/// magic, version gating, whole-file checksum — is this module's, shared
+/// through [`seal`] and [`open_sealed`] so every on-disk artifact family
+/// degrades identically on corruption.
+pub const FIXPOINT_MAGIC: &[u8] = b"seqavf-fixpoint/1\n";
+
+/// Version-family prefix of [`FIXPOINT_MAGIC`].
+pub const FIXPOINT_MAGIC_FAMILY: &[u8] = b"seqavf-fixpoint/";
+
 const TAG_DESIGN: u8 = 1;
 const TAG_SYMS: u8 = 2;
 const TAG_NODES: u8 = 3;
@@ -109,12 +121,13 @@ impl fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+/// Appends a fixed-width little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
 /// LEB128: 7 value bits per byte, high bit = continuation.
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     while v >= 0x80 {
         out.push((v as u8 & 0x7f) | 0x80);
         v >>= 7;
@@ -123,24 +136,73 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
 }
 
 /// Zigzag-maps a signed delta onto the varint-friendly unsigned range.
-fn zigzag(v: i64) -> u64 {
+pub fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 /// Appends `zigzag(cur - prev)` — the workhorse of the delta-coded
 /// sections (symbol ids, FUB runs, cell and loop member lists).
-fn put_delta(out: &mut Vec<u8>, prev: usize, cur: usize) {
+pub fn put_delta(out: &mut Vec<u8>, prev: usize, cur: usize) {
     put_varint(out, zigzag(cur as i64 - prev as i64));
 }
 
-fn put_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+/// Appends a tagged, length-prefixed section.
+pub fn put_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
     out.push(tag);
     put_u64(out, payload.len() as u64);
     out.extend_from_slice(payload);
+}
+
+/// Appends the whole-file [`WideFnv64`] checksum trailer. The final step
+/// of writing any artifact in the snapshot family.
+pub fn seal(out: &mut Vec<u8>) {
+    let mut h = WideFnv64::new();
+    h.update(out);
+    put_u64(out, h.finish());
+}
+
+/// Validates the envelope of a sealed artifact — exact magic, version
+/// family, and the whole-file checksum trailer — and returns the body
+/// between magic and trailer. Shared by the graph snapshot and the
+/// fixpoint artifact so corruption degrades to the same recoverable
+/// errors everywhere.
+pub fn open_sealed<'a>(
+    bytes: &'a [u8],
+    magic: &[u8],
+    family: &[u8],
+) -> Result<&'a [u8], SnapshotError> {
+    if bytes.len() < magic.len() + 8 {
+        return Err(if bytes.starts_with(magic) || magic.starts_with(bytes) {
+            SnapshotError::Truncated
+        } else if bytes.starts_with(family) {
+            SnapshotError::UnsupportedVersion
+        } else {
+            SnapshotError::BadMagic
+        });
+    }
+    if &bytes[..magic.len()] != magic {
+        return Err(if bytes.starts_with(family) {
+            SnapshotError::UnsupportedVersion
+        } else {
+            SnapshotError::BadMagic
+        });
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let mut h = WideFnv64::new();
+    h.update(body);
+    let trailer_bytes: [u8; 8] = match bytes[bytes.len() - 8..].try_into() {
+        Ok(b) => b,
+        Err(_) => return Err(SnapshotError::Truncated),
+    };
+    if h.finish() != u64::from_le_bytes(trailer_bytes) {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    Ok(&body[magic.len()..])
 }
 
 /// Every section's element count, written first so the loader can size
@@ -290,36 +352,48 @@ fn encode_kind(out: &mut Vec<u8>, kind: NodeKind) {
     }
 }
 
-/// Bounds-checked reader over one section (or the whole body).
-struct Cursor<'a> {
+/// Bounds-checked reader over one section (or the whole body). Every
+/// accessor returns a recoverable [`SnapshotError`] instead of panicking,
+/// so artifact loaders can stay defensive end to end.
+pub struct Cursor<'a> {
     b: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(b: &'a [u8]) -> Self {
+    /// Wraps a byte slice.
+    pub fn new(b: &'a [u8]) -> Self {
         Cursor { b, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
         let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
         let s = self.b.get(self.pos..end).ok_or(SnapshotError::Truncated)?;
         self.pos = end;
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, SnapshotError> {
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.b.len() - self.pos
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u64(&mut self) -> Result<u64, SnapshotError> {
+    /// Reads a fixed-width little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
 
-    fn varint(&mut self) -> Result<u64, SnapshotError> {
+    /// Reads a LEB128 varint, rejecting non-canonical overlong encodings.
+    pub fn varint(&mut self) -> Result<u64, SnapshotError> {
         let mut v = 0u64;
         let mut shift = 0u32;
         loop {
@@ -339,7 +413,7 @@ impl<'a> Cursor<'a> {
 
     /// A zigzag varint delta applied to `prev`, bounds-checked into
     /// `0..limit`.
-    fn delta_index(&mut self, prev: usize, limit: usize) -> Result<usize, SnapshotError> {
+    pub fn delta_index(&mut self, prev: usize, limit: usize) -> Result<usize, SnapshotError> {
         let d = unzigzag(self.varint()?);
         let v = (prev as i64)
             .checked_add(d)
@@ -350,7 +424,8 @@ impl<'a> Cursor<'a> {
         Ok(v as usize)
     }
 
-    fn section(&mut self, tag: u8) -> Result<Cursor<'a>, SnapshotError> {
+    /// Enters the next tagged, length-prefixed section.
+    pub fn section(&mut self, tag: u8) -> Result<Cursor<'a>, SnapshotError> {
         let t = self.u8()?;
         if t != tag {
             return Err(SnapshotError::BadSection(t));
@@ -360,7 +435,8 @@ impl<'a> Cursor<'a> {
         Ok(Cursor::new(self.take(len)?))
     }
 
-    fn at_end(&self) -> bool {
+    /// Whether every byte has been consumed.
+    pub fn at_end(&self) -> bool {
         self.pos == self.b.len()
     }
 }

@@ -117,6 +117,60 @@ pub struct AvfResponse {
     pub fubs: Option<Vec<FubRow>>,
 }
 
+/// The `POST /v1/design-update` request body: re-resolve an edited design
+/// at interactive latency by warm-starting the relaxation from the
+/// resident converged fixpoint of the previous revision.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct DesignUpdateRequest {
+    /// Server-side path to the *edited* design source (EXLIF or
+    /// structural Verilog, chosen by extension). Always re-read — the
+    /// point of the endpoint is that the file changed.
+    pub design_path: String,
+    /// Residency token of the revision being superseded. Its graph and
+    /// compiled DAG are patched out of residency; its mapping is reused
+    /// when `map_path` is absent.
+    pub prev_ref: Option<String>,
+    /// Structure-mapping file. Optional when `prev_ref` names a resident
+    /// design (its mapping carries across by structure name).
+    pub map_path: Option<String>,
+    /// Result-affecting configuration overrides (same semantics as
+    /// `/v1/avf`). Must match the previous solve's config for the warm
+    /// path to engage; a mismatch falls back to a cold solve.
+    pub config: Option<RequestConfig>,
+    /// Baseline pAVF table used to evaluate the fresh relaxation.
+    /// Defaults to an empty table — the compiled DAG is symbolic, so the
+    /// baseline never affects later `/v1/avf` batches.
+    pub base_inputs: Option<PavfInputs>,
+}
+
+/// The `POST /v1/design-update` response body.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct DesignUpdateResponse {
+    /// Residency token for the edited design; pass as `design_ref` on
+    /// subsequent `/v1/avf` requests.
+    pub design_ref: String,
+    /// The superseded token from the request, echoed back. It is no
+    /// longer resident after this call.
+    pub prev_ref: Option<String>,
+    /// `"warm"` (seeded from the resident fixpoint, dirty cone
+    /// re-relaxed), `"cold"` (full solve; see `reason`), or `"resident"`
+    /// (the edited design's DAG was already resident — nothing to solve).
+    pub mode: String,
+    /// Why the warm path did not engage, when `mode` is `"cold"`.
+    pub reason: Option<String>,
+    /// FUBs whose converged annotations were adopted from the stored
+    /// fixpoint.
+    pub seeded_fubs: u64,
+    /// FUBs re-relaxed because their content digest changed (plus any
+    /// that failed a per-FUB guard).
+    pub dirty_fubs: u64,
+    /// Nodes walked by the re-solve — the interactive-latency headline
+    /// (compare against `node_count` × iterations for a cold solve).
+    pub walked_nodes: u64,
+    /// Node count of the edited design.
+    pub node_count: u64,
+}
+
 /// The `GET /healthz` response body.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Health {
@@ -126,6 +180,8 @@ pub struct Health {
     pub resident_graphs: u64,
     /// Resident compiled-sweep count.
     pub resident_sweeps: u64,
+    /// Resident converged-fixpoint count (warm-start seeds).
+    pub resident_fixpoints: u64,
 }
 
 #[cfg(test)]
@@ -174,6 +230,21 @@ mod tests {
         assert!(req.config.is_none());
         assert!(req.base_inputs.is_none());
         assert!(req.tables.is_empty());
+    }
+
+    #[test]
+    fn design_update_request_roundtrips_and_defaults() {
+        let text = r#"{"design_path": "d.exlif", "prev_ref": "00ab"}"#;
+        let req: DesignUpdateRequest = serde_json::from_str(text).unwrap();
+        assert_eq!(req.design_path, "d.exlif");
+        assert_eq!(req.prev_ref.as_deref(), Some("00ab"));
+        assert!(req.map_path.is_none());
+        assert!(req.config.is_none());
+        assert!(req.base_inputs.is_none());
+        let back: DesignUpdateRequest =
+            serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(back.design_path, req.design_path);
+        assert_eq!(back.prev_ref, req.prev_ref);
     }
 
     #[test]

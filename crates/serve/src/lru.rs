@@ -88,6 +88,14 @@ impl<V> Lru<V> {
         evicted
     }
 
+    /// Removes `key`, returning its value if it was resident. Not counted
+    /// as an eviction: removal is an explicit invalidation (e.g. a design
+    /// update superseding the old content), not capacity pressure.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let i = self.entries.iter().position(|(k, _, _)| *k == key)?;
+        Some(self.entries.swap_remove(i).2)
+    }
+
     /// Resident keys, unordered.
     pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
         self.entries.iter().map(|(k, _, _)| *k)
@@ -132,6 +140,20 @@ mod tests {
         assert!(lru.insert(1, "a").is_none());
         assert_eq!(lru.insert(2, "b"), Some((1, "a")));
         assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn remove_invalidates_without_counting_an_eviction() {
+        let mut lru = Lru::new(2);
+        lru.insert(1, "a");
+        lru.insert(2, "b");
+        assert_eq!(lru.remove(1), Some("a"));
+        assert_eq!(lru.remove(1), None);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.evictions(), 0);
+        // The freed slot is reusable without evicting the survivor.
+        assert!(lru.insert(3, "c").is_none());
+        assert!(lru.get(2).is_some());
     }
 
     #[test]

@@ -26,7 +26,8 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 use seqavf_core::compile::{CompiledSweep, SeqStats};
-use seqavf_core::engine::{SartConfig, SartEngine};
+use seqavf_core::engine::{SartConfig, SartEngine, WarmStatus};
+use seqavf_core::fixpoint::{self, StoredFixpoint};
 use seqavf_core::mapping::{PavfInputs, StructureMapping};
 use seqavf_core::sweep::{cache_key, SweepCache};
 use seqavf_netlist::graph::Netlist;
@@ -34,7 +35,10 @@ use seqavf_netlist::scc::{find_loops_traced, LoopAnalysis};
 use seqavf_netlist::{flatten, snapshot, verilog, Fnv1a64};
 use seqavf_obs::Collector;
 
-use crate::api::{AvfRequest, AvfResponse, FubRow, Health, RowOut};
+use crate::api::{
+    AvfRequest, AvfResponse, DesignUpdateRequest, DesignUpdateResponse, FubRow, Health,
+    RequestConfig, RowOut,
+};
 use crate::lru::Lru;
 
 /// A request-level failure with its HTTP status.
@@ -117,6 +121,11 @@ pub struct Resident {
     cfg: ResidentConfig,
     graphs: Mutex<Lru<Arc<LoadedDesign>>>,
     sweeps: Mutex<Lru<Arc<CompiledSweep>>>,
+    /// Converged fixpoints, keyed by [`fixpoint::artifact_key`] — which
+    /// deliberately hashes the design *name* (not its content digest),
+    /// so an edited revision of the same design resolves to the same
+    /// entry and can seed its re-solve from the previous fixpoint.
+    fixpoints: Mutex<Lru<Arc<StoredFixpoint>>>,
     obs: Collector,
 }
 
@@ -134,13 +143,15 @@ pub fn design_key(text: &str, is_verilog: bool) -> u64 {
 impl Resident {
     /// Creates empty resident state. `obs` receives the service counters
     /// (`serve.graph.{hit,miss}`, `serve.cache.{hit,miss}`,
-    /// `serve.evict.{graph,sweep}`) and all engine telemetry.
+    /// `serve.warmstart.{hit,miss}`, `serve.evict.{graph,sweep}`) and all
+    /// engine telemetry.
     pub fn new(cfg: ResidentConfig, obs: Collector) -> Resident {
         let cap = cfg.max_resident;
         Resident {
             cfg,
             graphs: Mutex::new(Lru::new(cap)),
             sweeps: Mutex::new(Lru::new(cap)),
+            fixpoints: Mutex::new(Lru::new(cap)),
             obs: obs.clone(),
         }
     }
@@ -156,6 +167,7 @@ impl Resident {
             status: "ok".to_owned(),
             resident_graphs: lock(&self.graphs).len() as u64,
             resident_sweeps: lock(&self.sweeps).len() as u64,
+            resident_fixpoints: lock(&self.fixpoints).len() as u64,
         }
     }
 
@@ -186,13 +198,13 @@ impl Resident {
             }
             None => design.mapping.clone(),
         };
-        let config = self.resolve_config(req)?;
+        let config = self.resolve_config(req.config.as_ref())?;
         let base = req
             .base_inputs
             .clone()
             .unwrap_or_else(|| req.tables[0].inputs.clone());
 
-        let (compiled, sweep_cache) = self.resolve_sweep(&design, &mapping, &config, &base)?;
+        let (compiled, sweep_cache, _) = self.resolve_sweep(&design, &mapping, &config, &base)?;
 
         // Evaluate the whole batch, then summarize each workload exactly
         // the way `run_sweep` does so the service's rows are bit-identical
@@ -298,37 +310,7 @@ impl Resident {
         }
         // Cold: parse (or restore a snapshot) without holding the lock.
         self.obs.count("serve.graph.miss", 1);
-        let snap_path = self
-            .cfg
-            .graph_cache
-            .as_ref()
-            .map(|dir| dir.join(format!("graph-{key:016x}.bin")));
-        let (netlist, loops) = match snap_path.as_ref().and_then(|p| {
-            let bytes = std::fs::read(p).ok()?;
-            snapshot::load(&bytes).ok()
-        }) {
-            Some((nl, loops)) => {
-                self.obs.count("frontend.snapshot.hit", 1);
-                (nl, loops)
-            }
-            None => {
-                let nl = if is_verilog {
-                    verilog::parse_netlist_traced(&text, &self.obs)
-                } else {
-                    flatten::parse_netlist_traced(&text, &self.obs)
-                }
-                .map_err(|e| ApiError::bad_request(format!("parsing {path}: {e}")))?;
-                let loops = find_loops_traced(&nl, &self.obs);
-                if let Some(p) = &snap_path {
-                    self.obs.count("frontend.snapshot.miss", 1);
-                    if let Some(dir) = p.parent() {
-                        let _ = std::fs::create_dir_all(dir);
-                    }
-                    let _ = std::fs::write(p, snapshot::save(&nl, &loops));
-                }
-                (nl, loops)
-            }
-        };
+        let (netlist, loops) = self.load_graph(path, &text, is_verilog, key)?;
         let mapping = match &req.map_path {
             Some(mp) => {
                 let mtext = std::fs::read_to_string(mp)
@@ -352,20 +334,68 @@ impl Resident {
         Ok((key, design, "miss"))
     }
 
+    /// Loads the graph for `key` from the snapshot disk tier or a full
+    /// parse + loop analysis, writing the snapshot back on a parse.
+    fn load_graph(
+        &self,
+        path: &str,
+        text: &str,
+        is_verilog: bool,
+        key: u64,
+    ) -> Result<(Netlist, LoopAnalysis), ApiError> {
+        let snap_path = self
+            .cfg
+            .graph_cache
+            .as_ref()
+            .map(|dir| dir.join(format!("graph-{key:016x}.bin")));
+        if let Some((nl, loops)) = snap_path.as_ref().and_then(|p| {
+            let bytes = std::fs::read(p).ok()?;
+            snapshot::load(&bytes).ok()
+        }) {
+            self.obs.count("frontend.snapshot.hit", 1);
+            return Ok((nl, loops));
+        }
+        let nl = if is_verilog {
+            verilog::parse_netlist_traced(text, &self.obs)
+        } else {
+            flatten::parse_netlist_traced(text, &self.obs)
+        }
+        .map_err(|e| ApiError::bad_request(format!("parsing {path}: {e}")))?;
+        let loops = find_loops_traced(&nl, &self.obs);
+        if let Some(p) = &snap_path {
+            self.obs.count("frontend.snapshot.miss", 1);
+            if let Some(dir) = p.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let _ = std::fs::write(p, snapshot::save(&nl, &loops));
+        }
+        Ok((nl, loops))
+    }
+
     /// Resolves the compiled sweep DAG for `(design, mapping, config)`,
-    /// relaxing fresh on a full miss. Returns `(dag, "hit"|"miss")`.
+    /// relaxing fresh on a full miss. Returns `(dag, "hit"|"miss",
+    /// fresh-relax telemetry)` — the third element is `Some((warm status,
+    /// walked nodes))` only when this call actually ran a relaxation.
+    ///
+    /// A fresh relaxation warm-starts from the resident fixpoint of the
+    /// same `(design name, mapping, config)` identity when one exists —
+    /// typically left behind by the previous revision of an edited
+    /// design — and refreshes that fixpoint entry on success. Every
+    /// engine-level guard (digest mismatch, config mismatch) falls back
+    /// to a cold solve, so the warm path is a latency optimization with
+    /// bit-identical results.
     fn resolve_sweep(
         &self,
         design: &LoadedDesign,
         mapping: &StructureMapping,
         config: &SartConfig,
         base: &PavfInputs,
-    ) -> Result<(Arc<CompiledSweep>, &'static str), ApiError> {
+    ) -> Result<(Arc<CompiledSweep>, &'static str, Option<(WarmStatus, usize)>), ApiError> {
         let nl = &design.netlist;
         let key = cache_key(nl, mapping, config);
         if let Some(c) = lock(&self.sweeps).get(key) {
             self.obs.count("serve.cache.hit", 1);
-            return Ok((Arc::clone(c), "hit"));
+            return Ok((Arc::clone(c), "hit", None));
         }
         self.obs.count("serve.cache.miss", 1);
         // Disk tier, shared with the batch CLI's --cache-dir.
@@ -383,9 +413,10 @@ impl Resident {
             if lock(&self.sweeps).insert(key, Arc::clone(&c)).is_some() {
                 self.obs.count("serve.evict.sweep", 1);
             }
-            return Ok((c, "miss"));
+            return Ok((c, "miss", None));
         }
-        // Full miss: relax and compile — the cached-frontend cold path.
+        // Full miss: relax and compile — the cached-frontend cold path,
+        // seeded from the resident fixpoint when one matches.
         let engine = SartEngine::new_with_loops_traced(
             nl,
             mapping,
@@ -393,7 +424,27 @@ impl Resident {
             &design.loops,
             &self.obs,
         );
-        let result = engine.run_traced(base, &self.obs);
+        let fp_key = fixpoint::artifact_key(
+            nl.design_name(),
+            &mapping.to_text(nl),
+            &config.result_key(),
+        );
+        let stored = lock(&self.fixpoints).get(fp_key).map(Arc::clone);
+        let (result, warm) = match &stored {
+            Some(fp) => engine.run_warm_traced(base, fp, &self.obs),
+            None => (
+                engine.run_traced(base, &self.obs),
+                WarmStatus::Cold("no resident fixpoint"),
+            ),
+        };
+        match &warm {
+            WarmStatus::Warm { .. } => self.obs.count("serve.warmstart.hit", 1),
+            WarmStatus::Cold(_) => self.obs.count("serve.warmstart.miss", 1),
+        }
+        let walked = result.outcome.total_walked_nodes();
+        if let Some(fp) = engine.capture_fixpoint(&result) {
+            lock(&self.fixpoints).insert(fp_key, Arc::new(fp));
+        }
         let compiled = Arc::new(CompiledSweep::compile_traced(&result, nl, &self.obs));
         if let Some(s) = &disk {
             self.obs.count("sweep.cache.miss", 1);
@@ -405,12 +456,12 @@ impl Resident {
         {
             self.obs.count("serve.evict.sweep", 1);
         }
-        Ok((compiled, "miss"))
+        Ok((compiled, "miss", Some((warm, walked))))
     }
 
     /// Builds the effective [`SartConfig`], validating every override.
-    fn resolve_config(&self, req: &AvfRequest) -> Result<SartConfig, ApiError> {
-        let rc = req.config.clone().unwrap_or_default();
+    fn resolve_config(&self, rc: Option<&RequestConfig>) -> Result<SartConfig, ApiError> {
+        let rc = rc.cloned().unwrap_or_default();
         let mut config = SartConfig {
             threads: self.cfg.threads,
             ..SartConfig::default()
@@ -435,6 +486,110 @@ impl Resident {
             config.partitioned = !g;
         }
         Ok(config)
+    }
+
+    /// Handles one `POST /v1/design-update` request: load the edited
+    /// design, *patch* the resident state in place (new graph and DAG in,
+    /// the superseded revision's entries out), and re-solve by seeding
+    /// from the resident converged fixpoint so only the edited cone is
+    /// re-relaxed. Falls back to a cold solve — bit-identical either way
+    /// — whenever a warm-start guard fails.
+    pub fn handle_design_update(
+        &self,
+        req: &DesignUpdateRequest,
+    ) -> Result<DesignUpdateResponse, ApiError> {
+        let config = self.resolve_config(req.config.as_ref())?;
+        let path = &req.design_path;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ApiError::bad_request(format!("reading design {path}: {e}")))?;
+        let is_verilog = path.ends_with(".v") || path.ends_with(".sv");
+        let key = design_key(&text, is_verilog);
+
+        // The revision being superseded, if it is still resident.
+        let prev = match &req.prev_ref {
+            Some(r) => {
+                let pk = u64::from_str_radix(r, 16)
+                    .map_err(|_| ApiError::bad_request(format!("bad prev_ref `{r}`")))?;
+                lock(&self.graphs).get(pk).map(|d| (pk, Arc::clone(d)))
+            }
+            None => None,
+        };
+
+        let (netlist, loops) = self.load_graph(path, &text, is_verilog, key)?;
+        // An explicit map_path wins; otherwise the previous revision's
+        // mapping carries across by structure name (names are the
+        // edit-stable identity the whole warm path is built on).
+        let mapping = match &req.map_path {
+            Some(mp) => {
+                let mtext = std::fs::read_to_string(mp)
+                    .map_err(|e| ApiError::bad_request(format!("reading map {mp}: {e}")))?;
+                StructureMapping::from_text(&netlist, &mtext)
+                    .map_err(|e| ApiError::bad_request(format!("parsing map {mp}: {e}")))?
+            }
+            None => match &prev {
+                Some((_, d)) => {
+                    StructureMapping::from_text(&netlist, &d.mapping.to_text(&d.netlist)).map_err(
+                        |e| {
+                            ApiError::bad_request(format!(
+                                "previous mapping does not apply to the edited design ({e}); \
+                                 supply map_path"
+                            ))
+                        },
+                    )?
+                }
+                None => StructureMapping::new(),
+            },
+        };
+        let design = Arc::new(LoadedDesign {
+            netlist,
+            loops,
+            mapping: mapping.clone(),
+        });
+
+        // Patch residency: the edited graph goes in under its new key and
+        // the superseded revision's graph and compiled DAG are removed,
+        // so a stale artifact keyed by the old content can never be
+        // served — and capacity is freed instead of burned on eviction.
+        {
+            let mut graphs = lock(&self.graphs);
+            graphs.insert(key, Arc::clone(&design));
+            if let Some((pk, _)) = &prev {
+                if *pk != key {
+                    graphs.remove(*pk);
+                }
+            }
+        }
+        if let Some((_, d)) = &prev {
+            let stale = cache_key(&d.netlist, &d.mapping, &config);
+            lock(&self.sweeps).remove(stale);
+        }
+
+        let base = req.base_inputs.clone().unwrap_or_default();
+        let (_, _, fresh) = self.resolve_sweep(&design, &mapping, &config, &base)?;
+        let node_count = design.netlist.node_count() as u64;
+        let (mode, reason, seeded_fubs, dirty_fubs, walked_nodes) = match fresh {
+            Some((
+                WarmStatus::Warm {
+                    seeded_fubs,
+                    dirty_fubs,
+                },
+                walked,
+            )) => ("warm", None, seeded_fubs as u64, dirty_fubs as u64, walked),
+            Some((WarmStatus::Cold(r), walked)) => ("cold", Some(r.to_owned()), 0, 0, walked),
+            // The edited design's DAG was already resident (idempotent
+            // re-POST): nothing relaxed, nothing walked.
+            None => ("resident", None, 0, 0, 0),
+        };
+        Ok(DesignUpdateResponse {
+            design_ref: format!("{key:016x}"),
+            prev_ref: req.prev_ref.clone(),
+            mode: mode.to_owned(),
+            reason,
+            seeded_fubs,
+            dirty_fubs,
+            walked_nodes: walked_nodes as u64,
+            node_count,
+        })
     }
 }
 
@@ -675,6 +830,157 @@ mod tests {
         let err = r.handle(&gone).unwrap_err();
         assert_eq!(err.status, 400);
         assert!(err.message.contains("nonexistent.exlif"));
+    }
+
+    /// Flips the first and-gate of an EXLIF design on disk — the
+    /// one-FUB edit the warm-start path is built for.
+    fn edit_one_gate(path: &std::path::Path) {
+        let text = std::fs::read_to_string(path).unwrap();
+        let edited = text.replacen(".gate and ", ".gate or ", 1);
+        assert_ne!(text, edited, "fixture design must contain an and-gate");
+        std::fs::write(path, edited).unwrap();
+    }
+
+    #[test]
+    fn design_update_warm_starts_from_the_resident_fixpoint() {
+        let dir = scratch("design-update");
+        let (design, map) = write_design(&dir, 13);
+        let r = Resident::new(ResidentConfig::default(), Collector::new());
+        let cold = r.handle(&request(&design, &map, 2)).unwrap();
+
+        edit_one_gate(&design);
+        let upd = r
+            .handle_design_update(&crate::api::DesignUpdateRequest {
+                design_path: design.display().to_string(),
+                prev_ref: Some(cold.design_ref.clone()),
+                map_path: None,
+                config: None,
+                base_inputs: None,
+            })
+            .unwrap();
+        assert_eq!(upd.mode, "warm", "reason: {:?}", upd.reason);
+        assert!(upd.seeded_fubs > 0, "{upd:?}");
+        assert!(upd.dirty_fubs >= 1, "{upd:?}");
+        assert!(
+            upd.walked_nodes < upd.node_count,
+            "warm re-solve walked {} of {} nodes — no saving",
+            upd.walked_nodes,
+            upd.node_count
+        );
+        assert_ne!(upd.design_ref, cold.design_ref);
+
+        // The new ref serves warm, no file IO, and the rows are
+        // bit-identical to a fresh server cold-solving the edited design.
+        let warm_req = AvfRequest {
+            design_path: None,
+            map_path: None,
+            design_ref: Some(upd.design_ref.clone()),
+            ..request(&design, &map, 2)
+        };
+        let served = r.handle(&warm_req).unwrap();
+        assert_eq!(served.graph_cache, "hit");
+        assert_eq!(served.sweep_cache, "hit");
+        let fresh = Resident::new(ResidentConfig::default(), Collector::new());
+        let reference = fresh.handle(&request(&design, &map, 2)).unwrap();
+        for (a, b) in served.rows.iter().zip(&reference.rows) {
+            assert_eq!(a.mean_seq_avf.to_bits(), b.mean_seq_avf.to_bits());
+            assert_eq!(a.min_seq_avf.to_bits(), b.min_seq_avf.to_bits());
+            assert_eq!(a.max_seq_avf.to_bits(), b.max_seq_avf.to_bits());
+        }
+        let report = r.obs().report();
+        assert_eq!(report.counter("serve.warmstart.hit"), Some(1));
+        // The initial cold solve counts one miss (no fixpoint resident yet).
+        assert_eq!(report.counter("serve.warmstart.miss"), Some(1));
+    }
+
+    #[test]
+    fn design_update_patches_residency_and_never_serves_a_stale_dag() {
+        let dir = scratch("design-update-stale");
+        let (design, map) = write_design(&dir, 17);
+        let r = Resident::new(ResidentConfig::default(), Collector::new());
+        let cold = r.handle(&request(&design, &map, 1)).unwrap();
+        assert_eq!(r.health().resident_graphs, 1);
+        assert_eq!(r.health().resident_sweeps, 1);
+
+        edit_one_gate(&design);
+        let upd = r
+            .handle_design_update(&crate::api::DesignUpdateRequest {
+                design_path: design.display().to_string(),
+                prev_ref: Some(cold.design_ref.clone()),
+                map_path: Some(map.display().to_string()),
+                config: None,
+                base_inputs: None,
+            })
+            .unwrap();
+
+        // Patched, not accumulated: exactly one graph and one DAG remain
+        // resident — the edited design's — and the superseded revision's
+        // entries are gone rather than lingering until eviction.
+        let h = r.health();
+        assert_eq!(h.resident_graphs, 1, "stale graph still resident");
+        assert_eq!(h.resident_sweeps, 1, "stale compiled DAG still resident");
+        assert_eq!(h.resident_fixpoints, 1);
+
+        // The old ref must 404 (with recovery instructions), never
+        // resolve the stale artifacts against the edited design.
+        let stale = AvfRequest {
+            design_path: None,
+            map_path: None,
+            design_ref: Some(cold.design_ref.clone()),
+            ..request(&design, &map, 1)
+        };
+        let err = r.handle(&stale).unwrap_err();
+        assert_eq!(err.status, 404);
+
+        // And the surviving DAG is the edited design's: serving via the
+        // new ref matches an independent cold solve bit for bit.
+        let served = r
+            .handle(&AvfRequest {
+                design_path: None,
+                map_path: None,
+                design_ref: Some(upd.design_ref.clone()),
+                ..request(&design, &map, 1)
+            })
+            .unwrap();
+        assert_eq!(served.sweep_cache, "hit");
+        let fresh = Resident::new(ResidentConfig::default(), Collector::new());
+        let reference = fresh.handle(&request(&design, &map, 1)).unwrap();
+        assert_eq!(
+            served.rows[0].mean_seq_avf.to_bits(),
+            reference.rows[0].mean_seq_avf.to_bits()
+        );
+    }
+
+    #[test]
+    fn design_update_without_resident_state_is_a_cold_solve() {
+        let dir = scratch("design-update-cold");
+        let (design, map) = write_design(&dir, 19);
+        let r = Resident::new(ResidentConfig::default(), Collector::new());
+        let upd = r
+            .handle_design_update(&crate::api::DesignUpdateRequest {
+                design_path: design.display().to_string(),
+                prev_ref: None,
+                map_path: Some(map.display().to_string()),
+                config: None,
+                base_inputs: None,
+            })
+            .unwrap();
+        assert_eq!(upd.mode, "cold");
+        assert_eq!(upd.reason.as_deref(), Some("no resident fixpoint"));
+        assert_eq!(upd.seeded_fubs, 0);
+        // The cold solve still leaves warm state behind: a second update
+        // of an edited revision engages the warm path.
+        edit_one_gate(&design);
+        let again = r
+            .handle_design_update(&crate::api::DesignUpdateRequest {
+                design_path: design.display().to_string(),
+                prev_ref: Some(upd.design_ref.clone()),
+                map_path: Some(map.display().to_string()),
+                config: None,
+                base_inputs: None,
+            })
+            .unwrap();
+        assert_eq!(again.mode, "warm", "reason: {:?}", again.reason);
     }
 
     #[test]

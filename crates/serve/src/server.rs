@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use seqavf_obs::Collector;
 
-use crate::api::AvfRequest;
+use crate::api::{AvfRequest, DesignUpdateRequest};
 use crate::http;
 use crate::resident::{Resident, ResidentConfig};
 
@@ -350,6 +350,42 @@ fn route(shared: &Shared, request: &http::Request, stream: &mut TcpStream) -> u1
                 }
             }
         }
+        ("POST", "/v1/design-update") => {
+            let body = match std::str::from_utf8(&request.body) {
+                Ok(b) => b,
+                Err(_) => {
+                    let _ = http::write_error(stream, 400, "request body is not UTF-8");
+                    return 400;
+                }
+            };
+            let req: DesignUpdateRequest = match serde_json::from_str(body) {
+                Ok(r) => r,
+                Err(e) => {
+                    let _ = http::write_error(stream, 400, &format!("cannot parse request: {e}"));
+                    return 400;
+                }
+            };
+            match shared.resident.handle_design_update(&req) {
+                Ok(resp) => match serde_json::to_string(&resp) {
+                    Ok(text) => {
+                        let _ = http::write_json(stream, 200, &text);
+                        200
+                    }
+                    Err(e) => {
+                        let _ = http::write_error(
+                            stream,
+                            500,
+                            &format!("cannot serialize response: {e}"),
+                        );
+                        500
+                    }
+                },
+                Err(e) => {
+                    let _ = http::write_error(stream, e.status, &e.message);
+                    e.status
+                }
+            }
+        }
         ("GET", "/healthz") => {
             let health = shared.resident.health();
             match serde_json::to_string(&health) {
@@ -373,7 +409,7 @@ fn route(shared: &Shared, request: &http::Request, stream: &mut TcpStream) -> u1
             let _ = http::write_json(stream, 200, "{\"status\": \"shutting down\"}");
             200
         }
-        (_, "/v1/avf") | (_, "/v1/shutdown") => {
+        (_, "/v1/avf") | (_, "/v1/design-update") | (_, "/v1/shutdown") => {
             let _ = http::write_error(stream, 405, "use POST");
             405
         }
