@@ -41,4 +41,7 @@ fn main() {
     println!("\n=== E18: cross-run warm-start ===");
     let r = seqavf_bench::warmstart::run(scale, 42);
     emit("BENCH_9", &r.render(), &r);
+    println!("\n=== E19: incremental DAG patching ===");
+    let r = seqavf_bench::dagpatch::run(scale, 42);
+    emit("BENCH_10", &r.render(), &r);
 }

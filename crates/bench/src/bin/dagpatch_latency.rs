@@ -1,0 +1,12 @@
+//! E19 — incremental sweep-DAG patching: end-to-end warm latency (seeded
+//! relax + DAG patch) vs cold (full relax + recompile) for one-FUB /
+//! 5%-of-FUBs / full-rewrite edits. Usage: `dagpatch_latency
+//! [--scale full]` (full adds the production-size ~102k-node design the
+//! acceptance bar is set on).
+use seqavf_bench::common::{emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = seqavf_bench::dagpatch::run(scale, 42);
+    emit("BENCH_10", &report.render(), &report);
+}

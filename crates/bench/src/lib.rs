@@ -29,6 +29,7 @@ pub mod ablations;
 pub mod accuracy;
 pub mod common;
 pub mod convergence;
+pub mod dagpatch;
 pub mod fig10;
 pub mod fig8;
 pub mod fig9;

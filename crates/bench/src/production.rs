@@ -489,7 +489,9 @@ pub fn run(scale: Scale, seed: u64) -> ProductionReport {
     }
     ProductionReport {
         provenance: Provenance::capture(
-            generate(&SynthConfig::xeon_like(seed)).netlist.content_digest(),
+            generate(&SynthConfig::xeon_like(seed))
+                .netlist
+                .content_digest(),
             &[1, 8, 32],
         ),
         host_parallelism: std::thread::available_parallelism()

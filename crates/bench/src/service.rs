@@ -279,7 +279,9 @@ pub fn run(scale: Scale, seed: u64) -> ServeReport {
     ];
     ServeReport {
         provenance: Provenance::capture(
-            generate(&SynthConfig::xeon_like(seed)).netlist.content_digest(),
+            generate(&SynthConfig::xeon_like(seed))
+                .netlist
+                .content_digest(),
             &[2],
         ),
         host_parallelism: std::thread::available_parallelism()

@@ -140,7 +140,11 @@ impl WarmstartReport {
                     e.cold_wall_ms,
                     e.warm_wall_ms,
                     e.wall_speedup,
-                    if e.bit_identical { "" } else { "  AVF MISMATCH" }
+                    if e.bit_identical {
+                        ""
+                    } else {
+                        "  AVF MISMATCH"
+                    }
                 );
             }
         }
@@ -158,7 +162,7 @@ impl WarmstartReport {
 /// Flips `count` and/or gate lines spread evenly across the EXLIF text,
 /// so the flips land in distinct regions (and therefore mostly distinct
 /// FUBs). Returns the edited text and the number of gates flipped.
-fn flip_spread(text: &str, count: usize) -> (String, usize) {
+pub(crate) fn flip_spread(text: &str, count: usize) -> (String, usize) {
     let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
     let gate_lines: Vec<usize> = lines
         .iter()
@@ -267,7 +271,9 @@ fn measure_design(label: &str, cfg: &SynthConfig, threads: usize) -> DesignPoint
 
     let fubs = nl.fub_count();
     let edits = vec![
-        measure_edit("one_fub", &base_text, 1, &mapping, &inputs, &stored, threads),
+        measure_edit(
+            "one_fub", &base_text, 1, &mapping, &inputs, &stored, threads,
+        ),
         measure_edit(
             "five_percent_fubs",
             &base_text,
@@ -315,7 +321,9 @@ pub fn run(scale: Scale, seed: u64) -> WarmstartReport {
     }
     WarmstartReport {
         provenance: Provenance::capture(
-            generate(&SynthConfig::xeon_like(seed)).netlist.content_digest(),
+            generate(&SynthConfig::xeon_like(seed))
+                .netlist
+                .content_digest(),
             &[threads],
         ),
         points,

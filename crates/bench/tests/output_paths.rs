@@ -1,0 +1,100 @@
+//! Pins the bench harness's output discipline: every report a bench bin
+//! writes lands under `results/`, never at the repo root (PR 9 moved
+//! stray artifacts by hand once; this makes the regression impossible to
+//! miss). The rules, enforced by scanning the crate's own sources:
+//!
+//! 1. Bench *bins* never call the filesystem write APIs directly — all
+//!    emission funnels through `common::emit`.
+//! 2. `common::emit` is the only place that names the `results/`
+//!    directory, and it names nothing else.
+//! 3. Library modules that need scratch space root it in
+//!    `std::env::temp_dir()`, never in a relative path.
+
+use std::path::{Path, PathBuf};
+
+const WRITE_APIS: [&str; 4] = [
+    "fs::write",
+    "File::create",
+    "create_dir",
+    "OpenOptions::new",
+];
+
+fn src_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("src")
+}
+
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("bench src dir exists") {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            out.extend(rust_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn bench_bins_never_touch_the_filesystem_directly() {
+    for path in rust_files(&src_dir().join("bin")) {
+        let text = std::fs::read_to_string(&path).unwrap();
+        for api in WRITE_APIS {
+            assert!(
+                !text.contains(api),
+                "{} calls `{api}` directly — bench bins must emit through \
+                 common::emit so reports land under results/",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn only_common_emit_names_the_results_directory() {
+    for path in rust_files(&src_dir()) {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let is_common = path.file_name().is_some_and(|n| n == "common.rs");
+        if is_common {
+            assert!(
+                text.contains(r#"create_dir_all("results")"#),
+                "common::emit must create results/ before writing"
+            );
+            assert!(
+                text.contains(r#"format!("results/{name}.json")"#),
+                "common::emit must write under results/, keyed by report name"
+            );
+            continue;
+        }
+        assert!(
+            !text.contains("\"results"),
+            "{} names the results directory — route output through \
+             common::emit instead",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn library_write_sites_use_temp_scratch_not_relative_paths() {
+    for path in rust_files(&src_dir()) {
+        if path.starts_with(src_dir().join("bin"))
+            || path.file_name().is_some_and(|n| n == "common.rs")
+        {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let writes = WRITE_APIS.iter().any(|api| text.contains(api));
+        if writes {
+            assert!(
+                text.contains("temp_dir()"),
+                "{} writes to the filesystem without rooting its scratch \
+                 in std::env::temp_dir() — a relative path would drift \
+                 artifacts into the repo root",
+                path.display()
+            );
+        }
+    }
+}

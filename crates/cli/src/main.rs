@@ -120,7 +120,9 @@ commands:
         --cache-dir reuses the compiled artifact across runs (keyed by
         netlist content + configuration), skipping relaxation entirely;
         --warm-start seeds a fresh relaxation from the stored fixpoint
-        of the previous run of this design (see sart)
+        of the previous run of this design (see sart); with --cache-dir
+        too, an edit patches the previous revision's compiled DAG in
+        place of a full recompile (only the dirty cone is re-lowered)
   validate --design <exlif|.v> --map <file> [--pavf <json>] [--out <json>]
         [--trials N] [--seed N] [--threads N] [--sampling uniform|importance]
         [--floor F] [--kernel exact|propagation] [--burst N] [--warmup N]
@@ -544,7 +546,7 @@ fn cmd_sfi(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
-    use seqavf_core::sweep::{run_sweep_with_loops_traced, CacheStatus, SweepOptions};
+    use seqavf_core::sweep::{run_sweep_with_loops_traced, CacheStatus, PatchStatus, SweepOptions};
     args.validate(
         &[
             "design",
@@ -629,6 +631,16 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             "warm start: seeded {seeded_fubs} FUBs from stored fixpoint, {dirty_fubs} dirty"
         ),
         Some(WarmStatus::Cold(reason)) => println!("warm start: cold solve ({reason})"),
+        None => {}
+    }
+    match outcome.patch {
+        Some(PatchStatus::Patched(st)) => println!(
+            "DAG patch: {} ops patched, {} retained, {} orphaned (previous revision's DAG reused)",
+            st.nodes_patched(),
+            st.ops_retained,
+            st.ops_orphaned
+        ),
+        Some(PatchStatus::Rebuilt(reason)) => println!("DAG patch: full rebuild ({reason})"),
         None => {}
     }
     println!(

@@ -41,6 +41,7 @@ use seqavf_obs::Collector;
 use crate::arena::{SetId, TermKind, TermTable};
 use crate::classify::NodeRole;
 use crate::engine::{term_values, SartConfig, SartResult};
+use crate::fixpoint::nodes_by_fub;
 use crate::mapping::PavfInputs;
 
 /// Lane width of the batched evaluator: how many workload tables one op
@@ -76,6 +77,31 @@ pub struct CompileStats {
     pub arena_sets: usize,
     /// Interned pAVF terms (DAG leaves).
     pub terms: usize,
+}
+
+/// What a DAG patch did, op by op (reported through the `sweep.patch`
+/// span and the `sweep.patch.*` counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatchStats {
+    /// Node slots relocated verbatim from the old DAG (clean FUBs).
+    pub slots_retained: usize,
+    /// Node slots re-lowered from the new result (the dirty cone).
+    pub slots_relowered: usize,
+    /// Sum + MIN ops carried over from the old DAG.
+    pub ops_retained: usize,
+    /// Sum + MIN ops lowered fresh for the dirty cone.
+    pub ops_added: usize,
+    /// Old ops no clean slot references anymore, dropped at compaction.
+    pub ops_orphaned: usize,
+}
+
+impl PatchStats {
+    /// DAG nodes the patch wrote: re-lowered slots plus freshly lowered
+    /// ops. The proportional-to-edit quantity — for a small edit this is
+    /// far below the DAG's total op count.
+    pub fn nodes_patched(&self) -> usize {
+        self.slots_relowered + self.ops_added
+    }
 }
 
 /// A compiled multi-workload evaluator: the hash-consed term DAG plus the
@@ -178,6 +204,357 @@ impl CompiledSweep {
         span.field_u64("terms", st.terms as u64);
         span.finish();
         compiled
+    }
+
+    /// Patches this DAG (compiled for the *previous* revision of an
+    /// edited design) into the DAG of the new revision, touching only the
+    /// dirty cone. See [`CompiledSweep::patch_traced`].
+    pub fn patch(
+        &self,
+        result: &SartResult,
+        nl: &Netlist,
+        old_fubs: &[(&str, usize)],
+        clean: &[bool],
+    ) -> Result<(CompiledSweep, PatchStats), &'static str> {
+        self.patch_traced(result, nl, old_fubs, clean, &Collector::disabled())
+    }
+
+    /// Incrementally re-lowers an edited design against this DAG instead
+    /// of recompiling it from scratch.
+    ///
+    /// `self` is the DAG compiled for the previous revision; `result` is
+    /// the new revision's warm-relaxed result; `old_fubs` is the previous
+    /// revision's FUB layout (name and node count, in FUB-id order, as
+    /// recorded by the `seqavf-fixpoint/1` artifact); `clean` marks the
+    /// new FUBs whose annotations the warm solve left exactly at the
+    /// seeded values ([`crate::engine::SartEngine::run_warm_patch_traced`]).
+    ///
+    /// Clean FUBs keep their old slots and the ops those slots reference
+    /// — hash-consing means unchanged closed forms dedupe back to their
+    /// old nodes; only their indices move during compaction. Dirty FUBs
+    /// are re-lowered from the new result, reusing retained ops through
+    /// the same content maps a cold compile builds. Ops no retained slot
+    /// references are tombstoned and compacted away, so repeated patches
+    /// never grow the artifact unboundedly.
+    ///
+    /// The patched DAG evaluates **bit-identically** to a cold
+    /// [`CompiledSweep::compile`] of `result`: retained sums hold exactly
+    /// the term list (in sorted new-term-id order) a cold lower would
+    /// emit, MIN operand order is preserved, and dirty slots run the cold
+    /// path verbatim. Any violated precondition — layout mismatch, a
+    /// role or structure change inside a supposedly clean FUB, a vanished
+    /// term — returns `Err`, and the caller falls back to a full
+    /// recompile; a patch never degrades to a wrong DAG.
+    pub fn patch_traced(
+        &self,
+        result: &SartResult,
+        nl: &Netlist,
+        old_fubs: &[(&str, usize)],
+        clean: &[bool],
+        obs: &Collector,
+    ) -> Result<(CompiledSweep, PatchStats), &'static str> {
+        let mut span = obs.span("sweep.patch");
+        let out = self.patch_inner(result, nl, old_fubs, clean);
+        if let Ok((_, st)) = &out {
+            span.field_u64("slots_retained", st.slots_retained as u64);
+            span.field_u64("slots_relowered", st.slots_relowered as u64);
+            span.field_u64("ops_retained", st.ops_retained as u64);
+            span.field_u64("ops_added", st.ops_added as u64);
+            span.field_u64("ops_orphaned", st.ops_orphaned as u64);
+            obs.count("sweep.patch.nodes_patched", st.nodes_patched() as u64);
+            obs.count("sweep.patch.nodes_orphaned", st.ops_orphaned as u64);
+        }
+        span.finish();
+        out
+    }
+
+    fn patch_inner(
+        &self,
+        result: &SartResult,
+        nl: &Netlist,
+        old_fubs: &[(&str, usize)],
+        clean: &[bool],
+    ) -> Result<(CompiledSweep, PatchStats), &'static str> {
+        if self.config.result_key() != result.config.result_key() {
+            return Err("result key mismatch between old DAG and new result");
+        }
+        if clean.len() != nl.fub_count() {
+            return Err("clean mask does not cover the netlist's FUBs");
+        }
+        let old_total: usize = old_fubs.iter().map(|&(_, n)| n).sum();
+        if old_total != self.slots.len() {
+            return Err("old FUB layout does not cover the old DAG");
+        }
+        // Old FUB name -> (first slot index, node count). Node ids are
+        // assigned contiguously per FUB in FUB-id order (the flattener's
+        // sequential merge phase), so a FUB's slots are one dense range.
+        let mut old_base: HashMap<&str, (usize, usize)> = HashMap::with_capacity(old_fubs.len());
+        let mut acc = 0usize;
+        for &(name, count) in old_fubs {
+            if old_base.insert(name, (acc, count)).is_some() {
+                return Err("duplicate FUB name in old layout");
+            }
+            acc += count;
+        }
+        // Verify the layout invariant on the revision we can see. Both
+        // revisions come from the same merge phase, so a violation here
+        // means relocation would be unsafe for the old one too.
+        let fub_nodes = nodes_by_fub(nl);
+        let mut expect = 0usize;
+        for nodes in &fub_nodes {
+            for n in nodes {
+                if n.index() != expect {
+                    return Err("netlist node ids are not FUB-contiguous");
+                }
+                expect += 1;
+            }
+        }
+        if expect != nl.node_count() {
+            return Err("FUB grouping does not cover the netlist");
+        }
+
+        // Term remap old -> new, by content. Identity in the common case:
+        // gate edits never change the interned port terms.
+        let same_terms = self.terms == result.terms;
+        let tmap: Vec<Option<u32>> = if same_terms {
+            Vec::new()
+        } else {
+            self.terms
+                .iter()
+                .map(|(_, k)| result.terms.get(k).map(|t| t.index() as u32))
+                .collect()
+        };
+
+        // Phase 1 — mark: walk the clean FUBs' old slots to find the live
+        // ops and learn each one's identity in the *new* arena (the
+        // relaxed SetIds, which patch-cleanliness pins to the seed). Pure
+        // array traffic: no hashing per node, which is where the patch
+        // beats a recompile.
+        let n_old_sums = self.sum_bounds.len() - 1;
+        let mut min_pair: Vec<Option<(SetId, SetId)>> = vec![None; self.mins.len()];
+        let mut sum_set: Vec<Option<SetId>> = vec![None; n_old_sums];
+        let mut slots_retained = 0usize;
+        for f in nl.fub_ids() {
+            if !clean[f.index()] {
+                continue;
+            }
+            let nodes = &fub_nodes[f.index()];
+            let Some(&(base, count)) = old_base.get(nl.fub_name(f)) else {
+                return Err("clean FUB missing from the old layout");
+            };
+            if count != nodes.len() {
+                return Err("clean FUB changed node count");
+            }
+            for (k, id) in nodes.iter().enumerate() {
+                let i = id.index();
+                let old_slot = self.slots[base + k];
+                let role = result.roles.role(*id);
+                let m = match (old_slot, role) {
+                    (Slot::Ctrl, NodeRole::ControlReg) | (Slot::Loop, NodeRole::LoopSeq) => {
+                        continue;
+                    }
+                    (Slot::Min(m), r)
+                        if r != NodeRole::ControlReg
+                            && r != NodeRole::LoopSeq
+                            && r != NodeRole::StructCell =>
+                    {
+                        m
+                    }
+                    (Slot::Struct { perf, min }, NodeRole::StructCell) => {
+                        let NodeKind::StructCell { structure, .. } = nl.kind(*id) else {
+                            return Err("struct role without struct kind");
+                        };
+                        if self.perf_names[perf as usize]
+                            != result.struct_perf_names[structure.index()]
+                        {
+                            return Err("clean FUB changed a structure's performance name");
+                        }
+                        min
+                    }
+                    _ => return Err("clean FUB changed a node role"),
+                };
+                let pair = (result.fwd[i], result.bwd[i]);
+                match min_pair[m as usize] {
+                    None => {
+                        min_pair[m as usize] = Some(pair);
+                        let (a, b) = self.mins[m as usize];
+                        for (s, new_set) in [(a, pair.0), (b, pair.1)] {
+                            match sum_set[s as usize] {
+                                None => sum_set[s as usize] = Some(new_set),
+                                Some(seen) if seen == new_set => {}
+                                Some(_) => return Err("old sum op maps to conflicting sets"),
+                            }
+                        }
+                    }
+                    Some(seen) if seen == pair => {}
+                    Some(_) => return Err("old MIN op maps to conflicting pairs"),
+                }
+            }
+            slots_retained += nodes.len();
+        }
+
+        // Phase 2 — compact: copy the live ops in old-index order,
+        // remapping term ids when the term table changed. Dead ops are
+        // simply not copied (tombstone + compact in one pass).
+        let mut sum_terms: Vec<u32> = Vec::new();
+        let mut sum_bounds: Vec<u32> = vec![0];
+        let mut sum_index: HashMap<SetId, u32> = HashMap::new();
+        let mut sum_remap: Vec<u32> = vec![u32::MAX; n_old_sums];
+        for s in 0..n_old_sums {
+            let Some(set) = sum_set[s] else { continue };
+            let k = u32::try_from(sum_bounds.len() - 1).expect("sum op count fits u32");
+            let lo = self.sum_bounds[s] as usize;
+            let hi = self.sum_bounds[s + 1] as usize;
+            if same_terms {
+                sum_terms.extend_from_slice(&self.sum_terms[lo..hi]);
+            } else {
+                let start = sum_terms.len();
+                for &t in &self.sum_terms[lo..hi] {
+                    sum_terms.push(
+                        tmap[t as usize].ok_or("live sum references a term the edit removed")?,
+                    );
+                }
+                // Sums fold in sorted term-id order; re-sort under the
+                // new ids so the fold order matches a cold compile.
+                sum_terms[start..].sort_unstable();
+            }
+            sum_bounds.push(sum_terms.len() as u32);
+            sum_remap[s] = k;
+            sum_index.insert(set, k);
+        }
+        let retained_sums = sum_bounds.len() - 1;
+
+        let mut mins: Vec<(u32, u32)> = Vec::new();
+        let mut min_index: HashMap<(SetId, SetId), u32> = HashMap::new();
+        let mut min_remap: Vec<u32> = vec![u32::MAX; self.mins.len()];
+        for m in 0..self.mins.len() {
+            let Some(pair) = min_pair[m] else { continue };
+            let (a, b) = self.mins[m];
+            mins.push((sum_remap[a as usize], sum_remap[b as usize]));
+            let k = u32::try_from(mins.len() - 1).expect("min op count fits u32");
+            min_remap[m] = k;
+            min_index.insert(pair, k);
+        }
+        let retained_mins = mins.len();
+        let ops_retained = retained_sums + retained_mins;
+        let ops_orphaned = (n_old_sums - retained_sums) + (self.mins.len() - retained_mins);
+
+        // Orphaned performance names are kept: they cost one map lookup
+        // per evaluation and vanish on the next full compile, while
+        // compacting them would force a slot rewrite of every retained
+        // struct cell.
+        let mut perf_names = self.perf_names.clone();
+        let mut perf_index: HashMap<String, u32> = perf_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+
+        // Phase 3 — lower: emit slots in node-id order. Clean FUBs
+        // relocate their old slots through the compaction remaps; dirty
+        // FUBs run the cold compile's per-node lowering against the new
+        // result, deduping into the retained ops via the content maps.
+        let lower_sum = |s: SetId,
+                         sum_terms: &mut Vec<u32>,
+                         sum_bounds: &mut Vec<u32>,
+                         sum_index: &mut HashMap<SetId, u32>|
+         -> u32 {
+            *sum_index.entry(s).or_insert_with(|| {
+                let k = sum_bounds.len() - 1;
+                sum_terms.extend(result.arena.terms(s).iter().map(|t| t.index() as u32));
+                sum_bounds.push(sum_terms.len() as u32);
+                u32::try_from(k).expect("sum op count fits u32")
+            })
+        };
+        let mut slots: Vec<Slot> = Vec::with_capacity(nl.node_count());
+        let mut slots_relowered = 0usize;
+        for f in nl.fub_ids() {
+            let nodes = &fub_nodes[f.index()];
+            if clean[f.index()] {
+                let (base, _) = old_base[nl.fub_name(f)];
+                for k in 0..nodes.len() {
+                    slots.push(match self.slots[base + k] {
+                        Slot::Min(m) => Slot::Min(min_remap[m as usize]),
+                        Slot::Ctrl => Slot::Ctrl,
+                        Slot::Loop => Slot::Loop,
+                        Slot::Struct { perf, min } => Slot::Struct {
+                            perf,
+                            min: min_remap[min as usize],
+                        },
+                    });
+                }
+                continue;
+            }
+            for id in nodes {
+                let i = id.index();
+                let slot = match result.roles.role(*id) {
+                    NodeRole::ControlReg => Slot::Ctrl,
+                    NodeRole::LoopSeq => Slot::Loop,
+                    role => {
+                        let pair = (result.fwd[i], result.bwd[i]);
+                        let min = match min_index.get(&pair) {
+                            Some(&m) => m,
+                            None => {
+                                let a = lower_sum(
+                                    pair.0,
+                                    &mut sum_terms,
+                                    &mut sum_bounds,
+                                    &mut sum_index,
+                                );
+                                let b = lower_sum(
+                                    pair.1,
+                                    &mut sum_terms,
+                                    &mut sum_bounds,
+                                    &mut sum_index,
+                                );
+                                mins.push((a, b));
+                                let m =
+                                    u32::try_from(mins.len() - 1).expect("min op count fits u32");
+                                min_index.insert(pair, m);
+                                m
+                            }
+                        };
+                        if role == NodeRole::StructCell {
+                            let NodeKind::StructCell { structure, .. } = nl.kind(*id) else {
+                                unreachable!("role implies kind");
+                            };
+                            let name = &result.struct_perf_names[structure.index()];
+                            let perf = *perf_index.entry(name.clone()).or_insert_with(|| {
+                                perf_names.push(name.clone());
+                                u32::try_from(perf_names.len() - 1).expect("perf count fits u32")
+                            });
+                            Slot::Struct { perf, min }
+                        } else {
+                            Slot::Min(min)
+                        }
+                    }
+                };
+                slots.push(slot);
+            }
+            slots_relowered += nodes.len();
+        }
+
+        let ops_added = (sum_bounds.len() - 1 - retained_sums) + (mins.len() - retained_mins);
+        let patched = CompiledSweep {
+            config: result.config.clone(),
+            terms: result.terms.clone(),
+            sum_terms,
+            sum_bounds,
+            mins,
+            slots,
+            perf_names,
+            arena_sets: result.arena.len(),
+        };
+        Ok((
+            patched,
+            PatchStats {
+                slots_retained,
+                slots_relowered,
+                ops_retained,
+                ops_added,
+                ops_orphaned,
+            },
+        ))
     }
 
     /// The configuration captured at compile time.
@@ -801,6 +1178,62 @@ mod tests {
         let result = engine.run(&fig7_inputs());
         let compiled = CompiledSweep::compile(&result, &nl);
         (nl, result, compiled)
+    }
+
+    #[test]
+    fn unedited_patch_is_the_identity() {
+        let (nl, result, compiled) = compiled_fig7();
+        let layout: Vec<(&str, usize)> = vec![("f", nl.node_count())];
+        let clean = vec![true; nl.fub_count()];
+        let (patched, st) = compiled.patch(&result, &nl, &layout, &clean).unwrap();
+        assert_eq!(st.slots_retained, nl.node_count());
+        assert_eq!(st.slots_relowered, 0);
+        assert_eq!(st.ops_added, 0);
+        assert_eq!(st.ops_orphaned, 0);
+        assert_eq!(st.nodes_patched(), 0);
+        // Nothing moved, so the patched artifact is byte-identical.
+        assert_eq!(patched, compiled);
+        assert_eq!(patched.to_text(), compiled.to_text());
+    }
+
+    #[test]
+    fn all_dirty_patch_reproduces_a_cold_compile_exactly() {
+        let (nl, result, compiled) = compiled_fig7();
+        let layout: Vec<(&str, usize)> = vec![("f", nl.node_count())];
+        let clean = vec![false; nl.fub_count()];
+        let (patched, st) = compiled.patch(&result, &nl, &layout, &clean).unwrap();
+        assert_eq!(st.slots_retained, 0);
+        assert_eq!(st.ops_retained, 0);
+        assert_eq!(st.slots_relowered, nl.node_count());
+        // Every old op is orphaned, every new op freshly lowered — and
+        // fresh lowering in node order is exactly what compile does.
+        assert_eq!(patched, compiled);
+    }
+
+    #[test]
+    fn patched_artifact_roundtrips_through_text() {
+        let (nl, result, compiled) = compiled_fig7();
+        let layout: Vec<(&str, usize)> = vec![("f", nl.node_count())];
+        let clean = vec![true; nl.fub_count()];
+        let (patched, _) = compiled.patch(&result, &nl, &layout, &clean).unwrap();
+        let text = patched.to_text();
+        let back = CompiledSweep::from_text(&text, &result.config).unwrap();
+        assert_eq!(back, patched);
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn patch_rejects_a_result_key_mismatch() {
+        let (nl, _, compiled) = compiled_fig7();
+        let other = SartConfig {
+            loop_pavf: 0.45,
+            ..SartConfig::default()
+        };
+        let engine = SartEngine::new(&nl, &StructureMapping::new(), other);
+        let result = engine.run(&fig7_inputs());
+        let layout: Vec<(&str, usize)> = vec![("f", nl.node_count())];
+        let clean = vec![true; nl.fub_count()];
+        assert!(compiled.patch(&result, &nl, &layout, &clean).is_err());
     }
 
     #[test]

@@ -317,7 +317,8 @@ impl<'nl> SartEngine<'nl> {
         stored: &StoredFixpoint,
         obs: &Collector,
     ) -> (SartResult, WarmStatus) {
-        self.run_warm_inner(inputs, stored, false, obs)
+        let (result, status, _) = self.run_warm_inner(inputs, stored, false, obs);
+        (result, status)
     }
 
     /// [`SartEngine::run_warm_traced`] without the small-design thread
@@ -327,6 +328,34 @@ impl<'nl> SartEngine<'nl> {
         inputs: &PavfInputs,
         stored: &StoredFixpoint,
     ) -> (SartResult, WarmStatus) {
+        let (result, status, _) = self.run_warm_inner(inputs, stored, true, &Collector::disabled());
+        (result, status)
+    }
+
+    /// [`SartEngine::run_warm_traced`] that additionally reports, per FUB,
+    /// whether the FUB is *patch-clean*: it was seeded from the stored
+    /// fixpoint AND the relaxation left every one of its annotations at
+    /// the seeded value. A patch-clean FUB's closed forms are exactly the
+    /// previous revision's, so a compiled sweep DAG built for that
+    /// revision can keep its ops verbatim (see
+    /// [`crate::compile::CompiledSweep::patch_traced`]). The mask is
+    /// `None` when the solve fell back to cold.
+    pub fn run_warm_patch_traced(
+        &self,
+        inputs: &PavfInputs,
+        stored: &StoredFixpoint,
+        obs: &Collector,
+    ) -> (SartResult, WarmStatus, Option<Vec<bool>>) {
+        self.run_warm_inner(inputs, stored, false, obs)
+    }
+
+    /// [`SartEngine::run_warm_patch_traced`] without the small-design
+    /// thread clamp, mirroring [`SartEngine::run_exact`].
+    pub fn run_warm_patch_exact(
+        &self,
+        inputs: &PavfInputs,
+        stored: &StoredFixpoint,
+    ) -> (SartResult, WarmStatus, Option<Vec<bool>>) {
         self.run_warm_inner(inputs, stored, true, &Collector::disabled())
     }
 
@@ -336,11 +365,12 @@ impl<'nl> SartEngine<'nl> {
         stored: &StoredFixpoint,
         exact_threads: bool,
         obs: &Collector,
-    ) -> (SartResult, WarmStatus) {
+    ) -> (SartResult, WarmStatus, Option<Vec<bool>>) {
         if !self.config.partitioned || !self.config.incremental {
             return (
                 self.run_inner(inputs, exact_threads, obs),
                 WarmStatus::Cold("config disables partitioned incremental relaxation"),
+                None,
             );
         }
         let mut prop = self.prop_template.clone();
@@ -357,9 +387,17 @@ impl<'nl> SartEngine<'nl> {
                 return (
                     self.run_inner(inputs, exact_threads, obs),
                     WarmStatus::Cold(reason),
+                    None,
                 );
             }
         };
+        // Snapshot the seeded annotations: after relaxation, a seeded FUB
+        // whose final SetIds all equal the seed is patch-clean — cone
+        // propagation did not move it, so the previous revision's compiled
+        // DAG still lowers it correctly. SetId equality is content
+        // equality (the arena interns sets by content).
+        let seed_fwd = prop.fwd.clone();
+        let seed_bwd = prop.bwd.clone();
         let values = term_values(&prop.prep.terms, inputs, &self.config);
         let relax = if exact_threads {
             relax_partitioned_warm_exact
@@ -374,12 +412,25 @@ impl<'nl> SartEngine<'nl> {
             &dirty,
             obs,
         );
+        let fub_nodes = fixpoint::nodes_by_fub(self.nl);
+        let clean: Vec<bool> = self
+            .nl
+            .fub_ids()
+            .map(|f| {
+                !dirty[f.index()]
+                    && fub_nodes[f.index()].iter().all(|n| {
+                        let i = n.index();
+                        prop.fwd[i] == seed_fwd[i] && prop.bwd[i] == seed_bwd[i]
+                    })
+            })
+            .collect();
         (
             self.assemble(prop, outcome, inputs, obs),
             WarmStatus::Warm {
                 seeded_fubs: plan.seeded_fubs,
                 dirty_fubs: plan.dirty_fubs,
             },
+            Some(clean),
         )
     }
 }

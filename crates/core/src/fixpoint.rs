@@ -484,14 +484,22 @@ pub fn capture(
         sets,
         fubs,
         boundary: StoredBoundary {
-            fwd_reads: boundary.fwd_reads.iter().map(|n| n.index() as u32).collect(),
+            fwd_reads: boundary
+                .fwd_reads
+                .iter()
+                .map(|n| n.index() as u32)
+                .collect(),
             fwd_offsets: boundary.fwd_offsets.clone(),
             fwd_consumers: boundary
                 .fwd_consumers
                 .iter()
                 .map(|f| f.index() as u32)
                 .collect(),
-            bwd_reads: boundary.bwd_reads.iter().map(|n| n.index() as u32).collect(),
+            bwd_reads: boundary
+                .bwd_reads
+                .iter()
+                .map(|n| n.index() as u32)
+                .collect(),
             bwd_offsets: boundary.bwd_offsets.clone(),
             bwd_consumers: boundary
                 .bwd_consumers
@@ -614,7 +622,10 @@ pub fn seed(
     ))
 }
 
-fn nodes_by_fub(nl: &Netlist) -> Vec<Vec<NodeId>> {
+/// Nodes grouped by owning FUB, in dense node-id order within each group.
+/// Shared with the sweep-DAG patcher ([`crate::compile`]), which relies on
+/// the same grouping to relocate clean FUBs' slots.
+pub(crate) fn nodes_by_fub(nl: &Netlist) -> Vec<Vec<NodeId>> {
     let mut fub_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); nl.fub_count()];
     for id in nl.nodes() {
         fub_nodes[nl.fub(id).index()].push(id);

@@ -51,7 +51,7 @@ pub mod walk;
 
 pub use arena::{SetId, TermId, TermKind, TermTable, UnionArena};
 pub use classify::{NodeRole, RoleMap};
-pub use compile::{CompileStats, CompiledSweep};
+pub use compile::{CompileStats, CompiledSweep, PatchStats};
 pub use due::{AvfSplit, DueAnalysis};
 pub use engine::{SartConfig, SartEngine, SartResult, WarmStatus};
 pub use fixpoint::{SeedPlan, StoredFixpoint};
@@ -60,6 +60,6 @@ pub use numeric::{solve_parallel, NumericOutcome};
 pub use pavf::Pavf;
 pub use report::{FubAvfRow, SartSummary};
 pub use sweep::{
-    obtain_compiled_traced, obtain_compiled_warm_traced, run_sweep, run_sweep_traced, CacheStatus,
-    SweepCache, SweepOptions, SweepOutcome,
+    cache_key_parts, obtain_compiled_traced, obtain_compiled_warm_traced, run_sweep,
+    run_sweep_traced, CacheStatus, PatchStatus, SweepCache, SweepOptions, SweepOutcome,
 };

@@ -31,8 +31,8 @@ use seqavf_netlist::graph::Netlist;
 use seqavf_netlist::scc::LoopAnalysis;
 use seqavf_obs::Collector;
 
-use crate::compile::{CompileStats, CompiledSweep};
-use crate::engine::{SartConfig, SartEngine, WarmStatus};
+use crate::compile::{CompileStats, CompiledSweep, PatchStats};
+use crate::engine::{SartConfig, SartEngine, SartResult, WarmStatus};
 use crate::fixpoint;
 use crate::mapping::{PavfInputs, StructureMapping};
 
@@ -51,12 +51,25 @@ use crate::mapping::{PavfInputs, StructureMapping};
 /// performance-counter names — it changes the compiled DAG's `Struct`
 /// slots and therefore the evaluated AVFs.
 pub fn cache_key(nl: &Netlist, mapping: &StructureMapping, config: &SartConfig) -> u64 {
+    cache_key_parts(
+        nl.content_digest(),
+        &mapping.to_text(nl),
+        &config.result_key(),
+    )
+}
+
+/// [`cache_key`] from its already-extracted ingredients. The warm patch
+/// path uses this to address the *previous* revision's compiled artifact:
+/// the fixpoint artifact records the old content digest
+/// ([`crate::fixpoint::StoredFixpoint::content_digest`]), while mapping
+/// text and result key are revision-independent for a graph edit.
+pub fn cache_key_parts(content_digest: u64, mapping_text: &str, result_key: &str) -> u64 {
     let mut h = Fnv1a64::new();
-    h.update(&nl.content_digest().to_le_bytes());
+    h.update(&content_digest.to_le_bytes());
     h.update(&[0]);
-    h.update(mapping.to_text(nl).as_bytes());
+    h.update(mapping_text.as_bytes());
     h.update(&[0]);
-    h.update(config.result_key().as_bytes());
+    h.update(result_key.as_bytes());
     h.finish()
 }
 
@@ -140,6 +153,18 @@ pub enum CacheStatus {
     Hit,
 }
 
+/// How a cache-miss sweep rebuilt its compiled DAG after an edit, when a
+/// warm-started relaxation made incremental patching possible at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatchStatus {
+    /// The previous revision's cached DAG was patched in place of a full
+    /// recompile ([`CompiledSweep::patch_traced`]).
+    Patched(PatchStats),
+    /// Patching was attempted but fell back to a full recompile, with the
+    /// first reason encountered on the fallback ladder.
+    Rebuilt(&'static str),
+}
+
 /// Per-workload AVF summary row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadAvf {
@@ -178,6 +203,10 @@ pub struct SweepOutcome {
     /// Which solve path a warm-start request took, when a fresh
     /// relaxation ran with [`SweepOptions::warm_start`] set.
     pub warm: Option<WarmStatus>,
+    /// Whether a cache-miss rebuild patched the previous revision's DAG
+    /// or recompiled from scratch; `None` when no patch was attemptable
+    /// (cache hit, cache disabled, or cold solve).
+    pub patch: Option<PatchStatus>,
     /// Sharing statistics of the compiled DAG.
     pub stats: CompileStats,
     /// One row per requested workload, in request order.
@@ -240,8 +269,15 @@ pub fn obtain_compiled_traced(
     loops: Option<&LoopAnalysis>,
     obs: &Collector,
 ) -> Result<(CompiledSweep, CacheStatus), String> {
-    let (compiled, cache, _) = obtain_compiled_warm_traced(
-        nl, mapping, config, base_inputs, cache_dir, None, loops, obs,
+    let (compiled, cache, _, _) = obtain_compiled_warm_traced(
+        nl,
+        mapping,
+        config,
+        base_inputs,
+        cache_dir,
+        None,
+        loops,
+        obs,
     )?;
     Ok((compiled, cache))
 }
@@ -252,6 +288,14 @@ pub fn obtain_compiled_traced(
 /// seeded from it (`relax.warmstart.hit`); any artifact problem falls
 /// back to a cold solve (`relax.warmstart.miss`). Either way, a converged
 /// fresh solve refreshes the artifact so the *next* edit starts warm.
+///
+/// When the warm solve succeeds *and* the cache still holds the previous
+/// revision's compiled DAG (addressed via the fixpoint artifact's stored
+/// content digest, [`cache_key_parts`]), the DAG is **patched** instead
+/// of recompiled — [`CompiledSweep::patch_traced`] re-lowers only the
+/// dirty cone — and the `sweep.patch.hit` counter bumps. Any patch
+/// precondition failure recompiles from scratch (`sweep.patch.
+/// full_rebuild`); the returned [`PatchStatus`] reports which happened.
 #[allow(clippy::too_many_arguments)]
 pub fn obtain_compiled_warm_traced(
     nl: &Netlist,
@@ -262,14 +306,28 @@ pub fn obtain_compiled_warm_traced(
     warm_dir: Option<&Path>,
     loops: Option<&LoopAnalysis>,
     obs: &Collector,
-) -> Result<(CompiledSweep, CacheStatus, Option<WarmStatus>), String> {
-    let fresh = || -> (CompiledSweep, Option<WarmStatus>) {
+) -> Result<
+    (
+        CompiledSweep,
+        CacheStatus,
+        Option<WarmStatus>,
+        Option<PatchStatus>,
+    ),
+    String,
+> {
+    type Solved = (
+        SartResult,
+        Option<WarmStatus>,
+        Option<fixpoint::StoredFixpoint>,
+        Option<Vec<bool>>,
+    );
+    let solve = || -> Solved {
         let engine = match loops {
             Some(l) => SartEngine::new_with_loops_traced(nl, mapping, config.clone(), l, obs),
             None => SartEngine::new_traced(nl, mapping, config.clone(), obs),
         };
-        let (result, warm) = match warm_dir {
-            None => (engine.run_traced(base_inputs, obs), None),
+        match warm_dir {
+            None => (engine.run_traced(base_inputs, obs), None, None, None),
             Some(dir) => {
                 let path = fixpoint::artifact_path(
                     dir,
@@ -280,11 +338,12 @@ pub fn obtain_compiled_warm_traced(
                     ),
                 );
                 let stored = fixpoint::load(&path).unwrap_or_default();
-                let (result, warm) = match &stored {
-                    Some(s) => engine.run_warm_traced(base_inputs, s, obs),
+                let (result, warm, clean) = match &stored {
+                    Some(s) => engine.run_warm_patch_traced(base_inputs, s, obs),
                     None => (
                         engine.run_traced(base_inputs, obs),
                         WarmStatus::Cold("no usable fixpoint artifact"),
+                        None,
                     ),
                 };
                 match warm {
@@ -296,15 +355,19 @@ pub fn obtain_compiled_warm_traced(
                 if let Some(captured) = engine.capture_fixpoint(&result) {
                     let _ = fixpoint::store(&path, &captured);
                 }
-                (result, Some(warm))
+                (result, Some(warm), stored, clean)
             }
-        };
-        (CompiledSweep::compile_traced(&result, nl, obs), warm)
+        }
     };
     match cache_dir {
         None => {
-            let (c, warm) = fresh();
-            Ok((c, CacheStatus::Disabled, warm))
+            let (result, warm, _, _) = solve();
+            Ok((
+                CompiledSweep::compile_traced(&result, nl, obs),
+                CacheStatus::Disabled,
+                warm,
+                None,
+            ))
         }
         Some(dir) => {
             let store = SweepCache::open(dir)?;
@@ -312,13 +375,50 @@ pub fn obtain_compiled_warm_traced(
             match store.load(key, config, nl.node_count()) {
                 Some(c) => {
                     obs.count("sweep.cache.hit", 1);
-                    Ok((c, CacheStatus::Hit, None))
+                    Ok((c, CacheStatus::Hit, None, None))
                 }
                 None => {
                     obs.count("sweep.cache.miss", 1);
-                    let (c, warm) = fresh();
-                    store.store(key, &c)?;
-                    Ok((c, CacheStatus::Miss, warm))
+                    let (result, warm, stored, clean) = solve();
+                    let mut patch = None;
+                    let compiled = match (&warm, &stored, &clean) {
+                        (Some(WarmStatus::Warm { .. }), Some(s), Some(mask)) => {
+                            let attempt = store
+                                .load(
+                                    cache_key_parts(
+                                        s.content_digest,
+                                        &mapping.to_text(nl),
+                                        &config.result_key(),
+                                    ),
+                                    config,
+                                    s.node_count,
+                                )
+                                .ok_or("no cached DAG for the previous revision")
+                                .and_then(|old| {
+                                    let layout: Vec<(&str, usize)> = s
+                                        .fubs
+                                        .iter()
+                                        .map(|f| (f.name.as_str(), f.fwd.len()))
+                                        .collect();
+                                    old.patch_traced(&result, nl, &layout, mask, obs)
+                                });
+                            match attempt {
+                                Ok((patched, stats)) => {
+                                    obs.count("sweep.patch.hit", 1);
+                                    patch = Some(PatchStatus::Patched(stats));
+                                    patched
+                                }
+                                Err(reason) => {
+                                    obs.count("sweep.patch.full_rebuild", 1);
+                                    patch = Some(PatchStatus::Rebuilt(reason));
+                                    CompiledSweep::compile_traced(&result, nl, obs)
+                                }
+                            }
+                        }
+                        _ => CompiledSweep::compile_traced(&result, nl, obs),
+                    };
+                    store.store(key, &compiled)?;
+                    Ok((compiled, CacheStatus::Miss, warm, patch))
                 }
             }
         }
@@ -339,7 +439,7 @@ pub fn run_sweep_with_loops_traced(
     loops: Option<&LoopAnalysis>,
     obs: &Collector,
 ) -> Result<SweepOutcome, String> {
-    let (compiled, cache, warm) = obtain_compiled_warm_traced(
+    let (compiled, cache, warm, patch) = obtain_compiled_warm_traced(
         nl,
         mapping,
         config,
@@ -383,6 +483,7 @@ pub fn run_sweep_with_loops_traced(
     Ok(SweepOutcome {
         cache,
         warm,
+        patch,
         stats: compiled.stats(),
         rows,
     })

@@ -76,6 +76,7 @@ fn sweep(
         &SweepOptions {
             threads: 2,
             cache_dir: Some(dir.to_path_buf()),
+            warm_start: None,
         },
         obs,
     )
@@ -296,6 +297,7 @@ fn mapping_change_is_a_cache_miss() {
     let opts = SweepOptions {
         threads: 2,
         cache_dir: Some(dir.clone()),
+        warm_start: None,
     };
     let run = |mapping: &StructureMapping| {
         run_sweep_traced(
@@ -334,5 +336,98 @@ fn sweep_trace_validates_against_the_schema() {
     assert!(text.contains("sweep.compile"));
     assert!(text.contains("sweep.eval"));
     assert!(text.contains("sweep.cache.miss"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Warm sweep after an edit *patches* the previous revision's cached DAG
+/// — `sweep.patch.hit`, ops mostly retained — and still reproduces an
+/// independent cold sweep bit for bit; re-sweeping the edited design is
+/// then a plain cache hit with nothing to patch.
+#[test]
+fn warm_sweep_patches_the_cached_dag_after_an_edit() {
+    use seqavf_core::sweep::PatchStatus;
+    use seqavf_netlist::exlif;
+    use seqavf_netlist::synth::{generate, SynthConfig};
+
+    let dir = temp_cache("dagpatch");
+    let design = generate(&SynthConfig::xeon_like(21));
+    let base_text = exlif::write(&design.netlist);
+    let mapping = StructureMapping::from_pairs(design.meta.structure_map.clone());
+    let config = SartConfig::default();
+    let mut inputs = PavfInputs::new();
+    inputs.set_port("uops_executed", 0.21, 0.34);
+    let wl = vec![("w0".to_owned(), inputs.clone())];
+    let opts = SweepOptions {
+        threads: 2,
+        cache_dir: Some(dir.clone()),
+        warm_start: Some(dir.join("fixpoints")),
+    };
+    let obs = Collector::new();
+
+    let nl0 = parse_netlist(&base_text).unwrap();
+    let first = run_sweep_traced(&nl0, &mapping, &config, &inputs, &wl, &opts, &obs).unwrap();
+    assert_eq!(first.cache, CacheStatus::Miss);
+    assert!(first.patch.is_none(), "first sweep has nothing to patch");
+
+    let edited_text = base_text.replacen(".gate and ", ".gate or ", 1);
+    assert_ne!(
+        edited_text, base_text,
+        "synthetic design must have an and-gate"
+    );
+    let nl1 = parse_netlist(&edited_text).unwrap();
+    let second = run_sweep_traced(&nl1, &mapping, &config, &inputs, &wl, &opts, &obs).unwrap();
+    assert_eq!(second.cache, CacheStatus::Miss);
+    let st = match second.patch {
+        Some(PatchStatus::Patched(st)) => st,
+        other => panic!("expected a DAG patch after a one-gate edit, got {other:?}"),
+    };
+    let total_ops = second.stats.sum_ops + second.stats.min_ops;
+    assert!(st.ops_retained > 0, "a one-gate edit must retain ops");
+    assert!(
+        st.nodes_patched() < total_ops,
+        "patched {} of {total_ops} ops — not proportional to the edit",
+        st.nodes_patched()
+    );
+    let report = obs.report();
+    assert_eq!(report.counter("sweep.patch.hit"), Some(1));
+    assert_eq!(report.counter("sweep.patch.full_rebuild"), None);
+    assert!(report.counter("sweep.patch.nodes_patched").is_some());
+
+    // The patched DAG's rows match an independent, cache-less cold sweep.
+    let cold = run_sweep_traced(
+        &nl1,
+        &mapping,
+        &config,
+        &inputs,
+        &wl,
+        &SweepOptions {
+            threads: 2,
+            cache_dir: None,
+            warm_start: None,
+        },
+        &Collector::disabled(),
+    )
+    .unwrap();
+    for (a, b) in second.rows.iter().zip(&cold.rows) {
+        for (x, y) in a.node_avfs.iter().zip(&b.node_avfs) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    // Idempotent re-sweep: plain artifact hit, no patch involved.
+    let third = run_sweep_traced(&nl1, &mapping, &config, &inputs, &wl, &opts, &obs).unwrap();
+    assert_eq!(third.cache, CacheStatus::Hit);
+    assert!(third.patch.is_none());
+
+    // The patch telemetry rides the NDJSON trace schema: the span and
+    // both volume counters validate and appear by name.
+    let mut buf = Vec::new();
+    obs.write_ndjson(&mut buf, &[("cmd", "sweep")]).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    seqavf_obs::validate_trace(&text).expect("patch trace validates");
+    assert!(text.contains("sweep.patch"), "span missing from trace");
+    assert!(text.contains("sweep.patch.hit"));
+    assert!(text.contains("sweep.patch.nodes_patched"));
+    assert!(text.contains("sweep.patch.nodes_orphaned"));
     let _ = std::fs::remove_dir_all(&dir);
 }

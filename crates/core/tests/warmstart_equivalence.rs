@@ -157,7 +157,8 @@ fn unedited_warm_resolve_walks_nothing() {
     let nl = flatten::parse_netlist(&base).unwrap();
     let engine = SartEngine::new(&nl, &mapping, SartConfig::default());
     let cold = engine.run(&inputs);
-    let (warm, status) = engine.run_warm_traced(&inputs, &stored, &seqavf_obs::Collector::disabled());
+    let (warm, status) =
+        engine.run_warm_traced(&inputs, &stored, &seqavf_obs::Collector::disabled());
     match status {
         WarmStatus::Warm {
             seeded_fubs,
@@ -185,7 +186,8 @@ fn one_gate_edit_walks_fewer_nodes_than_cold() {
     let nl = flatten::parse_netlist(&edited).unwrap();
     let engine = SartEngine::new(&nl, &mapping, SartConfig::default());
     let cold = engine.run(&inputs);
-    let (warm, status) = engine.run_warm_traced(&inputs, &stored, &seqavf_obs::Collector::disabled());
+    let (warm, status) =
+        engine.run_warm_traced(&inputs, &stored, &seqavf_obs::Collector::disabled());
     assert!(
         matches!(status, WarmStatus::Warm { dirty_fubs: 1, .. }),
         "one gate flip must dirty exactly one FUB: {status:?}"
@@ -214,7 +216,8 @@ fn result_key_mismatch_falls_back_to_cold() {
         ..SartConfig::default()
     };
     let engine = SartEngine::new(&nl, &mapping, config.clone());
-    let (warm, status) = engine.run_warm_traced(&inputs, &stored, &seqavf_obs::Collector::disabled());
+    let (warm, status) =
+        engine.run_warm_traced(&inputs, &stored, &seqavf_obs::Collector::disabled());
     assert!(
         matches!(status, WarmStatus::Cold(_)),
         "result_key mismatch must refuse the seed: {status:?}"

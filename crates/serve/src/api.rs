@@ -169,6 +169,22 @@ pub struct DesignUpdateResponse {
     pub walked_nodes: u64,
     /// Node count of the edited design.
     pub node_count: u64,
+    /// How the compiled sweep DAG was produced: `"patched"` (the
+    /// superseded revision's DAG was incrementally patched — only the
+    /// dirty cone re-lowered), `"rebuilt"` (a patch was attempted but a
+    /// precondition failed; see `dag_reason`), `"compiled"` (no patch
+    /// was attemptable — cold solve or no previous DAG), or
+    /// `"resident"` (nothing recompiled at all).
+    pub dag: String,
+    /// Why the patch fell back to a full recompile, when `dag` is
+    /// `"rebuilt"`.
+    pub dag_reason: Option<String>,
+    /// Slots re-lowered plus ops freshly added by the patch — the
+    /// dirty-cone share of the DAG (0 unless `dag` is `"patched"`).
+    pub ops_patched: u64,
+    /// Old DAG ops dropped at compaction because no retained slot
+    /// references them (0 unless `dag` is `"patched"`).
+    pub ops_orphaned: u64,
 }
 
 /// The `GET /healthz` response body.

@@ -29,7 +29,7 @@ use seqavf_core::compile::{CompiledSweep, SeqStats};
 use seqavf_core::engine::{SartConfig, SartEngine, WarmStatus};
 use seqavf_core::fixpoint::{self, StoredFixpoint};
 use seqavf_core::mapping::{PavfInputs, StructureMapping};
-use seqavf_core::sweep::{cache_key, SweepCache};
+use seqavf_core::sweep::{cache_key, cache_key_parts, PatchStatus, SweepCache};
 use seqavf_netlist::graph::Netlist;
 use seqavf_netlist::scc::{find_loops_traced, LoopAnalysis};
 use seqavf_netlist::{flatten, snapshot, verilog, Fnv1a64};
@@ -128,6 +128,25 @@ pub struct Resident {
     fixpoints: Mutex<Lru<Arc<StoredFixpoint>>>,
     obs: Collector,
 }
+
+/// [`Resident::resolve_sweep`]'s result: the DAG, the residency tier it
+/// came from (`"hit"`/`"miss"`), and — only when this call actually ran
+/// a relaxation — the warm status and walked-node count.
+type ResolvedSweep = (
+    Arc<CompiledSweep>,
+    &'static str,
+    Option<(WarmStatus, usize)>,
+);
+
+/// [`ResolvedSweep`] plus how the DAG was built on a fresh relaxation:
+/// `Some(Patched)`/`Some(Rebuilt)` when a previous revision's DAG was
+/// available to patch from, `None` on a plain compile or residency hit.
+type PatchedSweep = (
+    Arc<CompiledSweep>,
+    &'static str,
+    Option<(WarmStatus, usize)>,
+    Option<PatchStatus>,
+);
 
 /// The `design_ref` key: FNV-1a over the frontend tag and source text —
 /// byte-compatible with the CLI's `--graph-cache` snapshot file naming,
@@ -390,12 +409,40 @@ impl Resident {
         mapping: &StructureMapping,
         config: &SartConfig,
         base: &PavfInputs,
-    ) -> Result<(Arc<CompiledSweep>, &'static str, Option<(WarmStatus, usize)>), ApiError> {
+    ) -> Result<ResolvedSweep, ApiError> {
+        let (c, tier, fresh, _) =
+            self.resolve_sweep_with_donor(design, mapping, config, base, None)?;
+        Ok((c, tier, fresh))
+    }
+
+    /// [`Resident::resolve_sweep`] with an optional **patch donor**: the
+    /// superseded revision's compiled DAG, keyed by the cache key it was
+    /// resident under. When a full miss warm-starts successfully, the DAG
+    /// is *patched* from the previous revision instead of recompiled —
+    /// donor first, then the disk tier's artifact for the old key, then a
+    /// full recompile ([`CompiledSweep::patch_traced`]'s fallback ladder).
+    /// The donor is only trusted when its key equals the key the stored
+    /// fixpoint's revision would compile to — same content digest,
+    /// mapping, and result-affecting config — so a patch can never graft
+    /// ops from an unrelated artifact.
+    ///
+    /// The patched (or compiled) DAG is fully constructed *before* the
+    /// LRU insert publishes it: in-flight evaluations hold their own
+    /// `Arc` clones of the old entry and are never exposed to
+    /// intermediate state (swap-on-publish).
+    fn resolve_sweep_with_donor(
+        &self,
+        design: &LoadedDesign,
+        mapping: &StructureMapping,
+        config: &SartConfig,
+        base: &PavfInputs,
+        donor: Option<(u64, Arc<CompiledSweep>)>,
+    ) -> Result<PatchedSweep, ApiError> {
         let nl = &design.netlist;
         let key = cache_key(nl, mapping, config);
         if let Some(c) = lock(&self.sweeps).get(key) {
             self.obs.count("serve.cache.hit", 1);
-            return Ok((Arc::clone(c), "hit", None));
+            return Ok((Arc::clone(c), "hit", None, None));
         }
         self.obs.count("serve.cache.miss", 1);
         // Disk tier, shared with the batch CLI's --cache-dir.
@@ -413,10 +460,10 @@ impl Resident {
             if lock(&self.sweeps).insert(key, Arc::clone(&c)).is_some() {
                 self.obs.count("serve.evict.sweep", 1);
             }
-            return Ok((c, "miss", None));
+            return Ok((c, "miss", None, None));
         }
-        // Full miss: relax and compile — the cached-frontend cold path,
-        // seeded from the resident fixpoint when one matches.
+        // Full miss: relax — the cached-frontend cold path, seeded from
+        // the resident fixpoint when one matches.
         let engine = SartEngine::new_with_loops_traced(
             nl,
             mapping,
@@ -424,17 +471,15 @@ impl Resident {
             &design.loops,
             &self.obs,
         );
-        let fp_key = fixpoint::artifact_key(
-            nl.design_name(),
-            &mapping.to_text(nl),
-            &config.result_key(),
-        );
+        let fp_key =
+            fixpoint::artifact_key(nl.design_name(), &mapping.to_text(nl), &config.result_key());
         let stored = lock(&self.fixpoints).get(fp_key).map(Arc::clone);
-        let (result, warm) = match &stored {
-            Some(fp) => engine.run_warm_traced(base, fp, &self.obs),
+        let (result, warm, clean) = match &stored {
+            Some(fp) => engine.run_warm_patch_traced(base, fp, &self.obs),
             None => (
                 engine.run_traced(base, &self.obs),
                 WarmStatus::Cold("no resident fixpoint"),
+                None,
             ),
         };
         match &warm {
@@ -445,7 +490,47 @@ impl Resident {
         if let Some(fp) = engine.capture_fixpoint(&result) {
             lock(&self.fixpoints).insert(fp_key, Arc::new(fp));
         }
-        let compiled = Arc::new(CompiledSweep::compile_traced(&result, nl, &self.obs));
+        // Obtain the DAG: patch the previous revision's when the warm
+        // solve proved the dirty cone, else compile from scratch.
+        let mut patch = None;
+        let mut compiled: Option<CompiledSweep> = None;
+        if let (WarmStatus::Warm { .. }, Some(fp), Some(mask)) = (&warm, &stored, &clean) {
+            let old_key = cache_key_parts(
+                fp.content_digest,
+                &mapping.to_text(nl),
+                &config.result_key(),
+            );
+            let old = donor
+                .filter(|(k, _)| *k == old_key)
+                .map(|(_, dag)| dag)
+                .or_else(|| {
+                    disk.as_ref()
+                        .and_then(|s| s.load(old_key, config, fp.node_count))
+                        .map(Arc::new)
+                });
+            let layout: Vec<(&str, usize)> = fp
+                .fubs
+                .iter()
+                .map(|f| (f.name.as_str(), f.fwd.len()))
+                .collect();
+            let attempt = old
+                .ok_or("no DAG resident or on disk for the previous revision")
+                .and_then(|dag| dag.patch_traced(&result, nl, &layout, mask, &self.obs));
+            match attempt {
+                Ok((patched, stats)) => {
+                    self.obs.count("sweep.patch.hit", 1);
+                    patch = Some(PatchStatus::Patched(stats));
+                    compiled = Some(patched);
+                }
+                Err(reason) => {
+                    self.obs.count("sweep.patch.full_rebuild", 1);
+                    patch = Some(PatchStatus::Rebuilt(reason));
+                }
+            }
+        }
+        let compiled = Arc::new(
+            compiled.unwrap_or_else(|| CompiledSweep::compile_traced(&result, nl, &self.obs)),
+        );
         if let Some(s) = &disk {
             self.obs.count("sweep.cache.miss", 1);
             let _ = s.store(key, &compiled);
@@ -456,7 +541,7 @@ impl Resident {
         {
             self.obs.count("serve.evict.sweep", 1);
         }
-        Ok((compiled, "miss", Some((warm, walked))))
+        Ok((compiled, "miss", Some((warm, walked)), patch))
     }
 
     /// Builds the effective [`SartConfig`], validating every override.
@@ -559,26 +644,47 @@ impl Resident {
                 }
             }
         }
-        if let Some((_, d)) = &prev {
+        // The superseded DAG is removed from residency but *kept* as the
+        // patch donor: a warm re-solve grafts its unchanged ops into the
+        // edited design's DAG instead of re-lowering everything.
+        let donor = prev.as_ref().and_then(|(_, d)| {
             let stale = cache_key(&d.netlist, &d.mapping, &config);
-            lock(&self.sweeps).remove(stale);
-        }
+            lock(&self.sweeps).remove(stale).map(|dag| (stale, dag))
+        });
 
         let base = req.base_inputs.clone().unwrap_or_default();
-        let (_, _, fresh) = self.resolve_sweep(&design, &mapping, &config, &base)?;
+        let (_, _, fresh, patch) =
+            self.resolve_sweep_with_donor(&design, &mapping, &config, &base, donor)?;
         let node_count = design.netlist.node_count() as u64;
-        let (mode, reason, seeded_fubs, dirty_fubs, walked_nodes) = match fresh {
+        let (mode, reason, seeded_fubs, dirty_fubs, walked_nodes) = match &fresh {
             Some((
                 WarmStatus::Warm {
                     seeded_fubs,
                     dirty_fubs,
                 },
                 walked,
-            )) => ("warm", None, seeded_fubs as u64, dirty_fubs as u64, walked),
-            Some((WarmStatus::Cold(r), walked)) => ("cold", Some(r.to_owned()), 0, 0, walked),
+            )) => (
+                "warm",
+                None,
+                *seeded_fubs as u64,
+                *dirty_fubs as u64,
+                *walked,
+            ),
+            Some((WarmStatus::Cold(r), walked)) => ("cold", Some((*r).to_owned()), 0, 0, *walked),
             // The edited design's DAG was already resident (idempotent
             // re-POST): nothing relaxed, nothing walked.
             None => ("resident", None, 0, 0, 0),
+        };
+        let (dag, dag_reason, ops_patched, ops_orphaned) = match patch {
+            Some(PatchStatus::Patched(st)) => (
+                "patched",
+                None,
+                st.nodes_patched() as u64,
+                st.ops_orphaned as u64,
+            ),
+            Some(PatchStatus::Rebuilt(r)) => ("rebuilt", Some(r.to_owned()), 0, 0),
+            None if fresh.is_some() => ("compiled", None, 0, 0),
+            None => ("resident", None, 0, 0),
         };
         Ok(DesignUpdateResponse {
             design_ref: format!("{key:016x}"),
@@ -589,6 +695,10 @@ impl Resident {
             dirty_fubs,
             walked_nodes: walked_nodes as u64,
             node_count,
+            dag: dag.to_owned(),
+            dag_reason,
+            ops_patched,
+            ops_orphaned,
         })
     }
 }
@@ -981,6 +1091,111 @@ mod tests {
             })
             .unwrap();
         assert_eq!(again.mode, "warm", "reason: {:?}", again.reason);
+    }
+
+    #[test]
+    fn design_update_patches_the_superseded_dag_instead_of_recompiling() {
+        let dir = scratch("design-update-patch");
+        let (design, map) = write_design(&dir, 23);
+        let r = Resident::new(ResidentConfig::default(), Collector::new());
+        let cold = r.handle(&request(&design, &map, 1)).unwrap();
+
+        edit_one_gate(&design);
+        let upd = r
+            .handle_design_update(&crate::api::DesignUpdateRequest {
+                design_path: design.display().to_string(),
+                prev_ref: Some(cold.design_ref.clone()),
+                map_path: None,
+                config: None,
+                base_inputs: None,
+            })
+            .unwrap();
+        assert_eq!(upd.mode, "warm", "reason: {:?}", upd.reason);
+        assert_eq!(upd.dag, "patched", "dag_reason: {:?}", upd.dag_reason);
+        assert!(upd.ops_patched > 0, "{upd:?}");
+        let report = r.obs().report();
+        assert_eq!(report.counter("sweep.patch.hit"), Some(1));
+        assert_eq!(report.counter("sweep.patch.full_rebuild"), None);
+        let patched_nodes = report.counter("sweep.patch.nodes_patched").unwrap_or(0);
+        assert_eq!(patched_nodes, upd.ops_patched);
+
+        // The patched DAG serves rows bit-identical to a fresh server
+        // cold-solving the edited design.
+        let served = r
+            .handle(&AvfRequest {
+                design_path: None,
+                map_path: None,
+                design_ref: Some(upd.design_ref.clone()),
+                ..request(&design, &map, 1)
+            })
+            .unwrap();
+        assert_eq!(served.sweep_cache, "hit");
+        let fresh = Resident::new(ResidentConfig::default(), Collector::new());
+        let reference = fresh.handle(&request(&design, &map, 1)).unwrap();
+        for (a, b) in served.rows.iter().zip(&reference.rows) {
+            assert_eq!(a.mean_seq_avf.to_bits(), b.mean_seq_avf.to_bits());
+            assert_eq!(a.min_seq_avf.to_bits(), b.min_seq_avf.to_bits());
+            assert_eq!(a.max_seq_avf.to_bits(), b.max_seq_avf.to_bits());
+        }
+    }
+
+    /// Swap-on-publish: a `query` holding the old revision's DAG across a
+    /// mid-flight `design-update` must finish on that old `Arc` and never
+    /// observe a half-patched DAG. The patch builds the new DAG fully
+    /// before the LRU insert publishes it, so the old `Arc` stays valid
+    /// and immutable for as long as any evaluation holds it.
+    #[test]
+    fn in_flight_evaluations_finish_on_the_old_dag_across_an_update() {
+        let dir = scratch("swap-on-publish");
+        let (design, map) = write_design(&dir, 29);
+        let r = Resident::new(ResidentConfig::default(), Collector::new());
+        let cold = r.handle(&request(&design, &map, 1)).unwrap();
+
+        // An in-flight evaluation clones the Arc out of the LRU and drops
+        // the lock — exactly what `handle` does before evaluating.
+        let key = u64::from_str_radix(&cold.design_ref, 16).unwrap();
+        let d = lock(&r.graphs).get(key).map(Arc::clone).unwrap();
+        let config = r.resolve_config(None).unwrap();
+        let dag_key = cache_key(&d.netlist, &d.mapping, &config);
+        let old_dag = lock(&r.sweeps).get(dag_key).map(Arc::clone).unwrap();
+        let inputs = request(&design, &map, 1).tables[0].inputs.clone();
+        let before: Vec<u64> = old_dag
+            .evaluate(&inputs)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+
+        // The design is edited and patched mid-flight.
+        edit_one_gate(&design);
+        let upd = r
+            .handle_design_update(&crate::api::DesignUpdateRequest {
+                design_path: design.display().to_string(),
+                prev_ref: Some(cold.design_ref.clone()),
+                map_path: None,
+                config: None,
+                base_inputs: None,
+            })
+            .unwrap();
+        assert_eq!(upd.dag, "patched", "dag_reason: {:?}", upd.dag_reason);
+
+        // The in-flight holder's DAG is unchanged — same values, bit for
+        // bit — even though residency now serves the patched revision.
+        let after: Vec<u64> = old_dag
+            .evaluate(&inputs)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(before, after, "old Arc mutated by the patch");
+        let new_key = u64::from_str_radix(&upd.design_ref, 16).unwrap();
+        let nd = lock(&r.graphs).get(new_key).map(Arc::clone).unwrap();
+        let new_dag_key = cache_key(&nd.netlist, &nd.mapping, &config);
+        let new_dag = lock(&r.sweeps).get(new_dag_key).map(Arc::clone).unwrap();
+        assert!(
+            !Arc::ptr_eq(&old_dag, &new_dag),
+            "the patched DAG must be a fresh allocation, not an in-place edit"
+        );
+        // And the old entry is no longer resident: the stale key misses.
+        assert!(lock(&r.sweeps).get(dag_key).is_none());
     }
 
     #[test]

@@ -197,3 +197,65 @@ fn graceful_shutdown_drains_queued_work() {
     // After join, the listener is gone.
     assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
 }
+
+/// `POST /v1/design-update` over a real socket patches the resident DAG
+/// and surfaces the `sweep.patch.*` counters in `/metrics`.
+#[test]
+fn design_update_surfaces_patch_counters_in_metrics() {
+    use seqavf_serve::api::{DesignUpdateRequest, DesignUpdateResponse};
+
+    let dir = scratch("patch-metrics");
+    let (design, map) = write_design(&dir, 31);
+    let server = spawn(
+        ServeConfig {
+            workers: 1,
+            queue_cap: 8,
+            ..ServeConfig::default()
+        },
+        Collector::new(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let (status, cold) = client::post_json(addr, "/v1/avf", &batch_body(&design, &map, 1)).unwrap();
+    assert_eq!(status, 200, "{cold}");
+    let cold: AvfResponse = serde_json::from_str(&cold).unwrap();
+
+    // Edit one gate on disk and push the update.
+    let text = std::fs::read_to_string(&design).unwrap();
+    let edited = text.replacen(".gate and ", ".gate or ", 1);
+    assert_ne!(text, edited);
+    std::fs::write(&design, edited).unwrap();
+    let upd_req = DesignUpdateRequest {
+        design_path: design.display().to_string(),
+        prev_ref: Some(cold.design_ref.clone()),
+        map_path: None,
+        config: None,
+        base_inputs: None,
+    };
+    let (status, body) = client::post_json(
+        addr,
+        "/v1/design-update",
+        &serde_json::to_string(&upd_req).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let upd: DesignUpdateResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(upd.mode, "warm", "reason: {:?}", upd.reason);
+    assert_eq!(upd.dag, "patched", "dag_reason: {:?}", upd.dag_reason);
+    assert!(upd.ops_patched > 0);
+
+    let (status, metrics) = client::get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(metrics.contains("seqavf_sweep_patch_hit 1"), "{metrics}");
+    assert!(
+        metrics.contains("seqavf_sweep_patch_nodes_patched"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("seqavf_sweep_patch_nodes_orphaned"),
+        "{metrics}"
+    );
+    server.shutdown();
+    server.join();
+}
